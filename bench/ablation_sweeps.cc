@@ -1,0 +1,138 @@
+// Ablations of CTFL's design knobs (DESIGN.md §6), each printed as a
+// sweep table on a fixed adult/skew-label federation:
+//   (a) tau_w — strict vs soft tracing (paper §III-C Remark): related-set
+//       size, matched accuracy, and score concentration;
+//   (b) delta — the macro scheme's minimum-related threshold;
+//   (c) DP epsilon — privacy/utility of perturbed activation uploads,
+//       measured as rank agreement with the noiseless run;
+//   (d) logic-layer width — model accuracy vs rule count vs tracing cost.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common.h"
+#include "ctfl/core/allocation.h"
+#include "ctfl/fl/privacy.h"
+#include "ctfl/util/stopwatch.h"
+
+namespace {
+
+using namespace ctfl;
+
+// Spearman-style agreement: fraction of participant pairs ordered the same
+// way by both score vectors.
+double PairwiseRankAgreement(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  int agree = 0, total = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = i + 1; j < a.size(); ++j) {
+      ++total;
+      if ((a[i] - a[j]) * (b[i] - b[j]) >= 0) ++agree;
+    }
+  }
+  return total == 0 ? 1.0 : static_cast<double>(agree) / total;
+}
+
+double MeanRelated(const TraceResult& trace) {
+  double total = 0.0;
+  for (const TestTrace& t : trace.tests) {
+    total += static_cast<double>(t.total_related);
+  }
+  return trace.tests.empty() ? 0.0 : total / trace.tests.size();
+}
+
+}  // namespace
+
+int main() {
+  using namespace ctfl;
+  const std::string dataset = "adult";
+  constexpr uint64_t kSeed = 29;
+  const bench::PreparedExperiment experiment =
+      bench::Prepare(dataset, 8, /*skew_label=*/true, kSeed);
+  const CtflConfig base = bench::MakeCtflConfig(dataset, kSeed);
+
+  // One trained model shared by the tracing ablations.
+  const LogicalNet model =
+      TrainCentral(experiment.test.schema(), base.net,
+                   MergeFederation(experiment.federation), base.central);
+  std::printf("shared model accuracy: %.3f\n\n",
+              model.Accuracy(experiment.test));
+
+  // ---- (a) tau_w sweep -----------------------------------------------
+  bench::PrintTitle("Ablation A: tracing threshold tau_w (Eq. 4)");
+  std::printf("%8s %16s %18s %14s\n", "tau_w", "mean #related",
+              "matched accuracy", "trace sec");
+  for (double tau : {0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0}) {
+    TracerConfig tc = base.tracer;
+    tc.tau_w = tau;
+    const ContributionTracer tracer(&model, &experiment.federation, tc);
+    const TraceResult trace = tracer.Trace(experiment.test);
+    std::printf("%8.2f %16.1f %18.3f %14.3f\n", tau, MeanRelated(trace),
+                trace.matched_accuracy, trace.tracing_seconds);
+  }
+
+  // ---- (b) delta sweep -------------------------------------------------
+  bench::PrintTitle("\nAblation B: macro minimum-related threshold delta "
+                    "(Eq. 6)");
+  {
+    const ContributionTracer tracer(&model, &experiment.federation,
+                                    base.tracer);
+    const TraceResult trace = tracer.Trace(experiment.test);
+    const std::vector<int> deltas = {1, 2, 4, 8, 16, 32};
+    const auto sweep = MacroAllocationSweep(trace, deltas);
+    const std::vector<double> micro = MicroAllocation(trace);
+    std::printf("%8s %22s %22s\n", "delta", "sum of macro scores",
+                "rank agreement w/ micro");
+    for (size_t d = 0; d < deltas.size(); ++d) {
+      double total = 0.0;
+      for (double s : sweep[d]) total += s;
+      std::printf("%8d %22.3f %22.3f\n", deltas[d], total,
+                  PairwiseRankAgreement(sweep[d], micro));
+    }
+  }
+
+  // ---- (c) DP epsilon sweep --------------------------------------------
+  bench::PrintTitle("\nAblation C: DP-perturbed activation uploads "
+                    "(randomized response)");
+  std::vector<double> clean_scores;
+  {
+    const ContributionTracer tracer(&model, &experiment.federation,
+                                    base.tracer);
+    clean_scores = MicroAllocation(tracer.Trace(experiment.test));
+  }
+  std::printf("%10s %12s %22s\n", "epsilon", "flip prob",
+              "rank agreement vs clean");
+  for (double eps : {16.0, 8.0, 4.0, 2.0, 1.0, 0.5}) {
+    TracerConfig tc = base.tracer;
+    tc.dp_epsilon = eps;
+    const ContributionTracer tracer(&model, &experiment.federation, tc);
+    const std::vector<double> scores =
+        MicroAllocation(tracer.Trace(experiment.test));
+    std::printf("%10.1f %12.4f %22.3f\n", eps,
+                RandomizedResponseFlipProbability(eps),
+                PairwiseRankAgreement(scores, clean_scores));
+  }
+
+  // ---- (d) logic width sweep -------------------------------------------
+  bench::PrintTitle("\nAblation D: logic-layer width (64-512 node range of "
+                    "the paper)");
+  std::printf("%8s %12s %12s %12s %14s\n", "width", "accuracy", "#rules",
+              "train sec", "trace sec");
+  for (int width : {32, 64, 128, 256}) {
+    CtflConfig config = base;
+    config.net.logic_layers = {{width / 2, width / 2}};
+    Stopwatch train_watch;
+    const LogicalNet net =
+        TrainCentral(experiment.test.schema(), config.net,
+                     MergeFederation(experiment.federation), config.central);
+    const double train_sec = train_watch.ElapsedSeconds();
+    const ContributionTracer tracer(&net, &experiment.federation,
+                                    config.tracer);
+    const TraceResult trace = tracer.Trace(experiment.test);
+    std::printf("%8d %12.3f %12d %12.2f %14.3f\n", width,
+                trace.global_accuracy, net.num_rules(), train_sec,
+                trace.tracing_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Fig. 7: the tic-tac-toe interpretability case study. Three
+// participants hold skew-label partitions of the exact endgame dataset;
+// CTFL's tracing pass yields each participant's most frequently activated
+// beneficial rules, which read as board-line patterns (e.g. cells
+// 1^2^3 for an x win across the top row).
+
+#include <cstdio>
+
+#include "common.h"
+#include "ctfl/core/interpret.h"
+#include "ctfl/data/gen/tictactoe.h"
+
+int main() {
+  using namespace ctfl;
+  const Dataset full = GenerateTicTacToe();
+  Rng rng(33);
+  const TrainTestSplit split = StratifiedSplit(full, 0.25, rng);
+  Rng prng(34);
+  const Federation fed =
+      MakeFederation(PartitionSkewLabel(split.train, 3, 0.6, prng));
+
+  CtflConfig config = bench::MakeCtflConfig("tic-tac-toe", 35);
+  config.central.epochs = 60;
+  const CtflReport report = RunCtfl(fed, split.test, config);
+  const ExtractionResult extraction = ExtractRules(report.model);
+
+  bench::PrintTitle(
+      "Fig. 7: Frequently Activated Rules per Participant (tic-tac-toe, "
+      "skew-label, 3 participants)");
+  std::printf("global model test accuracy: %.3f\n", report.test_accuracy);
+  std::printf("label skew: ");
+  for (const Participant& p : fed) {
+    std::printf("%s pos-rate %.2f (%zu rec)  ", p.name.c_str(),
+                p.data.PositiveRate(), p.data.size());
+  }
+  std::printf("\n\n");
+
+  const auto profiles = BuildProfiles(report.trace, /*top_k=*/5, /*distinctive=*/true);
+  for (const ParticipantProfile& profile : profiles) {
+    std::printf("%s", FormatProfile(profile, extraction,
+                                    *full.schema(),
+                                    fed[profile.participant].name)
+                          .c_str());
+    std::printf("  micro score: %.4f\n\n",
+                report.micro_scores[profile.participant]);
+  }
+
+  const CollectionGuidance guidance =
+      GuideDataCollection(report.trace, /*top_k=*/5);
+  std::printf("%s\n",
+              FormatGuidance(guidance, extraction, *full.schema()).c_str());
+  std::printf(
+      "Reading guide (paper Fig. 7): participants rich in x-wins surface\n"
+      "positive row/column/diagonal conjunctions; the o-heavy participant\n"
+      "surfaces negative patterns; short rules can still be frequent.\n");
+  return 0;
+}

@@ -1,0 +1,208 @@
+// Engineering microbenchmarks + ablations of the design choices called
+// out in DESIGN.md §6: tracing fast paths (dedup / Max-Miner / threads),
+// tau_w sensitivity, logic-layer width, and the substrate hot loops
+// (bitset intersection, rule activation, grafted step, simplex).
+
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+#include "ctfl/core/tracer.h"
+#include "ctfl/mining/apriori.h"
+#include "ctfl/mining/max_miner.h"
+#include "ctfl/nn/trainer.h"
+#include "ctfl/solver/simplex.h"
+
+namespace ctfl {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared fixture: a trained model + federation on scaled-down adult.
+// ---------------------------------------------------------------------------
+struct TracingFixture {
+  bench::PreparedExperiment experiment;
+  LogicalNet model;
+
+  TracingFixture()
+      : experiment(bench::Prepare("adult", 8, /*skew_label=*/true, 5)),
+        model([this] {
+          CtflConfig config = bench::MakeCtflConfig("adult", 5);
+          config.central.epochs = 8;
+          return TrainCentral(experiment.test.schema(), config.net,
+                              MergeFederation(experiment.federation),
+                              config.central);
+        }()) {}
+};
+
+TracingFixture& Fixture() {
+  static TracingFixture* fixture = new TracingFixture();
+  return *fixture;
+}
+
+void BM_BitsetAndCount(benchmark::State& state) {
+  const size_t bits = state.range(0);
+  Rng rng(1);
+  Bitset a(bits), b(bits);
+  for (size_t i = 0; i < bits; ++i) {
+    if (rng.Bernoulli(0.3)) a.Set(i);
+    if (rng.Bernoulli(0.3)) b.Set(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.AndCount(b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BitsetAndCount)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_RuleActivation(benchmark::State& state) {
+  TracingFixture& fx = Fixture();
+  const Instance& inst = fx.experiment.test.instance(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.model.RuleActivations(inst));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RuleActivation);
+
+void BM_ModelPredict(benchmark::State& state) {
+  TracingFixture& fx = Fixture();
+  const Instance& inst = fx.experiment.test.instance(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.model.Predict(inst));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ModelPredict);
+
+// Ablation: tracing fast paths. Arg encodes (dedup, max_miner, threads).
+void BM_TracingPaths(benchmark::State& state) {
+  TracingFixture& fx = Fixture();
+  TracerConfig config;
+  config.tau_w = 0.9;
+  config.use_dedup = state.range(0) != 0;
+  config.use_max_miner = state.range(1) != 0;
+  config.num_threads = static_cast<int>(state.range(2));
+  const ContributionTracer tracer(&fx.model, &fx.experiment.federation,
+                                  config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracer.Trace(fx.experiment.test));
+  }
+  state.SetItemsProcessed(state.iterations() * fx.experiment.test.size());
+}
+BENCHMARK(BM_TracingPaths)
+    ->Args({0, 0, 1})   // brute force
+    ->Args({1, 0, 1})   // + dedup
+    ->Args({1, 1, 1})   // + Max-Miner prefilter
+    ->Args({1, 1, 0});  // + all cores
+
+// Ablation: tau_w sensitivity of tracing cost.
+void BM_TracingTauW(benchmark::State& state) {
+  TracingFixture& fx = Fixture();
+  TracerConfig config;
+  config.tau_w = state.range(0) / 100.0;
+  config.num_threads = 1;
+  const ContributionTracer tracer(&fx.model, &fx.experiment.federation,
+                                  config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracer.Trace(fx.experiment.test));
+  }
+}
+BENCHMARK(BM_TracingTauW)->Arg(60)->Arg(80)->Arg(90)->Arg(100);
+
+void BM_GraftedStep(benchmark::State& state) {
+  TracingFixture& fx = Fixture();
+  const int width = static_cast<int>(state.range(0));
+  LogicalNetConfig config;
+  config.logic_layers = {{width / 2, width / 2}};
+  config.seed = 7;
+  LogicalNet net(fx.experiment.test.schema(), config);
+  AdamOptimizer optimizer(0.01);
+
+  const size_t batch = 64;
+  std::vector<size_t> indices;
+  std::vector<int> labels;
+  for (size_t i = 0; i < batch; ++i) {
+    indices.push_back(i % fx.experiment.test.size());
+    labels.push_back(fx.experiment.test.instance(indices.back()).label);
+  }
+  const Matrix encoded =
+      net.encoder().EncodeBatch(fx.experiment.test, indices);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GraftedStep(net, encoded, labels, optimizer));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_GraftedStep)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MaxMiner(benchmark::State& state) {
+  Rng rng(9);
+  const size_t items = 64;
+  std::vector<Bitset> transactions;
+  for (int t = 0; t < 400; ++t) {
+    Bitset row(items);
+    for (size_t i = 0; i < items; ++i) {
+      if (rng.Bernoulli(0.15)) row.Set(i);
+    }
+    transactions.push_back(std::move(row));
+  }
+  const VerticalDb db(transactions, items);
+  const size_t min_support = 40;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxMinerMaximal(db, min_support));
+  }
+}
+BENCHMARK(BM_MaxMiner);
+
+void BM_AprioriBaseline(benchmark::State& state) {
+  Rng rng(9);
+  const size_t items = 64;
+  std::vector<Bitset> transactions;
+  for (int t = 0; t < 400; ++t) {
+    Bitset row(items);
+    for (size_t i = 0; i < items; ++i) {
+      if (rng.Bernoulli(0.15)) row.Set(i);
+    }
+    transactions.push_back(std::move(row));
+  }
+  const VerticalDb db(transactions, items);
+  const size_t min_support = 40;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaximalOnly(AprioriFrequent(db, min_support)));
+  }
+}
+BENCHMARK(BM_AprioriBaseline);
+
+void BM_SimplexLeastCoreShape(benchmark::State& state) {
+  // LP shaped like the LeastCore program for n participants.
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(11);
+  LpProblem lp;
+  lp.num_vars = n + 1;
+  lp.objective.assign(n + 1, 0.0);
+  lp.objective[n] = 1.0;
+  lp.free_vars.assign(n + 1, true);
+  const int constraints = n * n * 3;
+  for (int c = 0; c < constraints; ++c) {
+    LpConstraint con;
+    con.coeffs.assign(n + 1, 0.0);
+    for (int i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.5)) con.coeffs[i] = 1.0;
+    }
+    con.coeffs[n] = 1.0;
+    con.rel = LpConstraint::Rel::kGe;
+    con.rhs = rng.Uniform(0.0, 1.0);
+    lp.constraints.push_back(std::move(con));
+  }
+  LpConstraint eff;
+  eff.coeffs.assign(n + 1, 0.0);
+  for (int i = 0; i < n; ++i) eff.coeffs[i] = 1.0;
+  eff.rel = LpConstraint::Rel::kEq;
+  eff.rhs = 1.0;
+  lp.constraints.push_back(std::move(eff));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveLp(lp));
+  }
+}
+BENCHMARK(BM_SimplexLeastCoreShape)->Arg(4)->Arg(8)->Arg(12);
+
+}  // namespace
+}  // namespace ctfl

@@ -1,0 +1,107 @@
+// Reproduces Table I: the qualitative method-comparison matrix. Rather
+// than hard-coding the paper's +/++/+++ cells, this bench *measures* the
+// three quantitative axes on a representative experiment (tic-tac-toe,
+// skew-label, 8 participants) and grades each scheme:
+//   accuracy   — removal-curve AUC (smaller = better ranking accuracy),
+//   efficiency — coalition trainings needed,
+//   robustness — |relative score drift| of a data-replicating participant,
+// and reports interpretability as a capability flag (only CTFL exposes
+// rule-level evidence).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "common.h"
+#include "ctfl/fl/adversary.h"
+
+namespace {
+
+using namespace ctfl;
+
+// Grade a measured value against thresholds (ascending = worse).
+std::string Grade(double value, double plus3, double plus2) {
+  if (value <= plus3) return "+++";
+  if (value <= plus2) return "++";
+  return "+";
+}
+
+}  // namespace
+
+int main() {
+  using namespace ctfl;
+  const std::string dataset = "tic-tac-toe";
+  constexpr int kParticipants = 8;
+  constexpr uint64_t kSeed = 3;
+  const double budget = bench::FullScale() ? 1.0 : 0.4;
+
+  const bench::PreparedExperiment experiment =
+      bench::Prepare(dataset, kParticipants, /*skew_label=*/true, kSeed);
+
+  // Replication scenario for the robustness axis.
+  std::vector<Dataset> attacked_clients;
+  for (const Participant& p : experiment.federation) {
+    attacked_clients.push_back(p.data);
+  }
+  Rng arng(kSeed + 5);
+  ReplicateData(attacked_clients[2], 0.4, arng);
+  const bench::PreparedExperiment attacked(
+      MakeFederation(std::move(attacked_clients)), experiment.test);
+
+  struct Row {
+    std::string scheme;
+    double auc = 0.0;
+    int trainings = 0;
+    double drift = 0.0;
+    bool interpretable = false;
+  };
+  std::vector<Row> rows;
+
+  for (const std::string& scheme : bench::SchemeNames()) {
+    Row row;
+    row.scheme = scheme;
+    row.interpretable = scheme.rfind("CTFL", 0) == 0;
+    const Result<ContributionResult> result =
+        bench::RunScheme(scheme, experiment, dataset, kSeed, budget);
+    if (!result.ok()) continue;
+    row.trainings = std::max(result->coalitions_evaluated, 1);
+    row.auc = bench::CurveAuc(bench::RemovalCurve(
+        experiment, dataset, result->scores, 5, kSeed));
+    const Result<ContributionResult> after =
+        bench::RunScheme(scheme, attacked, dataset, kSeed, budget);
+    if (after.ok() && result->scores[2] != 0.0) {
+      row.drift = std::min(1.0, std::abs(after->scores[2] -
+                                         result->scores[2]) /
+                                    std::abs(result->scores[2]));
+    }
+    rows.push_back(row);
+  }
+
+  bench::PrintTitle("Table I: Comparing CTFL to Existing Approaches "
+                    "(grades measured on tic-tac-toe/skew-label)");
+  std::printf("%-13s %-16s %-22s %-20s %s\n", "Method",
+              "Accuracy (AUC)", "Efficiency (#train)",
+              "Robustness (drift)", "Interpretable");
+  bench::PrintRule();
+  // Grade thresholds relative to the observed spread.
+  double best_auc = 1e9;
+  for (const Row& r : rows) best_auc = std::min(best_auc, r.auc);
+  for (const Row& r : rows) {
+    const std::string acc = Grade(r.auc - best_auc, 0.01, 0.03);
+    const std::string eff = Grade(r.trainings, 8, 40);
+    const std::string rob = Grade(r.drift, 0.10, 0.35);
+    std::printf("%-13s %-4s (%5.3f)     %-4s (%4d)           %-4s (%5.3f)"
+                "        %s\n",
+                r.scheme.c_str(), acc.c_str(), r.auc, eff.c_str(),
+                r.trainings, rob.c_str(), r.drift,
+                r.interpretable ? "yes (rule evidence)" : "x");
+  }
+  bench::PrintRule();
+  std::printf(
+      "Paper Table I: Individual +/+++/+++/x, LeaveOneOut +/++/+/x,\n"
+      "LeastCore ++/+/++/x, ShapleyValue +++/+/+/x, CTFL +++/+++/+++/yes.\n"
+      "(CTFL-micro's replication drift is by design; the macro variant is\n"
+      "the replication-robust one the paper grades.)\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Reproduces Table V: the adult interpretability case study — three
+// participants under skew-label partitioning, each characterized by its
+// most frequently activated rules. The paper observes: low-income rules
+// dominate everywhere (class imbalance); participants with homogeneous
+// data share predicates (capital-gain < 5k, capital-loss < 1k); the
+// participant holding high-income records surfaces positive rules
+// (capital-gain > 21k, education-num > 15, age > 55).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "ctfl/core/interpret.h"
+
+int main() {
+  using namespace ctfl;
+  const std::string dataset = "adult";
+  const Dataset all =
+      MakeBenchmark(dataset, bench::TrainSizeFor(dataset), 55).value();
+  Rng rng(56);
+  const TrainTestSplit split = StratifiedSplit(all, 0.2, rng);
+  // Draw skew-label partitions until every participant has a substantive
+  // shard (a case study needs three characterizable participants; tiny
+  // Dirichlet draws make degenerate profiles).
+  Federation fed;
+  for (uint64_t attempt = 0;; ++attempt) {
+    Rng prng(57 + attempt);
+    fed = MakeFederation(PartitionSkewLabel(split.train, 3, 0.6, prng));
+    size_t smallest = split.train.size();
+    for (const Participant& p : fed) {
+      smallest = std::min(smallest, p.data.size());
+    }
+    if (smallest >= split.train.size() / 10 || attempt > 50) break;
+  }
+
+  CtflConfig config = bench::MakeCtflConfig(dataset, 58);
+  const CtflReport report = RunCtfl(fed, split.test, config);
+  const ExtractionResult extraction = ExtractRules(report.model);
+
+  bench::PrintTitle(
+      "Table V: Frequently Activated Rules per Participant (adult, "
+      "skew-label, 3 participants)");
+  std::printf("global model test accuracy: %.3f\n", report.test_accuracy);
+  for (const Participant& p : fed) {
+    std::printf("%s: %zu records, pos-rate %.2f\n", p.name.c_str(),
+                p.data.size(), p.data.PositiveRate());
+  }
+  std::printf("\n");
+
+  const auto profiles = BuildProfiles(report.trace, /*top_k=*/5, /*distinctive=*/true);
+  for (const ParticipantProfile& profile : profiles) {
+    std::printf("%s", FormatProfile(profile, extraction, *all.schema(),
+                                    fed[profile.participant].name)
+                          .c_str());
+    std::printf("  micro score: %.4f\n\n",
+                report.micro_scores[profile.participant]);
+  }
+  // The paper's observation 1 holds by construction — low-income rules
+  // dominate every profile — so surface each participant's strongest
+  // *positive-class* rules separately (the paper's observation 3: the
+  // high-income-rich participant shows rules like capital-gain > 21k).
+  std::printf("strongest positive-class (>50k) rules per participant:\n");
+  for (const Participant& p : fed) {
+    std::printf("  %s (pos-rate %.2f):\n", p.name.c_str(),
+                p.data.PositiveRate());
+    std::vector<std::pair<double, int>> positives;
+    for (int j = 0; j < report.trace.num_rules; ++j) {
+      if (extraction.rules[j].support_class == 1 &&
+          report.trace.beneficial_rule_freq(p.id, j) > 0.0) {
+        positives.emplace_back(report.trace.beneficial_rule_freq(p.id, j),
+                               j);
+      }
+    }
+    std::sort(positives.rbegin(), positives.rend());
+    for (size_t k = 0; k < positives.size() && k < 2; ++k) {
+      std::printf("    [freq=%.2f] %s\n", positives[k].first,
+                  extraction.rules[positives[k].second].rule
+                      .ToString(*all.schema())
+                      .c_str());
+    }
+    if (positives.empty()) std::printf("    (none traced)\n");
+  }
+  std::printf(
+      "\nReading guide (paper Table V): negative (<=50k) rules dominate\n"
+      "every profile (class imbalance, the paper's observation 1);\n"
+      "homogeneous participants share predicates (observation 2); the\n"
+      "income-rich participant has the strongest positive rules, e.g.\n"
+      "capital-gain/education-num thresholds (observation 3).\n");
+  return 0;
+}

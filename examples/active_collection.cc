@@ -1,0 +1,80 @@
+// Active data collection: after a CTFL run, the federation wants to know
+// *what data to recruit next*. Misclassified test instances with no
+// related training records mark uncovered scenarios; aggregating their
+// activated rules yields a concrete shopping list (paper §IV-B "Guide
+// Data Collection"). This example deliberately starves the federation of
+// one region of the feature space, then shows the guidance pointing
+// straight at it.
+
+#include <cstdio>
+
+#include "ctfl/core/interpret.h"
+#include "ctfl/core/pipeline.h"
+#include "ctfl/data/gen/synthetic.h"
+#include "ctfl/fl/partition.h"
+
+int main() {
+  using namespace ctfl;
+
+  // Task: two rules; the "rare" rule only fires when temperature > 80.
+  SyntheticSpec spec;
+  spec.schema = std::make_shared<FeatureSchema>(
+      std::vector<FeatureSpec>{
+          FeatureSchema::Continuous("temperature", 0, 100),
+          FeatureSchema::Continuous("humidity", 0, 100),
+      },
+      "normal", "alert");
+  spec.samplers = {
+      FeatureSampler{FeatureSampler::Kind::kUniform, 0, 0, {}},
+      FeatureSampler{FeatureSampler::Kind::kUniform, 0, 0, {}}};
+  spec.rules = {{{{0, GtPredicate::Op::kGt, 80.0}}, 1, 2.0},
+                {{{1, GtPredicate::Op::kGt, 90.0}}, 1, 2.0},
+                {{{0, GtPredicate::Op::kLt, 80.0},
+                  {1, GtPredicate::Op::kLt, 90.0}},
+                 0,
+                 1.0}};
+  Rng rng(41);
+
+  // Training data is censored: participants never saw temperature > 80.
+  Dataset censored(spec.schema);
+  while (censored.size() < 1200) {
+    const Dataset batch = GenerateSynthetic(spec, 128, rng);
+    for (const Instance& inst : batch.instances()) {
+      if (inst.values[0] <= 80.0 && censored.size() < 1200) {
+        censored.AppendUnchecked(inst);
+      }
+    }
+  }
+  Rng prng(42);
+  const Federation federation =
+      MakeFederation(PartitionUniform(censored, 4, prng));
+
+  // The reserved test set is NOT censored — it contains hot-weather cases.
+  const Dataset test = GenerateSynthetic(spec, 400, rng);
+
+  CtflConfig config;
+  config.federated = false;
+  config.central.epochs = 25;
+  config.central.learning_rate = 0.05;
+  config.net.logic_layers = {{24, 24}};
+  // Strict tracing: a test instance counts as covered only when training
+  // data matches ALL of its activated supporting rules — coverage gaps
+  // (like the censored hot-weather region) then surface as uncovered.
+  config.tracer.tau_w = 1.0;
+  const CtflReport report = RunCtfl(federation, test, config);
+
+  std::printf("model accuracy: %.3f (hot-weather alerts are being "
+              "missed)\n\n",
+              report.test_accuracy);
+
+  const ExtractionResult rules = ExtractRules(report.model);
+  const CollectionGuidance guidance =
+      GuideDataCollection(report.trace, /*top_k=*/6);
+  std::printf("%s\n",
+              FormatGuidance(guidance, rules, *spec.schema).c_str());
+  std::printf(
+      "Expected reading: the guidance rules reference high 'temperature'\n"
+      "thresholds — exactly the region the training data never covered.\n"
+      "The federation should recruit participants with hot-weather data.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Label-flip forensics: one participant in an income-prediction
+// federation poisons part of its data with flipped labels (Biggio-style
+// attack). Black-box valuation barely moves — but CTFL's loss tracing
+// (Eq. 5 with the indicator inverted, paper §IV-A) attributes the model's
+// misclassifications to the records that taught them, flagging the
+// attacker and even pointing at the poisoned records.
+
+#include <cstdio>
+
+#include "ctfl/core/pipeline.h"
+#include "ctfl/data/gen/benchmarks.h"
+#include "ctfl/data/split.h"
+#include "ctfl/fl/adversary.h"
+#include "ctfl/fl/partition.h"
+
+int main() {
+  using namespace ctfl;
+
+  const Dataset all = MakeBenchmark("adult", 3000, /*seed=*/31).value();
+  Rng rng(32);
+  const TrainTestSplit split = StratifiedSplit(all, 0.2, rng);
+  Rng prng(33);
+  std::vector<Dataset> clients = PartitionUniform(split.train, 6, prng);
+
+  // Participant 3 flips 80% of its labels.
+  Rng attack_rng(34);
+  const size_t flipped = FlipLabels(clients[3], 0.8, attack_rng);
+  std::printf("participant P3 flipped %zu of its labels\n\n", flipped);
+
+  const Federation federation = MakeFederation(std::move(clients));
+
+  CtflConfig config;
+  config.federated = false;
+  config.central.epochs = 20;
+  config.central.learning_rate = 0.05;
+  config.net.logic_layers = {{48, 48}};
+  config.tracer.tau_w = 0.85;
+  const CtflReport report = RunCtfl(federation, split.test, config);
+
+  std::printf("model accuracy: %.3f\n\n", report.test_accuracy);
+
+  LossAnalysisConfig loss_config;
+  loss_config.flag_threshold = 0.30;
+  const LossReport loss = AnalyzeLoss(report.trace, loss_config);
+  std::printf("%s\n", FormatLossReport(loss).c_str());
+
+  if (loss.flagged.empty()) {
+    std::printf("no participant crossed the suspicion threshold.\n");
+    return 0;
+  }
+  for (int p : loss.flagged) {
+    // Which of the flagged participant's records backed the failures?
+    const auto& miss = report.trace.train_match_miss[p];
+    size_t implicated = 0;
+    for (int count : miss) implicated += count > 0;
+    std::printf(
+        "P%d flagged: %zu of its %zu records were related to\n"
+        "misclassified test instances — candidates for exclusion before\n"
+        "the next training round.\n",
+        p, implicated, miss.size());
+  }
+  return 0;
+}

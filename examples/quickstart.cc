@@ -1,0 +1,59 @@
+// Quickstart: estimate participant contributions on the tic-tac-toe
+// endgame dataset in ~20 lines of CTFL API.
+//
+//   1. Build a federation (here: 3 skew-label partitions of the dataset).
+//   2. RunCtfl: trains ONE global rule-based model with gradient grafting,
+//      traces each participant's share of the test accuracy via activated
+//      rules, and allocates micro (volume-proportional) and macro
+//      (replication-robust) credits.
+//   3. Inspect scores and the rules behind them.
+
+#include <cstdio>
+
+#include "ctfl/core/interpret.h"
+#include "ctfl/core/pipeline.h"
+#include "ctfl/data/gen/tictactoe.h"
+#include "ctfl/data/split.h"
+#include "ctfl/fl/partition.h"
+
+int main() {
+  using namespace ctfl;
+
+  // 1. Data: the exact UCI tic-tac-toe endgame set, split 75/25, with the
+  //    training side partitioned across 3 participants by label skew.
+  const Dataset full = GenerateTicTacToe();
+  Rng rng(7);
+  const TrainTestSplit split = StratifiedSplit(full, 0.25, rng);
+  Rng partition_rng(8);
+  const Federation federation =
+      MakeFederation(PartitionSkewLabel(split.train, 3, 0.6, partition_rng));
+
+  // 2. One call: train + trace + allocate.
+  CtflConfig config;
+  config.federated = false;          // central training of the global model
+  config.central.epochs = 50;
+  config.central.learning_rate = 0.05;
+  config.net.logic_layers = {{48, 48}};
+  config.tracer.tau_w = 0.9;         // Eq. 4 rule-overlap threshold
+  const CtflReport report = RunCtfl(federation, split.test, config);
+
+  // 3. Results.
+  std::printf("global model test accuracy: %.3f\n\n", report.test_accuracy);
+  std::printf("participant   records  pos-rate   micro     macro\n");
+  for (const Participant& p : federation) {
+    std::printf("%-12s %8zu  %7.2f   %.4f    %.4f\n", p.name.c_str(),
+                p.data.size(), p.data.PositiveRate(),
+                report.micro_scores[p.id], report.macro_scores[p.id]);
+  }
+
+  // Why did each participant earn its score? Ask the tracer.
+  const ExtractionResult rules = ExtractRules(report.model);
+  const auto profiles = BuildProfiles(report.trace, /*top_k=*/2);
+  std::printf("\n");
+  for (const ParticipantProfile& profile : profiles) {
+    std::printf("%s\n", FormatProfile(profile, rules, *full.schema(),
+                                      federation[profile.participant].name)
+                            .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "ctfl/core/allocation.h"
+
+#include "ctfl/util/logging.h"
+
+namespace ctfl {
+
+std::vector<double> MicroAllocation(const TraceResult& trace,
+                                    bool on_correct) {
+  const int n = trace.num_participants;
+  std::vector<double> scores(n, 0.0);
+  if (trace.tests.empty()) return scores;
+  for (const TestTrace& t : trace.tests) {
+    if (t.correct != on_correct) continue;
+    if (t.total_related == 0) continue;
+    for (int p = 0; p < n; ++p) {
+      scores[p] += static_cast<double>(t.related_count[p]) /
+                   static_cast<double>(t.total_related);
+    }
+  }
+  for (double& s : scores) s /= trace.tests.size();
+  return scores;
+}
+
+std::vector<double> MacroAllocation(const TraceResult& trace, int delta,
+                                    bool on_correct) {
+  return MacroAllocationSweep(trace, {delta}, on_correct)[0];
+}
+
+std::vector<std::vector<double>> MacroAllocationSweep(
+    const TraceResult& trace, const std::vector<int>& deltas,
+    bool on_correct) {
+  const int n = trace.num_participants;
+  std::vector<std::vector<double>> sweep(deltas.size(),
+                                         std::vector<double>(n, 0.0));
+  if (trace.tests.empty()) return sweep;
+  for (const TestTrace& t : trace.tests) {
+    if (t.correct != on_correct) continue;
+    for (size_t d = 0; d < deltas.size(); ++d) {
+      int qualifying = 0;
+      for (int p = 0; p < n; ++p) {
+        if (t.related_count[p] >= deltas[d]) ++qualifying;
+      }
+      if (qualifying == 0) continue;
+      const double share = 1.0 / qualifying;
+      for (int p = 0; p < n; ++p) {
+        if (t.related_count[p] >= deltas[d]) sweep[d][p] += share;
+      }
+    }
+  }
+  for (auto& scores : sweep) {
+    for (double& s : scores) s /= trace.tests.size();
+  }
+  return sweep;
+}
+
+std::vector<double> WeightedMicroAllocation(
+    const TraceResult& trace, const std::vector<double>& test_weights,
+    bool on_correct) {
+  CTFL_CHECK(test_weights.size() == trace.tests.size());
+  const int n = trace.num_participants;
+  std::vector<double> scores(n, 0.0);
+  for (size_t t = 0; t < trace.tests.size(); ++t) {
+    const TestTrace& trace_t = trace.tests[t];
+    if (trace_t.correct != on_correct || trace_t.total_related == 0) {
+      continue;
+    }
+    for (int p = 0; p < n; ++p) {
+      scores[p] += test_weights[t] *
+                   static_cast<double>(trace_t.related_count[p]) /
+                   static_cast<double>(trace_t.total_related);
+    }
+  }
+  return scores;
+}
+
+std::vector<double> WeightedMacroAllocation(
+    const TraceResult& trace, const std::vector<double>& test_weights,
+    int delta, bool on_correct) {
+  CTFL_CHECK(test_weights.size() == trace.tests.size());
+  const int n = trace.num_participants;
+  std::vector<double> scores(n, 0.0);
+  for (size_t t = 0; t < trace.tests.size(); ++t) {
+    const TestTrace& trace_t = trace.tests[t];
+    if (trace_t.correct != on_correct) continue;
+    int qualifying = 0;
+    for (int p = 0; p < n; ++p) {
+      if (trace_t.related_count[p] >= delta) ++qualifying;
+    }
+    if (qualifying == 0) continue;
+    const double share = test_weights[t] / qualifying;
+    for (int p = 0; p < n; ++p) {
+      if (trace_t.related_count[p] >= delta) scores[p] += share;
+    }
+  }
+  return scores;
+}
+
+}  // namespace ctfl

@@ -1,0 +1,50 @@
+#ifndef CTFL_CORE_ALLOCATION_H_
+#define CTFL_CORE_ALLOCATION_H_
+
+#include <vector>
+
+#include "ctfl/core/tracer.h"
+
+namespace ctfl {
+
+/// Micro contribution allocation (paper Eq. 5): each correctly classified
+/// test instance distributes its 1/|D_te| credit across participants in
+/// proportion to their number of related training records — the FedAvg
+/// volume-proportionality argument. With `on_correct = false` the same
+/// formula runs over misclassified tests (the 1[ŷ≠y] variant of §IV-A),
+/// yielding per-participant *loss* attribution.
+std::vector<double> MicroAllocation(const TraceResult& trace,
+                                    bool on_correct = true);
+
+/// Macro (replication-robust) allocation (paper Eq. 6): each test instance
+/// splits its credit *equally* among participants holding at least `delta`
+/// related records, so duplicating data buys nothing.
+std::vector<double> MacroAllocation(const TraceResult& trace, int delta,
+                                    bool on_correct = true);
+
+/// Macro scores for several delta values in one pass over the trace (the
+/// "progressively without much extra computation" remark of §III-C).
+std::vector<std::vector<double>> MacroAllocationSweep(
+    const TraceResult& trace, const std::vector<int>& deltas,
+    bool on_correct = true);
+
+/// Metric-generalized micro allocation: each test instance t distributes
+/// `test_weights[t]` (instead of 1/|D_te|) proportionally across related
+/// participants. With weights from InstanceCreditWeights() this realizes
+/// group rationality for any instance-decomposable metric, e.g. balanced
+/// accuracy (paper §III-D: "group rationality can also be applied to other
+/// performance metrics by modifying the allocation formula").
+/// `test_weights` must have one entry per traced test instance.
+std::vector<double> WeightedMicroAllocation(
+    const TraceResult& trace, const std::vector<double>& test_weights,
+    bool on_correct = true);
+
+/// Metric-generalized macro allocation (equal split of the instance's
+/// weight among participants with >= delta related records).
+std::vector<double> WeightedMacroAllocation(
+    const TraceResult& trace, const std::vector<double>& test_weights,
+    int delta, bool on_correct = true);
+
+}  // namespace ctfl
+
+#endif  // CTFL_CORE_ALLOCATION_H_

@@ -1,0 +1,58 @@
+#include "ctfl/core/incentive.h"
+
+#include <algorithm>
+
+#include "ctfl/util/logging.h"
+#include "ctfl/util/string_util.h"
+
+namespace ctfl {
+
+std::vector<Payout> ComputePayouts(const CtflReport& report,
+                                   const IncentiveConfig& config) {
+  const std::vector<double>& scores =
+      config.use_macro ? report.macro_scores : report.micro_scores;
+  const LossReport loss = AnalyzeLoss(report.trace, config.loss);
+  const int n = static_cast<int>(scores.size());
+
+  std::vector<Payout> payouts(n);
+  double weight_total = 0.0;
+  int unflagged = 0;
+  for (int p = 0; p < n; ++p) {
+    payouts[p].participant = p;
+    payouts[p].score = scores[p];
+    payouts[p].suspicion = loss.suspicion[p];
+    payouts[p].flagged =
+        std::find(loss.flagged.begin(), loss.flagged.end(), p) !=
+        loss.flagged.end();
+    if (!payouts[p].flagged) ++unflagged;
+  }
+  CTFL_CHECK(config.participation_floor >= 0.0);
+  const double floor_total = config.participation_floor * unflagged;
+  const double pool = std::max(0.0, config.budget - floor_total);
+
+  for (Payout& payout : payouts) {
+    double weight = std::max(0.0, payout.score);
+    if (payout.flagged) weight *= std::max(0.0, config.flagged_penalty);
+    payout.amount = weight;  // provisional, normalized below
+    weight_total += weight;
+  }
+  for (Payout& payout : payouts) {
+    payout.amount =
+        weight_total > 0.0 ? pool * payout.amount / weight_total : 0.0;
+    if (!payout.flagged) payout.amount += config.participation_floor;
+  }
+  return payouts;
+}
+
+std::string FormatPayouts(const std::vector<Payout>& payouts) {
+  std::string out =
+      "participant   score    suspicion  status    payout\n";
+  for (const Payout& p : payouts) {
+    out += StrFormat("P%-11d %.4f   %.3f      %-8s %10.2f\n",
+                     p.participant, p.score, p.suspicion,
+                     p.flagged ? "FLAGGED" : "ok", p.amount);
+  }
+  return out;
+}
+
+}  // namespace ctfl

@@ -1,0 +1,48 @@
+#ifndef CTFL_CORE_INCENTIVE_H_
+#define CTFL_CORE_INCENTIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "ctfl/core/loss_tracing.h"
+#include "ctfl/core/pipeline.h"
+
+namespace ctfl {
+
+/// A budgeted revenue-allocation mechanism built on CTFL scores — the
+/// "systematic incentive mechanism leveraging CTFL" the paper names as
+/// future work. Scores come from the replication-robust macro scheme (or
+/// micro, per config); participants flagged by loss tracing are penalized
+/// before normalization so poisoning cannot be revenue-positive.
+struct IncentiveConfig {
+  /// Total revenue to distribute this round.
+  double budget = 100.0;
+  /// Use macro (replication-robust) scores; false = micro.
+  bool use_macro = true;
+  /// Multiplier applied to a flagged participant's score (0 = forfeit).
+  double flagged_penalty = 0.0;
+  /// Participation floor paid to every unflagged participant, taken off
+  /// the top of the budget (incentivizes staying in the federation even
+  /// in rounds where one's data is redundant).
+  double participation_floor = 0.0;
+  LossAnalysisConfig loss;
+};
+
+struct Payout {
+  int participant = 0;
+  double score = 0.0;
+  double suspicion = 0.0;
+  bool flagged = false;
+  double amount = 0.0;
+};
+
+/// Computes the round's payouts from a CTFL report. The returned amounts
+/// sum to `budget` (when any participant qualifies; otherwise zero).
+std::vector<Payout> ComputePayouts(const CtflReport& report,
+                                   const IncentiveConfig& config);
+
+std::string FormatPayouts(const std::vector<Payout>& payouts);
+
+}  // namespace ctfl
+
+#endif  // CTFL_CORE_INCENTIVE_H_

@@ -1,0 +1,155 @@
+#include "ctfl/core/interpret.h"
+
+#include <algorithm>
+
+#include "ctfl/util/string_util.h"
+
+namespace ctfl {
+namespace {
+
+// Top-k (rule, freq) pairs of one row of a frequency matrix. When ranking
+// distinctively, a rule's sort key is freq_p^2 / sum_q freq_q: high when
+// the participant accounts for most of the rule's tracing mass.
+std::vector<RuleFrequency> TopRules(const Matrix& freq, int participant,
+                                    int top_k, bool distinctive) {
+  std::vector<RuleFrequency> all;
+  std::vector<double> keys;
+  for (size_t j = 0; j < freq.cols(); ++j) {
+    const double f = freq(participant, j);
+    if (f <= 0.0) continue;
+    double key = f;
+    if (distinctive) {
+      double total = 0.0;
+      for (size_t p = 0; p < freq.rows(); ++p) total += freq(p, j);
+      key = f * (f / total);
+    }
+    all.push_back({static_cast<int>(j), f});
+    keys.push_back(key);
+  }
+  std::vector<size_t> order(all.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (keys[a] != keys[b]) return keys[a] > keys[b];
+    return all[a].rule < all[b].rule;
+  });
+  std::vector<RuleFrequency> sorted;
+  for (size_t i : order) sorted.push_back(all[i]);
+  if (top_k >= 0 && static_cast<int>(sorted.size()) > top_k) {
+    sorted.resize(top_k);
+  }
+  return sorted;
+}
+
+}  // namespace
+
+std::vector<ParticipantProfile> BuildProfiles(const TraceResult& trace,
+                                              int top_k, bool distinctive) {
+  std::vector<ParticipantProfile> profiles;
+  for (int p = 0; p < trace.num_participants; ++p) {
+    ParticipantProfile profile;
+    profile.participant = p;
+    profile.data_size = trace.train_match_correct[p].size();
+    profile.beneficial =
+        TopRules(trace.beneficial_rule_freq, p, top_k, distinctive);
+    profile.harmful =
+        TopRules(trace.harmful_rule_freq, p, top_k, distinctive);
+    size_t never_matched = 0;
+    for (size_t i = 0; i < profile.data_size; ++i) {
+      if (trace.train_match_correct[p][i] == 0 &&
+          trace.train_match_miss[p][i] == 0) {
+        ++never_matched;
+      }
+    }
+    profile.useless_ratio =
+        profile.data_size == 0
+            ? 0.0
+            : static_cast<double>(never_matched) / profile.data_size;
+    profiles.push_back(std::move(profile));
+  }
+  return profiles;
+}
+
+CollectionGuidance GuideDataCollection(const TraceResult& trace, int top_k) {
+  CollectionGuidance guidance;
+  guidance.uncovered_tests = trace.uncovered_tests;
+  for (size_t j = 0; j < trace.uncovered_rule_freq.size(); ++j) {
+    if (trace.uncovered_rule_freq[j] > 0.0) {
+      guidance.uncovered_rules.push_back(
+          {static_cast<int>(j), trace.uncovered_rule_freq[j]});
+    }
+  }
+  std::sort(guidance.uncovered_rules.begin(), guidance.uncovered_rules.end(),
+            [](const RuleFrequency& a, const RuleFrequency& b) {
+              if (a.weighted_frequency != b.weighted_frequency) {
+                return a.weighted_frequency > b.weighted_frequency;
+              }
+              return a.rule < b.rule;
+            });
+  if (top_k >= 0 &&
+      static_cast<int>(guidance.uncovered_rules.size()) > top_k) {
+    guidance.uncovered_rules.resize(top_k);
+  }
+  return guidance;
+}
+
+namespace {
+
+// Appends one rule-frequency block, merging rules whose symbolic form is
+// identical (distinct logic nodes often converge to the same formula).
+void AppendRuleLines(const std::vector<RuleFrequency>& rules,
+                     const ExtractionResult& extraction,
+                     const FeatureSchema& schema, std::string& out) {
+  std::vector<std::string> seen;
+  for (const RuleFrequency& rf : rules) {
+    const ExtractedRule& er = extraction.rules[rf.rule];
+    const std::string text = er.rule.ToString(schema);
+    bool duplicate = false;
+    for (const std::string& s : seen) {
+      if (s == text) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    seen.push_back(text);
+    out += StrFormat("    [%s freq=%.2f] %s\n",
+                     er.support_class == 1 ? "+" : "-",
+                     rf.weighted_frequency, text.c_str());
+  }
+}
+
+}  // namespace
+
+std::string FormatProfile(const ParticipantProfile& profile,
+                          const ExtractionResult& extraction,
+                          const FeatureSchema& schema,
+                          const std::string& participant_name) {
+  std::string out =
+      StrFormat("== %s (%zu records, useless ratio %.2f) ==\n",
+                participant_name.c_str(), profile.data_size,
+                profile.useless_ratio);
+  out += "  beneficial characteristics:\n";
+  AppendRuleLines(profile.beneficial, extraction, schema, out);
+  if (!profile.harmful.empty()) {
+    out += "  harmful characteristics:\n";
+    AppendRuleLines(profile.harmful, extraction, schema, out);
+  }
+  return out;
+}
+
+std::string FormatGuidance(const CollectionGuidance& guidance,
+                           const ExtractionResult& extraction,
+                           const FeatureSchema& schema) {
+  std::string out = StrFormat(
+      "%zu misclassified test instances lack related training data.\n"
+      "Collect data covering these frequently activated patterns:\n",
+      guidance.uncovered_tests);
+  for (const RuleFrequency& rf : guidance.uncovered_rules) {
+    const ExtractedRule& er = extraction.rules[rf.rule];
+    out += StrFormat("  [freq=%.2f] %s\n", rf.weighted_frequency,
+                     er.rule.ToString(schema).c_str());
+  }
+  return out;
+}
+
+}  // namespace ctfl

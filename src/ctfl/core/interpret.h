@@ -1,0 +1,63 @@
+#ifndef CTFL_CORE_INTERPRET_H_
+#define CTFL_CORE_INTERPRET_H_
+
+#include <string>
+#include <vector>
+
+#include "ctfl/core/tracer.h"
+#include "ctfl/rules/extraction.h"
+
+namespace ctfl {
+
+/// One frequently-activated rule of a participant, with its
+/// weight-regularized activation frequency.
+struct RuleFrequency {
+  int rule = 0;
+  double weighted_frequency = 0.0;
+};
+
+/// A participant's interpretable portrait (paper §IV-B): the rules its
+/// data most often taught correctly (beneficial characteristics), the
+/// rules its data backed on misclassifications (harmful), and the share
+/// of its records never matched by any test instance (useless data).
+struct ParticipantProfile {
+  int participant = 0;
+  size_t data_size = 0;
+  std::vector<RuleFrequency> beneficial;
+  std::vector<RuleFrequency> harmful;
+  double useless_ratio = 0.0;
+};
+
+/// Extracts per-participant profiles from a tracing pass. With
+/// `distinctive = true`, rules are ranked by frequency weighted by how
+/// specific they are to the participant (freq_p / sum_q freq_q), so that a
+/// participant's characteristic rules are not drowned out by generic
+/// rules every participant matches (the ranking the paper's Table V case
+/// study presents).
+std::vector<ParticipantProfile> BuildProfiles(const TraceResult& trace,
+                                              int top_k = 5,
+                                              bool distinctive = false);
+
+/// Data-collection guidance (paper §IV-B): the most frequently activated
+/// rules among misclassified-and-unmatched test instances — the scenarios
+/// the federation should recruit data for.
+struct CollectionGuidance {
+  size_t uncovered_tests = 0;
+  std::vector<RuleFrequency> uncovered_rules;
+};
+
+CollectionGuidance GuideDataCollection(const TraceResult& trace,
+                                       int top_k = 10);
+
+/// Pretty-printers resolving rule coordinates to symbolic rule text.
+std::string FormatProfile(const ParticipantProfile& profile,
+                          const ExtractionResult& extraction,
+                          const FeatureSchema& schema,
+                          const std::string& participant_name);
+std::string FormatGuidance(const CollectionGuidance& guidance,
+                           const ExtractionResult& extraction,
+                           const FeatureSchema& schema);
+
+}  // namespace ctfl
+
+#endif  // CTFL_CORE_INTERPRET_H_

@@ -1,0 +1,58 @@
+#include "ctfl/core/loss_tracing.h"
+
+#include "ctfl/core/allocation.h"
+#include "ctfl/util/string_util.h"
+
+namespace ctfl {
+
+LossReport AnalyzeLoss(const TraceResult& trace,
+                       const LossAnalysisConfig& config) {
+  LossReport report;
+  report.micro_loss = MicroAllocation(trace, /*on_correct=*/false);
+  report.macro_loss =
+      MacroAllocation(trace, config.macro_delta, /*on_correct=*/false);
+  report.micro_gain = MicroAllocation(trace, /*on_correct=*/true);
+
+  const int n = trace.num_participants;
+  report.suspicion.resize(n);
+  report.miss_match_ratio.resize(n);
+  for (int p = 0; p < n; ++p) {
+    const double gain = report.micro_gain[p];
+    const double loss = report.micro_loss[p];
+    report.suspicion[p] =
+        gain + loss > 0.0 ? loss / (gain + loss) : 0.0;
+
+    const auto& miss = trace.train_match_miss[p];
+    size_t matched = 0;
+    for (int count : miss) {
+      if (count > 0) ++matched;
+    }
+    report.miss_match_ratio[p] =
+        miss.empty() ? 0.0 : static_cast<double>(matched) / miss.size();
+
+    if (report.suspicion[p] >= config.flag_threshold &&
+        loss >= config.min_loss_score) {
+      report.flagged.push_back(p);
+    }
+  }
+  return report;
+}
+
+std::string FormatLossReport(const LossReport& report) {
+  std::string out = "participant  gain     loss     suspicion  miss-match\n";
+  for (size_t p = 0; p < report.suspicion.size(); ++p) {
+    out += StrFormat("P%-10zu %.5f  %.5f  %.3f      %.3f", p,
+                     report.micro_gain[p], report.micro_loss[p],
+                     report.suspicion[p], report.miss_match_ratio[p]);
+    for (int flagged : report.flagged) {
+      if (flagged == static_cast<int>(p)) {
+        out += "   << FLAGGED";
+        break;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ctfl

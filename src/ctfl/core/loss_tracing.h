@@ -1,0 +1,47 @@
+#ifndef CTFL_CORE_LOSS_TRACING_H_
+#define CTFL_CORE_LOSS_TRACING_H_
+
+#include <string>
+#include <vector>
+
+#include "ctfl/core/tracer.h"
+
+namespace ctfl {
+
+/// Per-participant loss attribution and label-flip forensics (paper
+/// §IV-A "Label-flipped Data"): honest misclassifications rarely align
+/// with many training records of the (wrong) predicted class, so a
+/// participant whose data keeps matching misclassified tests — while
+/// contributing little gain — is a flip suspect.
+struct LossReport {
+  /// Eq. 5 / Eq. 6 evaluated over misclassified tests.
+  std::vector<double> micro_loss;
+  std::vector<double> macro_loss;
+  /// Gain scores (Eq. 5 over correct tests) for the ratio below.
+  std::vector<double> micro_gain;
+  /// loss / (gain + loss); near 1 = almost all of this participant's
+  /// tracing mass is on the wrong side.
+  std::vector<double> suspicion;
+  /// Fraction of the participant's records matched on misclassified tests.
+  std::vector<double> miss_match_ratio;
+  /// Participants whose suspicion exceeded the flag threshold.
+  std::vector<int> flagged;
+};
+
+struct LossAnalysisConfig {
+  int macro_delta = 1;
+  /// Flag a participant when suspicion >= this.
+  double flag_threshold = 0.5;
+  /// ... and its loss score is at least this (guards the 0/0 regime of
+  /// participants with no tracing mass at all).
+  double min_loss_score = 1e-4;
+};
+
+LossReport AnalyzeLoss(const TraceResult& trace,
+                       const LossAnalysisConfig& config = {});
+
+std::string FormatLossReport(const LossReport& report);
+
+}  // namespace ctfl
+
+#endif  // CTFL_CORE_LOSS_TRACING_H_

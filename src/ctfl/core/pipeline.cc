@@ -1,0 +1,65 @@
+#include "ctfl/core/pipeline.h"
+
+#include "ctfl/util/logging.h"
+#include "ctfl/util/stopwatch.h"
+
+namespace ctfl {
+
+CtflReport RunCtfl(const Federation& federation, const Dataset& test,
+                   const CtflConfig& config) {
+  CTFL_CHECK(!federation.empty());
+  const SchemaPtr schema = federation[0].data.schema();
+
+  Stopwatch train_watch;
+  LogicalNet model = [&] {
+    if (config.federated) {
+      std::vector<Dataset> clients;
+      clients.reserve(federation.size());
+      for (const Participant& p : federation) clients.push_back(p.data);
+      return TrainFederated(schema, config.net, clients, config.fedavg);
+    }
+    return TrainCentral(schema, config.net, MergeFederation(federation),
+                        config.central);
+  }();
+  const double train_seconds = train_watch.ElapsedSeconds();
+
+  CtflReport report(std::move(model));
+  report.train_seconds = train_seconds;
+
+  const ContributionTracer tracer(&report.model, &federation, config.tracer);
+  report.trace = tracer.Trace(test);
+  report.trace_seconds = report.trace.tracing_seconds;
+  report.test_accuracy = report.trace.global_accuracy;
+  report.micro_scores = MicroAllocation(report.trace);
+  report.macro_scores = MacroAllocation(report.trace, config.macro_delta);
+  return report;
+}
+
+CtflScheme::CtflScheme(const Federation* federation, const Dataset* test,
+                       CtflConfig config, Variant variant)
+    : federation_(federation),
+      test_(test),
+      config_(std::move(config)),
+      variant_(variant) {
+  CTFL_CHECK(federation_ != nullptr && test_ != nullptr);
+}
+
+Result<ContributionResult> CtflScheme::Compute(CoalitionUtility& utility) {
+  if (utility.num_participants() !=
+      static_cast<int>(federation_->size())) {
+    return Status::InvalidArgument(
+        "utility participant count does not match the federation");
+  }
+  Stopwatch watch;
+  report_ = std::make_shared<CtflReport>(
+      RunCtfl(*federation_, *test_, config_));
+  ContributionResult result;
+  result.scheme = name();
+  result.scores = variant_ == Variant::kMicro ? report_->micro_scores
+                                              : report_->macro_scores;
+  result.coalitions_evaluated = 1;  // the single global model
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ctfl

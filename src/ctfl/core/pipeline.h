@@ -1,0 +1,81 @@
+#ifndef CTFL_CORE_PIPELINE_H_
+#define CTFL_CORE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+
+#include "ctfl/core/allocation.h"
+#include "ctfl/core/loss_tracing.h"
+#include "ctfl/core/tracer.h"
+#include "ctfl/fl/fedavg.h"
+#include "ctfl/valuation/scheme.h"
+
+namespace ctfl {
+
+/// Everything CTFL needs end-to-end: how to train the single global model
+/// and how to trace it.
+struct CtflConfig {
+  LogicalNetConfig net;
+  /// True: train the global model with FedAvg across participants (the
+  /// paper's setting). False: central training on merged data (useful in
+  /// tests and fast ablations; yields the same kind of rule model).
+  bool federated = true;
+  FedAvgConfig fedavg;
+  TrainConfig central;
+  TracerConfig tracer;
+  /// Minimum related records for macro credit (Eq. 6).
+  int macro_delta = 1;
+};
+
+/// Output of one CTFL run: the trained global model, the tracing pass, and
+/// both allocation schemes — all from a single model training + inference.
+struct CtflReport {
+  LogicalNet model;
+  TraceResult trace;
+  std::vector<double> micro_scores;
+  std::vector<double> macro_scores;
+  double train_seconds = 0.0;
+  double trace_seconds = 0.0;
+  double test_accuracy = 0.0;
+
+  explicit CtflReport(LogicalNet model_in) : model(std::move(model_in)) {}
+};
+
+/// Runs the full CTFL pipeline (paper Fig. 1, steps 1-3): train one global
+/// rule-based model, trace the test gain per participant, allocate micro
+/// and macro credits.
+CtflReport RunCtfl(const Federation& federation, const Dataset& test,
+                   const CtflConfig& config);
+
+/// Adapters exposing CTFL through the ContributionScheme interface so
+/// benches iterate one scheme list. The CoalitionUtility passed to
+/// Compute() is ignored beyond participant count — CTFL never retrains
+/// coalitions; it reads the federation and test set held here.
+class CtflScheme : public ContributionScheme {
+ public:
+  enum class Variant { kMicro, kMacro };
+
+  /// `federation` and `test` must outlive the scheme.
+  CtflScheme(const Federation* federation, const Dataset* test,
+             CtflConfig config, Variant variant);
+
+  std::string name() const override {
+    return variant_ == Variant::kMicro ? "CTFL-micro" : "CTFL-macro";
+  }
+  Result<ContributionResult> Compute(CoalitionUtility& utility) override;
+
+  /// The full report of the last Compute() call (shared by both variants
+  /// when reuse is enabled via SharedReport).
+  const CtflReport* last_report() const { return report_.get(); }
+
+ private:
+  const Federation* federation_;
+  const Dataset* test_;
+  CtflConfig config_;
+  Variant variant_;
+  std::shared_ptr<CtflReport> report_;
+};
+
+}  // namespace ctfl
+
+#endif  // CTFL_CORE_PIPELINE_H_

@@ -1,0 +1,75 @@
+#include "ctfl/core/rounds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ctfl/util/logging.h"
+#include "ctfl/util/string_util.h"
+
+namespace ctfl {
+namespace {
+
+// Avoids divide-by-zero drift on participants with ~zero history.
+constexpr double kEmaFloor = 1e-6;
+
+}  // namespace
+
+RoundTracker::RoundTracker(int num_participants, Config config)
+    : config_(config), states_(num_participants) {
+  CTFL_CHECK(num_participants > 0);
+  CTFL_CHECK(config_.ema_alpha > 0.0 && config_.ema_alpha <= 1.0);
+}
+
+Result<std::vector<RoundTracker::DriftAlert>> RoundTracker::RecordRound(
+    const std::vector<double>& scores) {
+  if (static_cast<int>(scores.size()) != num_participants()) {
+    return Status::InvalidArgument(
+        StrFormat("expected %d scores, got %zu", num_participants(),
+                  scores.size()));
+  }
+  ++round_;
+  std::vector<DriftAlert> alerts;
+  for (int p = 0; p < num_participants(); ++p) {
+    ParticipantState& state = states_[p];
+    const double score = scores[p];
+    if (state.rounds_seen >= config_.warmup_rounds) {
+      const double base = std::max(state.ema, kEmaFloor);
+      const double drift = (score - state.ema) / base;
+      if (std::abs(drift) >= config_.drift_threshold) {
+        alerts.push_back({p, round_, score, state.ema, drift});
+      }
+    }
+    state.cumulative += score;
+    state.ema = state.rounds_seen == 0
+                    ? score
+                    : config_.ema_alpha * score +
+                          (1.0 - config_.ema_alpha) * state.ema;
+    state.last_score = score;
+    ++state.rounds_seen;
+  }
+  return alerts;
+}
+
+std::vector<int> RoundTracker::CumulativeRanking() const {
+  std::vector<int> order(states_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return states_[a].cumulative > states_[b].cumulative;
+  });
+  return order;
+}
+
+std::string RoundTracker::Summary() const {
+  std::string out = StrFormat(
+      "after %d rounds:\nparticipant  cumulative      ema     last\n",
+      round_);
+  for (size_t p = 0; p < states_.size(); ++p) {
+    out += StrFormat("P%-11zu %10.4f %8.4f %8.4f\n", p,
+                     states_[p].cumulative, states_[p].ema,
+                     states_[p].last_score);
+  }
+  return out;
+}
+
+}  // namespace ctfl

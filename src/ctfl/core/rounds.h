@@ -1,0 +1,76 @@
+#ifndef CTFL_CORE_ROUNDS_H_
+#define CTFL_CORE_ROUNDS_H_
+
+#include <string>
+#include <vector>
+
+#include "ctfl/util/result.h"
+
+namespace ctfl {
+
+/// Longitudinal contribution ledger for a federation that re-scores every
+/// settlement round (the sustainability angle of the paper's intro: stable,
+/// explainable revenue over time keeps providers participating).
+///
+/// Tracks, per participant: cumulative score mass, an exponential moving
+/// average (EMA) of the per-round score, and drift alerts when a round's
+/// score departs sharply from the participant's EMA — the operator's cue
+/// to audit (data loss, new poisoning, or a data refresh).
+class RoundTracker {
+ public:
+  struct Config {
+    /// EMA smoothing factor in (0, 1]; 1 = no smoothing.
+    double ema_alpha = 0.3;
+    /// Relative deviation from the EMA that raises a drift alert.
+    double drift_threshold = 0.5;
+    /// Rounds to observe before drift alerts arm (EMA needs warm-up).
+    int warmup_rounds = 2;
+  };
+
+  struct ParticipantState {
+    double cumulative = 0.0;
+    double ema = 0.0;
+    double last_score = 0.0;
+    int rounds_seen = 0;
+  };
+
+  struct DriftAlert {
+    int participant = 0;
+    int round = 0;
+    double score = 0.0;
+    double ema_before = 0.0;
+    /// (score - ema) / max(ema, floor); sign tells the direction.
+    double relative_drift = 0.0;
+  };
+
+  RoundTracker(int num_participants, Config config);
+
+  int num_participants() const {
+    return static_cast<int>(states_.size());
+  }
+  int rounds_recorded() const { return round_; }
+
+  /// Ingests one round's scores (one per participant); returns the drift
+  /// alerts this round raised.
+  Result<std::vector<DriftAlert>> RecordRound(
+      const std::vector<double>& scores);
+
+  const ParticipantState& state(int participant) const {
+    return states_[participant];
+  }
+
+  /// Participants ranked by cumulative contribution, descending.
+  std::vector<int> CumulativeRanking() const;
+
+  /// Multi-round summary table.
+  std::string Summary() const;
+
+ private:
+  Config config_;
+  std::vector<ParticipantState> states_;
+  int round_ = 0;
+};
+
+}  // namespace ctfl
+
+#endif  // CTFL_CORE_ROUNDS_H_

@@ -1,0 +1,324 @@
+#include "ctfl/core/tracer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "ctfl/fl/privacy.h"
+#include "ctfl/util/logging.h"
+#include "ctfl/util/stopwatch.h"
+#include "ctfl/util/thread_pool.h"
+
+namespace ctfl {
+namespace {
+
+constexpr double kRatioEps = 1e-9;
+
+// A distinct (target class, supporting-rule set) tracing task. All test
+// instances sharing a key have identical related sets.
+struct TraceKey {
+  int target_class = 0;
+  Bitset support;                                // over rule coordinates
+  std::vector<std::pair<int, double>> supp_list;  // (rule, weight)
+  double weight_sum = 0.0;
+  std::vector<size_t> members;  // test indices
+  int correct_members = 0;
+  int miss_members = 0;
+};
+
+}  // namespace
+
+ContributionTracer::ContributionTracer(const LogicalNet* net,
+                                       const Federation* federation,
+                                       TracerConfig config)
+    : net_(net), federation_(federation), config_(config) {
+  CTFL_CHECK(net_ != nullptr && federation_ != nullptr);
+  const int num_rules = net_->num_rules();
+
+  rule_weights_.resize(num_rules);
+  class_mask_[0] = Bitset(num_rules);
+  class_mask_[1] = Bitset(num_rules);
+  for (int j = 0; j < num_rules; ++j) {
+    const double w = net_->RuleWeight(j);
+    if (w < config_.min_rule_weight) {
+      rule_weights_[j] = 0.0;
+      continue;
+    }
+    rule_weights_[j] = w;
+    class_mask_[net_->RuleClass(j)].Set(j);
+  }
+
+  // Participants compute their activation vectors locally and upload them
+  // (paper §V privacy analysis); here that is this precomputation. When
+  // dp_epsilon > 0 each participant perturbs its upload with randomized
+  // response before it leaves the client.
+  train_activations_.resize(federation_->size());
+  for (size_t p = 0; p < federation_->size(); ++p) {
+    const Dataset& data = (*federation_)[p].data;
+    Rng dp_rng(config_.dp_seed + p);
+    train_activations_[p].reserve(data.size());
+    for (size_t i = 0; i < data.size(); ++i) {
+      Bitset activation = net_->RuleActivations(data.instance(i));
+      if (config_.dp_epsilon > 0.0) {
+        activation =
+            RandomizedResponse(activation, config_.dp_epsilon, dp_rng);
+      }
+      train_activations_[p].push_back(std::move(activation));
+    }
+    for (size_t i = 0; i < data.size(); ++i) {
+      TrainRef ref{static_cast<int>(p), static_cast<int>(i),
+                   &train_activations_[p][i]};
+      train_by_class_[data.instance(i).label].push_back(ref);
+    }
+  }
+}
+
+TraceResult ContributionTracer::Trace(const Dataset& test) const {
+  Stopwatch watch;
+  const int n = static_cast<int>(federation_->size());
+  const int num_rules = net_->num_rules();
+
+  TraceResult result;
+  result.num_participants = n;
+  result.num_rules = num_rules;
+  result.tests.resize(test.size());
+  result.train_match_correct.resize(n);
+  result.train_match_miss.resize(n);
+  for (int p = 0; p < n; ++p) {
+    result.train_match_correct[p].assign((*federation_)[p].data.size(), 0);
+    result.train_match_miss[p].assign((*federation_)[p].data.size(), 0);
+  }
+  result.beneficial_rule_freq = Matrix(n, num_rules);
+  result.harmful_rule_freq = Matrix(n, num_rules);
+  result.uncovered_rule_freq.assign(num_rules, 0.0);
+
+  // ---- Build tracing keys (dedup identical supporting sets). -------------
+  std::vector<TraceKey> keys;
+  std::unordered_map<size_t, std::vector<size_t>> key_index;  // hash->keys
+  size_t correct_total = 0;
+
+  for (size_t t = 0; t < test.size(); ++t) {
+    const Instance& inst = test.instance(t);
+    const int predicted = net_->Predict(inst);
+    const bool correct = predicted == inst.label;
+    if (correct) ++correct_total;
+
+    Bitset support = net_->RuleActivations(inst);
+    support &= class_mask_[predicted];
+
+    TestTrace& trace = result.tests[t];
+    trace.predicted = predicted;
+    trace.correct = correct;
+    trace.support_size = static_cast<int>(support.Count());
+    trace.related_count.assign(n, 0);
+
+    // Locate or create the key.
+    size_t key_id = SIZE_MAX;
+    if (config_.use_dedup) {
+      const size_t h = support.Hash() * 2 + predicted;
+      for (size_t cand : key_index[h]) {
+        if (keys[cand].target_class == predicted &&
+            keys[cand].support == support) {
+          key_id = cand;
+          break;
+        }
+      }
+      if (key_id == SIZE_MAX) {
+        key_id = keys.size();
+        key_index[h].push_back(key_id);
+        keys.push_back({});
+      }
+    } else {
+      key_id = keys.size();
+      keys.push_back({});
+    }
+    TraceKey& key = keys[key_id];
+    if (key.members.empty()) {
+      key.target_class = predicted;
+      key.supp_list.reserve(support.Count());
+      for (size_t j : support.SetBits()) {
+        key.supp_list.emplace_back(static_cast<int>(j), rule_weights_[j]);
+        key.weight_sum += rule_weights_[j];
+      }
+      key.support = std::move(support);
+    }
+    key.members.push_back(t);
+    if (correct) {
+      ++key.correct_members;
+    } else {
+      ++key.miss_members;
+    }
+  }
+  result.global_accuracy =
+      test.empty() ? 0.0 : static_cast<double>(correct_total) / test.size();
+
+  // ---- Optional Max-Miner grouping: per-key candidate prefilter. ---------
+  // candidate_refs[k] = indices into train_by_class_[class of key k]; empty
+  // optional means "use the full class bucket".
+  std::vector<std::vector<int>> candidate_refs(keys.size());
+  std::vector<bool> has_prefilter(keys.size(), false);
+  if (config_.use_max_miner && !keys.empty()) {
+    for (int target = 0; target < 2; ++target) {
+      std::vector<size_t> class_keys;
+      std::vector<Bitset> supports;
+      for (size_t k = 0; k < keys.size(); ++k) {
+        if (keys[k].target_class == target && keys[k].weight_sum > 0.0) {
+          class_keys.push_back(k);
+          supports.push_back(keys[k].support);
+        }
+      }
+      if (supports.size() < config_.grouping.min_instances) continue;
+      const std::vector<TestGroup> groups = GroupActivations(
+          supports, rule_weights_, config_.tau_w, config_.grouping);
+      const auto& bucket = train_by_class_[target];
+      for (const TestGroup& group : groups) {
+        if (group.theta <= 0.0) continue;  // prefilter would pass everyone
+        // Training candidates achieving w(act ∩ F) >= theta.
+        std::vector<int> candidates;
+        for (size_t r = 0; r < bucket.size(); ++r) {
+          double overlap = 0.0;
+          for (int item : group.frequent_subset) {
+            if (bucket[r].activation->Test(item)) {
+              overlap += rule_weights_[item];
+            }
+          }
+          if (overlap + kRatioEps >= group.theta) {
+            candidates.push_back(static_cast<int>(r));
+          }
+        }
+        for (size_t local : group.members) {
+          const size_t k = class_keys[local];
+          candidate_refs[k] = candidates;
+          has_prefilter[k] = true;
+        }
+      }
+    }
+  }
+
+  // ---- Per-key related-set computation (parallel) + accumulation. --------
+  struct Accumulator {
+    Matrix beneficial;
+    Matrix harmful;
+    std::vector<std::vector<int>> match_correct;
+    std::vector<std::vector<int>> match_miss;
+  };
+
+  int num_threads = config_.num_threads;
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 4;
+  }
+  num_threads = std::max(1, std::min<int>(num_threads,
+                                          static_cast<int>(keys.size())));
+
+  std::vector<Accumulator> accumulators(num_threads);
+  for (Accumulator& acc : accumulators) {
+    acc.beneficial = Matrix(n, num_rules);
+    acc.harmful = Matrix(n, num_rules);
+    acc.match_correct.resize(n);
+    acc.match_miss.resize(n);
+    for (int p = 0; p < n; ++p) {
+      acc.match_correct[p].assign((*federation_)[p].data.size(), 0);
+      acc.match_miss[p].assign((*federation_)[p].data.size(), 0);
+    }
+  }
+
+  auto process_key = [&](size_t k, Accumulator& acc) {
+    const TraceKey& key = keys[k];
+    if (key.weight_sum <= 0.0) return;  // nothing to match against
+    const double threshold = config_.tau_w * key.weight_sum - kRatioEps;
+    const auto& bucket = train_by_class_[key.target_class];
+
+    std::vector<int> related_per_participant(n, 0);
+    size_t total_related = 0;
+
+    auto check_ref = [&](const TrainRef& ref) {
+      double overlap = 0.0;
+      for (const auto& [rule, weight] : key.supp_list) {
+        if (ref.activation->Test(rule)) overlap += weight;
+      }
+      if (overlap < threshold) return;
+      ++related_per_participant[ref.participant];
+      ++total_related;
+      if (key.correct_members > 0) {
+        acc.match_correct[ref.participant][ref.local_index] +=
+            key.correct_members;
+      }
+      if (key.miss_members > 0) {
+        acc.match_miss[ref.participant][ref.local_index] +=
+            key.miss_members;
+      }
+      // Weight-regularized rule activation frequencies (§IV-B), scaled by
+      // how many member tests this key covers.
+      for (const auto& [rule, weight] : key.supp_list) {
+        if (!ref.activation->Test(rule)) continue;
+        if (key.correct_members > 0) {
+          acc.beneficial(ref.participant, rule) +=
+              weight * key.correct_members;
+        }
+        if (key.miss_members > 0) {
+          acc.harmful(ref.participant, rule) += weight * key.miss_members;
+        }
+      }
+    };
+
+    if (has_prefilter[k]) {
+      for (int r : candidate_refs[k]) check_ref(bucket[r]);
+    } else {
+      for (const TrainRef& ref : bucket) check_ref(ref);
+    }
+
+    for (size_t t : key.members) {
+      result.tests[t].related_count = related_per_participant;
+      result.tests[t].total_related = total_related;
+    }
+  };
+
+  if (num_threads == 1 || keys.size() < 2) {
+    for (size_t k = 0; k < keys.size(); ++k) process_key(k, accumulators[0]);
+  } else {
+    ThreadPool pool(num_threads);
+    const size_t chunk = (keys.size() + num_threads - 1) / num_threads;
+    for (int w = 0; w < num_threads; ++w) {
+      const size_t lo = static_cast<size_t>(w) * chunk;
+      const size_t hi = std::min(keys.size(), lo + chunk);
+      if (lo >= hi) break;
+      pool.Submit([&, w, lo, hi] {
+        for (size_t k = lo; k < hi; ++k) process_key(k, accumulators[w]);
+      });
+    }
+    pool.Wait();
+  }
+
+  // Merge thread-local accumulators.
+  for (const Accumulator& acc : accumulators) {
+    result.beneficial_rule_freq.Axpy(1.0, acc.beneficial);
+    result.harmful_rule_freq.Axpy(1.0, acc.harmful);
+    for (int p = 0; p < n; ++p) {
+      for (size_t i = 0; i < acc.match_correct[p].size(); ++i) {
+        result.train_match_correct[p][i] += acc.match_correct[p][i];
+        result.train_match_miss[p][i] += acc.match_miss[p][i];
+      }
+    }
+  }
+
+  // Matched accuracy + uncovered-scenario aggregation.
+  size_t matched_correct = 0;
+  for (size_t t = 0; t < test.size(); ++t) {
+    const TestTrace& trace = result.tests[t];
+    if (trace.correct && trace.total_related > 0) ++matched_correct;
+    if (!trace.correct && trace.total_related == 0) {
+      ++result.uncovered_tests;
+      const Bitset act = net_->RuleActivations(test.instance(t));
+      for (size_t j : act.SetBits()) {
+        result.uncovered_rule_freq[j] += rule_weights_[j];
+      }
+    }
+  }
+  result.matched_accuracy =
+      test.empty() ? 0.0
+                   : static_cast<double>(matched_correct) / test.size();
+  result.tracing_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ctfl

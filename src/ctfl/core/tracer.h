@@ -1,0 +1,124 @@
+#ifndef CTFL_CORE_TRACER_H_
+#define CTFL_CORE_TRACER_H_
+
+#include <vector>
+
+#include "ctfl/fl/participant.h"
+#include "ctfl/mining/test_grouping.h"
+#include "ctfl/nn/logical_net.h"
+
+namespace ctfl {
+
+/// Knobs of the rule-based tracing procedure (paper §III-C).
+struct TracerConfig {
+  /// Eq. 4 threshold: a training instance is related to a test instance if
+  /// it activates at least tau_w of the test's weighted supporting rules.
+  double tau_w = 0.9;
+  /// Deduplicate test instances with identical (class, supporting rules):
+  /// their related sets are provably identical, so they are traced once.
+  bool use_dedup = true;
+  /// Max-Miner frequent-ruleset grouping: prefilter training candidates
+  /// per group before the exact per-test check (paper's acceleration).
+  bool use_max_miner = true;
+  GroupingConfig grouping;
+  /// Worker threads for the tracing loop (0 = hardware concurrency,
+  /// 1 = serial).
+  int num_threads = 0;
+  /// Rules whose vote weight is below this are ignored during tracing
+  /// (they carry no classification signal, only noise).
+  double min_rule_weight = 1e-6;
+  /// Local differential privacy on the uploaded training activation
+  /// vectors: per-bit randomized response at this epsilon (paper §V:
+  /// activation vectors "can be further perturbed to guarantee
+  /// differential privacy"). 0 disables perturbation. Smaller epsilon =
+  /// stronger privacy = noisier tracing.
+  double dp_epsilon = 0.0;
+  uint64_t dp_seed = 0x5eed;
+};
+
+/// Tracing outcome for one test instance.
+struct TestTrace {
+  int predicted = 0;
+  bool correct = false;
+  /// Number of supporting rules activated by the test instance.
+  int support_size = 0;
+  /// |D_i ∩ ct(x_te, y_te, tau_w)| per participant (Eq. 4).
+  std::vector<int> related_count;
+  size_t total_related = 0;
+};
+
+/// Full output of one tracing pass over the reserved test set — the raw
+/// material for both allocation schemes (Eq. 5/6), loss tracing, and every
+/// interpretability report, produced by a single pass (the paper's core
+/// efficiency claim).
+struct TraceResult {
+  int num_participants = 0;
+  int num_rules = 0;
+  std::vector<TestTrace> tests;
+
+  /// Per participant, per local training instance: how many correctly /
+  /// incorrectly classified test instances it was related to. Never-
+  /// matched records are a participant's useless-data ratio (§IV-B).
+  std::vector<std::vector<int>> train_match_correct;
+  std::vector<std::vector<int>> train_match_miss;
+
+  /// Weight-regularized rule activation frequencies per participant
+  /// accumulated over related (test, train) pairs: rows = participants,
+  /// cols = rule coordinates. "Beneficial" counts come from correctly
+  /// classified tests, "harmful" from misclassifications (§IV-B).
+  Matrix beneficial_rule_freq;
+  Matrix harmful_rule_freq;
+
+  /// Weighted activation frequency of rules over misclassified tests with
+  /// no related training data — the uncovered scenarios that should guide
+  /// new data collection (§IV-B "Guide Data Collection").
+  std::vector<double> uncovered_rule_freq;
+  size_t uncovered_tests = 0;
+
+  /// Test accuracy of the global model (= v(D_N), Eq. 1).
+  double global_accuracy = 0.0;
+  /// Fraction of test instances that are correct *and* have at least one
+  /// related training record (the mass the micro scheme distributes).
+  double matched_accuracy = 0.0;
+  double tracing_seconds = 0.0;
+};
+
+/// Traces the test-performance gain of a trained global rule-based model
+/// back to participants' training records via activated rules (paper
+/// §III-C). Participants "upload" only rule-activation bitsets of their
+/// data — mirroring the privacy boundary of §V.
+class ContributionTracer {
+ public:
+  /// `net` and `federation` must outlive the tracer.
+  ContributionTracer(const LogicalNet* net, const Federation* federation,
+                     TracerConfig config);
+
+  const TracerConfig& config() const { return config_; }
+
+  /// Single tracing pass over the reserved test set.
+  TraceResult Trace(const Dataset& test) const;
+
+ private:
+  struct TrainRef {
+    int participant;
+    int local_index;
+    const Bitset* activation;
+  };
+
+  const LogicalNet* net_;
+  const Federation* federation_;
+  TracerConfig config_;
+
+  /// Rule vote weights, with sub-threshold weights zeroed.
+  std::vector<double> rule_weights_;
+  /// Per class c: bitset of rule coordinates supporting c (and traceable).
+  Bitset class_mask_[2];
+  /// Per participant: activation bitsets of its training data.
+  std::vector<std::vector<Bitset>> train_activations_;
+  /// Per class: refs to all training instances with that label.
+  std::vector<TrainRef> train_by_class_[2];
+};
+
+}  // namespace ctfl
+
+#endif  // CTFL_CORE_TRACER_H_

@@ -1,0 +1,95 @@
+#include "ctfl/data/gen/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ctfl/util/logging.h"
+
+namespace ctfl {
+
+bool GtPredicate::Holds(const Instance& instance) const {
+  const double v = instance.values[feature];
+  switch (op) {
+    case Op::kLt:
+      return v < value;
+    case Op::kGt:
+      return v > value;
+    case Op::kEq:
+      return static_cast<int>(v) == static_cast<int>(value);
+    case Op::kNeq:
+      return static_cast<int>(v) != static_cast<int>(value);
+  }
+  return false;
+}
+
+bool GtRule::Fires(const Instance& instance) const {
+  for (const GtPredicate& p : conjuncts) {
+    if (!p.Holds(instance)) return false;
+  }
+  return true;
+}
+
+double FeatureSampler::Sample(const FeatureSpec& spec, Rng& rng) const {
+  switch (kind) {
+    case Kind::kUniform:
+      return rng.Uniform(spec.lo, spec.hi);
+    case Kind::kNormal: {
+      const double v = rng.Normal(a, b);
+      return std::clamp(v, spec.lo, spec.hi);
+    }
+    case Kind::kExponential: {
+      double u = rng.Uniform();
+      while (u <= 0.0) u = rng.Uniform();
+      const double v = spec.lo - a * std::log(u);
+      return std::clamp(v, spec.lo, spec.hi);
+    }
+    case Kind::kSpikeUniform: {
+      if (rng.Bernoulli(a)) return spec.lo;
+      return rng.Uniform(spec.lo, spec.hi);
+    }
+    case Kind::kCategorical: {
+      CTFL_CHECK(spec.type == FeatureType::kDiscrete);
+      if (weights.empty()) {
+        return static_cast<double>(rng.UniformInt(spec.num_categories()));
+      }
+      CTFL_CHECK(static_cast<int>(weights.size()) == spec.num_categories());
+      return rng.Categorical(weights);
+    }
+  }
+  return spec.lo;
+}
+
+int GroundTruthLabel(const SyntheticSpec& spec, const Instance& instance,
+                     Rng& rng) {
+  double score = 0.0;
+  for (const GtRule& rule : spec.rules) {
+    if (rule.Fires(instance)) {
+      score += rule.label == 1 ? rule.weight : -rule.weight;
+    }
+  }
+  if (score > 0.0) return 1;
+  if (score < 0.0) return 0;
+  return rng.Bernoulli(spec.base_positive_rate) ? 1 : 0;
+}
+
+Dataset GenerateSynthetic(const SyntheticSpec& spec, size_t n, Rng& rng) {
+  CTFL_CHECK(spec.schema != nullptr);
+  CTFL_CHECK(spec.samplers.size() ==
+             static_cast<size_t>(spec.schema->num_features()));
+  Dataset dataset(spec.schema);
+  for (size_t i = 0; i < n; ++i) {
+    Instance inst;
+    inst.values.resize(spec.schema->num_features());
+    for (int f = 0; f < spec.schema->num_features(); ++f) {
+      inst.values[f] = spec.samplers[f].Sample(spec.schema->feature(f), rng);
+    }
+    inst.label = GroundTruthLabel(spec, inst, rng);
+    if (spec.label_noise > 0.0 && rng.Bernoulli(spec.label_noise)) {
+      inst.label = 1 - inst.label;
+    }
+    dataset.AppendUnchecked(std::move(inst));
+  }
+  return dataset;
+}
+
+}  // namespace ctfl

@@ -1,0 +1,85 @@
+#include "ctfl/data/gen/tictactoe.h"
+
+#include <array>
+#include <set>
+
+namespace ctfl {
+namespace {
+
+// Cell encoding inside the generator: 0 = blank, 1 = x, 2 = o.
+using Board = std::array<int, 9>;
+
+constexpr int kLines[8][3] = {
+    {0, 1, 2}, {3, 4, 5}, {6, 7, 8},  // rows
+    {0, 3, 6}, {1, 4, 7}, {2, 5, 8},  // columns
+    {0, 4, 8}, {2, 4, 6},             // diagonals
+};
+
+bool HasWin(const Board& b, int player) {
+  for (const auto& line : kLines) {
+    if (b[line[0]] == player && b[line[1]] == player && b[line[2]] == player) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsFull(const Board& b) {
+  for (int c : b) {
+    if (c == 0) return false;
+  }
+  return true;
+}
+
+void Enumerate(Board& board, int to_move, std::set<Board>& terminals) {
+  // Terminal if the previous move won or the board is full.
+  const int prev = to_move == 1 ? 2 : 1;
+  if (HasWin(board, prev) || IsFull(board)) {
+    terminals.insert(board);
+    return;
+  }
+  for (int cell = 0; cell < 9; ++cell) {
+    if (board[cell] != 0) continue;
+    board[cell] = to_move;
+    Enumerate(board, prev, terminals);
+    board[cell] = 0;
+  }
+}
+
+}  // namespace
+
+SchemaPtr TicTacToeSchema() {
+  const char* cell_names[9] = {
+      "top-left",    "top-middle",    "top-right",
+      "middle-left", "middle-middle", "middle-right",
+      "bottom-left", "bottom-middle", "bottom-right",
+  };
+  std::vector<FeatureSpec> features;
+  features.reserve(9);
+  for (const char* name : cell_names) {
+    features.push_back(FeatureSchema::Discrete(name, {"b", "x", "o"}));
+  }
+  return std::make_shared<FeatureSchema>(std::move(features), "o-or-draw",
+                                         "x-wins");
+}
+
+Dataset GenerateTicTacToe() {
+  Board board{};
+  std::set<Board> terminals;
+  Enumerate(board, /*to_move=*/1, terminals);
+
+  SchemaPtr schema = TicTacToeSchema();
+  Dataset dataset(schema);
+  for (const Board& b : terminals) {
+    Instance inst;
+    inst.values.reserve(9);
+    // Category index matches the schema ordering {b, x, o} and the
+    // generator encoding {0, 1, 2} directly.
+    for (int c : b) inst.values.push_back(c);
+    inst.label = HasWin(b, /*player=*/1) ? 1 : 0;
+    dataset.AppendUnchecked(std::move(inst));
+  }
+  return dataset;
+}
+
+}  // namespace ctfl

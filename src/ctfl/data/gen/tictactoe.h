@@ -1,0 +1,20 @@
+#ifndef CTFL_DATA_GEN_TICTACTOE_H_
+#define CTFL_DATA_GEN_TICTACTOE_H_
+
+#include "ctfl/data/dataset.h"
+
+namespace ctfl {
+
+/// Schema of the UCI tic-tac-toe endgame dataset: nine discrete board
+/// cells (top-left .. bottom-right) with categories {x, o, b}; the positive
+/// class is "x wins".
+SchemaPtr TicTacToeSchema();
+
+/// Exact reconstruction of the UCI tic-tac-toe endgame dataset: all legal
+/// terminal boards reachable when x moves first and play stops at a win or
+/// a full board. Yields the canonical 958 instances (626 positive).
+Dataset GenerateTicTacToe();
+
+}  // namespace ctfl
+
+#endif  // CTFL_DATA_GEN_TICTACTOE_H_

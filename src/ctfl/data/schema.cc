@@ -1,0 +1,39 @@
+#include "ctfl/data/schema.h"
+
+namespace ctfl {
+
+Result<int> FeatureSchema::FeatureIndex(const std::string& name) const {
+  for (int i = 0; i < num_features(); ++i) {
+    if (features_[i].name == name) return i;
+  }
+  return Status::NotFound("no feature named " + name);
+}
+
+Result<int> FeatureSchema::CategoryIndex(int feature_index,
+                                         const std::string& category) const {
+  if (feature_index < 0 || feature_index >= num_features()) {
+    return Status::OutOfRange("feature index");
+  }
+  const FeatureSpec& spec = features_[feature_index];
+  if (spec.type != FeatureType::kDiscrete) {
+    return Status::InvalidArgument(spec.name + " is not discrete");
+  }
+  for (int c = 0; c < spec.num_categories(); ++c) {
+    if (spec.categories[c] == category) return c;
+  }
+  return Status::NotFound("no category " + category + " in " + spec.name);
+}
+
+int FeatureSchema::num_discrete() const {
+  int n = 0;
+  for (const auto& f : features_) {
+    if (f.type == FeatureType::kDiscrete) ++n;
+  }
+  return n;
+}
+
+int FeatureSchema::num_continuous() const {
+  return num_features() - num_discrete();
+}
+
+}  // namespace ctfl

@@ -1,0 +1,86 @@
+#ifndef CTFL_DATA_SCHEMA_H_
+#define CTFL_DATA_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ctfl/util/result.h"
+
+namespace ctfl {
+
+enum class FeatureType { kDiscrete, kContinuous };
+
+/// Description of a single input feature.
+///
+/// Discrete features enumerate their category names (the federation fixes
+/// the vocabulary up front, paper §V "Encode Input Features"); instances
+/// store the category index. Continuous features carry their value domain
+/// [lo, hi], which is the only distribution knowledge the privacy analysis
+/// permits the federation to use when seeding binarization bounds.
+struct FeatureSpec {
+  std::string name;
+  FeatureType type = FeatureType::kContinuous;
+  std::vector<std::string> categories;  // discrete only
+  double lo = 0.0;                      // continuous only
+  double hi = 1.0;                      // continuous only
+
+  int num_categories() const { return static_cast<int>(categories.size()); }
+};
+
+/// Immutable description of a classification task's feature space and
+/// binary label names. Shared by every dataset/participant in a federation.
+class FeatureSchema {
+ public:
+  FeatureSchema(std::vector<FeatureSpec> features,
+                std::string negative_label, std::string positive_label)
+      : features_(std::move(features)),
+        label_names_{std::move(negative_label), std::move(positive_label)} {}
+
+  static FeatureSpec Discrete(std::string name,
+                              std::vector<std::string> categories) {
+    FeatureSpec spec;
+    spec.name = std::move(name);
+    spec.type = FeatureType::kDiscrete;
+    spec.categories = std::move(categories);
+    return spec;
+  }
+
+  static FeatureSpec Continuous(std::string name, double lo, double hi) {
+    FeatureSpec spec;
+    spec.name = std::move(name);
+    spec.type = FeatureType::kContinuous;
+    spec.lo = lo;
+    spec.hi = hi;
+    return spec;
+  }
+
+  int num_features() const { return static_cast<int>(features_.size()); }
+  const FeatureSpec& feature(int i) const { return features_[i]; }
+  const std::vector<FeatureSpec>& features() const { return features_; }
+
+  /// Label display name for class 0 (negative) / 1 (positive).
+  const std::string& label_name(int label) const {
+    return label_names_[label];
+  }
+
+  /// Index of the feature called `name`, or NotFound.
+  Result<int> FeatureIndex(const std::string& name) const;
+
+  /// Index of `category` within discrete feature `feature_index`.
+  Result<int> CategoryIndex(int feature_index,
+                            const std::string& category) const;
+
+  int num_discrete() const;
+  int num_continuous() const;
+
+ private:
+  std::vector<FeatureSpec> features_;
+  std::string label_names_[2];
+};
+
+using SchemaPtr = std::shared_ptr<const FeatureSchema>;
+
+}  // namespace ctfl
+
+#endif  // CTFL_DATA_SCHEMA_H_

@@ -1,0 +1,29 @@
+#ifndef CTFL_DATA_SPLIT_H_
+#define CTFL_DATA_SPLIT_H_
+
+#include "ctfl/data/dataset.h"
+#include "ctfl/util/rng.h"
+
+namespace ctfl {
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Random train/test split preserving the class ratio (stratified). The
+/// test portion plays the role of the federation-reserved test set D_te
+/// from paper Eq. (1).
+TrainTestSplit StratifiedSplit(const Dataset& dataset, double test_fraction,
+                               Rng& rng);
+
+/// Plain (unstratified) random split.
+TrainTestSplit RandomSplit(const Dataset& dataset, double test_fraction,
+                           Rng& rng);
+
+/// Returns a uniformly subsampled dataset of at most `max_size` instances.
+Dataset Subsample(const Dataset& dataset, size_t max_size, Rng& rng);
+
+}  // namespace ctfl
+
+#endif  // CTFL_DATA_SPLIT_H_

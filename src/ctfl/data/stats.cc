@@ -1,0 +1,31 @@
+#include "ctfl/data/stats.h"
+
+#include "ctfl/util/string_util.h"
+
+namespace ctfl {
+
+std::string DatasetStats::FeatureTypeLabel() const {
+  if (num_continuous == 0) return "discrete";
+  if (num_discrete == 0) return "continuous";
+  return "mixed";
+}
+
+DatasetStats ComputeStats(const std::string& name, const Dataset& dataset) {
+  DatasetStats stats;
+  stats.name = name;
+  stats.num_instances = dataset.size();
+  stats.num_features = dataset.schema()->num_features();
+  stats.num_discrete = dataset.schema()->num_discrete();
+  stats.num_continuous = dataset.schema()->num_continuous();
+  stats.positive_rate = dataset.PositiveRate();
+  return stats;
+}
+
+std::string FormatStatsRow(const DatasetStats& stats) {
+  return StrFormat("%-12s %10zu %10d  %-10s  pos-rate=%.3f",
+                   stats.name.c_str(), stats.num_instances,
+                   stats.num_features, stats.FeatureTypeLabel().c_str(),
+                   stats.positive_rate);
+}
+
+}  // namespace ctfl

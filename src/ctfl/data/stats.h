@@ -1,0 +1,30 @@
+#ifndef CTFL_DATA_STATS_H_
+#define CTFL_DATA_STATS_H_
+
+#include <string>
+
+#include "ctfl/data/dataset.h"
+
+namespace ctfl {
+
+/// Summary row for Table IV of the paper.
+struct DatasetStats {
+  std::string name;
+  size_t num_instances = 0;
+  int num_features = 0;
+  int num_discrete = 0;
+  int num_continuous = 0;
+  double positive_rate = 0.0;
+
+  /// "discrete", "continuous", or "mixed".
+  std::string FeatureTypeLabel() const;
+};
+
+DatasetStats ComputeStats(const std::string& name, const Dataset& dataset);
+
+/// Renders the stats as a Table-IV style line.
+std::string FormatStatsRow(const DatasetStats& stats);
+
+}  // namespace ctfl
+
+#endif  // CTFL_DATA_STATS_H_

@@ -1,0 +1,55 @@
+#include "ctfl/fl/adversary.h"
+
+#include <algorithm>
+
+namespace ctfl {
+namespace {
+
+// First ceil(ratio * size) indices of a random permutation.
+std::vector<size_t> SampleIndices(size_t size, double ratio, Rng& rng) {
+  ratio = std::clamp(ratio, 0.0, 1.0);
+  const size_t count = static_cast<size_t>(ratio * size + 0.5);
+  std::vector<int> perm = rng.Permutation(static_cast<int>(size));
+  return std::vector<size_t>(perm.begin(), perm.begin() + count);
+}
+
+}  // namespace
+
+size_t ReplicateData(Dataset& data, double ratio, Rng& rng) {
+  const std::vector<size_t> picks = SampleIndices(data.size(), ratio, rng);
+  for (size_t i : picks) data.AppendUnchecked(data.instance(i));
+  return picks.size();
+}
+
+size_t InjectLowQuality(Dataset& data, double ratio, Rng& rng) {
+  const double positive_rate = data.PositiveRate();
+  const std::vector<size_t> picks = SampleIndices(data.size(), ratio, rng);
+  // Rebuild with mutated labels (Dataset exposes no mutable instance
+  // access by design; adversaries are the one writer).
+  std::vector<bool> corrupt(data.size(), false);
+  for (size_t i : picks) corrupt[i] = true;
+  Dataset mutated(data.schema());
+  for (size_t i = 0; i < data.size(); ++i) {
+    Instance inst = data.instance(i);
+    if (corrupt[i]) inst.label = rng.Bernoulli(positive_rate) ? 1 : 0;
+    mutated.AppendUnchecked(std::move(inst));
+  }
+  data = std::move(mutated);
+  return picks.size();
+}
+
+size_t FlipLabels(Dataset& data, double ratio, Rng& rng) {
+  const std::vector<size_t> picks = SampleIndices(data.size(), ratio, rng);
+  std::vector<bool> flip(data.size(), false);
+  for (size_t i : picks) flip[i] = true;
+  Dataset mutated(data.schema());
+  for (size_t i = 0; i < data.size(); ++i) {
+    Instance inst = data.instance(i);
+    if (flip[i]) inst.label = 1 - inst.label;
+    mutated.AppendUnchecked(std::move(inst));
+  }
+  data = std::move(mutated);
+  return picks.size();
+}
+
+}  // namespace ctfl

@@ -1,0 +1,30 @@
+#ifndef CTFL_FL_ADVERSARY_H_
+#define CTFL_FL_ADVERSARY_H_
+
+#include "ctfl/data/dataset.h"
+#include "ctfl/util/rng.h"
+
+namespace ctfl {
+
+/// The three adverse behaviors of paper §IV-A / §VI-A. Each mutates a
+/// participant's local dataset the way a strategic or malicious client
+/// would, and returns how many instances were touched.
+
+/// Data replication: duplicates a uniformly chosen `ratio` fraction of the
+/// dataset (appended as exact copies). A strategic client hoping the
+/// volume-proportional micro scheme over-credits it.
+size_t ReplicateData(Dataset& data, double ratio, Rng& rng);
+
+/// Low-quality data: relabels a `ratio` fraction with labels drawn at
+/// random from the participant's own label distribution — careless
+/// annotation rather than a targeted attack.
+size_t InjectLowQuality(Dataset& data, double ratio, Rng& rng);
+
+/// Label flipping: inverts the labels of a `ratio` fraction — the
+/// poisoning attack of Biggio et al. that tracing's loss analysis should
+/// expose.
+size_t FlipLabels(Dataset& data, double ratio, Rng& rng);
+
+}  // namespace ctfl
+
+#endif  // CTFL_FL_ADVERSARY_H_

@@ -1,0 +1,81 @@
+#include "ctfl/fl/fedavg.h"
+
+#include "ctfl/fl/secure_agg.h"
+#include "ctfl/util/logging.h"
+
+namespace ctfl {
+
+void RunFedAvg(LogicalNet& global, const std::vector<Dataset>& clients,
+               const FedAvgConfig& config) {
+  size_t total = 0;
+  for (const Dataset& c : clients) total += c.size();
+  if (total == 0) return;
+
+  TrainConfig local = config.local;
+  local.epochs = config.local_epochs;
+
+  for (int round = 0; round < config.rounds; ++round) {
+    const std::vector<double> global_params = global.GetParameters();
+    local.seed = config.local.seed + static_cast<uint64_t>(round) * 7919;
+
+    // Each client's contribution to the average, weighted by data volume
+    // (empty clients contribute a zero update).
+    std::vector<std::vector<double>> updates;
+    updates.reserve(clients.size());
+    for (const Dataset& client : clients) {
+      if (client.empty()) {
+        updates.emplace_back(global_params.size(), 0.0);
+        continue;
+      }
+      LogicalNet local_net = global;  // start from the global weights
+      TrainGrafted(local_net, client, local);
+      std::vector<double> params = local_net.GetParameters();
+      const double weight = static_cast<double>(client.size()) / total;
+      for (double& v : params) v *= weight;
+      updates.push_back(std::move(params));
+    }
+
+    std::vector<double> averaged(global_params.size(), 0.0);
+    if (config.secure_aggregation) {
+      const SecureAggregator aggregator(
+          static_cast<int>(clients.size()), global_params.size(),
+          config.secure_session_seed + round);
+      std::vector<std::vector<double>> masked;
+      masked.reserve(updates.size());
+      for (size_t c = 0; c < updates.size(); ++c) {
+        masked.push_back(
+            aggregator.Mask(static_cast<int>(c), updates[c]).value());
+      }
+      averaged = aggregator.Aggregate(masked).value();
+    } else {
+      for (const auto& update : updates) {
+        for (size_t k = 0; k < averaged.size(); ++k) {
+          averaged[k] += update[k];
+        }
+      }
+    }
+    global.SetParameters(averaged);
+    global.ProjectWeights();
+    if (config.verbose) {
+      CTFL_LOG(Info) << "fedavg round " << round << " done";
+    }
+  }
+}
+
+LogicalNet TrainFederated(SchemaPtr schema,
+                          const LogicalNetConfig& net_config,
+                          const std::vector<Dataset>& clients,
+                          const FedAvgConfig& config) {
+  LogicalNet net(std::move(schema), net_config);
+  RunFedAvg(net, clients, config);
+  return net;
+}
+
+LogicalNet TrainCentral(SchemaPtr schema, const LogicalNetConfig& net_config,
+                        const Dataset& data, const TrainConfig& config) {
+  LogicalNet net(std::move(schema), net_config);
+  TrainGrafted(net, data, config);
+  return net;
+}
+
+}  // namespace ctfl

@@ -1,0 +1,49 @@
+#ifndef CTFL_FL_FEDAVG_H_
+#define CTFL_FL_FEDAVG_H_
+
+#include <vector>
+
+#include "ctfl/fl/participant.h"
+#include "ctfl/nn/logical_net.h"
+#include "ctfl/nn/trainer.h"
+
+namespace ctfl {
+
+/// FedAvg orchestration parameters (McMahan et al.).
+struct FedAvgConfig {
+  int rounds = 5;
+  int local_epochs = 2;
+  /// Local optimizer settings; its `epochs` field is overridden by
+  /// `local_epochs` each round.
+  TrainConfig local;
+  /// Aggregate each round through pairwise-masked secure aggregation
+  /// (SecureAggregator): the server only ever sees masked updates whose
+  /// sum equals the true weighted sum. Numerically equivalent to plain
+  /// FedAvg up to floating-point rounding.
+  bool secure_aggregation = false;
+  uint64_t secure_session_seed = 0xa66;
+  bool verbose = false;
+};
+
+/// Runs FedAvg rounds on an existing global model: every round each
+/// non-empty client trains a copy locally, and the server averages the
+/// resulting parameters weighted by client data volume — the observation
+/// CTFL's micro allocation scheme leans on (paper §III-C).
+void RunFedAvg(LogicalNet& global, const std::vector<Dataset>& clients,
+               const FedAvgConfig& config);
+
+/// Builds a fresh LogicalNet and federally trains it across `clients`.
+LogicalNet TrainFederated(SchemaPtr schema,
+                          const LogicalNetConfig& net_config,
+                          const std::vector<Dataset>& clients,
+                          const FedAvgConfig& config);
+
+/// Builds a fresh LogicalNet and centrally trains it on one dataset
+/// (equivalent to FedAvg with a single full-participation client; used
+/// where retraining speed matters, e.g. coalition utility evaluation).
+LogicalNet TrainCentral(SchemaPtr schema, const LogicalNetConfig& net_config,
+                        const Dataset& data, const TrainConfig& config);
+
+}  // namespace ctfl
+
+#endif  // CTFL_FL_FEDAVG_H_

@@ -1,0 +1,62 @@
+#ifndef CTFL_FL_METRICS_H_
+#define CTFL_FL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "ctfl/data/dataset.h"
+#include "ctfl/nn/logical_net.h"
+
+namespace ctfl {
+
+/// Task-performance metrics beyond plain accuracy (paper §II-A: "can be
+/// extended to ... other performance metrics, such as F1-score").
+enum class MetricKind {
+  kAccuracy,
+  kBalancedAccuracy,
+  kF1,
+  kPrecision,
+  kRecall,
+};
+
+const char* MetricKindToString(MetricKind kind);
+
+/// Binary-classification confusion counts and the metrics derived from
+/// them. Degenerate denominators evaluate to 0.
+struct ConfusionMatrix {
+  size_t tp = 0;
+  size_t tn = 0;
+  size_t fp = 0;
+  size_t fn = 0;
+
+  size_t total() const { return tp + tn + fp + fn; }
+  double Accuracy() const;
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+  double BalancedAccuracy() const;
+  double Value(MetricKind kind) const;
+};
+
+/// Confusion counts of the deployed (binarized) model on `dataset`.
+ConfusionMatrix EvaluateConfusion(const LogicalNet& net,
+                                  const Dataset& dataset);
+
+/// Metric value of the deployed model — the generalized data utility
+/// v(D) for the chosen metric.
+double EvaluateMetric(const LogicalNet& net, const Dataset& dataset,
+                      MetricKind kind);
+
+/// Per-test-instance credit weights realizing an *instance-decomposable*
+/// metric as sum over correctly classified tests:
+///     metric = sum_t 1[correct_t] * w_t.
+/// Accuracy: w_t = 1/|D|; balanced accuracy: w_t = 1/(2 |D_{class(t)}|).
+/// F1 / precision / recall are not instance-decomposable (their
+/// denominators depend on the predictions), so they return NotFound —
+/// callers evaluate them via EvaluateMetric instead.
+Result<std::vector<double>> InstanceCreditWeights(const Dataset& test,
+                                                  MetricKind kind);
+
+}  // namespace ctfl
+
+#endif  // CTFL_FL_METRICS_H_

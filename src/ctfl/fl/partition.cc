@@ -1,0 +1,87 @@
+#include "ctfl/fl/partition.h"
+
+#include <algorithm>
+
+#include "ctfl/util/logging.h"
+
+namespace ctfl {
+namespace {
+
+// Assigns the (shuffled) indices to n buckets with the given ratios.
+std::vector<std::vector<size_t>> AssignByRatio(
+    std::vector<size_t> indices, const std::vector<double>& ratios,
+    Rng& rng) {
+  std::vector<int> perm(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) perm[i] = static_cast<int>(i);
+  rng.Shuffle(perm);
+
+  const int n = static_cast<int>(ratios.size());
+  std::vector<std::vector<size_t>> buckets(n);
+  size_t cursor = 0;
+  for (int p = 0; p < n; ++p) {
+    size_t take = static_cast<size_t>(ratios[p] * indices.size() + 0.5);
+    if (p == n - 1) take = indices.size() - cursor;  // remainder
+    take = std::min(take, indices.size() - cursor);
+    for (size_t k = 0; k < take; ++k) {
+      buckets[p].push_back(indices[perm[cursor + k]]);
+    }
+    cursor += take;
+  }
+  // Distribute any rounding leftovers round-robin.
+  for (int p = 0; cursor < indices.size(); ++cursor, p = (p + 1) % n) {
+    buckets[p].push_back(indices[perm[cursor]]);
+  }
+  return buckets;
+}
+
+std::vector<Dataset> BucketsToDatasets(
+    const Dataset& train, std::vector<std::vector<size_t>> buckets) {
+  std::vector<Dataset> out;
+  out.reserve(buckets.size());
+  for (auto& bucket : buckets) {
+    std::sort(bucket.begin(), bucket.end());
+    out.push_back(train.Subset(bucket));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Dataset> PartitionSkewSample(const Dataset& train, int n,
+                                         double alpha, Rng& rng) {
+  CTFL_CHECK(n > 0);
+  std::vector<size_t> all(train.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const std::vector<double> ratios = rng.Dirichlet(alpha, n);
+  return BucketsToDatasets(train, AssignByRatio(std::move(all), ratios, rng));
+}
+
+std::vector<Dataset> PartitionSkewLabel(const Dataset& train, int n,
+                                        double alpha, Rng& rng) {
+  CTFL_CHECK(n > 0);
+  std::vector<size_t> by_class[2];
+  for (size_t i = 0; i < train.size(); ++i) {
+    by_class[train.instance(i).label].push_back(i);
+  }
+  std::vector<std::vector<size_t>> buckets(n);
+  for (auto& class_indices : by_class) {
+    if (class_indices.empty()) continue;
+    const std::vector<double> ratios = rng.Dirichlet(alpha, n);
+    std::vector<std::vector<size_t>> class_buckets =
+        AssignByRatio(class_indices, ratios, rng);
+    for (int p = 0; p < n; ++p) {
+      buckets[p].insert(buckets[p].end(), class_buckets[p].begin(),
+                        class_buckets[p].end());
+    }
+  }
+  return BucketsToDatasets(train, std::move(buckets));
+}
+
+std::vector<Dataset> PartitionUniform(const Dataset& train, int n, Rng& rng) {
+  const std::vector<double> ratios(n, 1.0 / n);
+  std::vector<size_t> all(train.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return BucketsToDatasets(train, AssignByRatio(std::move(all), ratios, rng));
+}
+
+}  // namespace ctfl

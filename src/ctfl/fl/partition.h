@@ -1,0 +1,28 @@
+#ifndef CTFL_FL_PARTITION_H_
+#define CTFL_FL_PARTITION_H_
+
+#include <vector>
+
+#include "ctfl/data/dataset.h"
+#include "ctfl/util/rng.h"
+
+namespace ctfl {
+
+/// Skew-sample partitioning (paper §VI-A): the training data is split
+/// i.i.d. across `n` participants with per-participant volume ratios drawn
+/// from a symmetric Dirichlet(alpha). Smaller alpha = more skew.
+std::vector<Dataset> PartitionSkewSample(const Dataset& train, int n,
+                                         double alpha, Rng& rng);
+
+/// Skew-label partitioning (paper §VI-A): each class is split across
+/// participants with its own Dirichlet(alpha) ratio draw, producing
+/// heterogeneous label distributions.
+std::vector<Dataset> PartitionSkewLabel(const Dataset& train, int n,
+                                        double alpha, Rng& rng);
+
+/// Even random partitioning (alpha -> infinity limit), for tests.
+std::vector<Dataset> PartitionUniform(const Dataset& train, int n, Rng& rng);
+
+}  // namespace ctfl
+
+#endif  // CTFL_FL_PARTITION_H_

@@ -1,0 +1,47 @@
+#include "ctfl/fl/privacy.h"
+
+#include <cmath>
+
+#include "ctfl/util/logging.h"
+
+namespace ctfl {
+
+double RandomizedResponseFlipProbability(double epsilon) {
+  CTFL_CHECK(epsilon >= 0.0);
+  return 1.0 / (1.0 + std::exp(epsilon));
+}
+
+Bitset RandomizedResponse(const Bitset& bits, double epsilon, Rng& rng) {
+  const double flip = RandomizedResponseFlipProbability(epsilon);
+  Bitset out = bits;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (rng.Bernoulli(flip)) {
+      if (out.Test(i)) {
+        out.Clear(i);
+      } else {
+        out.Set(i);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Bitset> RandomizedResponseAll(const std::vector<Bitset>& uploads,
+                                          double epsilon, Rng& rng) {
+  std::vector<Bitset> out;
+  out.reserve(uploads.size());
+  for (const Bitset& b : uploads) {
+    out.push_back(RandomizedResponse(b, epsilon, rng));
+  }
+  return out;
+}
+
+double DebiasedCount(double observed_count, double num_reports,
+                     double epsilon) {
+  const double q = RandomizedResponseFlipProbability(epsilon);
+  const double denom = 1.0 - 2.0 * q;
+  if (denom <= 0.0) return observed_count;  // eps = 0: nothing to recover
+  return (observed_count - num_reports * q) / denom;
+}
+
+}  // namespace ctfl

@@ -1,0 +1,64 @@
+#include "ctfl/fl/secure_agg.h"
+
+#include "ctfl/util/logging.h"
+#include "ctfl/util/string_util.h"
+
+namespace ctfl {
+
+SecureAggregator::SecureAggregator(int num_clients, size_t update_size,
+                                   uint64_t session_seed)
+    : num_clients_(num_clients),
+      update_size_(update_size),
+      session_seed_(session_seed) {
+  CTFL_CHECK(num_clients_ > 0);
+}
+
+std::vector<double> SecureAggregator::PairMask(int i, int j) const {
+  CTFL_CHECK(i < j);
+  // The pair seed models the Diffie-Hellman-agreed PRG seed.
+  Rng rng(session_seed_ ^ (static_cast<uint64_t>(i) * 0x9e3779b1ULL) ^
+          (static_cast<uint64_t>(j) * 0x85ebca6bULL));
+  std::vector<double> mask(update_size_);
+  for (double& m : mask) m = rng.Uniform(-1.0, 1.0);
+  return mask;
+}
+
+Result<std::vector<double>> SecureAggregator::Mask(
+    int client, const std::vector<double>& update) const {
+  if (client < 0 || client >= num_clients_) {
+    return Status::OutOfRange(StrFormat("client %d", client));
+  }
+  if (update.size() != update_size_) {
+    return Status::InvalidArgument("update size mismatch");
+  }
+  std::vector<double> masked = update;
+  for (int other = 0; other < num_clients_; ++other) {
+    if (other == client) continue;
+    const std::vector<double> mask = client < other
+                                         ? PairMask(client, other)
+                                         : PairMask(other, client);
+    const double sign = client < other ? 1.0 : -1.0;
+    for (size_t k = 0; k < update_size_; ++k) {
+      masked[k] += sign * mask[k];
+    }
+  }
+  return masked;
+}
+
+Result<std::vector<double>> SecureAggregator::Aggregate(
+    const std::vector<std::vector<double>>& masked_updates) const {
+  if (static_cast<int>(masked_updates.size()) != num_clients_) {
+    return Status::InvalidArgument(
+        "secure aggregation requires every client's masked update");
+  }
+  std::vector<double> sum(update_size_, 0.0);
+  for (const auto& update : masked_updates) {
+    if (update.size() != update_size_) {
+      return Status::InvalidArgument("masked update size mismatch");
+    }
+    for (size_t k = 0; k < update_size_; ++k) sum[k] += update[k];
+  }
+  return sum;
+}
+
+}  // namespace ctfl

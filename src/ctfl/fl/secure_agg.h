@@ -1,0 +1,49 @@
+#ifndef CTFL_FL_SECURE_AGG_H_
+#define CTFL_FL_SECURE_AGG_H_
+
+#include <vector>
+
+#include "ctfl/util/result.h"
+#include "ctfl/util/rng.h"
+
+namespace ctfl {
+
+/// Pairwise-masking secure aggregation (Bonawitz et al. style, simulated
+/// in-process; paper §V: "security protection techniques such as secret
+/// sharing can also be applied like in regular FL").
+///
+/// Every ordered pair of clients (i < j) derives a shared mask vector from
+/// a common seed; client i ADDS the mask to its update, client j SUBTRACTS
+/// it. Each masked update in isolation is statistically garbage, but the
+/// server-side sum cancels every mask exactly, recovering the true sum of
+/// updates — the server never sees an individual client's update.
+class SecureAggregator {
+ public:
+  /// `session_seed` stands in for the key-agreement transcript.
+  SecureAggregator(int num_clients, size_t update_size,
+                   uint64_t session_seed);
+
+  int num_clients() const { return num_clients_; }
+  size_t update_size() const { return update_size_; }
+
+  /// The masked update client `client` would send for `update`.
+  Result<std::vector<double>> Mask(int client,
+                                   const std::vector<double>& update) const;
+
+  /// Server-side aggregation of all masked updates; the pairwise masks
+  /// cancel, so this equals the element-wise sum of the true updates.
+  Result<std::vector<double>> Aggregate(
+      const std::vector<std::vector<double>>& masked_updates) const;
+
+ private:
+  /// Deterministic mask shared by the pair (i, j), i < j.
+  std::vector<double> PairMask(int i, int j) const;
+
+  int num_clients_;
+  size_t update_size_;
+  uint64_t session_seed_;
+};
+
+}  // namespace ctfl
+
+#endif  // CTFL_FL_SECURE_AGG_H_

@@ -1,0 +1,92 @@
+#include "ctfl/fl/utility.h"
+
+#include <algorithm>
+
+#include "ctfl/util/logging.h"
+
+namespace ctfl {
+
+uint64_t CoalitionMask(const std::vector<int>& coalition) {
+  uint64_t mask = 0;
+  for (int id : coalition) {
+    CTFL_CHECK(id >= 0 && id < 64);
+    mask |= (1ULL << id);
+  }
+  return mask;
+}
+
+RetrainUtility::RetrainUtility(const Federation* federation,
+                               const Dataset* test, Config config)
+    : federation_(federation), test_(test), config_(std::move(config)) {
+  CTFL_CHECK(federation_ != nullptr && test_ != nullptr);
+  CTFL_CHECK(!test_->empty());
+}
+
+double RetrainUtility::EmptyValue() const {
+  const auto counts = test_->ClassCounts();
+  // Confusion matrix of the constant majority-class predictor.
+  ConfusionMatrix cm;
+  if (counts[1] >= counts[0]) {
+    cm.tp = counts[1];
+    cm.fp = counts[0];
+  } else {
+    cm.tn = counts[0];
+    cm.fn = counts[1];
+  }
+  return cm.Value(config_.metric);
+}
+
+double RetrainUtility::Value(const std::vector<int>& coalition) {
+  const uint64_t mask = CoalitionMask(coalition);
+  const auto it = cache_.find(mask);
+  if (it != cache_.end()) return it->second;
+
+  double value = 0.0;
+  if (mask == 0) {
+    value = EmptyValue();
+  } else {
+    ++evaluations_;
+    std::vector<int> members;
+    for (int id = 0; id < num_participants(); ++id) {
+      if (mask & (1ULL << id)) members.push_back(id);
+    }
+    const SchemaPtr schema = (*federation_)[0].data.schema();
+    if (config_.federated) {
+      std::vector<Dataset> clients;
+      clients.reserve(members.size());
+      for (int id : members) clients.push_back((*federation_)[id].data);
+      LogicalNet net =
+          TrainFederated(schema, config_.net, clients, config_.fedavg);
+      value = EvaluateMetric(net, *test_, config_.metric);
+    } else {
+      const Dataset merged = MergeCoalition(*federation_, members);
+      if (merged.empty()) {
+        value = EmptyValue();
+      } else {
+        LogicalNet net =
+            TrainCentral(schema, config_.net, merged, config_.train);
+        value = EvaluateMetric(net, *test_, config_.metric);
+      }
+    }
+  }
+  cache_[mask] = value;
+  return value;
+}
+
+TabularUtility::TabularUtility(int n, std::vector<double> values)
+    : n_(n), values_(std::move(values)) {
+  CTFL_CHECK(n_ > 0 && n_ < 20);
+  CTFL_CHECK(values_.size() == (1ULL << n_));
+}
+
+double TabularUtility::Value(const std::vector<int>& coalition) {
+  const uint64_t mask = CoalitionMask(coalition);
+  CTFL_CHECK(mask < values_.size());
+  if (mask != 0 && !seen_[mask]) {
+    seen_[mask] = true;
+    ++evaluations_;
+  }
+  return values_[mask];
+}
+
+}  // namespace ctfl

@@ -1,0 +1,20 @@
+#ifndef CTFL_MINING_APRIORI_H_
+#define CTFL_MINING_APRIORI_H_
+
+#include "ctfl/mining/itemset.h"
+
+namespace ctfl {
+
+/// Classic level-wise Apriori: all itemsets with support >= min_support
+/// (a count). `max_len` caps the itemset length (-1 = unbounded). Used as
+/// the reference miner that Max-Miner is validated against in tests.
+std::vector<Itemset> AprioriFrequent(const VerticalDb& db,
+                                     size_t min_support, int max_len = -1);
+
+/// Filters a frequent collection down to its maximal members (no frequent
+/// proper superset).
+std::vector<Itemset> MaximalOnly(std::vector<Itemset> frequent);
+
+}  // namespace ctfl
+
+#endif  // CTFL_MINING_APRIORI_H_

@@ -1,0 +1,129 @@
+#include "ctfl/mining/test_grouping.h"
+
+#include <algorithm>
+
+#include "ctfl/mining/max_miner.h"
+#include "ctfl/util/logging.h"
+
+namespace ctfl {
+namespace {
+
+double WeightedSize(const Itemset& items,
+                    const std::vector<double>& weights) {
+  double total = 0.0;
+  for (int item : items) total += weights[item];
+  return total;
+}
+
+double WeightedSize(const Bitset& bits, const std::vector<double>& weights) {
+  double total = 0.0;
+  for (size_t item : bits.SetBits()) total += weights[item];
+  return total;
+}
+
+bool ItemsetInActivation(const Itemset& items, const Bitset& activation) {
+  for (int item : items) {
+    if (!activation.Test(item)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<TestGroup> GroupActivations(
+    const std::vector<Bitset>& activations,
+    const std::vector<double>& item_weights, double tau_w,
+    const GroupingConfig& config) {
+  std::vector<TestGroup> groups;
+  if (activations.empty()) return groups;
+  const size_t num_items = activations[0].size();
+  CTFL_CHECK(item_weights.size() == num_items);
+
+  std::vector<Itemset> maximal;
+  if (activations.size() >= config.min_instances) {
+    const VerticalDb db(activations, num_items);
+    const size_t min_support = std::max<size_t>(
+        1, static_cast<size_t>(config.min_support_fraction *
+                               activations.size()));
+    // Mask out near-universal items before mining: they cannot shrink a
+    // candidate set (every training vector passes them) but they make the
+    // maximal-frequent lattice explode on dense activation data.
+    const size_t max_item_support = static_cast<size_t>(
+        config.max_item_support_fraction * activations.size());
+    std::vector<bool> dense(num_items, false);
+    bool any_dense = false;
+    for (size_t item = 0; item < num_items; ++item) {
+      if (db.Support(static_cast<int>(item)) > max_item_support) {
+        dense[item] = true;
+        any_dense = true;
+      }
+    }
+    if (any_dense) {
+      std::vector<Bitset> filtered = activations;
+      for (Bitset& row : filtered) {
+        for (size_t item = 0; item < num_items; ++item) {
+          if (dense[item] && row.Test(item)) row.Clear(item);
+        }
+      }
+      const VerticalDb sparse_db(filtered, num_items);
+      maximal = MaxMinerMaximal(sparse_db, min_support,
+                                config.max_expansions, config.max_itemsets);
+    } else {
+      maximal = MaxMinerMaximal(db, min_support, config.max_expansions,
+                                config.max_itemsets);
+    }
+    // Drop the empty itemset if present (it groups nothing usefully).
+    maximal.erase(std::remove_if(maximal.begin(), maximal.end(),
+                                 [](const Itemset& s) { return s.empty(); }),
+                  maximal.end());
+  }
+
+  // Assign each activation to the heaviest eligible maximal itemset.
+  std::vector<int> assignment(activations.size(), -1);
+  std::vector<double> best_weight(activations.size(), -1.0);
+  for (size_t g = 0; g < maximal.size(); ++g) {
+    const double w = WeightedSize(maximal[g], item_weights);
+    for (size_t t = 0; t < activations.size(); ++t) {
+      if (w > best_weight[t] &&
+          ItemsetInActivation(maximal[g], activations[t])) {
+        best_weight[t] = w;
+        assignment[t] = static_cast<int>(g);
+      }
+    }
+  }
+
+  std::vector<TestGroup> by_itemset(maximal.size());
+  for (size_t g = 0; g < maximal.size(); ++g) {
+    by_itemset[g].frequent_subset = maximal[g];
+  }
+  for (size_t t = 0; t < activations.size(); ++t) {
+    if (assignment[t] >= 0) {
+      by_itemset[assignment[t]].members.push_back(t);
+    } else {
+      // Singleton group: F is the activation itself.
+      TestGroup solo;
+      solo.frequent_subset.reserve(activations[t].Count());
+      for (size_t item : activations[t].SetBits()) {
+        solo.frequent_subset.push_back(static_cast<int>(item));
+      }
+      solo.members.push_back(t);
+      groups.push_back(std::move(solo));
+    }
+  }
+  for (TestGroup& group : by_itemset) {
+    if (!group.members.empty()) groups.push_back(std::move(group));
+  }
+
+  // Finalize thresholds.
+  for (TestGroup& group : groups) {
+    const double wf = WeightedSize(group.frequent_subset, item_weights);
+    double max_act = 0.0;
+    for (size_t t : group.members) {
+      max_act = std::max(max_act, WeightedSize(activations[t], item_weights));
+    }
+    group.theta = wf - (1.0 - tau_w) * max_act;
+  }
+  return groups;
+}
+
+}  // namespace ctfl

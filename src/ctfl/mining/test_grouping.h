@@ -1,0 +1,58 @@
+#ifndef CTFL_MINING_TEST_GROUPING_H_
+#define CTFL_MINING_TEST_GROUPING_H_
+
+#include <vector>
+
+#include "ctfl/mining/itemset.h"
+
+namespace ctfl {
+
+/// A group of test instances sharing a frequent subset F of activated
+/// rules (paper §III-C "Efficient Computation of CTFL"): tracing first
+/// prefilters training instances against F, then runs the exact per-test
+/// check only on the survivors.
+struct TestGroup {
+  /// The shared frequent rule subset F, as sorted rule coordinates.
+  Itemset frequent_subset;
+  /// Members: indices into the activation list handed to the grouper.
+  std::vector<size_t> members;
+  /// Sound prefilter threshold: a training activation vector a can only be
+  /// related (overlap ratio >= tau_w) to a member of this group if
+  /// w(a ∩ F) >= theta. Derived as
+  ///   theta = w(F) - (1 - tau_w) * max_{t in group} w(act_t),
+  /// which lower-bounds w(a ∩ F) for any related pair. May be <= 0, in
+  /// which case the prefilter passes everything (still correct).
+  double theta = 0.0;
+};
+
+struct GroupingConfig {
+  /// Fraction of test instances an itemset must cover to count as
+  /// frequent.
+  double min_support_fraction = 0.05;
+  /// Below this many activations, grouping overhead is not worth it and
+  /// every instance becomes a singleton group.
+  size_t min_instances = 32;
+  /// Items activated by more than this fraction of instances are excluded
+  /// from mining: near-universal rules blow up the maximal-itemset lattice
+  /// while adding no prefiltering power (every candidate passes them).
+  double max_item_support_fraction = 0.9;
+  /// Budgets handed to Max-Miner (dense databases can have exponentially
+  /// many maximal itemsets; truncation keeps grouping cheap and is sound).
+  size_t max_expansions = 20000;
+  size_t max_itemsets = 128;
+};
+
+/// Partitions activation vectors into groups by maximal frequent itemsets
+/// (Max-Miner): each vector joins the eligible itemset (F ⊆ activation)
+/// with the largest weighted size; vectors covered by no frequent itemset
+/// become singleton groups with F = their own activation. Weighted sizes
+/// use `item_weights` (rule importance weights), matching Eq. 4's weighted
+/// overlap.
+std::vector<TestGroup> GroupActivations(
+    const std::vector<Bitset>& activations,
+    const std::vector<double>& item_weights, double tau_w,
+    const GroupingConfig& config);
+
+}  // namespace ctfl
+
+#endif  // CTFL_MINING_TEST_GROUPING_H_

@@ -1,0 +1,130 @@
+#include "ctfl/multiclass/ovr.h"
+
+#include "ctfl/util/logging.h"
+#include "ctfl/util/string_util.h"
+
+namespace ctfl {
+
+McDataset::McDataset(SchemaPtr schema, int num_classes)
+    : schema_(std::move(schema)), num_classes_(num_classes) {
+  CTFL_CHECK(num_classes_ >= 2);
+}
+
+Status McDataset::Append(Instance instance) {
+  if (static_cast<int>(instance.values.size()) != schema_->num_features()) {
+    return Status::InvalidArgument("instance width mismatch");
+  }
+  if (instance.label < 0 || instance.label >= num_classes_) {
+    return Status::OutOfRange(
+        StrFormat("label %d outside [0, %d)", instance.label,
+                  num_classes_));
+  }
+  instances_.push_back(std::move(instance));
+  return Status::OK();
+}
+
+std::vector<size_t> McDataset::ClassCounts() const {
+  std::vector<size_t> counts(num_classes_, 0);
+  for (const Instance& inst : instances_) ++counts[inst.label];
+  return counts;
+}
+
+Dataset McDataset::BinaryView(int positive_class) const {
+  CTFL_CHECK(positive_class >= 0 && positive_class < num_classes_);
+  Dataset view(schema_);
+  for (const Instance& inst : instances_) {
+    Instance binary = inst;
+    binary.label = inst.label == positive_class ? 1 : 0;
+    view.AppendUnchecked(std::move(binary));
+  }
+  return view;
+}
+
+OneVsRestModel OneVsRestModel::Train(const McDataset& data,
+                                     const Config& config) {
+  std::vector<LogicalNet> models;
+  models.reserve(data.num_classes());
+  for (int k = 0; k < data.num_classes(); ++k) {
+    LogicalNetConfig net_config = config.net;
+    net_config.seed = config.net.seed + static_cast<uint64_t>(k) * 101;
+    LogicalNet net(data.schema(), net_config);
+    TrainGrafted(net, data.BinaryView(k), config.train);
+    models.push_back(std::move(net));
+  }
+  return OneVsRestModel(std::move(models));
+}
+
+int OneVsRestModel::Predict(const Instance& instance) const {
+  int best = 0;
+  double best_margin = 0.0;
+  for (int k = 0; k < num_classes(); ++k) {
+    const LogicalNet& net = models_[k];
+    Matrix encoded(1, net.encoded_size());
+    net.encoder().Encode(instance, encoded.row(0));
+    const Matrix logits = net.ForwardDiscrete(encoded);
+    const double margin = logits(0, 1) - logits(0, 0);
+    if (k == 0 || margin > best_margin) {
+      best = k;
+      best_margin = margin;
+    }
+  }
+  return best;
+}
+
+double OneVsRestModel::Accuracy(const McDataset& data) const {
+  if (data.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (Predict(data.instance(i)) == data.instance(i).label) ++correct;
+  }
+  return static_cast<double>(correct) / data.size();
+}
+
+McCtflReport RunMcCtfl(const std::vector<McDataset>& participants,
+                       const McDataset& test, const CtflConfig& config) {
+  CTFL_CHECK(!participants.empty());
+  const int num_classes = test.num_classes();
+  const int n = static_cast<int>(participants.size());
+
+  McCtflReport report;
+  report.micro_scores.assign(n, 0.0);
+  report.macro_scores.assign(n, 0.0);
+  report.per_class_micro.resize(num_classes);
+  report.per_class_accuracy.resize(num_classes);
+  report.class_weights.resize(num_classes);
+
+  const std::vector<size_t> counts = test.ClassCounts();
+  for (int k = 0; k < num_classes; ++k) {
+    report.class_weights[k] =
+        test.empty() ? 0.0
+                     : static_cast<double>(counts[k]) / test.size();
+  }
+
+  for (int k = 0; k < num_classes; ++k) {
+    // Binary federation and test view for class k vs rest.
+    std::vector<Dataset> views;
+    views.reserve(participants.size());
+    for (const McDataset& p : participants) {
+      CTFL_CHECK(p.num_classes() == num_classes);
+      views.push_back(p.BinaryView(k));
+    }
+    const Federation federation = MakeFederation(std::move(views));
+    const Dataset test_view = test.BinaryView(k);
+
+    CtflConfig class_config = config;
+    class_config.net.seed = config.net.seed + static_cast<uint64_t>(k) * 101;
+    const CtflReport binary = RunCtfl(federation, test_view, class_config);
+
+    report.per_class_micro[k] = binary.micro_scores;
+    report.per_class_accuracy[k] = binary.test_accuracy;
+    for (int p = 0; p < n; ++p) {
+      report.micro_scores[p] +=
+          report.class_weights[k] * binary.micro_scores[p];
+      report.macro_scores[p] +=
+          report.class_weights[k] * binary.macro_scores[p];
+    }
+  }
+  return report;
+}
+
+}  // namespace ctfl

@@ -1,0 +1,91 @@
+#ifndef CTFL_MULTICLASS_OVR_H_
+#define CTFL_MULTICLASS_OVR_H_
+
+#include <vector>
+
+#include "ctfl/core/pipeline.h"
+#include "ctfl/data/dataset.h"
+#include "ctfl/nn/trainer.h"
+
+namespace ctfl {
+
+/// Multi-class labeled dataset: features follow `schema`, labels lie in
+/// [0, num_classes). The binary Dataset stays the library's core type;
+/// multi-class work flows through one-vs-rest binary views (the paper's
+/// "extended to multi-class with minor changes", §III-B).
+class McDataset {
+ public:
+  McDataset(SchemaPtr schema, int num_classes);
+
+  const SchemaPtr& schema() const { return schema_; }
+  int num_classes() const { return num_classes_; }
+  size_t size() const { return instances_.size(); }
+  bool empty() const { return instances_.empty(); }
+  const Instance& instance(size_t i) const { return instances_[i]; }
+
+  /// Validates feature width and label range.
+  Status Append(Instance instance);
+
+  /// Number of instances per class.
+  std::vector<size_t> ClassCounts() const;
+
+  /// Binary one-vs-rest view: label 1 iff the multi-class label equals
+  /// `positive_class`.
+  Dataset BinaryView(int positive_class) const;
+
+ private:
+  SchemaPtr schema_;
+  int num_classes_;
+  std::vector<Instance> instances_;
+};
+
+/// One-vs-rest ensemble of binary rule-based models: model k separates
+/// class k from the rest; prediction is the class whose model reports the
+/// largest positive-vs-negative vote margin.
+class OneVsRestModel {
+ public:
+  struct Config {
+    LogicalNetConfig net;
+    TrainConfig train;
+  };
+
+  /// Trains num_classes binary models with gradient grafting.
+  static OneVsRestModel Train(const McDataset& data, const Config& config);
+
+  int num_classes() const { return static_cast<int>(models_.size()); }
+  const LogicalNet& class_model(int k) const { return models_[k]; }
+
+  /// argmax_k margin_k(x), margin = positive logit - negative logit.
+  int Predict(const Instance& instance) const;
+  double Accuracy(const McDataset& data) const;
+
+ private:
+  explicit OneVsRestModel(std::vector<LogicalNet> models)
+      : models_(std::move(models)) {}
+
+  std::vector<LogicalNet> models_;
+};
+
+/// Multi-class CTFL: runs the binary contribution pipeline once per class
+/// (on the one-vs-rest views) and combines the per-class scores weighted
+/// by class prevalence in the reserved test set. Group rationality then
+/// holds against the prevalence-weighted average of the per-class binary
+/// matched accuracies.
+struct McCtflReport {
+  /// Combined scores (one per participant).
+  std::vector<double> micro_scores;
+  std::vector<double> macro_scores;
+  /// Per-class binary reports' scores: [class][participant].
+  std::vector<std::vector<double>> per_class_micro;
+  /// Binary one-vs-rest test accuracy per class.
+  std::vector<double> per_class_accuracy;
+  /// Class prevalence weights used for combination.
+  std::vector<double> class_weights;
+};
+
+McCtflReport RunMcCtfl(const std::vector<McDataset>& participants,
+                       const McDataset& test, const CtflConfig& config);
+
+}  // namespace ctfl
+
+#endif  // CTFL_MULTICLASS_OVR_H_

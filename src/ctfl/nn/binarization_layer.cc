@@ -1,0 +1,91 @@
+#include "ctfl/nn/binarization_layer.h"
+
+#include <algorithm>
+
+#include "ctfl/util/logging.h"
+#include "ctfl/util/string_util.h"
+
+namespace ctfl {
+
+std::string EncodedPredicate::ToString(const FeatureSchema& schema) const {
+  const FeatureSpec& spec = schema.feature(feature);
+  switch (kind) {
+    case Kind::kGreater:
+      return StrFormat("%s > %.6g", spec.name.c_str(), threshold);
+    case Kind::kLess:
+      return StrFormat("%s < %.6g", spec.name.c_str(), threshold);
+    case Kind::kEquals:
+      return spec.name + " = " + spec.categories[category];
+  }
+  return "?";
+}
+
+BinarizationLayer::BinarizationLayer(SchemaPtr schema, int tau_d, Rng& rng)
+    : schema_(std::move(schema)), tau_d_(tau_d) {
+  CTFL_CHECK(tau_d_ > 0);
+  for (int f = 0; f < schema_->num_features(); ++f) {
+    const FeatureSpec& spec = schema_->feature(f);
+    if (spec.type == FeatureType::kDiscrete) {
+      for (int c = 0; c < spec.num_categories(); ++c) {
+        EncodedPredicate p;
+        p.feature = f;
+        p.kind = EncodedPredicate::Kind::kEquals;
+        p.category = c;
+        predicates_.push_back(p);
+      }
+      continue;
+    }
+    // Random candidate bounds drawn from the public value domain only
+    // (the privacy constraint); sorted for readability of extracted rules.
+    std::vector<double> lower(tau_d_), upper(tau_d_);
+    for (double& b : lower) b = rng.Uniform(spec.lo, spec.hi);
+    for (double& b : upper) b = rng.Uniform(spec.lo, spec.hi);
+    std::sort(lower.begin(), lower.end());
+    std::sort(upper.begin(), upper.end());
+    for (double b : lower) {
+      EncodedPredicate p;
+      p.feature = f;
+      p.kind = EncodedPredicate::Kind::kGreater;
+      p.threshold = b;
+      predicates_.push_back(p);
+    }
+    for (double b : upper) {
+      EncodedPredicate p;
+      p.feature = f;
+      p.kind = EncodedPredicate::Kind::kLess;
+      p.threshold = b;
+      predicates_.push_back(p);
+    }
+  }
+}
+
+void BinarizationLayer::Encode(const Instance& instance, double* out) const {
+  for (size_t j = 0; j < predicates_.size(); ++j) {
+    const EncodedPredicate& p = predicates_[j];
+    const double v = instance.values[p.feature];
+    bool bit = false;
+    switch (p.kind) {
+      case EncodedPredicate::Kind::kGreater:
+        bit = v > p.threshold;
+        break;
+      case EncodedPredicate::Kind::kLess:
+        bit = v < p.threshold;
+        break;
+      case EncodedPredicate::Kind::kEquals:
+        bit = static_cast<int>(v) == p.category;
+        break;
+    }
+    out[j] = bit ? 1.0 : 0.0;
+  }
+}
+
+Matrix BinarizationLayer::EncodeBatch(
+    const Dataset& dataset, const std::vector<size_t>& indices) const {
+  Matrix out(indices.size(), predicates_.size());
+  for (size_t r = 0; r < indices.size(); ++r) {
+    Encode(dataset.instance(indices[r]), out.row(r));
+  }
+  return out;
+}
+
+}  // namespace ctfl

@@ -1,0 +1,62 @@
+#ifndef CTFL_NN_BINARIZATION_LAYER_H_
+#define CTFL_NN_BINARIZATION_LAYER_H_
+
+#include <string>
+#include <vector>
+
+#include "ctfl/data/dataset.h"
+#include "ctfl/nn/matrix.h"
+#include "ctfl/util/rng.h"
+
+namespace ctfl {
+
+/// Atomic predicate realized by one output bit of the encoder: either a
+/// threshold test on a continuous feature or an equality test on a discrete
+/// one. Rule extraction stitches these into symbolic rules.
+struct EncodedPredicate {
+  enum class Kind { kGreater, kLess, kEquals };
+  int feature = 0;
+  Kind kind = Kind::kEquals;
+  double threshold = 0.0;  // continuous kinds
+  int category = 0;        // kEquals
+
+  /// e.g. "capital-gain > 21000" or "marital-status = never".
+  std::string ToString(const FeatureSchema& schema) const;
+};
+
+/// The paper's privacy-preserving input encoding (§V "Encode Input
+/// Features"): discrete features become one-hot bits; each continuous
+/// feature c in [lo, hi] becomes 2*tau_d indicator bits
+/// [1(c > l_1..l_tau), 1(c < u_1..u_tau)] against bounds drawn only from
+/// the public value domain — never from participant data. Which bounds
+/// matter is learned downstream by the logical layers.
+class BinarizationLayer {
+ public:
+  /// `tau_d` bounds per direction per continuous feature.
+  BinarizationLayer(SchemaPtr schema, int tau_d, Rng& rng);
+
+  const SchemaPtr& schema() const { return schema_; }
+  int tau_d() const { return tau_d_; }
+
+  /// Width of the encoded binary vector.
+  int encoded_size() const { return static_cast<int>(predicates_.size()); }
+
+  /// Encodes one instance into `out` (length encoded_size(), values 0/1).
+  void Encode(const Instance& instance, double* out) const;
+
+  /// Encodes a whole dataset into a (n x encoded_size) matrix.
+  Matrix EncodeBatch(const Dataset& dataset,
+                     const std::vector<size_t>& indices) const;
+
+  /// The predicate realized by encoded bit `j`.
+  const EncodedPredicate& predicate(int j) const { return predicates_[j]; }
+
+ private:
+  SchemaPtr schema_;
+  int tau_d_;
+  std::vector<EncodedPredicate> predicates_;
+};
+
+}  // namespace ctfl
+
+#endif  // CTFL_NN_BINARIZATION_LAYER_H_

@@ -1,0 +1,41 @@
+#include "ctfl/nn/linear_layer.h"
+
+#include "ctfl/util/logging.h"
+
+namespace ctfl {
+
+LinearLayer::LinearLayer(int in_dim, int out_dim)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      weights_(out_dim, in_dim),
+      bias_(1, out_dim),
+      weight_grads_(out_dim, in_dim),
+      bias_grads_(1, out_dim) {
+  CTFL_CHECK(in_dim > 0 && out_dim > 0);
+}
+
+void LinearLayer::InitRandom(Rng& rng, double scale) {
+  weights_.RandomUniform(rng, -scale, scale);
+  bias_.Fill(0.0);
+}
+
+Matrix LinearLayer::Forward(const Matrix& x) const {
+  CTFL_CHECK(static_cast<int>(x.cols()) == in_dim_);
+  Matrix logits = x.MatMulTransposed(weights_);
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    for (int c = 0; c < out_dim_; ++c) logits(r, c) += bias_(0, c);
+  }
+  return logits;
+}
+
+Matrix LinearLayer::Backward(const Matrix& x, const Matrix& dlogits) {
+  CTFL_CHECK(x.rows() == dlogits.rows());
+  // dW = dlogits^T * x ; db = column sums of dlogits ; dx = dlogits * W.
+  weight_grads_.Axpy(1.0, dlogits.TransposedMatMul(x));
+  for (size_t r = 0; r < dlogits.rows(); ++r) {
+    for (int c = 0; c < out_dim_; ++c) bias_grads_(0, c) += dlogits(r, c);
+  }
+  return dlogits.MatMul(weights_);
+}
+
+}  // namespace ctfl

@@ -1,0 +1,46 @@
+#ifndef CTFL_NN_LINEAR_LAYER_H_
+#define CTFL_NN_LINEAR_LAYER_H_
+
+#include "ctfl/nn/matrix.h"
+#include "ctfl/util/rng.h"
+
+namespace ctfl {
+
+/// Final vote layer of the rule-based model: maps the rule-activation
+/// vector to per-class scores. Its (real-valued, non-binarized) weights are
+/// exactly the rule importance weights w+ / w- of paper Def. III.2 — rule r
+/// supports the class whose weight for it is larger.
+class LinearLayer {
+ public:
+  LinearLayer(int in_dim, int out_dim);
+
+  int in_dim() const { return in_dim_; }
+  int out_dim() const { return out_dim_; }
+
+  void InitRandom(Rng& rng, double scale);
+
+  /// logits = x * W^T + b, for x(batch x in).
+  Matrix Forward(const Matrix& x) const;
+
+  /// Accumulates parameter gradients; returns dx.
+  Matrix Backward(const Matrix& x, const Matrix& dlogits);
+
+  Matrix& weights() { return weights_; }
+  const Matrix& weights() const { return weights_; }
+  Matrix& bias() { return bias_; }
+  const Matrix& bias() const { return bias_; }
+  Matrix& weight_grads() { return weight_grads_; }
+  Matrix& bias_grads() { return bias_grads_; }
+
+ private:
+  int in_dim_;
+  int out_dim_;
+  Matrix weights_;       // (out x in)
+  Matrix bias_;          // (1 x out)
+  Matrix weight_grads_;  // (out x in)
+  Matrix bias_grads_;    // (1 x out)
+};
+
+}  // namespace ctfl
+
+#endif  // CTFL_NN_LINEAR_LAYER_H_

@@ -1,0 +1,138 @@
+#include "ctfl/nn/logic_layer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ctfl/util/logging.h"
+
+namespace ctfl {
+namespace {
+
+// Clamp floor for product terms; keeps y / t_i well defined in backward.
+constexpr double kEps = 1e-8;
+
+}  // namespace
+
+LogicLayer::LogicLayer(int in_dim, int num_conj, int num_disj)
+    : in_dim_(in_dim),
+      num_conj_(num_conj),
+      num_disj_(num_disj),
+      weights_(num_conj + num_disj, in_dim),
+      grads_(num_conj + num_disj, in_dim) {
+  CTFL_CHECK(in_dim > 0);
+  CTFL_CHECK(num_conj >= 0 && num_disj >= 0 && num_conj + num_disj > 0);
+}
+
+void LogicLayer::InitSparse(Rng& rng, int fan_in) {
+  weights_.Fill(0.0);
+  fan_in = std::min(fan_in, in_dim_);
+  for (int node = 0; node < out_dim(); ++node) {
+    for (int k = 0; k < fan_in; ++k) {
+      const int input = static_cast<int>(rng.UniformInt(in_dim_));
+      weights_(node, input) = rng.Uniform(0.55, 0.95);
+    }
+  }
+}
+
+Matrix LogicLayer::ForwardContinuous(const Matrix& x) const {
+  CTFL_CHECK(static_cast<int>(x.cols()) == in_dim_);
+  Matrix y(x.rows(), out_dim());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* xr = x.row(r);
+    for (int node = 0; node < out_dim(); ++node) {
+      const double* w = weights_.row(node);
+      double prod = 1.0;
+      if (IsConjNode(node)) {
+        for (int i = 0; i < in_dim_; ++i) {
+          if (w[i] == 0.0) continue;
+          prod *= std::max(kEps, 1.0 - w[i] * (1.0 - xr[i]));
+        }
+        y(r, node) = prod;
+      } else {
+        for (int i = 0; i < in_dim_; ++i) {
+          if (w[i] == 0.0) continue;
+          prod *= std::max(kEps, 1.0 - w[i] * xr[i]);
+        }
+        y(r, node) = 1.0 - prod;
+      }
+    }
+  }
+  return y;
+}
+
+Matrix LogicLayer::ForwardDiscrete(const Matrix& x) const {
+  CTFL_CHECK(static_cast<int>(x.cols()) == in_dim_);
+  Matrix y(x.rows(), out_dim());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* xr = x.row(r);
+    for (int node = 0; node < out_dim(); ++node) {
+      const double* w = weights_.row(node);
+      if (IsConjNode(node)) {
+        double out = 1.0;
+        for (int i = 0; i < in_dim_; ++i) {
+          if (w[i] > 0.5 && xr[i] < 0.5) {
+            out = 0.0;
+            break;
+          }
+        }
+        y(r, node) = out;
+      } else {
+        double out = 0.0;
+        for (int i = 0; i < in_dim_; ++i) {
+          if (w[i] > 0.5 && xr[i] >= 0.5) {
+            out = 1.0;
+            break;
+          }
+        }
+        y(r, node) = out;
+      }
+    }
+  }
+  return y;
+}
+
+Matrix LogicLayer::Backward(const Matrix& x, const Matrix& y,
+                            const Matrix& dy) {
+  CTFL_CHECK(x.rows() == y.rows() && y.rows() == dy.rows());
+  Matrix dx(x.rows(), in_dim_);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* xr = x.row(r);
+    double* dxr = dx.row(r);
+    for (int node = 0; node < out_dim(); ++node) {
+      const double g = dy(r, node);
+      if (g == 0.0) continue;
+      const double* w = weights_.row(node);
+      double* gw = grads_.row(node);
+      if (IsConjNode(node)) {
+        const double prod = y(r, node);
+        if (prod <= 0.0) continue;
+        for (int i = 0; i < in_dim_; ++i) {
+          const double t = std::max(kEps, 1.0 - w[i] * (1.0 - xr[i]));
+          const double rest = prod / t;  // product of the other terms, <= 1
+          gw[i] += g * (-(1.0 - xr[i]) * rest);
+          dxr[i] += g * (w[i] * rest);
+        }
+      } else {
+        const double prod = 1.0 - y(r, node);  // prod of (1 - w x)
+        if (prod <= 0.0) continue;
+        for (int i = 0; i < in_dim_; ++i) {
+          const double s = std::max(kEps, 1.0 - w[i] * xr[i]);
+          const double rest = prod / s;
+          gw[i] += g * (xr[i] * rest);
+          dxr[i] += g * (w[i] * rest);
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+std::vector<int> LogicLayer::ActiveInputs(int node) const {
+  std::vector<int> out;
+  for (int i = 0; i < in_dim_; ++i) {
+    if (weights_(node, i) > 0.5) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace ctfl

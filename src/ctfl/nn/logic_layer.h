@@ -1,0 +1,68 @@
+#ifndef CTFL_NN_LOGIC_LAYER_H_
+#define CTFL_NN_LOGIC_LAYER_H_
+
+#include <vector>
+
+#include "ctfl/nn/matrix.h"
+#include "ctfl/util/rng.h"
+
+namespace ctfl {
+
+/// One logical layer of the rule-based model (paper §V Eq. 7): the first
+/// `num_conj` nodes are conjunctions, the rest disjunctions, each with a
+/// weight vector w in [0,1]^in controlling how strongly every input takes
+/// part in the logical operation:
+///
+///   Conj(x, w) = prod_i (1 - w_i (1 - x_i))
+///   Disj(x, w) = 1 - prod_i (1 - w_i x_i)
+///
+/// With binarized weights (w > 0.5) and binary inputs these become crisp
+/// AND / OR over the selected inputs; the continuous form is what gradient
+/// grafting differentiates through.
+class LogicLayer {
+ public:
+  LogicLayer(int in_dim, int num_conj, int num_disj);
+
+  int in_dim() const { return in_dim_; }
+  int num_conj() const { return num_conj_; }
+  int num_disj() const { return num_disj_; }
+  int out_dim() const { return num_conj_ + num_disj_; }
+  bool IsConjNode(int node) const { return node < num_conj_; }
+
+  /// Sparse initialization: each node gets `fan_in` random active inputs
+  /// with weights in (0.5, 1) and zeros elsewhere. Keeps initial products
+  /// away from 0 so grafted gradients do not vanish.
+  void InitSparse(Rng& rng, int fan_in);
+
+  /// Continuous (fuzzy) forward: Y(batch x out).
+  Matrix ForwardContinuous(const Matrix& x) const;
+
+  /// Forward with weights binarized at 0.5: crisp AND/OR when x is binary.
+  Matrix ForwardDiscrete(const Matrix& x) const;
+
+  /// Accumulates parameter gradients for the continuous form given the
+  /// cached input `x`, cached continuous output `y`, and upstream gradient
+  /// `dy`; returns the gradient w.r.t. x.
+  Matrix Backward(const Matrix& x, const Matrix& y, const Matrix& dy);
+
+  /// Inputs whose binarized weight is active (> 0.5) for `node`.
+  std::vector<int> ActiveInputs(int node) const;
+
+  Matrix& weights() { return weights_; }
+  const Matrix& weights() const { return weights_; }
+  Matrix& grads() { return grads_; }
+
+  /// Projects weights back into [0, 1] (called after optimizer steps).
+  void ProjectWeights() { weights_.Clamp(0.0, 1.0); }
+
+ private:
+  int in_dim_;
+  int num_conj_;
+  int num_disj_;
+  Matrix weights_;  // (out_dim x in_dim), values in [0, 1]
+  Matrix grads_;
+};
+
+}  // namespace ctfl
+
+#endif  // CTFL_NN_LOGIC_LAYER_H_

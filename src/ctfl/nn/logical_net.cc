@@ -1,0 +1,240 @@
+#include "ctfl/nn/logical_net.h"
+
+#include <cmath>
+
+#include "ctfl/util/logging.h"
+
+namespace ctfl {
+
+LogicalNet::LogicalNet(SchemaPtr schema, const LogicalNetConfig& config)
+    : config_(config),
+      encoder_([&] {
+        Rng rng(config.seed);
+        return BinarizationLayer(std::move(schema), config.tau_d, rng);
+      }()),
+      linear_(1, 2),  // resized below once the rule count is known
+      num_rules_(0) {
+  Rng rng(config_.seed + 1);
+  int in_dim = encoder_.encoded_size();
+  int total_logic_out = 0;
+  for (const auto& [num_conj, num_disj] : config_.logic_layers) {
+    logic_layers_.emplace_back(in_dim, num_conj, num_disj);
+    logic_layers_.back().InitSparse(rng, config_.fan_in);
+    in_dim = num_conj + num_disj;
+    total_logic_out += in_dim;
+  }
+  num_rules_ = total_logic_out +
+               (config_.input_skip ? encoder_.encoded_size() : 0);
+  CTFL_CHECK(num_rules_ > 0);
+  linear_ = LinearLayer(num_rules_, 2);
+  linear_.InitRandom(rng, config_.linear_init_scale);
+}
+
+std::pair<int, int> LogicalNet::RuleSource(int j) const {
+  CTFL_CHECK(j >= 0 && j < num_rules_);
+  if (config_.input_skip) {
+    if (j < encoder_.encoded_size()) return {-1, j};
+    j -= encoder_.encoded_size();
+  }
+  for (size_t layer = 0; layer < logic_layers_.size(); ++layer) {
+    if (j < logic_layers_[layer].out_dim()) {
+      return {static_cast<int>(layer), j};
+    }
+    j -= logic_layers_[layer].out_dim();
+  }
+  CTFL_LOG_FATAL << "rule index out of range";
+}
+
+Matrix LogicalNet::EncodeBatch(const Dataset& dataset,
+                               const std::vector<size_t>& indices) const {
+  if (!indices.empty()) return encoder_.EncodeBatch(dataset, indices);
+  std::vector<size_t> all(dataset.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return encoder_.EncodeBatch(dataset, all);
+}
+
+namespace {
+
+// Concatenates [encoded (optional)] + layer outputs into the rule matrix.
+Matrix ConcatRules(const Matrix& encoded, const std::vector<Matrix>& outs,
+                   bool input_skip, int num_rules) {
+  const size_t batch = encoded.rows();
+  Matrix rules(batch, num_rules);
+  for (size_t r = 0; r < batch; ++r) {
+    double* dst = rules.row(r);
+    size_t offset = 0;
+    if (input_skip) {
+      const double* src = encoded.row(r);
+      for (size_t c = 0; c < encoded.cols(); ++c) dst[offset + c] = src[c];
+      offset += encoded.cols();
+    }
+    for (const Matrix& out : outs) {
+      const double* src = out.row(r);
+      for (size_t c = 0; c < out.cols(); ++c) dst[offset + c] = src[c];
+      offset += out.cols();
+    }
+  }
+  return rules;
+}
+
+}  // namespace
+
+Matrix LogicalNet::ForwardContinuous(const Matrix& encoded,
+                                     Cache* cache) const {
+  std::vector<Matrix> outs;
+  const Matrix* layer_in = &encoded;
+  for (const LogicLayer& layer : logic_layers_) {
+    outs.push_back(layer.ForwardContinuous(*layer_in));
+    layer_in = &outs.back();
+  }
+  Matrix rules = ConcatRules(encoded, outs, config_.input_skip, num_rules_);
+  Matrix logits = linear_.Forward(rules);
+  if (cache != nullptr) {
+    cache->encoded = encoded;
+    cache->layer_out = std::move(outs);
+    cache->rules = std::move(rules);
+  }
+  return logits;
+}
+
+Matrix LogicalNet::RulesDiscrete(const Matrix& encoded) const {
+  std::vector<Matrix> outs;
+  const Matrix* layer_in = &encoded;
+  for (const LogicLayer& layer : logic_layers_) {
+    outs.push_back(layer.ForwardDiscrete(*layer_in));
+    layer_in = &outs.back();
+  }
+  return ConcatRules(encoded, outs, config_.input_skip, num_rules_);
+}
+
+Matrix LogicalNet::ForwardDiscrete(const Matrix& encoded) const {
+  return linear_.Forward(RulesDiscrete(encoded));
+}
+
+void LogicalNet::Backward(const Cache& cache, const Matrix& dlogits) {
+  // Note: linear_.Backward consumes the *continuous* rule activations; the
+  // upstream dlogits came from the discrete loss — that asymmetry is
+  // exactly the gradient-grafting update.
+  Matrix drules = linear_.Backward(cache.rules, dlogits);
+
+  // Split drules into per-segment upstream gradients.
+  const size_t batch = drules.rows();
+  size_t offset = config_.input_skip ? encoder_.encoded_size() : 0;
+  std::vector<Matrix> dout(logic_layers_.size());
+  for (size_t layer = 0; layer < logic_layers_.size(); ++layer) {
+    const int width = logic_layers_[layer].out_dim();
+    dout[layer] = Matrix(batch, width);
+    for (size_t r = 0; r < batch; ++r) {
+      const double* src = drules.row(r) + offset;
+      double* dst = dout[layer].row(r);
+      for (int c = 0; c < width; ++c) dst[c] = src[c];
+    }
+    offset += width;
+  }
+
+  // Reverse pass through the logic layers; each layer's dx adds to the
+  // previous layer's upstream gradient.
+  for (int layer = static_cast<int>(logic_layers_.size()) - 1; layer >= 0;
+       --layer) {
+    const Matrix& input =
+        layer == 0 ? cache.encoded : cache.layer_out[layer - 1];
+    Matrix dx = logic_layers_[layer].Backward(input, cache.layer_out[layer],
+                                              dout[layer]);
+    if (layer > 0) dout[layer - 1].Axpy(1.0, dx);
+    // dx w.r.t. the encoder input is discarded (no parameters there).
+  }
+}
+
+void LogicalNet::ZeroGrads() {
+  for (LogicLayer& layer : logic_layers_) layer.grads().Fill(0.0);
+  linear_.weight_grads().Fill(0.0);
+  linear_.bias_grads().Fill(0.0);
+}
+
+void LogicalNet::ProjectWeights() {
+  for (LogicLayer& layer : logic_layers_) layer.ProjectWeights();
+}
+
+std::vector<ParamSlot> LogicalNet::ParamSlots() {
+  std::vector<ParamSlot> slots;
+  for (LogicLayer& layer : logic_layers_) {
+    slots.push_back({&layer.weights(), &layer.grads()});
+  }
+  slots.push_back({&linear_.weights(), &linear_.weight_grads()});
+  slots.push_back({&linear_.bias(), &linear_.bias_grads()});
+  return slots;
+}
+
+std::vector<double> LogicalNet::GetParameters() const {
+  std::vector<double> flat;
+  flat.reserve(NumParameters());
+  for (const LogicLayer& layer : logic_layers_) {
+    const Matrix& w = layer.weights();
+    flat.insert(flat.end(), w.data(), w.data() + w.size());
+  }
+  const Matrix& lw = linear_.weights();
+  flat.insert(flat.end(), lw.data(), lw.data() + lw.size());
+  const Matrix& lb = linear_.bias();
+  flat.insert(flat.end(), lb.data(), lb.data() + lb.size());
+  return flat;
+}
+
+void LogicalNet::SetParameters(const std::vector<double>& flat) {
+  CTFL_CHECK(flat.size() == NumParameters());
+  size_t offset = 0;
+  auto copy_into = [&](Matrix& m) {
+    for (size_t i = 0; i < m.size(); ++i) m.data()[i] = flat[offset + i];
+    offset += m.size();
+  };
+  for (LogicLayer& layer : logic_layers_) copy_into(layer.weights());
+  copy_into(linear_.weights());
+  copy_into(linear_.bias());
+}
+
+size_t LogicalNet::NumParameters() const {
+  size_t n = 0;
+  for (const LogicLayer& layer : logic_layers_) n += layer.weights().size();
+  n += linear_.weights().size() + linear_.bias().size();
+  return n;
+}
+
+int LogicalNet::Predict(const Instance& instance) const {
+  Matrix encoded(1, encoder_.encoded_size());
+  encoder_.Encode(instance, encoded.row(0));
+  const Matrix logits = ForwardDiscrete(encoded);
+  // Eq. (3) resolves ties toward the positive class.
+  return logits(0, 1) >= logits(0, 0) ? 1 : 0;
+}
+
+double LogicalNet::Accuracy(const Dataset& dataset) const {
+  if (dataset.empty()) return 0.0;
+  const Matrix encoded = EncodeBatch(dataset);
+  const Matrix logits = ForwardDiscrete(encoded);
+  size_t correct = 0;
+  for (size_t r = 0; r < dataset.size(); ++r) {
+    const int pred = logits(r, 1) >= logits(r, 0) ? 1 : 0;
+    if (pred == dataset.instance(r).label) ++correct;
+  }
+  return static_cast<double>(correct) / dataset.size();
+}
+
+Bitset LogicalNet::RuleActivations(const Instance& instance) const {
+  Matrix encoded(1, encoder_.encoded_size());
+  encoder_.Encode(instance, encoded.row(0));
+  const Matrix rules = RulesDiscrete(encoded);
+  Bitset bits(num_rules_);
+  for (int j = 0; j < num_rules_; ++j) {
+    if (rules(0, j) > 0.5) bits.Set(j);
+  }
+  return bits;
+}
+
+int LogicalNet::RuleClass(int j) const {
+  return linear_.weights()(1, j) >= linear_.weights()(0, j) ? 1 : 0;
+}
+
+double LogicalNet::RuleWeight(int j) const {
+  return std::abs(linear_.weights()(1, j) - linear_.weights()(0, j));
+}
+
+}  // namespace ctfl

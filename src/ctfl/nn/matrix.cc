@@ -1,0 +1,75 @@
+#include "ctfl/nn/matrix.h"
+
+#include <algorithm>
+
+#include "ctfl/util/logging.h"
+
+namespace ctfl {
+
+void Matrix::Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Matrix::Axpy(double alpha, const Matrix& other) {
+  CTFL_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Matrix::Scale(double s) {
+  for (double& v : data_) v *= s;
+}
+
+void Matrix::Clamp(double lo, double hi) {
+  for (double& v : data_) v = std::clamp(v, lo, hi);
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  CTFL_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* a = row(r);
+    double* o = out.row(r);
+    for (size_t k = 0; k < cols_; ++k) {
+      const double av = a[k];
+      if (av == 0.0) continue;
+      const double* b = other.row(k);
+      for (size_t c = 0; c < other.cols_; ++c) o[c] += av * b[c];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::TransposedMatMul(const Matrix& other) const {
+  CTFL_CHECK(rows_ == other.rows_);
+  Matrix out(cols_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* a = row(r);
+    const double* b = other.row(r);
+    for (size_t k = 0; k < cols_; ++k) {
+      const double av = a[k];
+      if (av == 0.0) continue;
+      double* o = out.row(k);
+      for (size_t c = 0; c < other.cols_; ++c) o[c] += av * b[c];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulTransposed(const Matrix& other) const {
+  CTFL_CHECK(cols_ == other.cols_);
+  Matrix out(rows_, other.rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* a = row(r);
+    for (size_t c = 0; c < other.rows_; ++c) {
+      const double* b = other.row(c);
+      double sum = 0.0;
+      for (size_t k = 0; k < cols_; ++k) sum += a[k] * b[k];
+      out(r, c) = sum;
+    }
+  }
+  return out;
+}
+
+void Matrix::RandomUniform(Rng& rng, double lo, double hi) {
+  for (double& v : data_) v = rng.Uniform(lo, hi);
+}
+
+}  // namespace ctfl

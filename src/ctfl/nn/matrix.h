@@ -1,0 +1,66 @@
+#ifndef CTFL_NN_MATRIX_H_
+#define CTFL_NN_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ctfl/util/rng.h"
+
+namespace ctfl {
+
+/// Dense row-major matrix of doubles; the numeric workhorse of the logical
+/// neural network. Deliberately minimal: only the operations the training
+/// loop needs.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  double* row(size_t r) { return data_.data() + r * cols_; }
+  const double* row(size_t r) const { return data_.data() + r * cols_; }
+
+  void Fill(double v);
+
+  /// Element-wise in-place scaled add: this += alpha * other.
+  void Axpy(double alpha, const Matrix& other);
+
+  /// this = this * scalar.
+  void Scale(double s);
+
+  /// Clamps every element into [lo, hi].
+  void Clamp(double lo, double hi);
+
+  /// Returns this(rows x k) * other(k x cols).
+  Matrix MatMul(const Matrix& other) const;
+
+  /// Returns transpose(this)(cols x rows) * other(rows x c) without
+  /// materializing the transpose.
+  Matrix TransposedMatMul(const Matrix& other) const;
+
+  /// Returns this(rows x k) * transpose(other)(k x c) without materializing
+  /// the transpose.
+  Matrix MatMulTransposed(const Matrix& other) const;
+
+  /// Fills with U[lo, hi) samples.
+  void RandomUniform(Rng& rng, double lo, double hi);
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace ctfl
+
+#endif  // CTFL_NN_MATRIX_H_

@@ -1,0 +1,51 @@
+#include "ctfl/nn/optimizer.h"
+
+#include <cmath>
+
+#include "ctfl/util/logging.h"
+
+namespace ctfl {
+
+void SgdOptimizer::Step(const std::vector<ParamSlot>& slots) {
+  if (velocity_.empty()) {
+    for (const ParamSlot& s : slots) {
+      velocity_.emplace_back(s.param->rows(), s.param->cols());
+    }
+  }
+  CTFL_CHECK(velocity_.size() == slots.size());
+  for (size_t i = 0; i < slots.size(); ++i) {
+    Matrix& vel = velocity_[i];
+    vel.Scale(momentum_);
+    vel.Axpy(1.0, *slots[i].grad);
+    slots[i].param->Axpy(-lr_, vel);
+  }
+}
+
+void AdamOptimizer::Step(const std::vector<ParamSlot>& slots) {
+  if (m_.empty()) {
+    for (const ParamSlot& s : slots) {
+      m_.emplace_back(s.param->rows(), s.param->cols());
+      v_.emplace_back(s.param->rows(), s.param->cols());
+    }
+  }
+  CTFL_CHECK(m_.size() == slots.size());
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, t_);
+  const double bc2 = 1.0 - std::pow(beta2_, t_);
+  for (size_t i = 0; i < slots.size(); ++i) {
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    Matrix& p = *slots[i].param;
+    const Matrix& g = *slots[i].grad;
+    for (size_t k = 0; k < p.size(); ++k) {
+      const double gk = g.data()[k];
+      m.data()[k] = beta1_ * m.data()[k] + (1.0 - beta1_) * gk;
+      v.data()[k] = beta2_ * v.data()[k] + (1.0 - beta2_) * gk * gk;
+      const double mhat = m.data()[k] / bc1;
+      const double vhat = v.data()[k] / bc2;
+      p.data()[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace ctfl

@@ -1,0 +1,108 @@
+#include "ctfl/nn/serialize.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "ctfl/util/string_util.h"
+
+namespace ctfl {
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+}  // namespace
+
+Status SaveLogicalNet(const LogicalNet& net, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  const LogicalNetConfig& config = net.config();
+  out << "ctfl-model " << kFormatVersion << "\n";
+  out << "tau_d " << config.tau_d << "\n";
+  out << "fan_in " << config.fan_in << "\n";
+  out << "input_skip " << (config.input_skip ? 1 : 0) << "\n";
+  out << "seed " << config.seed << "\n";
+  out << "linear_init_scale " << std::setprecision(17)
+      << config.linear_init_scale << "\n";
+  out << "layers " << config.logic_layers.size();
+  for (const auto& [conj, disj] : config.logic_layers) {
+    out << " " << conj << " " << disj;
+  }
+  out << "\n";
+  const std::vector<double> params = net.GetParameters();
+  out << "params " << params.size() << "\n";
+  out << std::setprecision(17);
+  for (size_t i = 0; i < params.size(); ++i) {
+    out << params[i] << (i + 1 == params.size() ? "\n" : " ");
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<LogicalNet> LoadLogicalNet(SchemaPtr schema,
+                                  const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+
+  std::string tag;
+  int version = 0;
+  in >> tag >> version;
+  if (tag != "ctfl-model") {
+    return Status::InvalidArgument(path + ": not a ctfl model file");
+  }
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument(
+        StrFormat("%s: unsupported version %d", path.c_str(), version));
+  }
+
+  LogicalNetConfig config;
+  std::string key;
+  size_t num_layers = 0;
+  config.logic_layers.clear();
+  while (in >> key) {
+    if (key == "tau_d") {
+      in >> config.tau_d;
+    } else if (key == "fan_in") {
+      in >> config.fan_in;
+    } else if (key == "input_skip") {
+      int flag = 1;
+      in >> flag;
+      config.input_skip = flag != 0;
+    } else if (key == "seed") {
+      in >> config.seed;
+    } else if (key == "linear_init_scale") {
+      in >> config.linear_init_scale;
+    } else if (key == "layers") {
+      in >> num_layers;
+      for (size_t l = 0; l < num_layers; ++l) {
+        int conj = 0, disj = 0;
+        in >> conj >> disj;
+        config.logic_layers.emplace_back(conj, disj);
+      }
+    } else if (key == "params") {
+      size_t count = 0;
+      in >> count;
+      LogicalNet net(std::move(schema), config);
+      if (net.NumParameters() != count) {
+        return Status::InvalidArgument(StrFormat(
+            "%s: parameter count %zu does not match the architecture/"
+            "schema (%zu expected)",
+            path.c_str(), count, net.NumParameters()));
+      }
+      std::vector<double> params(count);
+      for (double& v : params) {
+        if (!(in >> v)) {
+          return Status::InvalidArgument(path + ": truncated parameters");
+        }
+      }
+      net.SetParameters(params);
+      return net;
+    } else {
+      return Status::InvalidArgument(path + ": unknown key " + key);
+    }
+    if (!in) return Status::InvalidArgument(path + ": malformed value");
+  }
+  return Status::InvalidArgument(path + ": missing params section");
+}
+
+}  // namespace ctfl

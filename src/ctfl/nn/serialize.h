@@ -1,0 +1,32 @@
+#ifndef CTFL_NN_SERIALIZE_H_
+#define CTFL_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "ctfl/nn/logical_net.h"
+
+namespace ctfl {
+
+/// Plain-text model persistence. The format stores the architecture
+/// hyper-parameters plus all trained parameters (versioned, line based):
+///
+///   ctfl-model 1
+///   tau_d <int>
+///   fan_in <int>
+///   input_skip <0|1>
+///   seed <uint64>
+///   linear_init_scale <double>
+///   layers <n> <conj_0> <disj_0> ...
+///   params <count>
+///   <param values, whitespace separated, full precision>
+///
+/// The feature schema is NOT serialized — models only make sense against
+/// the federation's agreed schema, which the caller supplies on load (and
+/// which the loader validates by parameter-count compatibility).
+Status SaveLogicalNet(const LogicalNet& net, const std::string& path);
+
+Result<LogicalNet> LoadLogicalNet(SchemaPtr schema, const std::string& path);
+
+}  // namespace ctfl
+
+#endif  // CTFL_NN_SERIALIZE_H_

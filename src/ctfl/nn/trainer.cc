@@ -1,0 +1,77 @@
+#include "ctfl/nn/trainer.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "ctfl/nn/loss.h"
+#include "ctfl/util/logging.h"
+#include "ctfl/util/rng.h"
+
+namespace ctfl {
+
+double GraftedStep(LogicalNet& net, const Matrix& encoded,
+                   const std::vector<int>& labels, Optimizer& optimizer) {
+  LogicalNet::Cache cache;
+  net.ForwardContinuous(encoded, &cache);
+  const Matrix discrete_logits = net.ForwardDiscrete(encoded);
+  Matrix dlogits;
+  const double loss = SoftmaxCrossEntropy(discrete_logits, labels, &dlogits);
+  net.ZeroGrads();
+  net.Backward(cache, dlogits);
+  const std::vector<ParamSlot> slots = net.ParamSlots();
+  optimizer.Step(slots);
+  net.ProjectWeights();
+  return loss;
+}
+
+TrainReport TrainGrafted(LogicalNet& net, const Dataset& data,
+                         const TrainConfig& config) {
+  TrainReport report;
+  if (data.empty()) return report;
+
+  std::unique_ptr<Optimizer> optimizer;
+  if (config.use_adam) {
+    optimizer = std::make_unique<AdamOptimizer>(config.learning_rate);
+  } else {
+    optimizer = std::make_unique<SgdOptimizer>(config.learning_rate,
+                                               config.sgd_momentum);
+  }
+
+  // Encode the whole dataset once; batches are row subsets.
+  const Matrix all_encoded = net.EncodeBatch(data);
+  Rng rng(config.seed);
+  std::vector<int> order(static_cast<int>(data.size()));
+  for (size_t i = 0; i < data.size(); ++i) order[i] = static_cast<int>(i);
+
+  const int batch_size = std::max(1, config.batch_size);
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(batch_size)) {
+      const size_t end =
+          std::min(order.size(), start + static_cast<size_t>(batch_size));
+      Matrix batch(end - start, all_encoded.cols());
+      std::vector<int> labels(end - start);
+      for (size_t r = start; r < end; ++r) {
+        const int src = order[r];
+        const double* src_row = all_encoded.row(src);
+        double* dst_row = batch.row(r - start);
+        std::copy(src_row, src_row + all_encoded.cols(), dst_row);
+        labels[r - start] = data.instance(src).label;
+      }
+      epoch_loss += GraftedStep(net, batch, labels, *optimizer);
+      ++batches;
+      ++report.steps;
+    }
+    report.final_loss = batches > 0 ? epoch_loss / batches : 0.0;
+    if (config.verbose) {
+      CTFL_LOG(Info) << "epoch " << epoch << " loss " << report.final_loss;
+    }
+  }
+  report.train_accuracy = net.Accuracy(data);
+  return report;
+}
+
+}  // namespace ctfl

@@ -1,0 +1,84 @@
+#include "ctfl/rules/extraction.h"
+
+#include <fstream>
+
+#include "ctfl/util/logging.h"
+#include "ctfl/util/string_util.h"
+
+namespace ctfl {
+namespace {
+
+// Symbolic rule computed by output `node` of logic layer `layer` (with
+// binarized weights). Layer 0 inputs are encoder predicates; deeper layers
+// reference the previous layer's nodes.
+Rule NodeRule(const LogicalNet& net, int layer, int node) {
+  const LogicLayer& logic = net.logic_layers()[layer];
+  const std::vector<int> inputs = logic.ActiveInputs(node);
+  const bool is_conj = logic.IsConjNode(node);
+  if (inputs.empty()) return is_conj ? Rule::True() : Rule::False();
+  std::vector<Rule> children;
+  children.reserve(inputs.size());
+  for (int input : inputs) {
+    if (layer == 0) {
+      children.push_back(
+          Rule::Atom(Predicate::FromEncoded(net.encoder().predicate(input))));
+    } else {
+      children.push_back(NodeRule(net, layer - 1, input));
+    }
+  }
+  return is_conj ? Rule::Conj(std::move(children))
+                 : Rule::Disj(std::move(children));
+}
+
+}  // namespace
+
+ExtractionResult ExtractRules(const LogicalNet& net) {
+  ExtractionResult result;
+  result.rules.reserve(net.num_rules());
+  for (int j = 0; j < net.num_rules(); ++j) {
+    ExtractedRule er;
+    er.coordinate = j;
+    const auto [layer, index] = net.RuleSource(j);
+    if (layer < 0) {
+      er.rule = Rule::Atom(Predicate::FromEncoded(net.encoder().predicate(index)));
+    } else {
+      er.rule = NodeRule(net, layer, index);
+    }
+    er.support_class = net.RuleClass(j);
+    er.weight = net.RuleWeight(j);
+    result.rules.push_back(std::move(er));
+  }
+  result.bias = net.linear().bias()(0, 0) - net.linear().bias()(0, 1);
+  return result;
+}
+
+RuleModel BuildRuleModel(const LogicalNet& net) {
+  const ExtractionResult extraction = ExtractRules(net);
+  RuleModel model;
+  for (const ExtractedRule& er : extraction.rules) {
+    const int index =
+        model.AddRule({er.rule, er.support_class, er.weight});
+    CTFL_CHECK(index == er.coordinate);
+  }
+  model.SetBias(extraction.bias);
+  return model;
+}
+
+Status ExportRulesText(const LogicalNet& net, const std::string& path,
+                       double min_weight) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  const ExtractionResult extraction = ExtractRules(net);
+  out << "# CTFL rule export; bias (neg - pos) = " << extraction.bias
+      << "\n";
+  for (const ExtractedRule& er : extraction.rules) {
+    if (er.weight < min_weight) continue;
+    out << "r" << er.coordinate << (er.support_class == 1 ? "+" : "-")
+        << " w=" << StrFormat("%.6f", er.weight) << " : "
+        << er.rule.ToString(*net.schema()) << "\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace ctfl

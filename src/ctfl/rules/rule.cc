@@ -1,0 +1,106 @@
+#include "ctfl/rules/rule.h"
+
+#include <algorithm>
+
+#include "ctfl/util/logging.h"
+
+namespace ctfl {
+
+Rule Rule::Atom(Predicate predicate) {
+  Rule r;
+  r.kind_ = Kind::kAtom;
+  r.atom_ = predicate;
+  return r;
+}
+
+Rule Rule::Conj(std::vector<Rule> children) {
+  CTFL_CHECK(!children.empty());
+  if (children.size() == 1) return std::move(children[0]);
+  Rule r;
+  r.kind_ = Kind::kConj;
+  r.children_ = std::move(children);
+  return r;
+}
+
+Rule Rule::Disj(std::vector<Rule> children) {
+  CTFL_CHECK(!children.empty());
+  if (children.size() == 1) return std::move(children[0]);
+  Rule r;
+  r.kind_ = Kind::kDisj;
+  r.children_ = std::move(children);
+  return r;
+}
+
+Rule Rule::True() {
+  Rule r;
+  r.kind_ = Kind::kTrue;
+  return r;
+}
+
+Rule Rule::False() {
+  Rule r;
+  r.kind_ = Kind::kFalse;
+  return r;
+}
+
+bool Rule::Evaluate(const Instance& instance) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kFalse:
+      return false;
+    case Kind::kAtom:
+      return atom_.Evaluate(instance);
+    case Kind::kConj:
+      for (const Rule& child : children_) {
+        if (!child.Evaluate(instance)) return false;
+      }
+      return true;
+    case Kind::kDisj:
+      for (const Rule& child : children_) {
+        if (child.Evaluate(instance)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+int Rule::NumPredicates() const {
+  if (kind_ == Kind::kTrue || kind_ == Kind::kFalse) return 0;
+  if (kind_ == Kind::kAtom) return 1;
+  int total = 0;
+  for (const Rule& child : children_) total += child.NumPredicates();
+  return total;
+}
+
+int Rule::Depth() const {
+  if (kind_ != Kind::kConj && kind_ != Kind::kDisj) return 0;
+  int depth = 0;
+  for (const Rule& child : children_) depth = std::max(depth, child.Depth());
+  return depth + 1;
+}
+
+std::string Rule::ToString(const FeatureSchema& schema) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kFalse:
+      return "false";
+    case Kind::kAtom:
+      return atom_.ToString(schema);
+    case Kind::kConj:
+    case Kind::kDisj: {
+      const char* sep = kind_ == Kind::kConj ? " ^ " : " v ";
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children_[i].ToString(schema);
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace ctfl

@@ -1,0 +1,68 @@
+#include "ctfl/rules/rule_model.h"
+
+#include "ctfl/util/string_util.h"
+
+namespace ctfl {
+
+int RuleModel::AddRule(WeightedRule rule) {
+  rules_.push_back(std::move(rule));
+  return static_cast<int>(rules_.size()) - 1;
+}
+
+Bitset RuleModel::Activations(const Instance& instance) const {
+  Bitset bits(rules_.size());
+  for (size_t j = 0; j < rules_.size(); ++j) {
+    if (rules_[j].rule.Evaluate(instance)) bits.Set(j);
+  }
+  return bits;
+}
+
+double RuleModel::PositiveVote(const Instance& instance) const {
+  double vote = 0.0;
+  for (const WeightedRule& wr : rules_) {
+    if (wr.support_class == 1 && wr.rule.Evaluate(instance)) {
+      vote += wr.weight;
+    }
+  }
+  return vote;
+}
+
+double RuleModel::NegativeVote(const Instance& instance) const {
+  double vote = 0.0;
+  for (const WeightedRule& wr : rules_) {
+    if (wr.support_class == 0 && wr.rule.Evaluate(instance)) {
+      vote += wr.weight;
+    }
+  }
+  return vote;
+}
+
+int RuleModel::Classify(const Instance& instance) const {
+  return PositiveVote(instance) >= NegativeVote(instance) + bias_ ? 1 : 0;
+}
+
+double RuleModel::Accuracy(const Dataset& dataset) const {
+  if (dataset.empty()) return 0.0;
+  size_t correct = 0;
+  for (const Instance& inst : dataset.instances()) {
+    if (Classify(inst) == inst.label) ++correct;
+  }
+  return static_cast<double>(correct) / dataset.size();
+}
+
+std::string RuleModel::Describe(const FeatureSchema& schema,
+                                int max_rules) const {
+  std::string out;
+  const int limit = max_rules < 0 ? num_rules()
+                                  : std::min(max_rules, num_rules());
+  for (int j = 0; j < limit; ++j) {
+    const WeightedRule& wr = rules_[j];
+    out += StrFormat("r%d%s (w=%.3f): ", j,
+                     wr.support_class == 1 ? "+" : "-", wr.weight);
+    out += wr.rule.ToString(schema);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ctfl

@@ -1,0 +1,63 @@
+#ifndef CTFL_RULES_RULE_MODEL_H_
+#define CTFL_RULES_RULE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "ctfl/rules/rule.h"
+#include "ctfl/util/bitset.h"
+
+namespace ctfl {
+
+/// One rule of a rule-based model, bound to the class it supports and its
+/// importance weight (paper Def. III.2: entries of (r+, w+) / (r-, w-)).
+struct WeightedRule {
+  Rule rule;
+  int support_class = 1;  // 0 = negative, 1 = positive
+  double weight = 1.0;
+};
+
+/// The formal rule-based model of paper Def. III.2: classification by
+/// weighted voting of activated rules,
+///   M(x) = 1[ w+ . r+(x) >= w- . r-(x) + bias ].
+/// Rules keep their insertion index so activation Bitsets align with the
+/// indices used by contribution tracing and interpretation.
+class RuleModel {
+ public:
+  RuleModel() = default;
+
+  /// Returns the index assigned to the rule.
+  int AddRule(WeightedRule rule);
+
+  /// Learned vote offset (b_neg - b_pos of the net's vote layer); positive
+  /// bias makes the model lean negative.
+  void SetBias(double bias) { bias_ = bias; }
+  double bias() const { return bias_; }
+
+  int num_rules() const { return static_cast<int>(rules_.size()); }
+  const WeightedRule& rule(int j) const { return rules_[j]; }
+
+  /// Activation bitset r(x) over all rule indices.
+  Bitset Activations(const Instance& instance) const;
+
+  /// Eq. (3): weighted vote with ties resolved positive.
+  int Classify(const Instance& instance) const;
+
+  /// Accuracy on a dataset (utility metric Eq. (1) for this model).
+  double Accuracy(const Dataset& dataset) const;
+
+  /// Sum of weights of positive / negative rules activated by x.
+  double PositiveVote(const Instance& instance) const;
+  double NegativeVote(const Instance& instance) const;
+
+  /// Human-readable listing ("r3+ (w=0.82): capital-gain > 21000").
+  std::string Describe(const FeatureSchema& schema, int max_rules = -1) const;
+
+ private:
+  std::vector<WeightedRule> rules_;
+  double bias_ = 0.0;
+};
+
+}  // namespace ctfl
+
+#endif  // CTFL_RULES_RULE_MODEL_H_

@@ -1,0 +1,257 @@
+#include "ctfl/solver/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ctfl/util/logging.h"
+#include "ctfl/util/string_util.h"
+
+namespace ctfl {
+namespace {
+
+constexpr double kTol = 1e-9;
+constexpr int kMaxIterations = 20000;
+
+// Standard-form problem: min c.x s.t. A x = b, x >= 0, b >= 0.
+struct StandardForm {
+  size_t num_cols = 0;
+  std::vector<std::vector<double>> a;
+  std::vector<double> b;
+  std::vector<double> c;
+  // Mapping back to original variables: x_orig[j] = x[pos[j]] - x[neg[j]]
+  // (neg[j] == -1 when the variable was already non-negative).
+  std::vector<int> pos;
+  std::vector<int> neg;
+};
+
+StandardForm ToStandardForm(const LpProblem& problem) {
+  StandardForm sf;
+  const int n = problem.num_vars;
+  sf.pos.resize(n);
+  sf.neg.assign(n, -1);
+  size_t col = 0;
+  for (int j = 0; j < n; ++j) {
+    sf.pos[j] = static_cast<int>(col++);
+    const bool is_free =
+        !problem.free_vars.empty() && problem.free_vars[j];
+    if (is_free) sf.neg[j] = static_cast<int>(col++);
+  }
+  const size_t m = problem.constraints.size();
+
+  // One slack/surplus column per inequality.
+  std::vector<int> slack_col(m, -1);
+  for (size_t i = 0; i < m; ++i) {
+    if (problem.constraints[i].rel != LpConstraint::Rel::kEq) {
+      slack_col[i] = static_cast<int>(col++);
+    }
+  }
+  sf.num_cols = col;
+  sf.a.assign(m, std::vector<double>(sf.num_cols, 0.0));
+  sf.b.resize(m);
+  sf.c.assign(sf.num_cols, 0.0);
+
+  for (int j = 0; j < n; ++j) {
+    sf.c[sf.pos[j]] = problem.objective[j];
+    if (sf.neg[j] >= 0) sf.c[sf.neg[j]] = -problem.objective[j];
+  }
+
+  for (size_t i = 0; i < m; ++i) {
+    const LpConstraint& con = problem.constraints[i];
+    double sign = 1.0;
+    LpConstraint::Rel rel = con.rel;
+    if (con.rhs < 0.0) {
+      sign = -1.0;
+      if (rel == LpConstraint::Rel::kLe) {
+        rel = LpConstraint::Rel::kGe;
+      } else if (rel == LpConstraint::Rel::kGe) {
+        rel = LpConstraint::Rel::kLe;
+      }
+    }
+    for (int j = 0; j < n; ++j) {
+      const double v = sign * con.coeffs[j];
+      sf.a[i][sf.pos[j]] = v;
+      if (sf.neg[j] >= 0) sf.a[i][sf.neg[j]] = -v;
+    }
+    sf.b[i] = sign * con.rhs;
+    if (rel == LpConstraint::Rel::kLe) {
+      sf.a[i][slack_col[i]] = 1.0;
+    } else if (rel == LpConstraint::Rel::kGe) {
+      sf.a[i][slack_col[i]] = -1.0;
+    }
+  }
+  return sf;
+}
+
+// Tableau simplex over rows (m constraints + 1 objective row at the end).
+// basis[i] = column basic in row i.
+class Tableau {
+ public:
+  Tableau(const StandardForm& sf, bool phase_one)
+      : m_(sf.a.size()), n_(sf.num_cols + (phase_one ? m_ : 0)) {
+    rows_.assign(m_ + 1, std::vector<double>(n_ + 1, 0.0));
+    basis_.resize(m_);
+    for (size_t i = 0; i < m_; ++i) {
+      for (size_t j = 0; j < sf.num_cols; ++j) rows_[i][j] = sf.a[i][j];
+      rows_[i][n_] = sf.b[i];
+    }
+    if (phase_one) {
+      // Artificial columns, identity basis; objective = sum of artificials.
+      for (size_t i = 0; i < m_; ++i) {
+        rows_[i][sf.num_cols + i] = 1.0;
+        basis_[i] = static_cast<int>(sf.num_cols + i);
+      }
+      std::vector<double>& obj = rows_[m_];
+      for (size_t i = 0; i < m_; ++i) obj[sf.num_cols + i] = 1.0;
+      // Price out the basic artificials.
+      for (size_t i = 0; i < m_; ++i) {
+        for (size_t j = 0; j <= n_; ++j) obj[j] -= rows_[i][j];
+      }
+    }
+  }
+
+  size_t m() const { return m_; }
+  size_t n() const { return n_; }
+  std::vector<int>& basis() { return basis_; }
+  std::vector<std::vector<double>>& rows() { return rows_; }
+
+  /// Runs simplex iterations; returns kOptimal or kUnbounded /
+  /// kIterationLimit. `allowed_cols` restricts entering columns (used in
+  /// phase 2 to bar artificials).
+  LpStatus Iterate(size_t allowed_cols) {
+    for (int iter = 0; iter < kMaxIterations; ++iter) {
+      // Bland's rule: smallest-index column with negative reduced cost.
+      int enter = -1;
+      for (size_t j = 0; j < allowed_cols; ++j) {
+        if (rows_[m_][j] < -kTol) {
+          enter = static_cast<int>(j);
+          break;
+        }
+      }
+      if (enter < 0) return LpStatus::kOptimal;
+
+      // Ratio test (Bland tie-break on smallest basis index).
+      int leave = -1;
+      double best_ratio = 0.0;
+      for (size_t i = 0; i < m_; ++i) {
+        const double a = rows_[i][enter];
+        if (a > kTol) {
+          const double ratio = rows_[i][n_] / a;
+          if (leave < 0 || ratio < best_ratio - kTol ||
+              (std::abs(ratio - best_ratio) <= kTol &&
+               basis_[i] < basis_[leave])) {
+            leave = static_cast<int>(i);
+            best_ratio = ratio;
+          }
+        }
+      }
+      if (leave < 0) return LpStatus::kUnbounded;
+      Pivot(leave, enter);
+    }
+    return LpStatus::kIterationLimit;
+  }
+
+  void Pivot(int row, int col) {
+    std::vector<double>& pivot_row = rows_[row];
+    const double pivot = pivot_row[col];
+    for (double& v : pivot_row) v /= pivot;
+    for (size_t i = 0; i <= m_; ++i) {
+      if (static_cast<int>(i) == row) continue;
+      const double factor = rows_[i][col];
+      if (factor == 0.0) continue;
+      for (size_t j = 0; j <= n_; ++j) {
+        rows_[i][j] -= factor * pivot_row[j];
+      }
+    }
+    basis_[row] = col;
+  }
+
+ private:
+  size_t m_;
+  size_t n_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+Result<LpSolution> SolveLp(const LpProblem& problem) {
+  if (problem.num_vars <= 0) {
+    return Status::InvalidArgument("LP needs at least one variable");
+  }
+  if (static_cast<int>(problem.objective.size()) != problem.num_vars) {
+    return Status::InvalidArgument("objective size mismatch");
+  }
+  for (const LpConstraint& con : problem.constraints) {
+    if (static_cast<int>(con.coeffs.size()) != problem.num_vars) {
+      return Status::InvalidArgument("constraint width mismatch");
+    }
+  }
+  if (!problem.free_vars.empty() &&
+      static_cast<int>(problem.free_vars.size()) != problem.num_vars) {
+    return Status::InvalidArgument("free_vars size mismatch");
+  }
+
+  const StandardForm sf = ToStandardForm(problem);
+  const size_t m = sf.a.size();
+
+  // Phase 1: drive artificials to zero.
+  Tableau tableau(sf, /*phase_one=*/true);
+  LpStatus status = tableau.Iterate(tableau.n());
+  if (status != LpStatus::kOptimal) {
+    LpSolution sol;
+    sol.status = status;
+    return sol;
+  }
+  if (tableau.rows()[m].back() < -1e-6) {
+    LpSolution sol;
+    sol.status = LpStatus::kInfeasible;
+    return sol;
+  }
+
+  // Kick basic artificials out of the basis where possible.
+  for (size_t i = 0; i < m; ++i) {
+    if (tableau.basis()[i] >= static_cast<int>(sf.num_cols)) {
+      for (size_t j = 0; j < sf.num_cols; ++j) {
+        if (std::abs(tableau.rows()[i][j]) > kTol) {
+          tableau.Pivot(static_cast<int>(i), static_cast<int>(j));
+          break;
+        }
+      }
+    }
+  }
+
+  // Phase 2: replace the objective row with the true objective, priced
+  // out against the current basis.
+  std::vector<double>& obj = tableau.rows()[m];
+  std::fill(obj.begin(), obj.end(), 0.0);
+  for (size_t j = 0; j < sf.num_cols; ++j) obj[j] = sf.c[j];
+  for (size_t i = 0; i < m; ++i) {
+    const int bj = tableau.basis()[i];
+    if (bj < static_cast<int>(sf.num_cols) && std::abs(sf.c[bj]) > 0.0) {
+      const double factor = sf.c[bj];
+      for (size_t j = 0; j <= tableau.n(); ++j) {
+        obj[j] -= factor * tableau.rows()[i][j];
+      }
+    }
+  }
+  status = tableau.Iterate(sf.num_cols);
+  LpSolution sol;
+  sol.status = status;
+  if (status != LpStatus::kOptimal) return sol;
+
+  std::vector<double> std_x(tableau.n(), 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    std_x[tableau.basis()[i]] = tableau.rows()[i].back();
+  }
+  sol.x.resize(problem.num_vars);
+  for (int j = 0; j < problem.num_vars; ++j) {
+    sol.x[j] = std_x[sf.pos[j]] - (sf.neg[j] >= 0 ? std_x[sf.neg[j]] : 0.0);
+  }
+  sol.objective = 0.0;
+  for (int j = 0; j < problem.num_vars; ++j) {
+    sol.objective += problem.objective[j] * sol.x[j];
+  }
+  return sol;
+}
+
+}  // namespace ctfl

@@ -1,0 +1,43 @@
+#ifndef CTFL_SOLVER_SIMPLEX_H_
+#define CTFL_SOLVER_SIMPLEX_H_
+
+#include <vector>
+
+#include "ctfl/util/result.h"
+
+namespace ctfl {
+
+/// One linear constraint sum_j coeffs[j] * x_j  REL  rhs.
+struct LpConstraint {
+  enum class Rel { kLe, kGe, kEq };
+  std::vector<double> coeffs;
+  Rel rel = Rel::kLe;
+  double rhs = 0.0;
+};
+
+/// minimize objective . x  subject to the constraints. Variables default
+/// to x_j >= 0; set free_vars[j] for unrestricted variables (they are
+/// internally split into positive parts).
+struct LpProblem {
+  int num_vars = 0;
+  std::vector<double> objective;
+  std::vector<LpConstraint> constraints;
+  std::vector<bool> free_vars;  // empty = all non-negative
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kOptimal;
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+/// Dense two-phase simplex with Bland's anti-cycling rule. Built for the
+/// LeastCore valuation scheme's problem sizes (tens of variables, a few
+/// hundred constraints); exact within floating-point tolerance.
+Result<LpSolution> SolveLp(const LpProblem& problem);
+
+}  // namespace ctfl
+
+#endif  // CTFL_SOLVER_SIMPLEX_H_

@@ -1,0 +1,64 @@
+#ifndef CTFL_UTIL_BITSET_H_
+#define CTFL_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ctfl {
+
+/// Fixed-size dynamic bitset backed by 64-bit words. Rule-activation vectors
+/// are stored as Bitsets so tracing overlap reduces to word-wise AND +
+/// popcount, the hot loop of CTFL's contribution tracing.
+class Bitset {
+ public:
+  Bitset() : size_(0) {}
+  explicit Bitset(size_t size) : size_(size), words_((size + 63) / 64, 0) {}
+
+  size_t size() const { return size_; }
+
+  void Set(size_t i);
+  void Clear(size_t i);
+  bool Test(size_t i) const;
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// Number of set bits in `this AND other`. Sizes must match.
+  size_t AndCount(const Bitset& other) const;
+
+  /// True if every set bit of `other` is also set in `this`.
+  bool Contains(const Bitset& other) const;
+
+  /// True if no bits are set.
+  bool None() const;
+
+  Bitset& operator&=(const Bitset& other);
+  Bitset& operator|=(const Bitset& other);
+
+  friend bool operator==(const Bitset& a, const Bitset& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+  /// Indices of set bits, ascending.
+  std::vector<size_t> SetBits() const;
+
+  /// e.g. "10110" (bit 0 first).
+  std::string ToString() const;
+
+  /// Hash usable with std::unordered_map.
+  size_t Hash() const;
+
+ private:
+  size_t size_;
+  std::vector<uint64_t> words_;
+};
+
+struct BitsetHash {
+  size_t operator()(const Bitset& b) const { return b.Hash(); }
+};
+
+}  // namespace ctfl
+
+#endif  // CTFL_UTIL_BITSET_H_

@@ -1,0 +1,47 @@
+#include "ctfl/util/csv.h"
+
+#include <fstream>
+
+#include "ctfl/util/string_util.h"
+
+namespace ctfl {
+
+Result<CsvTable> ReadCsv(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  size_t width = 0;
+  while (std::getline(in, line)) {
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> fields = Split(line, ',');
+    for (std::string& f : fields) f = std::string(Trim(f));
+    if (first && has_header) {
+      table.header = std::move(fields);
+      width = table.header.size();
+      first = false;
+      continue;
+    }
+    if (width == 0) width = fields.size();
+    if (fields.size() != width) {
+      return Status::InvalidArgument(
+          StrFormat("%s: row width %zu != %zu", path.c_str(), fields.size(),
+                    width));
+    }
+    table.rows.push_back(std::move(fields));
+    first = false;
+  }
+  return table;
+}
+
+Status WriteCsv(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  if (!table.header.empty()) out << Join(table.header, ",") << "\n";
+  for (const auto& row : table.rows) out << Join(row, ",") << "\n";
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace ctfl

@@ -1,0 +1,27 @@
+#ifndef CTFL_UTIL_CSV_H_
+#define CTFL_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "ctfl/util/result.h"
+
+namespace ctfl {
+
+/// Parsed CSV contents: a header row plus data rows of equal width.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Reads a comma-separated file. `has_header` controls whether the first
+/// line populates `header`. Fields are trimmed; quoting is not supported
+/// (none of the reproduced datasets need it).
+Result<CsvTable> ReadCsv(const std::string& path, bool has_header = true);
+
+/// Writes `table` to `path`, overwriting.
+Status WriteCsv(const std::string& path, const CsvTable& table);
+
+}  // namespace ctfl
+
+#endif  // CTFL_UTIL_CSV_H_

@@ -1,0 +1,67 @@
+#include "ctfl/util/flags.h"
+
+#include "ctfl/util/logging.h"
+#include "ctfl/util/string_util.h"
+
+namespace ctfl {
+
+bool FlagParser::IsBoolFlag(const std::string& name) const {
+  const auto it = values_.find(name);
+  return it != values_.end() &&
+         (it->second == "true" || it->second == "false");
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    if (!has_value) {
+      if (IsBoolFlag(name)) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects a value");
+      }
+    }
+    it->second = value;
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::GetString(const std::string& name) const {
+  const auto it = values_.find(name);
+  CTFL_CHECK(it != values_.end());
+  return it->second;
+}
+
+Result<int> FlagParser::GetInt(const std::string& name) const {
+  return ParseInt(GetString(name));
+}
+
+Result<double> FlagParser::GetDouble(const std::string& name) const {
+  return ParseDouble(GetString(name));
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  return GetString(name) == "true";
+}
+
+}  // namespace ctfl

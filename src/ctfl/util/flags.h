@@ -1,0 +1,42 @@
+#ifndef CTFL_UTIL_FLAGS_H_
+#define CTFL_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ctfl/util/result.h"
+
+namespace ctfl {
+
+/// Minimal command-line parser for the CLI tool: positional arguments plus
+/// `--key=value` / `--key value` / boolean `--flag` options. Unknown flags
+/// are an error (catches typos); flags may appear in any position.
+class FlagParser {
+ public:
+  /// `spec` maps flag name -> default value; a default of "false"/"true"
+  /// marks a boolean flag (present means "true").
+  explicit FlagParser(std::map<std::string, std::string> spec)
+      : values_(std::move(spec)) {}
+
+  /// Parses argv (excluding argv[0]); fills positionals and flag values.
+  Status Parse(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Lookup helpers; the flag must exist in the spec.
+  std::string GetString(const std::string& name) const;
+  Result<int> GetInt(const std::string& name) const;
+  Result<double> GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+ private:
+  bool IsBoolFlag(const std::string& name) const;
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ctfl
+
+#endif  // CTFL_UTIL_FLAGS_H_

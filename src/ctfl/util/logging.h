@@ -1,0 +1,71 @@
+#ifndef CTFL_UTIL_LOGGING_H_
+#define CTFL_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ctfl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log message that emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ protected:
+  /// Writes the buffered message to stderr (once); safe to call repeatedly.
+  void Flush();
+
+ private:
+  bool enabled_;
+  bool flushed_ = false;
+  std::ostringstream stream_;
+};
+
+/// LogMessage that aborts the process after emitting.
+class FatalLogMessage : public LogMessage {
+ public:
+  FatalLogMessage(const char* file, int line)
+      : LogMessage(LogLevel::kError, file, line) {}
+  [[noreturn]] ~FatalLogMessage() {
+    Flush();
+    std::abort();
+  }
+};
+
+}  // namespace internal_logging
+
+#define CTFL_LOG(level)                                               \
+  ::ctfl::internal_logging::LogMessage(::ctfl::LogLevel::k##level,    \
+                                       __FILE__, __LINE__)
+
+#define CTFL_LOG_FATAL \
+  ::ctfl::internal_logging::FatalLogMessage(__FILE__, __LINE__)
+
+/// Invariant check, active in all build modes.
+#define CTFL_CHECK(cond)                                  \
+  if (!(cond))                                            \
+  CTFL_LOG_FATAL << "Check failed: " #cond " "
+
+}  // namespace ctfl
+
+#endif  // CTFL_UTIL_LOGGING_H_

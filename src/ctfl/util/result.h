@@ -1,0 +1,77 @@
+#ifndef CTFL_UTIL_RESULT_H_
+#define CTFL_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "ctfl/util/status.h"
+
+namespace ctfl {
+
+/// Holds either a value of type T or an error Status (never both).
+/// The library's no-exceptions analogue of absl::StatusOr<T>.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so functions returning Result<T> can `return value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit so functions returning Result<T> can `return status;`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Aborts with a diagnostic otherwise.
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "Result::value() on error: " << status_ << "\n";
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error
+/// Status from the enclosing function.
+#define CTFL_ASSIGN_OR_RETURN(lhs, expr)               \
+  CTFL_ASSIGN_OR_RETURN_IMPL_(                         \
+      CTFL_RESULT_CONCAT_(_ctfl_result, __LINE__), lhs, expr)
+
+#define CTFL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define CTFL_RESULT_CONCAT_INNER_(a, b) a##b
+#define CTFL_RESULT_CONCAT_(a, b) CTFL_RESULT_CONCAT_INNER_(a, b)
+
+}  // namespace ctfl
+
+#endif  // CTFL_UTIL_RESULT_H_

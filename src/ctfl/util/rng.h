@@ -1,0 +1,59 @@
+#ifndef CTFL_UTIL_RNG_H_
+#define CTFL_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ctfl {
+
+/// Deterministic pseudo-random generator (xoshiro256** seeded via
+/// SplitMix64). All stochastic behavior in the library flows through Rng so
+/// experiments are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Raw 64 random bits.
+  uint64_t Next();
+
+  /// Uniform in [0, 1).
+  double Uniform();
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal via Box-Muller.
+  double Normal();
+  double Normal(double mean, double stddev);
+
+  /// Bernoulli with success probability p.
+  bool Bernoulli(double p);
+
+  /// Gamma(shape, 1) via Marsaglia-Tsang (with boost for shape < 1).
+  double Gamma(double shape);
+
+  /// Symmetric Dirichlet(alpha) sample of dimension k; entries sum to 1.
+  std::vector<double> Dirichlet(double alpha, int k);
+
+  /// Index sampled proportionally to `weights` (need not be normalized).
+  int Categorical(const std::vector<double>& weights);
+
+  /// In-place Fisher-Yates shuffle of [0, n) indices stored in `perm`.
+  void Shuffle(std::vector<int>& perm);
+
+  /// Random permutation of [0, n).
+  std::vector<int> Permutation(int n);
+
+  /// Forks an independent stream (useful for per-worker determinism).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace ctfl
+
+#endif  // CTFL_UTIL_RNG_H_

@@ -1,0 +1,32 @@
+#ifndef CTFL_UTIL_STRING_UTIL_H_
+#define CTFL_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ctfl/util/result.h"
+
+namespace ctfl {
+
+/// Splits `s` on `delim`; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Strict numeric parses (whole string must be consumed).
+Result<double> ParseDouble(std::string_view s);
+Result<int> ParseInt(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace ctfl
+
+#endif  // CTFL_UTIL_STRING_UTIL_H_

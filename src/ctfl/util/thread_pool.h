@@ -1,0 +1,51 @@
+#ifndef CTFL_UTIL_THREAD_POOL_H_
+#define CTFL_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ctfl {
+
+/// Fixed-size worker pool. CTFL's tracing phase is embarrassingly parallel
+/// across test instances (paper §III-C); ParallelFor is its workhorse.
+class ThreadPool {
+ public:
+  /// `num_threads <= 0` uses the hardware concurrency.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task; returns immediately.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  /// Runs fn(i) for i in [begin, end), splitting into contiguous chunks
+  /// across the pool, and blocks until done. fn must be thread-safe.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace ctfl
+
+#endif  // CTFL_UTIL_THREAD_POOL_H_

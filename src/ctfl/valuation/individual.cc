@@ -1,0 +1,21 @@
+#include "ctfl/valuation/individual.h"
+
+#include "ctfl/util/stopwatch.h"
+
+namespace ctfl {
+
+Result<ContributionResult> IndividualScheme::Compute(
+    CoalitionUtility& utility) {
+  Stopwatch watch;
+  ContributionResult result;
+  result.scheme = name();
+  const int before = utility.evaluations();
+  for (int i = 0; i < utility.num_participants(); ++i) {
+    result.scores.push_back(utility.Value({i}));
+  }
+  result.coalitions_evaluated = utility.evaluations() - before;
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ctfl

@@ -1,0 +1,18 @@
+#ifndef CTFL_VALUATION_INDIVIDUAL_H_
+#define CTFL_VALUATION_INDIVIDUAL_H_
+
+#include "ctfl/valuation/scheme.h"
+
+namespace ctfl {
+
+/// Individual scheme (paper §II-B1): phi_v(i) = v(D_i) — each participant
+/// is scored by its stand-alone data value; cooperation is ignored.
+class IndividualScheme : public ContributionScheme {
+ public:
+  std::string name() const override { return "Individual"; }
+  Result<ContributionResult> Compute(CoalitionUtility& utility) override;
+};
+
+}  // namespace ctfl
+
+#endif  // CTFL_VALUATION_INDIVIDUAL_H_

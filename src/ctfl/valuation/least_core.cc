@@ -1,0 +1,86 @@
+#include "ctfl/valuation/least_core.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "ctfl/solver/simplex.h"
+#include "ctfl/util/stopwatch.h"
+
+namespace ctfl {
+
+Result<ContributionResult> LeastCoreScheme::Compute(
+    CoalitionUtility& utility) {
+  Stopwatch watch;
+  const int n = utility.num_participants();
+  ContributionResult result;
+  result.scheme = name();
+  const int before = utility.evaluations();
+
+  // Collect constraint coalitions as masks (dedup via set).
+  std::set<uint64_t> masks;
+  const bool exact =
+      options_.exact_limit > 0 && n <= 20 && (1LL << n) <= options_.exact_limit;
+  if (exact) {
+    for (uint64_t mask = 1; mask + 1 < (1ULL << n); ++mask) masks.insert(mask);
+  } else {
+    for (int i = 0; i < n; ++i) {
+      masks.insert(1ULL << i);                         // singletons
+      masks.insert(((1ULL << n) - 1) ^ (1ULL << i));   // leave-one-out
+    }
+    int budget = std::max(
+        n, static_cast<int>(std::ceil(options_.budget_multiplier * n * n *
+                                      std::log2(std::max(2, n)))));
+    // There are only 2^n - 2 proper non-empty coalitions to sample.
+    if (n < 20) {
+      budget = std::min<int>(budget, (1 << n) - 2);
+    }
+    Rng rng(options_.seed);
+    while (static_cast<int>(masks.size()) < budget) {
+      uint64_t mask = rng.Next() & ((1ULL << n) - 1);
+      if (mask == 0 || mask == (1ULL << n) - 1) continue;
+      masks.insert(mask);
+    }
+  }
+
+  const double grand = utility.Value(GrandCoalition(n));
+
+  // Variables: phi_0..phi_{n-1} (free), e (free). Minimize e.
+  LpProblem lp;
+  lp.num_vars = n + 1;
+  lp.objective.assign(n + 1, 0.0);
+  lp.objective[n] = 1.0;
+  lp.free_vars.assign(n + 1, true);
+
+  for (uint64_t mask : masks) {
+    std::vector<int> coalition;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1ULL << i)) coalition.push_back(i);
+    }
+    LpConstraint con;
+    con.coeffs.assign(n + 1, 0.0);
+    for (int i : coalition) con.coeffs[i] = 1.0;
+    con.coeffs[n] = 1.0;
+    con.rel = LpConstraint::Rel::kGe;
+    con.rhs = utility.Value(coalition);
+    lp.constraints.push_back(std::move(con));
+  }
+  // Efficiency: sum phi = v(D_N).
+  LpConstraint eff;
+  eff.coeffs.assign(n + 1, 0.0);
+  for (int i = 0; i < n; ++i) eff.coeffs[i] = 1.0;
+  eff.rel = LpConstraint::Rel::kEq;
+  eff.rhs = grand;
+  lp.constraints.push_back(std::move(eff));
+
+  CTFL_ASSIGN_OR_RETURN(LpSolution sol, SolveLp(lp));
+  if (sol.status != LpStatus::kOptimal) {
+    return Status::Internal("least-core LP did not reach optimality");
+  }
+  result.scores.assign(sol.x.begin(), sol.x.begin() + n);
+  result.coalitions_evaluated = utility.evaluations() - before;
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ctfl

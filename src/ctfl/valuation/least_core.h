@@ -1,0 +1,39 @@
+#ifndef CTFL_VALUATION_LEAST_CORE_H_
+#define CTFL_VALUATION_LEAST_CORE_H_
+
+#include "ctfl/util/rng.h"
+#include "ctfl/valuation/scheme.h"
+
+namespace ctfl {
+
+/// LeastCore scheme (paper §II-B4, Eq. 2): find scores phi and minimal
+/// deficit e with
+///   min e   s.t.  sum_{i in S} phi_i + e >= v(D_S) for sampled S,
+///                 sum_i phi_i = v(D_N).
+/// Following the paper's baseline, Theta(n^2 log n) random coalitions are
+/// sampled as constraints (plus all singletons and the leave-one-out
+/// coalitions, which are cheap and informative), and the LP is solved with
+/// the in-repo simplex.
+class LeastCoreScheme : public ContributionScheme {
+ public:
+  struct Options {
+    double budget_multiplier = 1.0;
+    /// Enumerate all 2^n coalitions as constraints when 2^n <= this
+    /// (exact least core).
+    int exact_limit = 0;
+    uint64_t seed = 23;
+  };
+
+  LeastCoreScheme() = default;
+  explicit LeastCoreScheme(Options options) : options_(options) {}
+
+  std::string name() const override { return "LeastCore"; }
+  Result<ContributionResult> Compute(CoalitionUtility& utility) override;
+
+ private:
+  Options options_ = Options{};
+};
+
+}  // namespace ctfl
+
+#endif  // CTFL_VALUATION_LEAST_CORE_H_

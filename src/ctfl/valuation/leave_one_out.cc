@@ -1,0 +1,28 @@
+#include "ctfl/valuation/leave_one_out.h"
+
+#include "ctfl/util/stopwatch.h"
+
+namespace ctfl {
+
+Result<ContributionResult> LeaveOneOutScheme::Compute(
+    CoalitionUtility& utility) {
+  Stopwatch watch;
+  ContributionResult result;
+  result.scheme = name();
+  const int n = utility.num_participants();
+  const int before = utility.evaluations();
+  const double grand = utility.Value(GrandCoalition(n));
+  for (int i = 0; i < n; ++i) {
+    std::vector<int> others;
+    others.reserve(n - 1);
+    for (int j = 0; j < n; ++j) {
+      if (j != i) others.push_back(j);
+    }
+    result.scores.push_back(grand - utility.Value(others));
+  }
+  result.coalitions_evaluated = utility.evaluations() - before;
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ctfl

@@ -1,0 +1,18 @@
+#ifndef CTFL_VALUATION_LEAVE_ONE_OUT_H_
+#define CTFL_VALUATION_LEAVE_ONE_OUT_H_
+
+#include "ctfl/valuation/scheme.h"
+
+namespace ctfl {
+
+/// LeaveOneOut scheme (paper §II-B2): phi_v(i) = v(D_N) - v(D_{N\{i}}).
+/// Undervalues participants with substitutable (homogeneous) data.
+class LeaveOneOutScheme : public ContributionScheme {
+ public:
+  std::string name() const override { return "LeaveOneOut"; }
+  Result<ContributionResult> Compute(CoalitionUtility& utility) override;
+};
+
+}  // namespace ctfl
+
+#endif  // CTFL_VALUATION_LEAVE_ONE_OUT_H_

@@ -1,0 +1,23 @@
+#include "ctfl/valuation/scheme.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ctfl {
+
+std::vector<int> RankByScore(const std::vector<double>& scores) {
+  std::vector<int> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return scores[a] > scores[b];
+  });
+  return order;
+}
+
+std::vector<int> GrandCoalition(int n) {
+  std::vector<int> everyone(n);
+  std::iota(everyone.begin(), everyone.end(), 0);
+  return everyone;
+}
+
+}  // namespace ctfl

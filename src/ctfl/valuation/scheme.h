@@ -1,0 +1,41 @@
+#ifndef CTFL_VALUATION_SCHEME_H_
+#define CTFL_VALUATION_SCHEME_H_
+
+#include <string>
+#include <vector>
+
+#include "ctfl/fl/utility.h"
+#include "ctfl/util/result.h"
+
+namespace ctfl {
+
+/// Output of a contribution-allocation scheme phi_v (paper Def. II.2).
+struct ContributionResult {
+  std::string scheme;
+  /// scores[i] = phi_v(i).
+  std::vector<double> scores;
+  /// Coalition evaluations spent (each = one model training).
+  int coalitions_evaluated = 0;
+  /// Wall-clock seconds.
+  double seconds = 0.0;
+};
+
+/// Interface all baseline schemes implement: consume a coalition-value
+/// oracle, produce per-participant scores.
+class ContributionScheme {
+ public:
+  virtual ~ContributionScheme() = default;
+
+  virtual std::string name() const = 0;
+  virtual Result<ContributionResult> Compute(CoalitionUtility& utility) = 0;
+};
+
+/// Participant ranking by descending score (ties by id).
+std::vector<int> RankByScore(const std::vector<double>& scores);
+
+/// All participant ids {0..n-1}.
+std::vector<int> GrandCoalition(int n);
+
+}  // namespace ctfl
+
+#endif  // CTFL_VALUATION_SCHEME_H_

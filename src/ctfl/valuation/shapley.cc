@@ -1,0 +1,109 @@
+#include "ctfl/valuation/shapley.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ctfl/util/stopwatch.h"
+
+namespace ctfl {
+
+Result<ContributionResult> ShapleyValueScheme::ComputeExact(
+    CoalitionUtility& utility) {
+  Stopwatch watch;
+  const int n = utility.num_participants();
+  if (n > 20) {
+    return Status::InvalidArgument("exact Shapley limited to n <= 20");
+  }
+  ContributionResult result;
+  result.scheme = "ShapleyValue(exact)";
+  result.scores.assign(n, 0.0);
+  const int before = utility.evaluations();
+
+  // Precompute v for every mask.
+  const uint64_t total = 1ULL << n;
+  std::vector<double> value(total);
+  for (uint64_t mask = 0; mask < total; ++mask) {
+    std::vector<int> coalition;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1ULL << i)) coalition.push_back(i);
+    }
+    value[mask] = utility.Value(coalition);
+  }
+
+  // phi_i = sum_S (|S|! (n-|S|-1)! / n!) [v(S+i) - v(S)].
+  std::vector<double> fact(n + 1, 1.0);
+  for (int k = 1; k <= n; ++k) fact[k] = fact[k - 1] * k;
+  for (int i = 0; i < n; ++i) {
+    for (uint64_t mask = 0; mask < total; ++mask) {
+      if (mask & (1ULL << i)) continue;
+      const int s = std::popcount(mask);
+      const double weight = fact[s] * fact[n - s - 1] / fact[n];
+      result.scores[i] +=
+          weight * (value[mask | (1ULL << i)] - value[mask]);
+    }
+  }
+  result.coalitions_evaluated = utility.evaluations() - before;
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+Result<ContributionResult> ShapleyValueScheme::Compute(
+    CoalitionUtility& utility) {
+  const int n = utility.num_participants();
+  if (options_.exact_limit > 0 && n <= 20 &&
+      (1LL << n) <= options_.exact_limit) {
+    return ComputeExact(utility);
+  }
+
+  Stopwatch watch;
+  ContributionResult result;
+  result.scheme = name();
+  result.scores.assign(n, 0.0);
+  const int before = utility.evaluations();
+
+  // Budget: Theta(n^2 log n) coalition evaluations; each permutation costs
+  // at most n, so sample ~ c * n * log2(n) permutations.
+  const int permutations = std::max(
+      4, static_cast<int>(std::ceil(options_.budget_multiplier * n *
+                                    std::log2(std::max(2, n)))));
+  Rng rng(options_.seed);
+  const double grand = utility.Value(GrandCoalition(n));
+  std::vector<int> counts(n, 0);
+
+  for (int p = 0; p < permutations; ++p) {
+    const std::vector<int> perm = rng.Permutation(n);
+    std::vector<int> prefix;
+    prefix.reserve(n);
+    double prev = utility.Value({});
+    bool truncated = false;
+    for (int pos = 0; pos < n; ++pos) {
+      const int i = perm[pos];
+      if (truncated) {
+        // Remaining marginals are treated as zero (GTG-style truncation).
+        result.scores[i] += 0.0;
+        ++counts[i];
+        continue;
+      }
+      prefix.push_back(i);
+      std::vector<int> sorted = prefix;
+      std::sort(sorted.begin(), sorted.end());
+      const double current = utility.Value(sorted);
+      result.scores[i] += current - prev;
+      ++counts[i];
+      prev = current;
+      // tol <= 0 disables truncation entirely.
+      if (options_.truncation_tol > 0.0 &&
+          std::abs(grand - current) <= options_.truncation_tol) {
+        truncated = true;
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    if (counts[i] > 0) result.scores[i] /= counts[i];
+  }
+  result.coalitions_evaluated = utility.evaluations() - before;
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ctfl

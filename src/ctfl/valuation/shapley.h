@@ -1,0 +1,42 @@
+#ifndef CTFL_VALUATION_SHAPLEY_H_
+#define CTFL_VALUATION_SHAPLEY_H_
+
+#include "ctfl/util/rng.h"
+#include "ctfl/valuation/scheme.h"
+
+namespace ctfl {
+
+/// Monte-Carlo permutation Shapley value with per-permutation truncation
+/// (the GTG-Shapley-style acceleration the paper's baseline uses, §VI-A):
+/// phi_v(i) = E over random permutations of i's marginal gain when joining
+/// the prefix before it. The sampling budget is Theta(n^2 log n) coalition
+/// evaluations; a permutation is truncated once the running prefix value
+/// is within `truncation_tol` of v(D_N) (remaining marginals ~ 0).
+class ShapleyValueScheme : public ContributionScheme {
+ public:
+  struct Options {
+    /// Multiplier c on the c * n^2 log2(n) evaluation budget.
+    double budget_multiplier = 1.0;
+    /// Exact enumeration instead of sampling when 2^n <= this.
+    int exact_limit = 0;
+    double truncation_tol = 1e-3;
+    uint64_t seed = 17;
+  };
+
+  ShapleyValueScheme() = default;
+  explicit ShapleyValueScheme(Options options) : options_(options) {}
+
+  std::string name() const override { return "ShapleyValue"; }
+  Result<ContributionResult> Compute(CoalitionUtility& utility) override;
+
+  /// Exact Shapley by full enumeration (2^n evaluations); used by tests
+  /// and small-n studies.
+  static Result<ContributionResult> ComputeExact(CoalitionUtility& utility);
+
+ private:
+  Options options_ = Options{};
+};
+
+}  // namespace ctfl
+
+#endif  // CTFL_VALUATION_SHAPLEY_H_

@@ -1,0 +1,112 @@
+#include "ctfl/fl/adversary.h"
+
+#include <gtest/gtest.h>
+
+namespace ctfl {
+namespace {
+
+SchemaPtr MakeSchema() {
+  return std::make_shared<FeatureSchema>(
+      std::vector<FeatureSpec>{FeatureSchema::Continuous("x", 0, 1)}, "neg",
+      "pos");
+}
+
+Dataset MakeDataset(size_t n, uint64_t seed) {
+  Dataset d(MakeSchema());
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    Instance inst;
+    inst.values = {rng.Uniform()};
+    inst.label = rng.Bernoulli(0.4) ? 1 : 0;
+    d.AppendUnchecked(std::move(inst));
+  }
+  return d;
+}
+
+TEST(AdversaryTest, ReplicationAppendsExactCopies) {
+  Dataset d = MakeDataset(100, 1);
+  const Dataset original = d;
+  Rng rng(2);
+  const size_t added = ReplicateData(d, 0.3, rng);
+  EXPECT_EQ(added, 30u);
+  EXPECT_EQ(d.size(), 130u);
+  // The first 100 instances are untouched.
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(d.instance(i).values, original.instance(i).values);
+    EXPECT_EQ(d.instance(i).label, original.instance(i).label);
+  }
+  // Every appended record is a copy of some original.
+  for (size_t i = 100; i < d.size(); ++i) {
+    bool found = false;
+    for (size_t j = 0; j < 100 && !found; ++j) {
+      found = d.instance(i).values == original.instance(j).values &&
+              d.instance(i).label == original.instance(j).label;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(AdversaryTest, LowQualityKeepsSizeChangesLabelsOnly) {
+  Dataset d = MakeDataset(400, 3);
+  const Dataset original = d;
+  Rng rng(4);
+  const size_t touched = InjectLowQuality(d, 0.5, rng);
+  EXPECT_EQ(touched, 200u);
+  EXPECT_EQ(d.size(), original.size());
+  size_t label_changes = 0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(d.instance(i).values, original.instance(i).values);
+    label_changes += d.instance(i).label != original.instance(i).label;
+  }
+  // Random relabeling flips a label with prob ~ (1 - p)p + p(1 - p) given
+  // the class mix; just require a substantial but partial change.
+  EXPECT_GT(label_changes, 50u);
+  EXPECT_LT(label_changes, 200u);
+}
+
+TEST(AdversaryTest, FlipInvertsExactFraction) {
+  Dataset d = MakeDataset(300, 5);
+  const Dataset original = d;
+  Rng rng(6);
+  const size_t touched = FlipLabels(d, 0.2, rng);
+  EXPECT_EQ(touched, 60u);
+  size_t flipped = 0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(d.instance(i).values, original.instance(i).values);
+    flipped += d.instance(i).label != original.instance(i).label;
+  }
+  EXPECT_EQ(flipped, 60u);
+}
+
+TEST(AdversaryTest, ZeroRatioIsNoOp) {
+  Dataset d = MakeDataset(50, 7);
+  const Dataset original = d;
+  Rng rng(8);
+  EXPECT_EQ(ReplicateData(d, 0.0, rng), 0u);
+  EXPECT_EQ(FlipLabels(d, 0.0, rng), 0u);
+  EXPECT_EQ(InjectLowQuality(d, 0.0, rng), 0u);
+  EXPECT_EQ(d.size(), original.size());
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(d.instance(i).label, original.instance(i).label);
+  }
+}
+
+TEST(AdversaryTest, FullRatioFlipsEverything) {
+  Dataset d = MakeDataset(40, 9);
+  const Dataset original = d;
+  Rng rng(10);
+  EXPECT_EQ(FlipLabels(d, 1.0, rng), 40u);
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(d.instance(i).label, 1 - original.instance(i).label);
+  }
+}
+
+TEST(AdversaryTest, RatioClampedAboveOne) {
+  Dataset d = MakeDataset(20, 11);
+  Rng rng(12);
+  EXPECT_EQ(ReplicateData(d, 5.0, rng), 20u);
+  EXPECT_EQ(d.size(), 40u);
+}
+
+}  // namespace
+}  // namespace ctfl

@@ -1,0 +1,134 @@
+#include "ctfl/nn/binarization_layer.h"
+
+#include <gtest/gtest.h>
+
+#include "ctfl/data/gen/benchmarks.h"
+
+namespace ctfl {
+namespace {
+
+SchemaPtr MakeSchema() {
+  return std::make_shared<FeatureSchema>(
+      std::vector<FeatureSpec>{
+          FeatureSchema::Continuous("x", 0.0, 10.0),
+          FeatureSchema::Discrete("c", {"a", "b", "c"}),
+      },
+      "neg", "pos");
+}
+
+TEST(BinarizationTest, EncodedSizeCountsOneHotAndBounds) {
+  Rng rng(1);
+  const BinarizationLayer layer(MakeSchema(), /*tau_d=*/4, rng);
+  // 2*4 bounds for the continuous feature + 3 one-hot bits.
+  EXPECT_EQ(layer.encoded_size(), 8 + 3);
+}
+
+TEST(BinarizationTest, EncodingIsBinaryAndConsistentWithPredicates) {
+  Rng rng(2);
+  const SchemaPtr schema = MakeSchema();
+  const BinarizationLayer layer(schema, 5, rng);
+  Instance inst;
+  inst.values = {3.7, 1.0};
+
+  std::vector<double> out(layer.encoded_size());
+  layer.Encode(inst, out.data());
+  for (int j = 0; j < layer.encoded_size(); ++j) {
+    EXPECT_TRUE(out[j] == 0.0 || out[j] == 1.0);
+    const EncodedPredicate& p = layer.predicate(j);
+    bool expected = false;
+    switch (p.kind) {
+      case EncodedPredicate::Kind::kGreater:
+        expected = inst.values[p.feature] > p.threshold;
+        break;
+      case EncodedPredicate::Kind::kLess:
+        expected = inst.values[p.feature] < p.threshold;
+        break;
+      case EncodedPredicate::Kind::kEquals:
+        expected = static_cast<int>(inst.values[p.feature]) == p.category;
+        break;
+    }
+    EXPECT_EQ(out[j] == 1.0, expected) << "predicate " << j;
+  }
+}
+
+TEST(BinarizationTest, OneHotIsExactlyOnePerDiscreteFeature) {
+  Rng rng(3);
+  const SchemaPtr schema = MakeSchema();
+  const BinarizationLayer layer(schema, 3, rng);
+  for (int cat = 0; cat < 3; ++cat) {
+    Instance inst;
+    inst.values = {5.0, static_cast<double>(cat)};
+    std::vector<double> out(layer.encoded_size());
+    layer.Encode(inst, out.data());
+    int ones = 0;
+    for (int j = 0; j < layer.encoded_size(); ++j) {
+      if (layer.predicate(j).kind == EncodedPredicate::Kind::kEquals &&
+          out[j] == 1.0) {
+        ++ones;
+        EXPECT_EQ(layer.predicate(j).category, cat);
+      }
+    }
+    EXPECT_EQ(ones, 1);
+  }
+}
+
+TEST(BinarizationTest, BoundsDrawnFromDomainOnly) {
+  Rng rng(4);
+  const SchemaPtr schema = MakeSchema();
+  const BinarizationLayer layer(schema, 16, rng);
+  for (int j = 0; j < layer.encoded_size(); ++j) {
+    const EncodedPredicate& p = layer.predicate(j);
+    if (p.kind == EncodedPredicate::Kind::kEquals) continue;
+    EXPECT_GE(p.threshold, 0.0);
+    EXPECT_LE(p.threshold, 10.0);
+  }
+}
+
+TEST(BinarizationTest, DeterministicGivenSeed) {
+  const SchemaPtr schema = MakeSchema();
+  Rng rng1(7), rng2(7);
+  const BinarizationLayer a(schema, 6, rng1);
+  const BinarizationLayer b(schema, 6, rng2);
+  for (int j = 0; j < a.encoded_size(); ++j) {
+    EXPECT_DOUBLE_EQ(a.predicate(j).threshold, b.predicate(j).threshold);
+  }
+}
+
+TEST(BinarizationTest, EncodeBatchMatchesSingle) {
+  Rng rng(8);
+  const SchemaPtr schema = MakeSchema();
+  const BinarizationLayer layer(schema, 4, rng);
+  Dataset d(schema);
+  for (int i = 0; i < 10; ++i) {
+    Instance inst;
+    inst.values = {i * 1.0, static_cast<double>(i % 3)};
+    d.AppendUnchecked(std::move(inst));
+  }
+  std::vector<size_t> indices = {2, 7};
+  const Matrix batch = layer.EncodeBatch(d, indices);
+  std::vector<double> single(layer.encoded_size());
+  layer.Encode(d.instance(7), single.data());
+  for (int j = 0; j < layer.encoded_size(); ++j) {
+    EXPECT_DOUBLE_EQ(batch(1, j), single[j]);
+  }
+}
+
+TEST(BinarizationTest, PredicateToString) {
+  Rng rng(9);
+  const SchemaPtr schema = MakeSchema();
+  const BinarizationLayer layer(schema, 2, rng);
+  bool saw_threshold = false, saw_equals = false;
+  for (int j = 0; j < layer.encoded_size(); ++j) {
+    const std::string s = layer.predicate(j).ToString(*schema);
+    if (s.find("x >") != std::string::npos ||
+        s.find("x <") != std::string::npos) {
+      saw_threshold = true;
+    }
+    if (s.find("c = ") != std::string::npos) saw_equals = true;
+  }
+  EXPECT_TRUE(saw_threshold);
+  EXPECT_TRUE(saw_equals);
+}
+
+}  // namespace
+}  // namespace ctfl

@@ -1,0 +1,114 @@
+#include "ctfl/fl/fedavg.h"
+
+#include <gtest/gtest.h>
+
+#include "ctfl/data/gen/synthetic.h"
+#include "ctfl/fl/partition.h"
+
+namespace ctfl {
+namespace {
+
+Dataset ThresholdDataset(size_t n, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.schema = std::make_shared<FeatureSchema>(
+      std::vector<FeatureSpec>{FeatureSchema::Continuous("x", 0, 1)}, "neg",
+      "pos");
+  spec.samplers = {FeatureSampler{FeatureSampler::Kind::kUniform, 0, 0, {}}};
+  spec.rules = {{{{0, GtPredicate::Op::kGt, 0.5}}, 1, 1.0},
+                {{{0, GtPredicate::Op::kLt, 0.5}}, 0, 1.0}};
+  Rng rng(seed);
+  return GenerateSynthetic(spec, n, rng);
+}
+
+LogicalNetConfig SmallNet() {
+  LogicalNetConfig config;
+  config.logic_layers = {{8, 8}};
+  config.seed = 3;
+  return config;
+}
+
+TEST(FedAvgTest, FederatedTrainingLearnsAcrossClients) {
+  const Dataset all = ThresholdDataset(1200, 1);
+  const Dataset test = ThresholdDataset(400, 2);
+  Rng rng(3);
+  const std::vector<Dataset> clients = PartitionUniform(all, 4, rng);
+
+  FedAvgConfig config;
+  config.rounds = 6;
+  config.local_epochs = 3;
+  config.local.learning_rate = 0.05;
+  const LogicalNet net =
+      TrainFederated(all.schema(), SmallNet(), clients, config);
+  EXPECT_GT(net.Accuracy(test), 0.9);
+}
+
+TEST(FedAvgTest, EmptyClientsAreSkipped) {
+  const Dataset all = ThresholdDataset(400, 4);
+  Rng rng(5);
+  std::vector<Dataset> clients = PartitionUniform(all, 2, rng);
+  clients.emplace_back(all.schema());  // empty third client
+
+  FedAvgConfig config;
+  config.rounds = 2;
+  config.local_epochs = 1;
+  const LogicalNet net =
+      TrainFederated(all.schema(), SmallNet(), clients, config);
+  EXPECT_GT(net.Accuracy(all), 0.5);
+}
+
+TEST(FedAvgTest, AllEmptyClientsLeaveModelUntouched) {
+  const SchemaPtr schema = ThresholdDataset(1, 1).schema();
+  std::vector<Dataset> clients(3, Dataset(schema));
+  LogicalNet net(schema, SmallNet());
+  const std::vector<double> before = net.GetParameters();
+  FedAvgConfig config;
+  config.rounds = 3;
+  RunFedAvg(net, clients, config);
+  EXPECT_EQ(net.GetParameters(), before);
+}
+
+TEST(FedAvgTest, SingleClientFedAvgApproximatesCentral) {
+  const Dataset all = ThresholdDataset(600, 6);
+  FedAvgConfig config;
+  config.rounds = 1;
+  config.local_epochs = 10;
+  config.local.learning_rate = 0.05;
+  config.local.seed = 7919;  // match the round-0 reseeding
+  const LogicalNet fed =
+      TrainFederated(all.schema(), SmallNet(), {all}, config);
+
+  EXPECT_GT(fed.Accuracy(all), 0.85);
+}
+
+TEST(FedAvgTest, WeightedAveragingFavorsLargeClient) {
+  // One large clean client + one tiny label-flipped client: FedAvg should
+  // still learn the majority signal.
+  const Dataset big = ThresholdDataset(1000, 8);
+  Dataset small = ThresholdDataset(50, 9);
+  // Flip the small client completely.
+  Dataset flipped(small.schema());
+  for (const Instance& inst : small.instances()) {
+    Instance bad = inst;
+    bad.label = 1 - bad.label;
+    flipped.AppendUnchecked(std::move(bad));
+  }
+  FedAvgConfig config;
+  config.rounds = 4;
+  config.local_epochs = 2;
+  config.local.learning_rate = 0.05;
+  const LogicalNet net =
+      TrainFederated(big.schema(), SmallNet(), {big, flipped}, config);
+  EXPECT_GT(net.Accuracy(big), 0.8);
+}
+
+TEST(FedAvgTest, CentralTrainingMatchesTrainerPath) {
+  const Dataset all = ThresholdDataset(500, 10);
+  TrainConfig tc;
+  tc.epochs = 15;
+  tc.learning_rate = 0.05;
+  const LogicalNet net = TrainCentral(all.schema(), SmallNet(), all, tc);
+  EXPECT_GT(net.Accuracy(all), 0.85);
+}
+
+}  // namespace
+}  // namespace ctfl

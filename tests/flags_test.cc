@@ -1,0 +1,75 @@
+#include "ctfl/util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace ctfl {
+namespace {
+
+FlagParser MakeParser() {
+  return FlagParser({{"name", "default"},
+                     {"count", "3"},
+                     {"rate", "0.5"},
+                     {"verbose", "false"}});
+}
+
+TEST(FlagsTest, DefaultsApplyWhenUnset) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(parser.Parse(0, nullptr).ok());
+  EXPECT_EQ(parser.GetString("name"), "default");
+  EXPECT_EQ(parser.GetInt("count").value(), 3);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("rate").value(), 0.5);
+  EXPECT_FALSE(parser.GetBool("verbose"));
+}
+
+TEST(FlagsTest, EqualsAndSpaceSyntax) {
+  FlagParser parser = MakeParser();
+  const char* argv[] = {"--name=alpha", "--count", "7"};
+  ASSERT_TRUE(parser.Parse(3, argv).ok());
+  EXPECT_EQ(parser.GetString("name"), "alpha");
+  EXPECT_EQ(parser.GetInt("count").value(), 7);
+}
+
+TEST(FlagsTest, BooleanFlagPresenceMeansTrue) {
+  FlagParser parser = MakeParser();
+  const char* argv[] = {"--verbose"};
+  ASSERT_TRUE(parser.Parse(1, argv).ok());
+  EXPECT_TRUE(parser.GetBool("verbose"));
+}
+
+TEST(FlagsTest, BooleanFlagExplicitValue) {
+  FlagParser parser = MakeParser();
+  const char* argv[] = {"--verbose=false"};
+  ASSERT_TRUE(parser.Parse(1, argv).ok());
+  EXPECT_FALSE(parser.GetBool("verbose"));
+}
+
+TEST(FlagsTest, PositionalsCollected) {
+  FlagParser parser = MakeParser();
+  const char* argv[] = {"input.csv", "--count=1", "output.csv"};
+  ASSERT_TRUE(parser.Parse(3, argv).ok());
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "input.csv");
+  EXPECT_EQ(parser.positional()[1], "output.csv");
+}
+
+TEST(FlagsTest, UnknownFlagRejected) {
+  FlagParser parser = MakeParser();
+  const char* argv[] = {"--nonsense=1"};
+  EXPECT_FALSE(parser.Parse(1, argv).ok());
+}
+
+TEST(FlagsTest, MissingValueRejected) {
+  FlagParser parser = MakeParser();
+  const char* argv[] = {"--count"};
+  EXPECT_FALSE(parser.Parse(1, argv).ok());
+}
+
+TEST(FlagsTest, BadNumericValueSurfacesOnGet) {
+  FlagParser parser = MakeParser();
+  const char* argv[] = {"--count=abc"};
+  ASSERT_TRUE(parser.Parse(1, argv).ok());
+  EXPECT_FALSE(parser.GetInt("count").ok());
+}
+
+}  // namespace
+}  // namespace ctfl

@@ -1,0 +1,112 @@
+#include "ctfl/core/incentive.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "ctfl/data/gen/synthetic.h"
+#include "ctfl/fl/adversary.h"
+#include "ctfl/fl/partition.h"
+
+namespace ctfl {
+namespace {
+
+// Builds a minimal CtflReport with fabricated scores/trace for unit tests
+// (model content is irrelevant to payout math).
+CtflReport FakeReport(std::vector<double> micro, std::vector<double> macro,
+                      std::vector<TestTrace> tests) {
+  const SchemaPtr schema = std::make_shared<FeatureSchema>(
+      std::vector<FeatureSpec>{FeatureSchema::Continuous("x", 0, 1)}, "n",
+      "p");
+  LogicalNetConfig config;
+  config.tau_d = 2;
+  config.logic_layers = {{2, 2}};
+  CtflReport report{LogicalNet(schema, config)};
+  report.micro_scores = std::move(micro);
+  report.macro_scores = std::move(macro);
+  report.trace.num_participants =
+      static_cast<int>(report.micro_scores.size());
+  report.trace.tests = std::move(tests);
+  report.trace.train_match_correct.resize(report.trace.num_participants);
+  report.trace.train_match_miss.resize(report.trace.num_participants);
+  return report;
+}
+
+TestTrace Trace(bool correct, std::vector<int> related) {
+  TestTrace t;
+  t.correct = correct;
+  t.related_count = std::move(related);
+  t.total_related = 0;
+  for (int c : t.related_count) t.total_related += c;
+  return t;
+}
+
+TEST(IncentiveTest, PayoutsProportionalToMacroScores) {
+  CtflReport report = FakeReport({0.5, 0.3, 0.2}, {0.4, 0.4, 0.2},
+                                 {Trace(true, {1, 1, 1})});
+  IncentiveConfig config;
+  config.budget = 100.0;
+  const auto payouts = ComputePayouts(report, config);
+  ASSERT_EQ(payouts.size(), 3u);
+  EXPECT_NEAR(payouts[0].amount, 40.0, 1e-9);
+  EXPECT_NEAR(payouts[1].amount, 40.0, 1e-9);
+  EXPECT_NEAR(payouts[2].amount, 20.0, 1e-9);
+}
+
+TEST(IncentiveTest, MicroVariantUsesMicroScores) {
+  CtflReport report = FakeReport({0.75, 0.25}, {0.5, 0.5},
+                                 {Trace(true, {1, 1})});
+  IncentiveConfig config;
+  config.budget = 100.0;
+  config.use_macro = false;
+  const auto payouts = ComputePayouts(report, config);
+  EXPECT_NEAR(payouts[0].amount, 75.0, 1e-9);
+}
+
+TEST(IncentiveTest, BudgetFullyDistributed) {
+  CtflReport report = FakeReport({0.1, 0.6, 0.3}, {0.2, 0.5, 0.3},
+                                 {Trace(true, {1, 1, 1})});
+  IncentiveConfig config;
+  config.budget = 250.0;
+  config.participation_floor = 10.0;
+  const auto payouts = ComputePayouts(report, config);
+  double total = 0.0;
+  for (const Payout& p : payouts) total += p.amount;
+  EXPECT_NEAR(total, 250.0, 1e-9);
+  for (const Payout& p : payouts) EXPECT_GE(p.amount, 10.0 - 1e-9);
+}
+
+TEST(IncentiveTest, FlaggedParticipantForfeits) {
+  // P1's tracing mass is pure loss -> flagged by AnalyzeLoss defaults.
+  CtflReport report = FakeReport(
+      {0.5, 0.0}, {0.5, 0.3},
+      {Trace(true, {3, 0}), Trace(false, {0, 4}), Trace(false, {0, 2})});
+  IncentiveConfig config;
+  config.budget = 100.0;
+  config.flagged_penalty = 0.0;
+  const auto payouts = ComputePayouts(report, config);
+  EXPECT_FALSE(payouts[0].flagged);
+  EXPECT_TRUE(payouts[1].flagged);
+  EXPECT_NEAR(payouts[1].amount, 0.0, 1e-9);
+  EXPECT_NEAR(payouts[0].amount, 100.0, 1e-9);
+}
+
+TEST(IncentiveTest, NoQualifyingScoresMeansNoPayouts) {
+  CtflReport report = FakeReport({0.0, 0.0}, {0.0, 0.0}, {});
+  IncentiveConfig config;
+  config.budget = 50.0;
+  const auto payouts = ComputePayouts(report, config);
+  for (const Payout& p : payouts) EXPECT_DOUBLE_EQ(p.amount, 0.0);
+}
+
+TEST(IncentiveTest, FormatListsEveryParticipant) {
+  CtflReport report = FakeReport({0.6, 0.4}, {0.5, 0.5},
+                                 {Trace(true, {1, 1})});
+  const auto payouts = ComputePayouts(report, IncentiveConfig{});
+  const std::string text = FormatPayouts(payouts);
+  EXPECT_NE(text.find("P0"), std::string::npos);
+  EXPECT_NE(text.find("P1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ctfl

@@ -1,0 +1,199 @@
+// Cross-module integration scenarios: CTFL against the baselines on
+// federations with known ground-truth structure.
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "ctfl/core/pipeline.h"
+#include "ctfl/data/gen/synthetic.h"
+#include "ctfl/data/gen/tictactoe.h"
+#include "ctfl/data/split.h"
+#include "ctfl/fl/adversary.h"
+#include "ctfl/fl/partition.h"
+#include "ctfl/valuation/individual.h"
+#include "ctfl/valuation/shapley.h"
+
+namespace ctfl {
+namespace {
+
+SyntheticSpec Spec() {
+  SyntheticSpec spec;
+  spec.schema = std::make_shared<FeatureSchema>(
+      std::vector<FeatureSpec>{
+          FeatureSchema::Continuous("x", 0, 1),
+          FeatureSchema::Continuous("y", 0, 1),
+      },
+      "neg", "pos");
+  spec.samplers = {
+      FeatureSampler{FeatureSampler::Kind::kUniform, 0, 0, {}},
+      FeatureSampler{FeatureSampler::Kind::kUniform, 0, 0, {}}};
+  spec.rules = {{{{0, GtPredicate::Op::kGt, 0.5}}, 1, 1.0},
+                {{{0, GtPredicate::Op::kLt, 0.5}}, 0, 1.0}};
+  spec.label_noise = 0.02;
+  return spec;
+}
+
+CtflConfig FastConfig() {
+  CtflConfig config;
+  config.federated = false;
+  config.central.epochs = 18;
+  config.central.learning_rate = 0.05;
+  config.net.logic_layers = {{16, 16}};
+  config.net.seed = 5;
+  config.tracer.tau_w = 0.85;
+  return config;
+}
+
+// A participant holding 10x more data than the others earns a larger micro
+// score.
+TEST(IntegrationTest, VolumeEarnsMicroCredit) {
+  Rng rng(1);
+  const SyntheticSpec spec = Spec();
+  const Dataset big = GenerateSynthetic(spec, 1000, rng);
+  const Dataset small1 = GenerateSynthetic(spec, 100, rng);
+  const Dataset small2 = GenerateSynthetic(spec, 100, rng);
+  const Dataset test = GenerateSynthetic(spec, 250, rng);
+  const Federation fed = MakeFederation({big, small1, small2});
+  const CtflReport report = RunCtfl(fed, test, FastConfig());
+  EXPECT_GT(report.micro_scores[0], report.micro_scores[1] * 2);
+  EXPECT_GT(report.micro_scores[0], report.micro_scores[2] * 2);
+}
+
+// Replication inflates micro but not macro (the paper's robustness
+// argument for Eq. 6).
+TEST(IntegrationTest, ReplicationHelpsMicroNotMacro) {
+  Rng rng(2);
+  const SyntheticSpec spec = Spec();
+  const Dataset base_a = GenerateSynthetic(spec, 300, rng);
+  const Dataset base_b = GenerateSynthetic(spec, 300, rng);
+  const Dataset test = GenerateSynthetic(spec, 200, rng);
+
+  const Federation honest = MakeFederation({base_a, base_b});
+  const CtflReport before = RunCtfl(honest, test, FastConfig());
+
+  Dataset cheater = base_a;
+  Rng arng(3);
+  ReplicateData(cheater, 1.0, arng);  // doubles its data
+  const Federation cheating = MakeFederation({cheater, base_b});
+  const CtflReport after = RunCtfl(cheating, test, FastConfig());
+
+  // Micro credit for the replicator grows; macro stays put (within noise
+  // from retraining on the enlarged dataset).
+  EXPECT_GT(after.micro_scores[0], before.micro_scores[0] * 1.1);
+  EXPECT_NEAR(after.macro_scores[0], before.macro_scores[0], 0.08);
+}
+
+// CTFL's ranking should broadly agree with exact Shapley on a small
+// federation with a clear quality gradient.
+TEST(IntegrationTest, RankingAgreesWithShapleyOnQualityGradient) {
+  Rng rng(4);
+  const SyntheticSpec spec = Spec();
+  // Three participants: large clean, small clean, large but mostly
+  // flipped.
+  Dataset clean_large = GenerateSynthetic(spec, 700, rng);
+  Dataset clean_small = GenerateSynthetic(spec, 150, rng);
+  Dataset poisoned = GenerateSynthetic(spec, 700, rng);
+  Rng arng(5);
+  FlipLabels(poisoned, 1.0, arng);
+  const Dataset test = GenerateSynthetic(spec, 250, rng);
+  const Federation fed =
+      MakeFederation({clean_large, clean_small, poisoned});
+
+  const CtflReport ctfl = RunCtfl(fed, test, FastConfig());
+  const std::vector<int> ctfl_rank = RankByScore(ctfl.micro_scores);
+
+  RetrainUtility::Config ucfg;
+  ucfg.net.logic_layers = {{16, 16}};
+  ucfg.net.seed = 5;
+  ucfg.train.epochs = 12;
+  ucfg.train.learning_rate = 0.05;
+  RetrainUtility utility(&fed, &test, ucfg);
+  const ContributionResult shapley =
+      ShapleyValueScheme::ComputeExact(utility).value();
+  const std::vector<int> shapley_rank = RankByScore(shapley.scores);
+
+  // Both identify the large clean participant as the top contributor, and
+  // Shapley (whose marginals see the damage) puts the flipper last.
+  EXPECT_EQ(ctfl_rank.front(), 0);
+  EXPECT_EQ(shapley_rank.front(), 0);
+  EXPECT_EQ(shapley_rank.back(), 2);
+  // CTFL's micro gain alone can still award the flipper coincidental
+  // matches; its loss-tracing side is what singles the flipper out
+  // (paper §IV-A) — by a wide margin.
+  const LossReport loss = AnalyzeLoss(ctfl.trace);
+  EXPECT_GT(loss.suspicion[2], loss.suspicion[0]);
+  EXPECT_GT(loss.suspicion[2], loss.suspicion[1]);
+}
+
+// CTFL uses a single model training; Shapley-by-retraining needs
+// exponentially more coalition evaluations.
+TEST(IntegrationTest, CtflUsesOneTrainingShapleyMany) {
+  Rng rng(6);
+  const SyntheticSpec spec = Spec();
+  const Dataset all = GenerateSynthetic(spec, 400, rng);
+  const Dataset test = GenerateSynthetic(spec, 100, rng);
+  Rng prng(7);
+  const Federation fed = MakeFederation(PartitionUniform(all, 4, prng));
+
+  CtflConfig cc = FastConfig();
+  CtflScheme micro(&fed, &test, cc, CtflScheme::Variant::kMicro);
+  RetrainUtility::Config ucfg;
+  ucfg.net.logic_layers = {{8, 8}};
+  ucfg.train.epochs = 4;
+  RetrainUtility u1(&fed, &test, ucfg);
+  const ContributionResult ctfl_result = micro.Compute(u1).value();
+
+  RetrainUtility u2(&fed, &test, ucfg);
+  const ContributionResult shapley =
+      ShapleyValueScheme::ComputeExact(u2).value();
+  EXPECT_EQ(ctfl_result.coalitions_evaluated, 1);
+  EXPECT_GE(shapley.coalitions_evaluated, 15);
+}
+
+// End-to-end on the exact tic-tac-toe dataset with a skew-label split.
+TEST(IntegrationTest, TicTacToeEndToEnd) {
+  const Dataset full = GenerateTicTacToe();
+  Rng rng(8);
+  const TrainTestSplit split = StratifiedSplit(full, 0.25, rng);
+  Rng prng(9);
+  const Federation fed =
+      MakeFederation(PartitionSkewLabel(split.train, 3, 0.6, prng));
+
+  CtflConfig config = FastConfig();
+  config.central.epochs = 40;
+  config.net.logic_layers = {{48, 48}};
+  const CtflReport report = RunCtfl(fed, split.test, config);
+  EXPECT_GT(report.test_accuracy, 0.75);
+  const double total = std::accumulate(report.micro_scores.begin(),
+                                       report.micro_scores.end(), 0.0);
+  EXPECT_GT(total, 0.5);  // most correct tests are traceable
+}
+
+// Individual scheme should NOT reward cooperation-only value, while CTFL
+// still scores a complementary participant — the paper's Example II.1
+// motivation, realized with feature-split data.
+TEST(IntegrationTest, ComplementaryParticipantGetsCtflCredit) {
+  // Two rules on different features; participant C holds the only data
+  // exercising the second rule region.
+  SyntheticSpec spec = Spec();
+  spec.rules.push_back({{{1, GtPredicate::Op::kGt, 0.8}}, 0, 2.0});
+  Rng rng(10);
+  Dataset common1 = GenerateSynthetic(spec, 300, rng);
+  Dataset common2 = GenerateSynthetic(spec, 300, rng);
+  const Dataset test = GenerateSynthetic(spec, 250, rng);
+  // Critical slice: y > 0.8 instances only.
+  Dataset critical(spec.schema);
+  while (critical.size() < 150) {
+    Dataset batch = GenerateSynthetic(spec, 50, rng);
+    for (const Instance& inst : batch.instances()) {
+      if (inst.values[1] > 0.8) critical.AppendUnchecked(inst);
+    }
+  }
+  const Federation fed = MakeFederation({common1, common2, critical});
+  const CtflReport report = RunCtfl(fed, test, FastConfig());
+  EXPECT_GT(report.micro_scores[2], 0.01);
+}
+
+}  // namespace
+}  // namespace ctfl

@@ -1,0 +1,107 @@
+#include "ctfl/core/interpret.h"
+
+#include <gtest/gtest.h>
+
+namespace ctfl {
+namespace {
+
+TraceResult MakeTrace(int n, int num_rules) {
+  TraceResult trace;
+  trace.num_participants = n;
+  trace.num_rules = num_rules;
+  trace.beneficial_rule_freq = Matrix(n, num_rules);
+  trace.harmful_rule_freq = Matrix(n, num_rules);
+  trace.uncovered_rule_freq.assign(num_rules, 0.0);
+  trace.train_match_correct.resize(n);
+  trace.train_match_miss.resize(n);
+  return trace;
+}
+
+TEST(InterpretTest, TopRulesSortedByWeightedFrequency) {
+  TraceResult trace = MakeTrace(1, 5);
+  trace.train_match_correct[0] = {1, 1};
+  trace.train_match_miss[0] = {0, 0};
+  trace.beneficial_rule_freq(0, 0) = 1.0;
+  trace.beneficial_rule_freq(0, 3) = 5.0;
+  trace.beneficial_rule_freq(0, 4) = 2.0;
+
+  const auto profiles = BuildProfiles(trace, /*top_k=*/2);
+  ASSERT_EQ(profiles.size(), 1u);
+  ASSERT_EQ(profiles[0].beneficial.size(), 2u);
+  EXPECT_EQ(profiles[0].beneficial[0].rule, 3);
+  EXPECT_EQ(profiles[0].beneficial[1].rule, 4);
+}
+
+TEST(InterpretTest, UselessRatioCountsNeverMatchedRecords) {
+  TraceResult trace = MakeTrace(1, 2);
+  trace.train_match_correct[0] = {2, 0, 0, 1};
+  trace.train_match_miss[0] = {0, 0, 1, 0};
+  const auto profiles = BuildProfiles(trace, 3);
+  // Record 1 never matched anywhere -> 1 of 4.
+  EXPECT_NEAR(profiles[0].useless_ratio, 0.25, 1e-12);
+  EXPECT_EQ(profiles[0].data_size, 4u);
+}
+
+TEST(InterpretTest, HarmfulRulesTracked) {
+  TraceResult trace = MakeTrace(2, 3);
+  trace.train_match_correct[0] = {1};
+  trace.train_match_correct[1] = {1};
+  trace.train_match_miss[0] = {0};
+  trace.train_match_miss[1] = {0};
+  trace.harmful_rule_freq(1, 2) = 4.0;
+  const auto profiles = BuildProfiles(trace, 5);
+  EXPECT_TRUE(profiles[0].harmful.empty());
+  ASSERT_EQ(profiles[1].harmful.size(), 1u);
+  EXPECT_EQ(profiles[1].harmful[0].rule, 2);
+}
+
+TEST(InterpretTest, GuidanceSortsUncoveredRules) {
+  TraceResult trace = MakeTrace(1, 4);
+  trace.uncovered_tests = 3;
+  trace.uncovered_rule_freq = {0.5, 0.0, 2.0, 1.0};
+  const CollectionGuidance guidance = GuideDataCollection(trace, 2);
+  EXPECT_EQ(guidance.uncovered_tests, 3u);
+  ASSERT_EQ(guidance.uncovered_rules.size(), 2u);
+  EXPECT_EQ(guidance.uncovered_rules[0].rule, 2);
+  EXPECT_EQ(guidance.uncovered_rules[1].rule, 3);
+}
+
+TEST(InterpretTest, FormattersResolveRuleText) {
+  // Minimal extraction: two atoms over a tiny schema.
+  const SchemaPtr schema = std::make_shared<FeatureSchema>(
+      std::vector<FeatureSpec>{FeatureSchema::Continuous("income", 0, 100)},
+      "low", "high");
+  ExtractionResult extraction;
+  for (int j = 0; j < 2; ++j) {
+    ExtractedRule er;
+    er.coordinate = j;
+    Predicate p;
+    p.feature = 0;
+    p.op = Predicate::Op::kGt;
+    p.threshold = 10.0 * (j + 1);
+    er.rule = Rule::Atom(p);
+    er.support_class = j % 2;
+    er.weight = 1.0;
+    extraction.rules.push_back(std::move(er));
+  }
+
+  ParticipantProfile profile;
+  profile.participant = 0;
+  profile.data_size = 10;
+  profile.useless_ratio = 0.1;
+  profile.beneficial = {{1, 3.5}};
+  const std::string text =
+      FormatProfile(profile, extraction, *schema, "P0");
+  EXPECT_NE(text.find("P0"), std::string::npos);
+  EXPECT_NE(text.find("income > 20"), std::string::npos);
+
+  CollectionGuidance guidance;
+  guidance.uncovered_tests = 2;
+  guidance.uncovered_rules = {{0, 1.5}};
+  const std::string gtext = FormatGuidance(guidance, extraction, *schema);
+  EXPECT_NE(gtext.find("income > 10"), std::string::npos);
+  EXPECT_NE(gtext.find("2 misclassified"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ctfl

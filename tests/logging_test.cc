@@ -1,0 +1,53 @@
+#include "ctfl/util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "ctfl/util/stopwatch.h"
+
+namespace ctfl {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  CTFL_LOG(Debug) << "below threshold " << 42;
+  CTFL_LOG(Info) << "also below";
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  CTFL_CHECK(1 + 1 == 2) << "never shown";
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalseCondition) {
+  EXPECT_DEATH({ CTFL_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, FatalAborts) {
+  EXPECT_DEATH({ CTFL_LOG_FATAL << "fatal path"; }, "fatal path");
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  // Burn a little CPU deterministically.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + i * 1e-9;
+  const double elapsed = watch.ElapsedSeconds();
+  EXPECT_GT(elapsed, 0.0);
+  EXPECT_NEAR(watch.ElapsedMillis(), watch.ElapsedSeconds() * 1e3,
+              watch.ElapsedMillis());  // loose consistency bound
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), elapsed + 1.0);
+}
+
+}  // namespace
+}  // namespace ctfl

@@ -1,0 +1,115 @@
+#include "ctfl/core/loss_tracing.h"
+
+#include <gtest/gtest.h>
+
+#include "ctfl/core/pipeline.h"
+#include "ctfl/data/gen/synthetic.h"
+#include "ctfl/fl/adversary.h"
+#include "ctfl/fl/partition.h"
+
+namespace ctfl {
+namespace {
+
+TraceResult MakeTrace(int n, std::vector<TestTrace> tests,
+                      std::vector<std::vector<int>> miss_counts) {
+  TraceResult trace;
+  trace.num_participants = n;
+  trace.tests = std::move(tests);
+  trace.train_match_miss = std::move(miss_counts);
+  trace.train_match_correct.resize(n);
+  for (int p = 0; p < n; ++p) {
+    trace.train_match_correct[p].assign(trace.train_match_miss[p].size(), 0);
+  }
+  return trace;
+}
+
+TestTrace Trace(bool correct, std::vector<int> related) {
+  TestTrace t;
+  t.correct = correct;
+  t.related_count = std::move(related);
+  t.total_related = 0;
+  for (int c : t.related_count) t.total_related += c;
+  return t;
+}
+
+TEST(LossTracingTest, SuspicionSeparatesGainFromLoss) {
+  // P0: only gains. P1: only losses.
+  const TraceResult trace = MakeTrace(
+      2,
+      {Trace(true, {4, 0}), Trace(true, {2, 0}), Trace(false, {0, 3}),
+       Trace(false, {0, 5})},
+      {{0, 0}, {1, 1}});
+  const LossReport report = AnalyzeLoss(trace);
+  EXPECT_LT(report.suspicion[0], 0.01);
+  EXPECT_GT(report.suspicion[1], 0.99);
+  ASSERT_EQ(report.flagged.size(), 1u);
+  EXPECT_EQ(report.flagged[0], 1);
+}
+
+TEST(LossTracingTest, NoTracingMassMeansNoSuspicion) {
+  const TraceResult trace =
+      MakeTrace(2, {Trace(true, {1, 0})}, {{0}, {0}});
+  const LossReport report = AnalyzeLoss(trace);
+  EXPECT_DOUBLE_EQ(report.suspicion[1], 0.0);
+  EXPECT_TRUE(report.flagged.empty() ||
+              report.flagged == std::vector<int>{});
+}
+
+TEST(LossTracingTest, MissMatchRatioCountsTouchedRecords) {
+  const TraceResult trace = MakeTrace(1, {Trace(false, {2})},
+                                      {{3, 0, 1, 0}});
+  const LossReport report = AnalyzeLoss(trace);
+  EXPECT_NEAR(report.miss_match_ratio[0], 0.5, 1e-12);
+}
+
+TEST(LossTracingTest, FormatMentionsFlaggedParticipant) {
+  const TraceResult trace = MakeTrace(
+      2, {Trace(true, {4, 0}), Trace(false, {0, 5})}, {{0}, {1}});
+  const LossReport report = AnalyzeLoss(trace);
+  const std::string text = FormatLossReport(report);
+  EXPECT_NE(text.find("FLAGGED"), std::string::npos);
+}
+
+// End-to-end: a label-flipping participant in a real federation should
+// have markedly higher suspicion than honest ones.
+TEST(LossTracingTest, EndToEndFlipperHasHighestSuspicion) {
+  SyntheticSpec spec;
+  spec.schema = std::make_shared<FeatureSchema>(
+      std::vector<FeatureSpec>{
+          FeatureSchema::Continuous("x", 0, 1),
+          FeatureSchema::Continuous("y", 0, 1),
+      },
+      "neg", "pos");
+  spec.samplers = {
+      FeatureSampler{FeatureSampler::Kind::kUniform, 0, 0, {}},
+      FeatureSampler{FeatureSampler::Kind::kUniform, 0, 0, {}}};
+  spec.rules = {{{{0, GtPredicate::Op::kGt, 0.5}}, 1, 1.0},
+                {{{0, GtPredicate::Op::kLt, 0.5}}, 0, 1.0}};
+  Rng rng(7);
+  const Dataset all = GenerateSynthetic(spec, 1200, rng);
+  const Dataset test = GenerateSynthetic(spec, 300, rng);
+
+  Rng prng(8);
+  std::vector<Dataset> clients = PartitionUniform(all, 4, prng);
+  Rng arng(9);
+  FlipLabels(clients[2], 0.9, arng);  // participant 2 poisons its data
+  const Federation fed = MakeFederation(std::move(clients));
+
+  CtflConfig config;
+  config.federated = false;
+  config.central.epochs = 20;
+  config.central.learning_rate = 0.05;
+  config.net.logic_layers = {{16, 16}};
+  config.net.seed = 4;
+  config.tracer.tau_w = 0.8;
+  const CtflReport report = RunCtfl(fed, test, config);
+
+  const LossReport loss = AnalyzeLoss(report.trace);
+  for (int p : {0, 1, 3}) {
+    EXPECT_GT(loss.suspicion[2], loss.suspicion[p])
+        << "flipper should out-suspect P" << p;
+  }
+}
+
+}  // namespace
+}  // namespace ctfl

@@ -1,0 +1,99 @@
+#include "ctfl/nn/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace ctfl {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(MatrixTest, FillScaleClamp) {
+  Matrix m(2, 2);
+  m.Fill(3.0);
+  m.Scale(2.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 6.0);
+  m(0, 0) = -5.0;
+  m.Clamp(0.0, 4.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(MatrixTest, Axpy) {
+  Matrix a(1, 2), b(1, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  b(0, 0) = 10.0;
+  b(0, 1) = 20.0;
+  a.Axpy(0.5, b);
+  EXPECT_DOUBLE_EQ(a(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 12.0);
+}
+
+TEST(MatrixTest, MatMulHandExample) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [[1,2,3],[4,5,6]]; b = [[7,8],[9,10],[11,12]].
+  double av[] = {1, 2, 3, 4, 5, 6};
+  double bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  const Matrix c = a.MatMul(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(MatrixTest, TransposedVariantsAgreeWithExplicit) {
+  Rng rng(9);
+  Matrix a(4, 5), b(4, 3), c(6, 5);
+  a.RandomUniform(rng, -1, 1);
+  b.RandomUniform(rng, -1, 1);
+  c.RandomUniform(rng, -1, 1);
+
+  // a^T * b  via TransposedMatMul.
+  const Matrix atb = a.TransposedMatMul(b);
+  ASSERT_EQ(atb.rows(), 5u);
+  ASSERT_EQ(atb.cols(), 3u);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      double expected = 0.0;
+      for (size_t k = 0; k < 4; ++k) expected += a(k, i) * b(k, j);
+      EXPECT_NEAR(atb(i, j), expected, 1e-12);
+    }
+  }
+
+  // a * c^T via MatMulTransposed.
+  const Matrix act = a.MatMulTransposed(c);
+  ASSERT_EQ(act.rows(), 4u);
+  ASSERT_EQ(act.cols(), 6u);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      double expected = 0.0;
+      for (size_t k = 0; k < 5; ++k) expected += a(i, k) * c(j, k);
+      EXPECT_NEAR(act(i, j), expected, 1e-12);
+    }
+  }
+}
+
+TEST(MatrixTest, RandomUniformInRange) {
+  Rng rng(10);
+  Matrix m(10, 10);
+  m.RandomUniform(rng, -0.5, 0.5);
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_GE(m.data()[i], -0.5);
+    EXPECT_LT(m.data()[i], 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace ctfl

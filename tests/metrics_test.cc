@@ -1,0 +1,143 @@
+#include "ctfl/fl/metrics.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "ctfl/data/gen/synthetic.h"
+#include "ctfl/nn/trainer.h"
+
+namespace ctfl {
+namespace {
+
+TEST(ConfusionMatrixTest, HandValues) {
+  ConfusionMatrix cm;
+  cm.tp = 30;
+  cm.tn = 50;
+  cm.fp = 10;
+  cm.fn = 10;
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.8);
+  EXPECT_DOUBLE_EQ(cm.Precision(), 0.75);
+  EXPECT_DOUBLE_EQ(cm.Recall(), 0.75);
+  EXPECT_DOUBLE_EQ(cm.F1(), 0.75);
+  // TPR = 30/40 = 0.75; TNR = 50/60 = 0.8333.
+  EXPECT_NEAR(cm.BalancedAccuracy(), 0.5 * (0.75 + 50.0 / 60), 1e-12);
+}
+
+TEST(ConfusionMatrixTest, DegenerateDenominators) {
+  ConfusionMatrix cm;  // all zero
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.F1(), 0.0);
+
+  // Only negatives present: balanced accuracy falls back to accuracy.
+  cm.tn = 10;
+  EXPECT_DOUBLE_EQ(cm.BalancedAccuracy(), 1.0);
+}
+
+TEST(ConfusionMatrixTest, ValueDispatch) {
+  ConfusionMatrix cm;
+  cm.tp = 1;
+  cm.fn = 1;
+  EXPECT_DOUBLE_EQ(cm.Value(MetricKind::kRecall), 0.5);
+  EXPECT_DOUBLE_EQ(cm.Value(MetricKind::kPrecision), 1.0);
+  EXPECT_DOUBLE_EQ(cm.Value(MetricKind::kAccuracy), 0.5);
+}
+
+TEST(MetricsTest, KindNames) {
+  EXPECT_STREQ(MetricKindToString(MetricKind::kF1), "f1");
+  EXPECT_STREQ(MetricKindToString(MetricKind::kBalancedAccuracy),
+               "balanced-accuracy");
+}
+
+SyntheticSpec Spec() {
+  SyntheticSpec spec;
+  spec.schema = std::make_shared<FeatureSchema>(
+      std::vector<FeatureSpec>{FeatureSchema::Continuous("x", 0, 1)}, "neg",
+      "pos");
+  spec.samplers = {FeatureSampler{FeatureSampler::Kind::kUniform, 0, 0, {}}};
+  spec.rules = {{{{0, GtPredicate::Op::kGt, 0.7}}, 1, 1.0},
+                {{{0, GtPredicate::Op::kLt, 0.7}}, 0, 1.0}};
+  return spec;
+}
+
+TEST(MetricsTest, EvaluateConfusionMatchesAccuracy) {
+  Rng rng(3);
+  const Dataset train = GenerateSynthetic(Spec(), 600, rng);
+  const Dataset test = GenerateSynthetic(Spec(), 300, rng);
+  LogicalNetConfig config;
+  config.logic_layers = {{8, 8}};
+  LogicalNet net(train.schema(), config);
+  TrainConfig tc;
+  tc.epochs = 15;
+  tc.learning_rate = 0.05;
+  TrainGrafted(net, train, tc);
+
+  const ConfusionMatrix cm = EvaluateConfusion(net, test);
+  EXPECT_EQ(cm.total(), test.size());
+  EXPECT_NEAR(cm.Accuracy(), net.Accuracy(test), 1e-12);
+  EXPECT_NEAR(EvaluateMetric(net, test, MetricKind::kAccuracy),
+              net.Accuracy(test), 1e-12);
+  // Class-imbalanced task: balanced accuracy differs from accuracy.
+  EXPECT_GT(EvaluateMetric(net, test, MetricKind::kF1), 0.5);
+}
+
+TEST(MetricsTest, AccuracyWeightsAreUniform) {
+  Rng rng(4);
+  const Dataset test = GenerateSynthetic(Spec(), 100, rng);
+  const auto weights =
+      InstanceCreditWeights(test, MetricKind::kAccuracy).value();
+  for (double w : weights) EXPECT_DOUBLE_EQ(w, 0.01);
+}
+
+TEST(MetricsTest, BalancedWeightsSumToHalfPerClass) {
+  Rng rng(5);
+  const Dataset test = GenerateSynthetic(Spec(), 400, rng);
+  const auto weights =
+      InstanceCreditWeights(test, MetricKind::kBalancedAccuracy).value();
+  double pos_sum = 0.0, neg_sum = 0.0;
+  for (size_t t = 0; t < test.size(); ++t) {
+    (test.instance(t).label == 1 ? pos_sum : neg_sum) += weights[t];
+  }
+  EXPECT_NEAR(pos_sum, 0.5, 1e-9);
+  EXPECT_NEAR(neg_sum, 0.5, 1e-9);
+}
+
+TEST(MetricsTest, NonDecomposableMetricsRejected) {
+  Rng rng(6);
+  const Dataset test = GenerateSynthetic(Spec(), 10, rng);
+  EXPECT_FALSE(InstanceCreditWeights(test, MetricKind::kF1).ok());
+  EXPECT_FALSE(InstanceCreditWeights(test, MetricKind::kPrecision).ok());
+  EXPECT_FALSE(InstanceCreditWeights(test, MetricKind::kRecall).ok());
+}
+
+// The decomposition identity: metric = sum over correct tests of weights.
+TEST(MetricsTest, WeightsDecomposeTheMetric) {
+  Rng rng(7);
+  const Dataset train = GenerateSynthetic(Spec(), 500, rng);
+  const Dataset test = GenerateSynthetic(Spec(), 300, rng);
+  LogicalNetConfig config;
+  config.logic_layers = {{8, 8}};
+  LogicalNet net(train.schema(), config);
+  TrainConfig tc;
+  tc.epochs = 10;
+  tc.learning_rate = 0.05;
+  TrainGrafted(net, train, tc);
+
+  for (MetricKind kind :
+       {MetricKind::kAccuracy, MetricKind::kBalancedAccuracy}) {
+    const auto weights = InstanceCreditWeights(test, kind).value();
+    double reconstructed = 0.0;
+    for (size_t t = 0; t < test.size(); ++t) {
+      if (net.Predict(test.instance(t)) == test.instance(t).label) {
+        reconstructed += weights[t];
+      }
+    }
+    EXPECT_NEAR(reconstructed, EvaluateMetric(net, test, kind), 1e-9)
+        << MetricKindToString(kind);
+  }
+}
+
+}  // namespace
+}  // namespace ctfl

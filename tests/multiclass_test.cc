@@ -1,0 +1,154 @@
+#include "ctfl/multiclass/ovr.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "ctfl/util/rng.h"
+
+namespace ctfl {
+namespace {
+
+SchemaPtr MakeSchema() {
+  return std::make_shared<FeatureSchema>(
+      std::vector<FeatureSpec>{FeatureSchema::Continuous("x", 0, 3)},
+      "rest", "target");
+}
+
+// 3-class task: class = floor(x), x in [0, 3).
+Instance Make(double x) {
+  Instance inst;
+  inst.values = {x};
+  inst.label = static_cast<int>(x);
+  return inst;
+}
+
+McDataset MakeData(size_t n, uint64_t seed) {
+  McDataset data(MakeSchema(), 3);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(data.Append(Make(rng.Uniform(0.0, 3.0))).ok());
+  }
+  return data;
+}
+
+OneVsRestModel::Config SmallConfig() {
+  OneVsRestModel::Config config;
+  config.net.logic_layers = {{8, 8}};
+  config.net.seed = 4;
+  config.train.epochs = 20;
+  config.train.learning_rate = 0.05;
+  return config;
+}
+
+TEST(McDatasetTest, AppendValidatesLabelRange) {
+  McDataset data(MakeSchema(), 3);
+  Instance good = Make(1.5);
+  EXPECT_TRUE(data.Append(good).ok());
+  Instance bad = Make(0.5);
+  bad.label = 3;
+  EXPECT_FALSE(data.Append(bad).ok());
+  bad.label = -1;
+  EXPECT_FALSE(data.Append(bad).ok());
+  Instance wrong_width;
+  wrong_width.values = {1.0, 2.0};
+  EXPECT_FALSE(data.Append(wrong_width).ok());
+}
+
+TEST(McDatasetTest, ClassCountsAndBinaryView) {
+  McDataset data(MakeSchema(), 3);
+  for (double x : {0.5, 1.5, 1.6, 2.5, 2.6, 2.7}) {
+    ASSERT_TRUE(data.Append(Make(x)).ok());
+  }
+  const auto counts = data.ClassCounts();
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 3u);
+
+  const Dataset view = data.BinaryView(1);
+  ASSERT_EQ(view.size(), 6u);
+  EXPECT_EQ(view.instance(0).label, 0);
+  EXPECT_EQ(view.instance(1).label, 1);
+  EXPECT_EQ(view.instance(2).label, 1);
+  EXPECT_EQ(view.instance(3).label, 0);
+  // Features untouched.
+  EXPECT_DOUBLE_EQ(view.instance(0).values[0], 0.5);
+}
+
+TEST(OneVsRestTest, LearnsThreeClassTask) {
+  const McDataset train = MakeData(900, 1);
+  const McDataset test = MakeData(300, 2);
+  const OneVsRestModel model = OneVsRestModel::Train(train, SmallConfig());
+  EXPECT_EQ(model.num_classes(), 3);
+  EXPECT_GT(model.Accuracy(test), 0.85);
+}
+
+TEST(OneVsRestTest, PredictReturnsValidClass) {
+  const McDataset train = MakeData(200, 3);
+  const OneVsRestModel model = OneVsRestModel::Train(train, SmallConfig());
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    const int pred = model.Predict(Make(rng.Uniform(0.0, 3.0)));
+    EXPECT_GE(pred, 0);
+    EXPECT_LT(pred, 3);
+  }
+}
+
+CtflConfig FastCtfl() {
+  CtflConfig config;
+  config.federated = false;
+  config.central.epochs = 15;
+  config.central.learning_rate = 0.05;
+  config.net.logic_layers = {{8, 8}};
+  config.net.seed = 7;
+  config.tracer.tau_w = 0.85;
+  return config;
+}
+
+TEST(McCtflTest, ClassSpecialistEarnsItsClassCredit) {
+  // P0: classes 0/1 only. P1: class 2 only (the specialist).
+  McDataset p0(MakeSchema(), 3), p1(MakeSchema(), 3);
+  Rng rng(5);
+  while (p0.size() < 600) {
+    const double x = rng.Uniform(0.0, 3.0);
+    if (x < 2.0) {
+      ASSERT_TRUE(p0.Append(Make(x)).ok());
+    }
+  }
+  while (p1.size() < 300) {
+    const double x = rng.Uniform(0.0, 3.0);
+    if (x >= 2.0) {
+      ASSERT_TRUE(p1.Append(Make(x)).ok());
+    }
+  }
+  const McDataset test = MakeData(300, 6);
+
+  const McCtflReport report = RunMcCtfl({p0, p1}, test, FastCtfl());
+  ASSERT_EQ(report.micro_scores.size(), 2u);
+  ASSERT_EQ(report.per_class_micro.size(), 3u);
+  // The class-2 one-vs-rest positive credit should favor the specialist.
+  EXPECT_GT(report.per_class_micro[2][1], 0.0);
+  // Both participants earn nonzero combined credit.
+  EXPECT_GT(report.micro_scores[0], 0.0);
+  EXPECT_GT(report.micro_scores[1], 0.0);
+  // Class weights reflect the test distribution and sum to 1.
+  const double weight_total = std::accumulate(
+      report.class_weights.begin(), report.class_weights.end(), 0.0);
+  EXPECT_NEAR(weight_total, 1.0, 1e-9);
+}
+
+TEST(McCtflTest, SymmetryAcrossIdenticalParticipants) {
+  McDataset shared(MakeSchema(), 3);
+  Rng rng(8);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(shared.Append(Make(rng.Uniform(0.0, 3.0))).ok());
+  }
+  const McDataset test = MakeData(200, 9);
+  const McCtflReport report =
+      RunMcCtfl({shared, shared}, test, FastCtfl());
+  EXPECT_NEAR(report.micro_scores[0], report.micro_scores[1], 1e-9);
+  EXPECT_NEAR(report.macro_scores[0], report.macro_scores[1], 1e-9);
+}
+
+}  // namespace
+}  // namespace ctfl

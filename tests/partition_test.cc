@@ -1,0 +1,105 @@
+#include "ctfl/fl/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "ctfl/fl/participant.h"
+
+namespace ctfl {
+namespace {
+
+SchemaPtr MakeSchema() {
+  return std::make_shared<FeatureSchema>(
+      std::vector<FeatureSpec>{FeatureSchema::Continuous("x", 0, 1)}, "neg",
+      "pos");
+}
+
+Dataset MakeDataset(size_t n, double positive_rate, uint64_t seed) {
+  Dataset d(MakeSchema());
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    Instance inst;
+    inst.values = {rng.Uniform()};
+    inst.label = rng.Bernoulli(positive_rate) ? 1 : 0;
+    d.AppendUnchecked(std::move(inst));
+  }
+  return d;
+}
+
+size_t TotalSize(const std::vector<Dataset>& parts) {
+  size_t total = 0;
+  for (const Dataset& p : parts) total += p.size();
+  return total;
+}
+
+TEST(PartitionTest, SkewSampleConservesInstances) {
+  const Dataset d = MakeDataset(1000, 0.5, 1);
+  Rng rng(2);
+  const std::vector<Dataset> parts = PartitionSkewSample(d, 8, 0.8, rng);
+  EXPECT_EQ(parts.size(), 8u);
+  EXPECT_EQ(TotalSize(parts), d.size());
+}
+
+TEST(PartitionTest, SkewSampleLowAlphaIsMoreSkewed) {
+  const Dataset d = MakeDataset(4000, 0.5, 3);
+  auto max_share = [&](double alpha, uint64_t seed) {
+    double total_max = 0.0;
+    for (int rep = 0; rep < 10; ++rep) {
+      Rng rng(seed + rep);
+      const std::vector<Dataset> parts = PartitionSkewSample(d, 8, alpha, rng);
+      size_t largest = 0;
+      for (const Dataset& p : parts) largest = std::max(largest, p.size());
+      total_max += static_cast<double>(largest) / d.size();
+    }
+    return total_max / 10;
+  };
+  EXPECT_GT(max_share(0.1, 10), max_share(50.0, 20));
+}
+
+TEST(PartitionTest, SkewLabelConservesInstancesAndSkewsLabels) {
+  const Dataset d = MakeDataset(4000, 0.5, 4);
+  Rng rng(5);
+  const std::vector<Dataset> parts = PartitionSkewLabel(d, 8, 0.3, rng);
+  EXPECT_EQ(TotalSize(parts), d.size());
+  // With low alpha, participants' positive rates should differ noticeably.
+  double min_rate = 1.0, max_rate = 0.0;
+  for (const Dataset& p : parts) {
+    if (p.size() < 20) continue;
+    min_rate = std::min(min_rate, p.PositiveRate());
+    max_rate = std::max(max_rate, p.PositiveRate());
+  }
+  EXPECT_GT(max_rate - min_rate, 0.2);
+}
+
+TEST(PartitionTest, UniformIsBalanced) {
+  const Dataset d = MakeDataset(800, 0.5, 6);
+  Rng rng(7);
+  const std::vector<Dataset> parts = PartitionUniform(d, 8, rng);
+  for (const Dataset& p : parts) {
+    EXPECT_NEAR(p.size(), 100u, 1);
+  }
+}
+
+TEST(PartitionTest, SingleParticipantGetsEverything) {
+  const Dataset d = MakeDataset(100, 0.5, 8);
+  Rng rng(9);
+  const std::vector<Dataset> parts = PartitionSkewSample(d, 1, 1.0, rng);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].size(), 100u);
+}
+
+TEST(FederationTest, MakeMergeAndCoalitions) {
+  const Dataset d = MakeDataset(300, 0.4, 10);
+  Rng rng(11);
+  Federation fed = MakeFederation(PartitionUniform(d, 3, rng));
+  ASSERT_EQ(fed.size(), 3u);
+  EXPECT_EQ(fed[0].name, "P0");
+  EXPECT_EQ(fed[2].id, 2);
+  EXPECT_EQ(FederationSize(fed), 300u);
+  EXPECT_EQ(MergeFederation(fed).size(), 300u);
+  EXPECT_EQ(MergeCoalition(fed, {0, 2}).size(),
+            fed[0].data.size() + fed[2].data.size());
+  EXPECT_EQ(MergeCoalition(fed, {}).size(), 0u);
+}
+
+}  // namespace
+}  // namespace ctfl

@@ -1,0 +1,121 @@
+#include "ctfl/core/pipeline.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "ctfl/data/gen/synthetic.h"
+#include "ctfl/fl/partition.h"
+
+namespace ctfl {
+namespace {
+
+SyntheticSpec TwoRuleSpec() {
+  SyntheticSpec spec;
+  spec.schema = std::make_shared<FeatureSchema>(
+      std::vector<FeatureSpec>{
+          FeatureSchema::Continuous("x", 0, 1),
+          FeatureSchema::Continuous("y", 0, 1),
+      },
+      "neg", "pos");
+  spec.samplers = {
+      FeatureSampler{FeatureSampler::Kind::kUniform, 0, 0, {}},
+      FeatureSampler{FeatureSampler::Kind::kUniform, 0, 0, {}}};
+  spec.rules = {{{{0, GtPredicate::Op::kGt, 0.5}}, 1, 1.0},
+                {{{0, GtPredicate::Op::kLt, 0.5}}, 0, 1.0}};
+  return spec;
+}
+
+CtflConfig FastConfig() {
+  CtflConfig config;
+  config.federated = false;
+  config.central.epochs = 15;
+  config.central.learning_rate = 0.05;
+  config.net.logic_layers = {{12, 12}};
+  config.net.seed = 3;
+  config.tracer.tau_w = 0.85;
+  return config;
+}
+
+TEST(PipelineTest, EndToEndProducesScoresForAllParticipants) {
+  Rng rng(1);
+  const SyntheticSpec spec = TwoRuleSpec();
+  const Dataset all = GenerateSynthetic(spec, 800, rng);
+  const Dataset test = GenerateSynthetic(spec, 200, rng);
+  Rng prng(2);
+  const Federation fed =
+      MakeFederation(PartitionSkewSample(all, 5, 0.8, prng));
+
+  const CtflReport report = RunCtfl(fed, test, FastConfig());
+  EXPECT_EQ(report.micro_scores.size(), 5u);
+  EXPECT_EQ(report.macro_scores.size(), 5u);
+  EXPECT_GT(report.test_accuracy, 0.8);
+  for (double s : report.micro_scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+  // Group rationality over matched tests.
+  const double micro_total = std::accumulate(
+      report.micro_scores.begin(), report.micro_scores.end(), 0.0);
+  EXPECT_NEAR(micro_total, report.trace.matched_accuracy, 1e-9);
+  EXPECT_LE(report.trace.matched_accuracy,
+            report.trace.global_accuracy + 1e-12);
+}
+
+TEST(PipelineTest, FederatedPathAlsoWorks) {
+  Rng rng(3);
+  const SyntheticSpec spec = TwoRuleSpec();
+  const Dataset all = GenerateSynthetic(spec, 600, rng);
+  const Dataset test = GenerateSynthetic(spec, 150, rng);
+  Rng prng(4);
+  const Federation fed = MakeFederation(PartitionUniform(all, 3, prng));
+
+  CtflConfig config = FastConfig();
+  config.federated = true;
+  config.fedavg.rounds = 3;
+  config.fedavg.local_epochs = 3;
+  config.fedavg.local.learning_rate = 0.05;
+  const CtflReport report = RunCtfl(fed, test, config);
+  EXPECT_GT(report.test_accuracy, 0.75);
+}
+
+TEST(PipelineTest, SchemeAdapterMatchesPipeline) {
+  Rng rng(5);
+  const SyntheticSpec spec = TwoRuleSpec();
+  const Dataset all = GenerateSynthetic(spec, 600, rng);
+  const Dataset test = GenerateSynthetic(spec, 150, rng);
+  Rng prng(6);
+  const Federation fed = MakeFederation(PartitionUniform(all, 4, prng));
+
+  const CtflReport direct = RunCtfl(fed, test, FastConfig());
+
+  CtflScheme micro(&fed, &test, FastConfig(), CtflScheme::Variant::kMicro);
+  // The utility is only consulted for the participant count.
+  RetrainUtility::Config ucfg;
+  ucfg.train.epochs = 1;
+  RetrainUtility utility(&fed, &test, ucfg);
+  const ContributionResult result = micro.Compute(utility).value();
+  EXPECT_EQ(result.scheme, "CTFL-micro");
+  ASSERT_EQ(result.scores.size(), direct.micro_scores.size());
+  for (size_t p = 0; p < result.scores.size(); ++p) {
+    EXPECT_NEAR(result.scores[p], direct.micro_scores[p], 1e-9);
+  }
+  EXPECT_EQ(result.coalitions_evaluated, 1);
+  ASSERT_NE(micro.last_report(), nullptr);
+}
+
+TEST(PipelineTest, SchemeAdapterRejectsMismatchedUtility) {
+  Rng rng(7);
+  const SyntheticSpec spec = TwoRuleSpec();
+  const Dataset all = GenerateSynthetic(spec, 100, rng);
+  const Dataset test = GenerateSynthetic(spec, 50, rng);
+  Rng prng(8);
+  const Federation fed = MakeFederation(PartitionUniform(all, 2, prng));
+
+  CtflScheme micro(&fed, &test, FastConfig(), CtflScheme::Variant::kMicro);
+  TabularUtility wrong(3, std::vector<double>(8, 0.0));
+  EXPECT_FALSE(micro.Compute(wrong).ok());
+}
+
+}  // namespace
+}  // namespace ctfl

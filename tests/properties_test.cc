@@ -1,0 +1,147 @@
+// Verifies the four theoretical properties of CTFL (paper §III-D):
+// group rationality, symmetry, zero element, and additivity.
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "ctfl/core/pipeline.h"
+#include "ctfl/data/gen/synthetic.h"
+#include "ctfl/fl/partition.h"
+
+namespace ctfl {
+namespace {
+
+SyntheticSpec Spec() {
+  SyntheticSpec spec;
+  spec.schema = std::make_shared<FeatureSchema>(
+      std::vector<FeatureSpec>{
+          FeatureSchema::Continuous("x", 0, 1),
+          FeatureSchema::Discrete("d", {"u", "v"}),
+      },
+      "neg", "pos");
+  spec.samplers = {
+      FeatureSampler{FeatureSampler::Kind::kUniform, 0, 0, {}},
+      FeatureSampler{FeatureSampler::Kind::kCategorical, 0, 0, {}}};
+  spec.rules = {{{{0, GtPredicate::Op::kGt, 0.55}}, 1, 1.0},
+                {{{0, GtPredicate::Op::kLt, 0.45}}, 0, 1.0},
+                {{{1, GtPredicate::Op::kEq, 1},
+                  {0, GtPredicate::Op::kGt, 0.3}},
+                 1,
+                 0.3}};
+  spec.label_noise = 0.03;
+  return spec;
+}
+
+CtflConfig FastConfig(uint64_t seed) {
+  CtflConfig config;
+  config.federated = false;
+  config.central.epochs = 15;
+  config.central.learning_rate = 0.05;
+  config.net.logic_layers = {{12, 12}};
+  config.net.seed = seed;
+  config.tracer.tau_w = 0.85;
+  config.tracer.num_threads = 2;
+  return config;
+}
+
+class PropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+// Group rationality: sum of micro scores equals the matched accuracy (and
+// equals the global accuracy exactly when every correct test has related
+// training data).
+TEST_P(PropertySweep, GroupRationality) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  const SyntheticSpec spec = Spec();
+  const Dataset all = GenerateSynthetic(spec, 700, rng);
+  const Dataset test = GenerateSynthetic(spec, 200, rng);
+  Rng prng(seed + 1);
+  const Federation fed =
+      MakeFederation(PartitionSkewLabel(all, 4, 0.8, prng));
+  const CtflReport report = RunCtfl(fed, test, FastConfig(seed));
+
+  const double micro_total = std::accumulate(
+      report.micro_scores.begin(), report.micro_scores.end(), 0.0);
+  EXPECT_NEAR(micro_total, report.trace.matched_accuracy, 1e-9);
+  const double macro_total = std::accumulate(
+      report.macro_scores.begin(), report.macro_scores.end(), 0.0);
+  EXPECT_NEAR(macro_total, report.trace.matched_accuracy, 1e-9);
+  // Matched accuracy is a tight lower bound of model accuracy here.
+  EXPECT_LE(micro_total, report.trace.global_accuracy + 1e-12);
+  EXPECT_GT(micro_total, report.trace.global_accuracy - 0.2);
+}
+
+// Symmetry: two participants holding identical data receive identical
+// scores.
+TEST_P(PropertySweep, Symmetry) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed + 10);
+  const SyntheticSpec spec = Spec();
+  const Dataset shared = GenerateSynthetic(spec, 250, rng);
+  const Dataset other = GenerateSynthetic(spec, 250, rng);
+  const Dataset test = GenerateSynthetic(spec, 150, rng);
+  // Participants 0 and 1 are byte-identical; 2 differs.
+  const Federation fed = MakeFederation({shared, shared, other});
+  const CtflReport report = RunCtfl(fed, test, FastConfig(seed));
+  EXPECT_NEAR(report.micro_scores[0], report.micro_scores[1], 1e-9);
+  EXPECT_NEAR(report.macro_scores[0], report.macro_scores[1], 1e-9);
+}
+
+// Zero element: a participant with no data earns exactly zero.
+TEST_P(PropertySweep, ZeroElement) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed + 20);
+  const SyntheticSpec spec = Spec();
+  const Dataset data = GenerateSynthetic(spec, 400, rng);
+  const Dataset test = GenerateSynthetic(spec, 100, rng);
+  Rng prng(seed + 21);
+  std::vector<Dataset> clients = PartitionUniform(data, 2, prng);
+  clients.emplace_back(spec.schema);  // empty participant
+  const Federation fed = MakeFederation(std::move(clients));
+  const CtflReport report = RunCtfl(fed, test, FastConfig(seed));
+  EXPECT_DOUBLE_EQ(report.micro_scores[2], 0.0);
+  EXPECT_DOUBLE_EQ(report.macro_scores[2], 0.0);
+}
+
+// Additivity: with utility metrics u, v given by two test sets, the score
+// under the combined metric equals the test-size-weighted sum of the
+// per-metric scores (all from the same trained model, as in the paper's
+// single-pass setting).
+TEST_P(PropertySweep, Additivity) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed + 30);
+  const SyntheticSpec spec = Spec();
+  const Dataset all = GenerateSynthetic(spec, 600, rng);
+  const Dataset test_u = GenerateSynthetic(spec, 120, rng);
+  const Dataset test_v = GenerateSynthetic(spec, 80, rng);
+  Dataset test_uv = test_u;
+  test_uv.Merge(test_v);
+  Rng prng(seed + 31);
+  const Federation fed = MakeFederation(PartitionUniform(all, 3, prng));
+
+  const CtflConfig config = FastConfig(seed);
+  // One model; three tracing passes — exactly CTFL's additivity setting.
+  std::vector<Dataset> clients;
+  for (const Participant& p : fed) clients.push_back(p.data);
+  const LogicalNet model =
+      TrainCentral(spec.schema, config.net, MergeFederation(fed),
+                   config.central);
+  const ContributionTracer tracer(&model, &fed, config.tracer);
+  const std::vector<double> phi_u = MicroAllocation(tracer.Trace(test_u));
+  const std::vector<double> phi_v = MicroAllocation(tracer.Trace(test_v));
+  const std::vector<double> phi_uv = MicroAllocation(tracer.Trace(test_uv));
+
+  const double wu = static_cast<double>(test_u.size()) / test_uv.size();
+  const double wv = static_cast<double>(test_v.size()) / test_uv.size();
+  for (size_t p = 0; p < phi_uv.size(); ++p) {
+    EXPECT_NEAR(phi_uv[p], wu * phi_u[p] + wv * phi_v[p], 1e-9)
+        << "participant " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweep,
+                         ::testing::Values(100, 200, 300));
+
+}  // namespace
+}  // namespace ctfl

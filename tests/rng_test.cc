@@ -1,0 +1,160 @@
+#include "ctfl/util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace ctfl {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeEvenly) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) ++counts[rng.UniformInt(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, samples / 10, samples / 10 * 0.15);
+  }
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int samples = 50000;
+  for (int i = 0; i < samples; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / samples, 0.0, 0.03);
+  EXPECT_NEAR(sq / samples, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(17);
+  int hits = 0;
+  const int samples = 50000;
+  for (int i = 0; i < samples; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / samples, 0.3, 0.02);
+}
+
+TEST(RngTest, GammaMeanEqualsShape) {
+  Rng rng(19);
+  for (double shape : {0.5, 1.0, 2.5, 7.0}) {
+    double sum = 0.0;
+    const int samples = 20000;
+    for (int i = 0; i < samples; ++i) sum += rng.Gamma(shape);
+    EXPECT_NEAR(sum / samples, shape, shape * 0.1) << "shape=" << shape;
+  }
+}
+
+TEST(RngTest, DirichletSumsToOne) {
+  Rng rng(23);
+  for (double alpha : {0.1, 0.6, 1.0, 10.0}) {
+    const std::vector<double> d = rng.Dirichlet(alpha, 8);
+    EXPECT_EQ(d.size(), 8u);
+    const double total = std::accumulate(d.begin(), d.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    for (double v : d) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(RngTest, DirichletSkewGrowsAsAlphaShrinks) {
+  Rng rng(29);
+  auto max_share = [&](double alpha) {
+    double avg_max = 0.0;
+    for (int rep = 0; rep < 200; ++rep) {
+      const std::vector<double> d = rng.Dirichlet(alpha, 8);
+      avg_max += *std::max_element(d.begin(), d.end());
+    }
+    return avg_max / 200;
+  };
+  EXPECT_GT(max_share(0.1), max_share(10.0));
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(31);
+  std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int samples = 60000;
+  for (int i = 0; i < samples; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(samples), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(samples), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(samples), 0.6, 0.02);
+}
+
+TEST(RngTest, PermutationIsValid) {
+  Rng rng(37);
+  const std::vector<int> perm = rng.Permutation(50);
+  std::vector<int> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng a(41);
+  Rng b = a.Fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+// Property sweep: distribution invariants hold across seeds.
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedSweep, DirichletAlwaysNormalized) {
+  Rng rng(GetParam());
+  for (int k : {1, 2, 5, 16}) {
+    const std::vector<double> d = rng.Dirichlet(0.6, k);
+    EXPECT_NEAR(std::accumulate(d.begin(), d.end(), 0.0), 1.0, 1e-9);
+  }
+}
+
+TEST_P(RngSeedSweep, UniformIntNeverOutOfRange) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(7), 7u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0, 1, 42, 1234567, 0xdeadbeef));
+
+}  // namespace
+}  // namespace ctfl

@@ -1,0 +1,77 @@
+#include "ctfl/core/rounds.h"
+
+#include <gtest/gtest.h>
+
+namespace ctfl {
+namespace {
+
+RoundTracker::Config DefaultConfig() {
+  RoundTracker::Config config;
+  config.ema_alpha = 0.5;
+  config.drift_threshold = 0.5;
+  config.warmup_rounds = 2;
+  return config;
+}
+
+TEST(RoundTrackerTest, RejectsWrongWidth) {
+  RoundTracker tracker(3, DefaultConfig());
+  EXPECT_FALSE(tracker.RecordRound({0.1, 0.2}).ok());
+  EXPECT_TRUE(tracker.RecordRound({0.1, 0.2, 0.3}).ok());
+}
+
+TEST(RoundTrackerTest, AccumulatesAndSmooths) {
+  RoundTracker tracker(2, DefaultConfig());
+  ASSERT_TRUE(tracker.RecordRound({0.4, 0.2}).ok());
+  ASSERT_TRUE(tracker.RecordRound({0.2, 0.2}).ok());
+  EXPECT_EQ(tracker.rounds_recorded(), 2);
+  EXPECT_NEAR(tracker.state(0).cumulative, 0.6, 1e-12);
+  // EMA after round1 = 0.4; round2 = 0.5*0.2 + 0.5*0.4 = 0.3.
+  EXPECT_NEAR(tracker.state(0).ema, 0.3, 1e-12);
+  EXPECT_NEAR(tracker.state(1).ema, 0.2, 1e-12);
+  EXPECT_NEAR(tracker.state(0).last_score, 0.2, 1e-12);
+}
+
+TEST(RoundTrackerTest, DriftAlertsArmAfterWarmup) {
+  RoundTracker tracker(1, DefaultConfig());
+  // Warm-up rounds never alert, however wild.
+  EXPECT_TRUE(tracker.RecordRound({0.5})->empty());
+  EXPECT_TRUE(tracker.RecordRound({5.0})->empty());
+  // Steady round: EMA ~2.75, score 2.75 -> no drift.
+  EXPECT_TRUE(tracker.RecordRound({2.75})->empty());
+  // Collapse: big negative drift.
+  const auto alerts = tracker.RecordRound({0.01}).value();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].participant, 0);
+  EXPECT_LT(alerts[0].relative_drift, -0.5);
+}
+
+TEST(RoundTrackerTest, OnlyDriftingParticipantAlerts) {
+  RoundTracker tracker(2, DefaultConfig());
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_TRUE(tracker.RecordRound({0.3, 0.3}).ok());
+  }
+  const auto alerts = tracker.RecordRound({0.3, 0.9}).value();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].participant, 1);
+  EXPECT_GT(alerts[0].relative_drift, 0.5);
+}
+
+TEST(RoundTrackerTest, CumulativeRanking) {
+  RoundTracker tracker(3, DefaultConfig());
+  ASSERT_TRUE(tracker.RecordRound({0.1, 0.5, 0.3}).ok());
+  ASSERT_TRUE(tracker.RecordRound({0.1, 0.4, 0.6}).ok());
+  const std::vector<int> ranking = tracker.CumulativeRanking();
+  EXPECT_EQ(ranking, (std::vector<int>{1, 2, 0}));
+}
+
+TEST(RoundTrackerTest, SummaryListsEveryParticipant) {
+  RoundTracker tracker(2, DefaultConfig());
+  ASSERT_TRUE(tracker.RecordRound({0.25, 0.75}).ok());
+  const std::string summary = tracker.Summary();
+  EXPECT_NE(summary.find("P0"), std::string::npos);
+  EXPECT_NE(summary.find("P1"), std::string::npos);
+  EXPECT_NE(summary.find("after 1 rounds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ctfl

@@ -1,0 +1,53 @@
+#include "ctfl/data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace ctfl {
+namespace {
+
+FeatureSchema MakeSchema() {
+  return FeatureSchema(
+      {FeatureSchema::Continuous("age", 0, 100),
+       FeatureSchema::Discrete("color", {"red", "green", "blue"}),
+       FeatureSchema::Continuous("height", 1.0, 2.5)},
+      "neg", "pos");
+}
+
+TEST(SchemaTest, CountsByType) {
+  const FeatureSchema schema = MakeSchema();
+  EXPECT_EQ(schema.num_features(), 3);
+  EXPECT_EQ(schema.num_continuous(), 2);
+  EXPECT_EQ(schema.num_discrete(), 1);
+}
+
+TEST(SchemaTest, LabelNames) {
+  const FeatureSchema schema = MakeSchema();
+  EXPECT_EQ(schema.label_name(0), "neg");
+  EXPECT_EQ(schema.label_name(1), "pos");
+}
+
+TEST(SchemaTest, FeatureIndexLookup) {
+  const FeatureSchema schema = MakeSchema();
+  EXPECT_EQ(schema.FeatureIndex("color").value(), 1);
+  EXPECT_EQ(schema.FeatureIndex("height").value(), 2);
+  EXPECT_FALSE(schema.FeatureIndex("missing").ok());
+}
+
+TEST(SchemaTest, CategoryIndexLookup) {
+  const FeatureSchema schema = MakeSchema();
+  EXPECT_EQ(schema.CategoryIndex(1, "green").value(), 1);
+  EXPECT_FALSE(schema.CategoryIndex(1, "purple").ok());
+  // Continuous feature has no categories.
+  EXPECT_FALSE(schema.CategoryIndex(0, "red").ok());
+  // Out-of-range feature index.
+  EXPECT_FALSE(schema.CategoryIndex(9, "red").ok());
+}
+
+TEST(SchemaTest, ContinuousDomainStored) {
+  const FeatureSchema schema = MakeSchema();
+  EXPECT_DOUBLE_EQ(schema.feature(2).lo, 1.0);
+  EXPECT_DOUBLE_EQ(schema.feature(2).hi, 2.5);
+}
+
+}  // namespace
+}  // namespace ctfl

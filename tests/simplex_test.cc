@@ -1,0 +1,172 @@
+#include "ctfl/solver/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "ctfl/util/rng.h"
+
+namespace ctfl {
+namespace {
+
+LpConstraint Le(std::vector<double> coeffs, double rhs) {
+  return {std::move(coeffs), LpConstraint::Rel::kLe, rhs};
+}
+LpConstraint Ge(std::vector<double> coeffs, double rhs) {
+  return {std::move(coeffs), LpConstraint::Rel::kGe, rhs};
+}
+LpConstraint Eq(std::vector<double> coeffs, double rhs) {
+  return {std::move(coeffs), LpConstraint::Rel::kEq, rhs};
+}
+
+TEST(SimplexTest, TextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (as min of negative).
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {-3, -5};
+  lp.constraints = {Le({1, 0}, 4), Le({0, 2}, 12), Le({3, 2}, 18)};
+  const LpSolution sol = SolveLp(lp).value();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-7);
+  EXPECT_NEAR(sol.x[1], 6.0, 1e-7);
+  EXPECT_NEAR(sol.objective, -36.0, 1e-7);
+}
+
+TEST(SimplexTest, GeConstraintsNeedPhaseOne) {
+  // min x + y s.t. x + y >= 2, x >= 0.5.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1, 1};
+  lp.constraints = {Ge({1, 1}, 2), Ge({1, 0}, 0.5)};
+  const LpSolution sol = SolveLp(lp).value();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-7);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // min 2x + 3y s.t. x + y = 4, x <= 3.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {2, 3};
+  lp.constraints = {Eq({1, 1}, 4), Le({1, 0}, 3)};
+  const LpSolution sol = SolveLp(lp).value();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-7);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-7);
+}
+
+TEST(SimplexTest, FreeVariablesCanGoNegative) {
+  // min e s.t. phi + e >= 1, phi <= 2 with both free: e* = -1 at phi = 2.
+  LpProblem lp;
+  lp.num_vars = 2;  // phi, e
+  lp.objective = {0, 1};
+  lp.free_vars = {true, true};
+  lp.constraints = {Ge({1, 1}, 1), Le({1, 0}, 2)};
+  const LpSolution sol = SolveLp(lp).value();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -1.0, 1e-7);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1};
+  lp.constraints = {Ge({1}, 5), Le({1}, 2)};
+  const LpSolution sol = SolveLp(lp).value();
+  EXPECT_EQ(sol.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  // min -x with only x >= 0: unbounded below.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {-1};
+  lp.constraints = {Ge({1}, 0)};
+  const LpSolution sol = SolveLp(lp).value();
+  EXPECT_EQ(sol.status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeRhsHandled) {
+  // min x s.t. -x <= -3  (i.e. x >= 3).
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1};
+  lp.constraints = {Le({-1}, -3)};
+  const LpSolution sol = SolveLp(lp).value();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-7);
+}
+
+TEST(SimplexTest, RejectsMalformedProblems) {
+  LpProblem lp;
+  lp.num_vars = 0;
+  EXPECT_FALSE(SolveLp(lp).ok());
+
+  lp.num_vars = 2;
+  lp.objective = {1};  // wrong width
+  EXPECT_FALSE(SolveLp(lp).ok());
+
+  lp.objective = {1, 1};
+  lp.constraints = {Le({1}, 0)};  // wrong width
+  EXPECT_FALSE(SolveLp(lp).ok());
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple constraints active at the optimum (degeneracy): Bland's rule
+  // must still terminate.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {-1, -1};
+  lp.constraints = {Le({1, 0}, 1), Le({0, 1}, 1), Le({1, 1}, 2),
+                    Le({2, 1}, 3), Le({1, 2}, 3)};
+  const LpSolution sol = SolveLp(lp).value();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -2.0, 1e-7);
+}
+
+// Random LPs with a known feasible point: the solver must return a value
+// no worse than that point while satisfying all constraints.
+class SimplexRandomProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplexRandomProperty, OptimalIsFeasibleAndNotWorseThanWitness) {
+  Rng rng(GetParam());
+  const int n = 3 + static_cast<int>(rng.UniformInt(4));
+  const int m = 4 + static_cast<int>(rng.UniformInt(6));
+  // Witness point in the positive orthant.
+  std::vector<double> witness(n);
+  for (double& w : witness) w = rng.Uniform(0.0, 2.0);
+
+  LpProblem lp;
+  lp.num_vars = n;
+  lp.objective.resize(n);
+  for (double& c : lp.objective) c = rng.Uniform(0.1, 2.0);  // bounded below
+  for (int i = 0; i < m; ++i) {
+    LpConstraint con;
+    con.coeffs.resize(n);
+    double lhs = 0.0;
+    for (int j = 0; j < n; ++j) {
+      con.coeffs[j] = rng.Uniform(-1.0, 1.0);
+      lhs += con.coeffs[j] * witness[j];
+    }
+    con.rel = LpConstraint::Rel::kLe;
+    con.rhs = lhs + rng.Uniform(0.0, 1.0);  // witness satisfies strictly
+    lp.constraints.push_back(std::move(con));
+  }
+
+  const LpSolution sol = SolveLp(lp).value();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  double witness_obj = 0.0;
+  for (int j = 0; j < n; ++j) witness_obj += lp.objective[j] * witness[j];
+  EXPECT_LE(sol.objective, witness_obj + 1e-7);
+  // Feasibility of the returned point.
+  for (const LpConstraint& con : lp.constraints) {
+    double lhs = 0.0;
+    for (int j = 0; j < n; ++j) lhs += con.coeffs[j] * sol.x[j];
+    EXPECT_LE(lhs, con.rhs + 1e-6);
+  }
+  for (double x : sol.x) EXPECT_GE(x, -1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomProperty,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace ctfl

@@ -1,0 +1,85 @@
+#include "ctfl/util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "ctfl/util/result.h"
+
+namespace ctfl {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad width");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad width");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad width");
+}
+
+TEST(StatusTest, FactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+Status FailsAtStep(int step) {
+  CTFL_RETURN_IF_ERROR(step == 1 ? Status::Internal("one") : Status::OK());
+  CTFL_RETURN_IF_ERROR(step == 2 ? Status::Internal("two") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorShortCircuits) {
+  EXPECT_TRUE(FailsAtStep(0).ok());
+  EXPECT_EQ(FailsAtStep(1).message(), "one");
+  EXPECT_EQ(FailsAtStep(2).message(), "two");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+Result<int> Doubler(Result<int> input) {
+  CTFL_ASSIGN_OR_RETURN(int v, input);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubler(21).value(), 42);
+  Result<int> failed = Doubler(Status::Internal("boom"));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().message(), "boom");
+}
+
+}  // namespace
+}  // namespace ctfl

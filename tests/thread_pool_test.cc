@@ -1,0 +1,72 @@
+#include "ctfl/util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ctfl {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> touched(5000);
+  pool.ParallelFor(0, touched.size(), [&](size_t i) {
+    touched[i].fetch_add(1);
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(10, 10, [&](size_t) { ++calls; });
+  pool.ParallelFor(10, 5, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ParallelForComputesCorrectSum) {
+  ThreadPool pool(4);
+  const size_t n = 10000;
+  std::vector<long> values(n);
+  pool.ParallelFor(0, n, [&](size_t i) { values[i] = static_cast<long>(i); });
+  const long total = std::accumulate(values.begin(), values.end(), 0L);
+  EXPECT_EQ(total, static_cast<long>(n * (n - 1) / 2));
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountPositive) {
+  ThreadPool pool;
+  EXPECT_GT(pool.num_threads(), 0);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(0, 64, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+}  // namespace
+}  // namespace ctfl

@@ -1,0 +1,223 @@
+// ctfl — command-line front end for the CTFL library.
+//
+// Subcommands:
+//   generate  --dataset NAME --out FILE [--n N] [--seed S]
+//       Writes a benchmark dataset (tic-tac-toe exact, or the synthetic
+//       adult/bank/dota2 equivalents) as CSV.
+//   train     --dataset NAME --data FILE --model OUT [--epochs E] [--lr R]
+//       Trains a rule-based model on a CSV dataset and saves it.
+//   rules     --dataset NAME --model FILE [--out FILE] [--min-weight W]
+//       Prints (or writes) the model's extracted symbolic rules.
+//   score     --dataset NAME --train FILE --test FILE [--participants K]
+//             [--tau-w T] [--skew-label] [--seed S]
+//       Partitions the training CSV into K participants, runs the full
+//       CTFL pipeline, and prints micro/macro scores + a loss report.
+//
+// The --dataset flag names the schema (the federation's agreed feature
+// space); CSV files must match it.
+
+#include <cstdio>
+#include <map>
+
+#include "ctfl/core/incentive.h"
+#include "ctfl/core/interpret.h"
+#include "ctfl/core/pipeline.h"
+#include "ctfl/data/gen/benchmarks.h"
+#include "ctfl/data/gen/tictactoe.h"
+#include "ctfl/data/split.h"
+#include "ctfl/fl/partition.h"
+#include "ctfl/nn/serialize.h"
+#include "ctfl/util/flags.h"
+
+namespace ctfl {
+namespace {
+
+Result<SchemaPtr> SchemaFor(const std::string& dataset) {
+  if (dataset == "tic-tac-toe") return TicTacToeSchema();
+  CTFL_ASSIGN_OR_RETURN(SyntheticSpec spec, BenchmarkSpec(dataset));
+  return spec.schema;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Status RunGenerate(int argc, const char* const* argv) {
+  FlagParser flags({{"dataset", "adult"},
+                    {"out", ""},
+                    {"n", "1000"},
+                    {"seed", "42"}});
+  CTFL_RETURN_IF_ERROR(flags.Parse(argc, argv));
+  if (flags.GetString("out").empty()) {
+    return Status::InvalidArgument("--out is required");
+  }
+  CTFL_ASSIGN_OR_RETURN(int n, flags.GetInt("n"));
+  CTFL_ASSIGN_OR_RETURN(int seed, flags.GetInt("seed"));
+  CTFL_ASSIGN_OR_RETURN(
+      Dataset dataset,
+      MakeBenchmark(flags.GetString("dataset"), n, seed));
+  CTFL_RETURN_IF_ERROR(SaveCsvDataset(flags.GetString("out"), dataset));
+  std::printf("wrote %zu instances to %s\n", dataset.size(),
+              flags.GetString("out").c_str());
+  return Status::OK();
+}
+
+Status RunTrain(int argc, const char* const* argv) {
+  FlagParser flags({{"dataset", "adult"},
+                    {"data", ""},
+                    {"model", ""},
+                    {"epochs", "30"},
+                    {"lr", "0.05"},
+                    {"width", "96"},
+                    {"seed", "42"}});
+  CTFL_RETURN_IF_ERROR(flags.Parse(argc, argv));
+  if (flags.GetString("data").empty() || flags.GetString("model").empty()) {
+    return Status::InvalidArgument("--data and --model are required");
+  }
+  CTFL_ASSIGN_OR_RETURN(SchemaPtr schema,
+                        SchemaFor(flags.GetString("dataset")));
+  CTFL_ASSIGN_OR_RETURN(Dataset data,
+                        LoadCsvDataset(flags.GetString("data"), schema));
+  CTFL_ASSIGN_OR_RETURN(int epochs, flags.GetInt("epochs"));
+  CTFL_ASSIGN_OR_RETURN(double lr, flags.GetDouble("lr"));
+  CTFL_ASSIGN_OR_RETURN(int width, flags.GetInt("width"));
+  CTFL_ASSIGN_OR_RETURN(int seed, flags.GetInt("seed"));
+
+  LogicalNetConfig net_config;
+  net_config.logic_layers = {{width / 2, width - width / 2}};
+  net_config.seed = seed;
+  TrainConfig train_config;
+  train_config.epochs = epochs;
+  train_config.learning_rate = lr;
+  LogicalNet net(schema, net_config);
+  const TrainReport report = TrainGrafted(net, data, train_config);
+  CTFL_RETURN_IF_ERROR(SaveLogicalNet(net, flags.GetString("model")));
+  std::printf("trained on %zu instances (train accuracy %.3f); model -> %s\n",
+              data.size(), report.train_accuracy,
+              flags.GetString("model").c_str());
+  return Status::OK();
+}
+
+Status RunRules(int argc, const char* const* argv) {
+  FlagParser flags({{"dataset", "adult"},
+                    {"model", ""},
+                    {"out", ""},
+                    {"min-weight", "0.01"}});
+  CTFL_RETURN_IF_ERROR(flags.Parse(argc, argv));
+  if (flags.GetString("model").empty()) {
+    return Status::InvalidArgument("--model is required");
+  }
+  CTFL_ASSIGN_OR_RETURN(SchemaPtr schema,
+                        SchemaFor(flags.GetString("dataset")));
+  CTFL_ASSIGN_OR_RETURN(LogicalNet net,
+                        LoadLogicalNet(schema, flags.GetString("model")));
+  CTFL_ASSIGN_OR_RETURN(double min_weight, flags.GetDouble("min-weight"));
+  const std::string out = flags.GetString("out");
+  if (!out.empty()) {
+    CTFL_RETURN_IF_ERROR(ExportRulesText(net, out, min_weight));
+    std::printf("rules -> %s\n", out.c_str());
+    return Status::OK();
+  }
+  const ExtractionResult extraction = ExtractRules(net);
+  for (const ExtractedRule& er : extraction.rules) {
+    if (er.weight < min_weight) continue;
+    std::printf("r%d%s w=%.4f : %s\n", er.coordinate,
+                er.support_class == 1 ? "+" : "-", er.weight,
+                er.rule.ToString(*schema).c_str());
+  }
+  return Status::OK();
+}
+
+Status RunScore(int argc, const char* const* argv) {
+  FlagParser flags({{"dataset", "adult"},
+                    {"train", ""},
+                    {"test", ""},
+                    {"participants", "4"},
+                    {"tau-w", "0.9"},
+                    {"alpha", "0.8"},
+                    {"skew-label", "false"},
+                    {"epochs", "20"},
+                    {"width", "96"},
+                    {"budget", "0"},
+                    {"seed", "42"}});
+  CTFL_RETURN_IF_ERROR(flags.Parse(argc, argv));
+  if (flags.GetString("train").empty() || flags.GetString("test").empty()) {
+    return Status::InvalidArgument("--train and --test are required");
+  }
+  CTFL_ASSIGN_OR_RETURN(SchemaPtr schema,
+                        SchemaFor(flags.GetString("dataset")));
+  CTFL_ASSIGN_OR_RETURN(Dataset train,
+                        LoadCsvDataset(flags.GetString("train"), schema));
+  CTFL_ASSIGN_OR_RETURN(Dataset test,
+                        LoadCsvDataset(flags.GetString("test"), schema));
+  CTFL_ASSIGN_OR_RETURN(int participants, flags.GetInt("participants"));
+  CTFL_ASSIGN_OR_RETURN(double tau_w, flags.GetDouble("tau-w"));
+  CTFL_ASSIGN_OR_RETURN(double alpha, flags.GetDouble("alpha"));
+  CTFL_ASSIGN_OR_RETURN(int epochs, flags.GetInt("epochs"));
+  CTFL_ASSIGN_OR_RETURN(int width, flags.GetInt("width"));
+  CTFL_ASSIGN_OR_RETURN(double budget, flags.GetDouble("budget"));
+  CTFL_ASSIGN_OR_RETURN(int seed, flags.GetInt("seed"));
+
+  Rng prng(seed);
+  const Federation fed = MakeFederation(
+      flags.GetBool("skew-label")
+          ? PartitionSkewLabel(train, participants, alpha, prng)
+          : PartitionSkewSample(train, participants, alpha, prng));
+
+  CtflConfig config;
+  config.federated = false;
+  config.central.epochs = epochs;
+  config.central.learning_rate = 0.05;
+  config.net.logic_layers = {{width / 2, width - width / 2}};
+  config.net.seed = seed;
+  config.tracer.tau_w = tau_w;
+  const CtflReport report = RunCtfl(fed, test, config);
+
+  std::printf("model accuracy: %.4f  (train %.1fs, trace %.2fs)\n\n",
+              report.test_accuracy, report.train_seconds,
+              report.trace_seconds);
+  std::printf("participant  records    micro     macro\n");
+  for (const Participant& p : fed) {
+    std::printf("%-11s %8zu   %.4f    %.4f\n", p.name.c_str(),
+                p.data.size(), report.micro_scores[p.id],
+                report.macro_scores[p.id]);
+  }
+  std::printf("\nloss-tracing report:\n%s",
+              FormatLossReport(AnalyzeLoss(report.trace)).c_str());
+  if (budget > 0.0) {
+    IncentiveConfig incentive;
+    incentive.budget = budget;
+    std::printf("\npayouts (budget %.2f, macro scheme):\n%s", budget,
+                FormatPayouts(ComputePayouts(report, incentive)).c_str());
+  }
+  return Status::OK();
+}
+
+int Main(int argc, const char* const* argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: ctfl <generate|train|rules|score> [flags]\n"
+                 "run a subcommand with no flags to see its options\n");
+    return 1;
+  }
+  const std::string command = argv[1];
+  Status status;
+  if (command == "generate") {
+    status = RunGenerate(argc - 2, argv + 2);
+  } else if (command == "train") {
+    status = RunTrain(argc - 2, argv + 2);
+  } else if (command == "rules") {
+    status = RunRules(argc - 2, argv + 2);
+  } else if (command == "score") {
+    status = RunScore(argc - 2, argv + 2);
+  } else {
+    status = Status::InvalidArgument("unknown subcommand " + command);
+  }
+  return status.ok() ? 0 : Fail(status);
+}
+
+}  // namespace
+}  // namespace ctfl
+
+int main(int argc, char** argv) { return ctfl::Main(argc, argv); }
