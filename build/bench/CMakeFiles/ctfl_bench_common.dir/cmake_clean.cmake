@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctfl_bench_common.dir/common.cc.o"
+  "CMakeFiles/ctfl_bench_common.dir/common.cc.o.d"
+  "libctfl_bench_common.a"
+  "libctfl_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctfl_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libctfl_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_robustness.dir/fig6_robustness.cc.o"
+  "CMakeFiles/fig6_robustness.dir/fig6_robustness.cc.o.d"
+  "fig6_robustness"
+  "fig6_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

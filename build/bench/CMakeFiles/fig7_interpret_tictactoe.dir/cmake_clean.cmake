@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_interpret_tictactoe.dir/fig7_interpret_tictactoe.cc.o"
+  "CMakeFiles/fig7_interpret_tictactoe.dir/fig7_interpret_tictactoe.cc.o.d"
+  "fig7_interpret_tictactoe"
+  "fig7_interpret_tictactoe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_interpret_tictactoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_interpret_tictactoe.
+# This may be replaced when dependencies are built.

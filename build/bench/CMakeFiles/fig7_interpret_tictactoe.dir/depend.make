@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_interpret_tictactoe.
+# This may be replaced when dependencies are built.

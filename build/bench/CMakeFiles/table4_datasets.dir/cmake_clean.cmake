@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_datasets.dir/table4_datasets.cc.o"
+  "CMakeFiles/table4_datasets.dir/table4_datasets.cc.o.d"
+  "table4_datasets"
+  "table4_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

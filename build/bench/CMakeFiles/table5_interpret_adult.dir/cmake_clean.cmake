@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_interpret_adult.dir/table5_interpret_adult.cc.o"
+  "CMakeFiles/table5_interpret_adult.dir/table5_interpret_adult.cc.o.d"
+  "table5_interpret_adult"
+  "table5_interpret_adult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_interpret_adult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

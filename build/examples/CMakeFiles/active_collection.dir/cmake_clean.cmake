@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_collection.dir/active_collection.cc.o"
+  "CMakeFiles/active_collection.dir/active_collection.cc.o.d"
+  "active_collection"
+  "active_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federation_settlement.dir/federation_settlement.cc.o"
+  "CMakeFiles/federation_settlement.dir/federation_settlement.cc.o.d"
+  "federation_settlement"
+  "federation_settlement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federation_settlement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

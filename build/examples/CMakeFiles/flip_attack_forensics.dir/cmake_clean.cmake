@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flip_attack_forensics.dir/flip_attack_forensics.cc.o"
+  "CMakeFiles/flip_attack_forensics.dir/flip_attack_forensics.cc.o.d"
+  "flip_attack_forensics"
+  "flip_attack_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flip_attack_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for flip_attack_forensics.
+# This may be replaced when dependencies are built.

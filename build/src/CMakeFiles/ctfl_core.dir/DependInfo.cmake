@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctfl/core/allocation.cc" "src/CMakeFiles/ctfl_core.dir/ctfl/core/allocation.cc.o" "gcc" "src/CMakeFiles/ctfl_core.dir/ctfl/core/allocation.cc.o.d"
+  "/root/repo/src/ctfl/core/incentive.cc" "src/CMakeFiles/ctfl_core.dir/ctfl/core/incentive.cc.o" "gcc" "src/CMakeFiles/ctfl_core.dir/ctfl/core/incentive.cc.o.d"
+  "/root/repo/src/ctfl/core/interpret.cc" "src/CMakeFiles/ctfl_core.dir/ctfl/core/interpret.cc.o" "gcc" "src/CMakeFiles/ctfl_core.dir/ctfl/core/interpret.cc.o.d"
+  "/root/repo/src/ctfl/core/loss_tracing.cc" "src/CMakeFiles/ctfl_core.dir/ctfl/core/loss_tracing.cc.o" "gcc" "src/CMakeFiles/ctfl_core.dir/ctfl/core/loss_tracing.cc.o.d"
+  "/root/repo/src/ctfl/core/pipeline.cc" "src/CMakeFiles/ctfl_core.dir/ctfl/core/pipeline.cc.o" "gcc" "src/CMakeFiles/ctfl_core.dir/ctfl/core/pipeline.cc.o.d"
+  "/root/repo/src/ctfl/core/rounds.cc" "src/CMakeFiles/ctfl_core.dir/ctfl/core/rounds.cc.o" "gcc" "src/CMakeFiles/ctfl_core.dir/ctfl/core/rounds.cc.o.d"
+  "/root/repo/src/ctfl/core/tracer.cc" "src/CMakeFiles/ctfl_core.dir/ctfl/core/tracer.cc.o" "gcc" "src/CMakeFiles/ctfl_core.dir/ctfl/core/tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ctfl_valuation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctfl_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctfl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctfl_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctfl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctfl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctfl_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctfl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctfl_core.dir/ctfl/core/allocation.cc.o"
+  "CMakeFiles/ctfl_core.dir/ctfl/core/allocation.cc.o.d"
+  "CMakeFiles/ctfl_core.dir/ctfl/core/incentive.cc.o"
+  "CMakeFiles/ctfl_core.dir/ctfl/core/incentive.cc.o.d"
+  "CMakeFiles/ctfl_core.dir/ctfl/core/interpret.cc.o"
+  "CMakeFiles/ctfl_core.dir/ctfl/core/interpret.cc.o.d"
+  "CMakeFiles/ctfl_core.dir/ctfl/core/loss_tracing.cc.o"
+  "CMakeFiles/ctfl_core.dir/ctfl/core/loss_tracing.cc.o.d"
+  "CMakeFiles/ctfl_core.dir/ctfl/core/pipeline.cc.o"
+  "CMakeFiles/ctfl_core.dir/ctfl/core/pipeline.cc.o.d"
+  "CMakeFiles/ctfl_core.dir/ctfl/core/rounds.cc.o"
+  "CMakeFiles/ctfl_core.dir/ctfl/core/rounds.cc.o.d"
+  "CMakeFiles/ctfl_core.dir/ctfl/core/tracer.cc.o"
+  "CMakeFiles/ctfl_core.dir/ctfl/core/tracer.cc.o.d"
+  "libctfl_core.a"
+  "libctfl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctfl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

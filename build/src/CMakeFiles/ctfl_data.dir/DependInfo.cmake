@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctfl/data/dataset.cc" "src/CMakeFiles/ctfl_data.dir/ctfl/data/dataset.cc.o" "gcc" "src/CMakeFiles/ctfl_data.dir/ctfl/data/dataset.cc.o.d"
+  "/root/repo/src/ctfl/data/gen/benchmarks.cc" "src/CMakeFiles/ctfl_data.dir/ctfl/data/gen/benchmarks.cc.o" "gcc" "src/CMakeFiles/ctfl_data.dir/ctfl/data/gen/benchmarks.cc.o.d"
+  "/root/repo/src/ctfl/data/gen/synthetic.cc" "src/CMakeFiles/ctfl_data.dir/ctfl/data/gen/synthetic.cc.o" "gcc" "src/CMakeFiles/ctfl_data.dir/ctfl/data/gen/synthetic.cc.o.d"
+  "/root/repo/src/ctfl/data/gen/tictactoe.cc" "src/CMakeFiles/ctfl_data.dir/ctfl/data/gen/tictactoe.cc.o" "gcc" "src/CMakeFiles/ctfl_data.dir/ctfl/data/gen/tictactoe.cc.o.d"
+  "/root/repo/src/ctfl/data/schema.cc" "src/CMakeFiles/ctfl_data.dir/ctfl/data/schema.cc.o" "gcc" "src/CMakeFiles/ctfl_data.dir/ctfl/data/schema.cc.o.d"
+  "/root/repo/src/ctfl/data/split.cc" "src/CMakeFiles/ctfl_data.dir/ctfl/data/split.cc.o" "gcc" "src/CMakeFiles/ctfl_data.dir/ctfl/data/split.cc.o.d"
+  "/root/repo/src/ctfl/data/stats.cc" "src/CMakeFiles/ctfl_data.dir/ctfl/data/stats.cc.o" "gcc" "src/CMakeFiles/ctfl_data.dir/ctfl/data/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ctfl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

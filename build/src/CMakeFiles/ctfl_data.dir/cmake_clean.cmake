@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctfl_data.dir/ctfl/data/dataset.cc.o"
+  "CMakeFiles/ctfl_data.dir/ctfl/data/dataset.cc.o.d"
+  "CMakeFiles/ctfl_data.dir/ctfl/data/gen/benchmarks.cc.o"
+  "CMakeFiles/ctfl_data.dir/ctfl/data/gen/benchmarks.cc.o.d"
+  "CMakeFiles/ctfl_data.dir/ctfl/data/gen/synthetic.cc.o"
+  "CMakeFiles/ctfl_data.dir/ctfl/data/gen/synthetic.cc.o.d"
+  "CMakeFiles/ctfl_data.dir/ctfl/data/gen/tictactoe.cc.o"
+  "CMakeFiles/ctfl_data.dir/ctfl/data/gen/tictactoe.cc.o.d"
+  "CMakeFiles/ctfl_data.dir/ctfl/data/schema.cc.o"
+  "CMakeFiles/ctfl_data.dir/ctfl/data/schema.cc.o.d"
+  "CMakeFiles/ctfl_data.dir/ctfl/data/split.cc.o"
+  "CMakeFiles/ctfl_data.dir/ctfl/data/split.cc.o.d"
+  "CMakeFiles/ctfl_data.dir/ctfl/data/stats.cc.o"
+  "CMakeFiles/ctfl_data.dir/ctfl/data/stats.cc.o.d"
+  "libctfl_data.a"
+  "libctfl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctfl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctfl/fl/adversary.cc" "src/CMakeFiles/ctfl_fl.dir/ctfl/fl/adversary.cc.o" "gcc" "src/CMakeFiles/ctfl_fl.dir/ctfl/fl/adversary.cc.o.d"
+  "/root/repo/src/ctfl/fl/fedavg.cc" "src/CMakeFiles/ctfl_fl.dir/ctfl/fl/fedavg.cc.o" "gcc" "src/CMakeFiles/ctfl_fl.dir/ctfl/fl/fedavg.cc.o.d"
+  "/root/repo/src/ctfl/fl/metrics.cc" "src/CMakeFiles/ctfl_fl.dir/ctfl/fl/metrics.cc.o" "gcc" "src/CMakeFiles/ctfl_fl.dir/ctfl/fl/metrics.cc.o.d"
+  "/root/repo/src/ctfl/fl/participant.cc" "src/CMakeFiles/ctfl_fl.dir/ctfl/fl/participant.cc.o" "gcc" "src/CMakeFiles/ctfl_fl.dir/ctfl/fl/participant.cc.o.d"
+  "/root/repo/src/ctfl/fl/partition.cc" "src/CMakeFiles/ctfl_fl.dir/ctfl/fl/partition.cc.o" "gcc" "src/CMakeFiles/ctfl_fl.dir/ctfl/fl/partition.cc.o.d"
+  "/root/repo/src/ctfl/fl/privacy.cc" "src/CMakeFiles/ctfl_fl.dir/ctfl/fl/privacy.cc.o" "gcc" "src/CMakeFiles/ctfl_fl.dir/ctfl/fl/privacy.cc.o.d"
+  "/root/repo/src/ctfl/fl/secure_agg.cc" "src/CMakeFiles/ctfl_fl.dir/ctfl/fl/secure_agg.cc.o" "gcc" "src/CMakeFiles/ctfl_fl.dir/ctfl/fl/secure_agg.cc.o.d"
+  "/root/repo/src/ctfl/fl/utility.cc" "src/CMakeFiles/ctfl_fl.dir/ctfl/fl/utility.cc.o" "gcc" "src/CMakeFiles/ctfl_fl.dir/ctfl/fl/utility.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ctfl_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctfl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctfl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctfl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

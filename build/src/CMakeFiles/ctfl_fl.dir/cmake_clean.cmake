@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctfl_fl.dir/ctfl/fl/adversary.cc.o"
+  "CMakeFiles/ctfl_fl.dir/ctfl/fl/adversary.cc.o.d"
+  "CMakeFiles/ctfl_fl.dir/ctfl/fl/fedavg.cc.o"
+  "CMakeFiles/ctfl_fl.dir/ctfl/fl/fedavg.cc.o.d"
+  "CMakeFiles/ctfl_fl.dir/ctfl/fl/metrics.cc.o"
+  "CMakeFiles/ctfl_fl.dir/ctfl/fl/metrics.cc.o.d"
+  "CMakeFiles/ctfl_fl.dir/ctfl/fl/participant.cc.o"
+  "CMakeFiles/ctfl_fl.dir/ctfl/fl/participant.cc.o.d"
+  "CMakeFiles/ctfl_fl.dir/ctfl/fl/partition.cc.o"
+  "CMakeFiles/ctfl_fl.dir/ctfl/fl/partition.cc.o.d"
+  "CMakeFiles/ctfl_fl.dir/ctfl/fl/privacy.cc.o"
+  "CMakeFiles/ctfl_fl.dir/ctfl/fl/privacy.cc.o.d"
+  "CMakeFiles/ctfl_fl.dir/ctfl/fl/secure_agg.cc.o"
+  "CMakeFiles/ctfl_fl.dir/ctfl/fl/secure_agg.cc.o.d"
+  "CMakeFiles/ctfl_fl.dir/ctfl/fl/utility.cc.o"
+  "CMakeFiles/ctfl_fl.dir/ctfl/fl/utility.cc.o.d"
+  "libctfl_fl.a"
+  "libctfl_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctfl_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

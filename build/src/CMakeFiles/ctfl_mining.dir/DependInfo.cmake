@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctfl/mining/apriori.cc" "src/CMakeFiles/ctfl_mining.dir/ctfl/mining/apriori.cc.o" "gcc" "src/CMakeFiles/ctfl_mining.dir/ctfl/mining/apriori.cc.o.d"
+  "/root/repo/src/ctfl/mining/itemset.cc" "src/CMakeFiles/ctfl_mining.dir/ctfl/mining/itemset.cc.o" "gcc" "src/CMakeFiles/ctfl_mining.dir/ctfl/mining/itemset.cc.o.d"
+  "/root/repo/src/ctfl/mining/max_miner.cc" "src/CMakeFiles/ctfl_mining.dir/ctfl/mining/max_miner.cc.o" "gcc" "src/CMakeFiles/ctfl_mining.dir/ctfl/mining/max_miner.cc.o.d"
+  "/root/repo/src/ctfl/mining/test_grouping.cc" "src/CMakeFiles/ctfl_mining.dir/ctfl/mining/test_grouping.cc.o" "gcc" "src/CMakeFiles/ctfl_mining.dir/ctfl/mining/test_grouping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ctfl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctfl_mining.dir/ctfl/mining/apriori.cc.o"
+  "CMakeFiles/ctfl_mining.dir/ctfl/mining/apriori.cc.o.d"
+  "CMakeFiles/ctfl_mining.dir/ctfl/mining/itemset.cc.o"
+  "CMakeFiles/ctfl_mining.dir/ctfl/mining/itemset.cc.o.d"
+  "CMakeFiles/ctfl_mining.dir/ctfl/mining/max_miner.cc.o"
+  "CMakeFiles/ctfl_mining.dir/ctfl/mining/max_miner.cc.o.d"
+  "CMakeFiles/ctfl_mining.dir/ctfl/mining/test_grouping.cc.o"
+  "CMakeFiles/ctfl_mining.dir/ctfl/mining/test_grouping.cc.o.d"
+  "libctfl_mining.a"
+  "libctfl_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctfl_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctfl_multiclass.dir/ctfl/multiclass/ovr.cc.o"
+  "CMakeFiles/ctfl_multiclass.dir/ctfl/multiclass/ovr.cc.o.d"
+  "libctfl_multiclass.a"
+  "libctfl_multiclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctfl_multiclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctfl/nn/binarization_layer.cc" "src/CMakeFiles/ctfl_nn.dir/ctfl/nn/binarization_layer.cc.o" "gcc" "src/CMakeFiles/ctfl_nn.dir/ctfl/nn/binarization_layer.cc.o.d"
+  "/root/repo/src/ctfl/nn/linear_layer.cc" "src/CMakeFiles/ctfl_nn.dir/ctfl/nn/linear_layer.cc.o" "gcc" "src/CMakeFiles/ctfl_nn.dir/ctfl/nn/linear_layer.cc.o.d"
+  "/root/repo/src/ctfl/nn/logic_layer.cc" "src/CMakeFiles/ctfl_nn.dir/ctfl/nn/logic_layer.cc.o" "gcc" "src/CMakeFiles/ctfl_nn.dir/ctfl/nn/logic_layer.cc.o.d"
+  "/root/repo/src/ctfl/nn/logical_net.cc" "src/CMakeFiles/ctfl_nn.dir/ctfl/nn/logical_net.cc.o" "gcc" "src/CMakeFiles/ctfl_nn.dir/ctfl/nn/logical_net.cc.o.d"
+  "/root/repo/src/ctfl/nn/loss.cc" "src/CMakeFiles/ctfl_nn.dir/ctfl/nn/loss.cc.o" "gcc" "src/CMakeFiles/ctfl_nn.dir/ctfl/nn/loss.cc.o.d"
+  "/root/repo/src/ctfl/nn/matrix.cc" "src/CMakeFiles/ctfl_nn.dir/ctfl/nn/matrix.cc.o" "gcc" "src/CMakeFiles/ctfl_nn.dir/ctfl/nn/matrix.cc.o.d"
+  "/root/repo/src/ctfl/nn/optimizer.cc" "src/CMakeFiles/ctfl_nn.dir/ctfl/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/ctfl_nn.dir/ctfl/nn/optimizer.cc.o.d"
+  "/root/repo/src/ctfl/nn/serialize.cc" "src/CMakeFiles/ctfl_nn.dir/ctfl/nn/serialize.cc.o" "gcc" "src/CMakeFiles/ctfl_nn.dir/ctfl/nn/serialize.cc.o.d"
+  "/root/repo/src/ctfl/nn/trainer.cc" "src/CMakeFiles/ctfl_nn.dir/ctfl/nn/trainer.cc.o" "gcc" "src/CMakeFiles/ctfl_nn.dir/ctfl/nn/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ctfl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctfl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctfl_nn.dir/ctfl/nn/binarization_layer.cc.o"
+  "CMakeFiles/ctfl_nn.dir/ctfl/nn/binarization_layer.cc.o.d"
+  "CMakeFiles/ctfl_nn.dir/ctfl/nn/linear_layer.cc.o"
+  "CMakeFiles/ctfl_nn.dir/ctfl/nn/linear_layer.cc.o.d"
+  "CMakeFiles/ctfl_nn.dir/ctfl/nn/logic_layer.cc.o"
+  "CMakeFiles/ctfl_nn.dir/ctfl/nn/logic_layer.cc.o.d"
+  "CMakeFiles/ctfl_nn.dir/ctfl/nn/logical_net.cc.o"
+  "CMakeFiles/ctfl_nn.dir/ctfl/nn/logical_net.cc.o.d"
+  "CMakeFiles/ctfl_nn.dir/ctfl/nn/loss.cc.o"
+  "CMakeFiles/ctfl_nn.dir/ctfl/nn/loss.cc.o.d"
+  "CMakeFiles/ctfl_nn.dir/ctfl/nn/matrix.cc.o"
+  "CMakeFiles/ctfl_nn.dir/ctfl/nn/matrix.cc.o.d"
+  "CMakeFiles/ctfl_nn.dir/ctfl/nn/optimizer.cc.o"
+  "CMakeFiles/ctfl_nn.dir/ctfl/nn/optimizer.cc.o.d"
+  "CMakeFiles/ctfl_nn.dir/ctfl/nn/serialize.cc.o"
+  "CMakeFiles/ctfl_nn.dir/ctfl/nn/serialize.cc.o.d"
+  "CMakeFiles/ctfl_nn.dir/ctfl/nn/trainer.cc.o"
+  "CMakeFiles/ctfl_nn.dir/ctfl/nn/trainer.cc.o.d"
+  "libctfl_nn.a"
+  "libctfl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctfl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

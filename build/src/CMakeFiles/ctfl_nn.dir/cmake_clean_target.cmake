@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libctfl_nn.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctfl/rules/extraction.cc" "src/CMakeFiles/ctfl_rules.dir/ctfl/rules/extraction.cc.o" "gcc" "src/CMakeFiles/ctfl_rules.dir/ctfl/rules/extraction.cc.o.d"
+  "/root/repo/src/ctfl/rules/predicate.cc" "src/CMakeFiles/ctfl_rules.dir/ctfl/rules/predicate.cc.o" "gcc" "src/CMakeFiles/ctfl_rules.dir/ctfl/rules/predicate.cc.o.d"
+  "/root/repo/src/ctfl/rules/rule.cc" "src/CMakeFiles/ctfl_rules.dir/ctfl/rules/rule.cc.o" "gcc" "src/CMakeFiles/ctfl_rules.dir/ctfl/rules/rule.cc.o.d"
+  "/root/repo/src/ctfl/rules/rule_model.cc" "src/CMakeFiles/ctfl_rules.dir/ctfl/rules/rule_model.cc.o" "gcc" "src/CMakeFiles/ctfl_rules.dir/ctfl/rules/rule_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ctfl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctfl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctfl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

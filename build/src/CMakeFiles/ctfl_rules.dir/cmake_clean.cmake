@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctfl_rules.dir/ctfl/rules/extraction.cc.o"
+  "CMakeFiles/ctfl_rules.dir/ctfl/rules/extraction.cc.o.d"
+  "CMakeFiles/ctfl_rules.dir/ctfl/rules/predicate.cc.o"
+  "CMakeFiles/ctfl_rules.dir/ctfl/rules/predicate.cc.o.d"
+  "CMakeFiles/ctfl_rules.dir/ctfl/rules/rule.cc.o"
+  "CMakeFiles/ctfl_rules.dir/ctfl/rules/rule.cc.o.d"
+  "CMakeFiles/ctfl_rules.dir/ctfl/rules/rule_model.cc.o"
+  "CMakeFiles/ctfl_rules.dir/ctfl/rules/rule_model.cc.o.d"
+  "libctfl_rules.a"
+  "libctfl_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctfl_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctfl_solver.dir/ctfl/solver/simplex.cc.o"
+  "CMakeFiles/ctfl_solver.dir/ctfl/solver/simplex.cc.o.d"
+  "libctfl_solver.a"
+  "libctfl_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctfl_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctfl/util/bitset.cc" "src/CMakeFiles/ctfl_util.dir/ctfl/util/bitset.cc.o" "gcc" "src/CMakeFiles/ctfl_util.dir/ctfl/util/bitset.cc.o.d"
+  "/root/repo/src/ctfl/util/csv.cc" "src/CMakeFiles/ctfl_util.dir/ctfl/util/csv.cc.o" "gcc" "src/CMakeFiles/ctfl_util.dir/ctfl/util/csv.cc.o.d"
+  "/root/repo/src/ctfl/util/flags.cc" "src/CMakeFiles/ctfl_util.dir/ctfl/util/flags.cc.o" "gcc" "src/CMakeFiles/ctfl_util.dir/ctfl/util/flags.cc.o.d"
+  "/root/repo/src/ctfl/util/logging.cc" "src/CMakeFiles/ctfl_util.dir/ctfl/util/logging.cc.o" "gcc" "src/CMakeFiles/ctfl_util.dir/ctfl/util/logging.cc.o.d"
+  "/root/repo/src/ctfl/util/rng.cc" "src/CMakeFiles/ctfl_util.dir/ctfl/util/rng.cc.o" "gcc" "src/CMakeFiles/ctfl_util.dir/ctfl/util/rng.cc.o.d"
+  "/root/repo/src/ctfl/util/status.cc" "src/CMakeFiles/ctfl_util.dir/ctfl/util/status.cc.o" "gcc" "src/CMakeFiles/ctfl_util.dir/ctfl/util/status.cc.o.d"
+  "/root/repo/src/ctfl/util/string_util.cc" "src/CMakeFiles/ctfl_util.dir/ctfl/util/string_util.cc.o" "gcc" "src/CMakeFiles/ctfl_util.dir/ctfl/util/string_util.cc.o.d"
+  "/root/repo/src/ctfl/util/thread_pool.cc" "src/CMakeFiles/ctfl_util.dir/ctfl/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/ctfl_util.dir/ctfl/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctfl_util.dir/ctfl/util/bitset.cc.o"
+  "CMakeFiles/ctfl_util.dir/ctfl/util/bitset.cc.o.d"
+  "CMakeFiles/ctfl_util.dir/ctfl/util/csv.cc.o"
+  "CMakeFiles/ctfl_util.dir/ctfl/util/csv.cc.o.d"
+  "CMakeFiles/ctfl_util.dir/ctfl/util/flags.cc.o"
+  "CMakeFiles/ctfl_util.dir/ctfl/util/flags.cc.o.d"
+  "CMakeFiles/ctfl_util.dir/ctfl/util/logging.cc.o"
+  "CMakeFiles/ctfl_util.dir/ctfl/util/logging.cc.o.d"
+  "CMakeFiles/ctfl_util.dir/ctfl/util/rng.cc.o"
+  "CMakeFiles/ctfl_util.dir/ctfl/util/rng.cc.o.d"
+  "CMakeFiles/ctfl_util.dir/ctfl/util/status.cc.o"
+  "CMakeFiles/ctfl_util.dir/ctfl/util/status.cc.o.d"
+  "CMakeFiles/ctfl_util.dir/ctfl/util/string_util.cc.o"
+  "CMakeFiles/ctfl_util.dir/ctfl/util/string_util.cc.o.d"
+  "CMakeFiles/ctfl_util.dir/ctfl/util/thread_pool.cc.o"
+  "CMakeFiles/ctfl_util.dir/ctfl/util/thread_pool.cc.o.d"
+  "libctfl_util.a"
+  "libctfl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctfl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctfl/valuation/individual.cc" "src/CMakeFiles/ctfl_valuation.dir/ctfl/valuation/individual.cc.o" "gcc" "src/CMakeFiles/ctfl_valuation.dir/ctfl/valuation/individual.cc.o.d"
+  "/root/repo/src/ctfl/valuation/least_core.cc" "src/CMakeFiles/ctfl_valuation.dir/ctfl/valuation/least_core.cc.o" "gcc" "src/CMakeFiles/ctfl_valuation.dir/ctfl/valuation/least_core.cc.o.d"
+  "/root/repo/src/ctfl/valuation/leave_one_out.cc" "src/CMakeFiles/ctfl_valuation.dir/ctfl/valuation/leave_one_out.cc.o" "gcc" "src/CMakeFiles/ctfl_valuation.dir/ctfl/valuation/leave_one_out.cc.o.d"
+  "/root/repo/src/ctfl/valuation/scheme.cc" "src/CMakeFiles/ctfl_valuation.dir/ctfl/valuation/scheme.cc.o" "gcc" "src/CMakeFiles/ctfl_valuation.dir/ctfl/valuation/scheme.cc.o.d"
+  "/root/repo/src/ctfl/valuation/shapley.cc" "src/CMakeFiles/ctfl_valuation.dir/ctfl/valuation/shapley.cc.o" "gcc" "src/CMakeFiles/ctfl_valuation.dir/ctfl/valuation/shapley.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ctfl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctfl_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctfl_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctfl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctfl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ctfl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctfl_valuation.dir/ctfl/valuation/individual.cc.o"
+  "CMakeFiles/ctfl_valuation.dir/ctfl/valuation/individual.cc.o.d"
+  "CMakeFiles/ctfl_valuation.dir/ctfl/valuation/least_core.cc.o"
+  "CMakeFiles/ctfl_valuation.dir/ctfl/valuation/least_core.cc.o.d"
+  "CMakeFiles/ctfl_valuation.dir/ctfl/valuation/leave_one_out.cc.o"
+  "CMakeFiles/ctfl_valuation.dir/ctfl/valuation/leave_one_out.cc.o.d"
+  "CMakeFiles/ctfl_valuation.dir/ctfl/valuation/scheme.cc.o"
+  "CMakeFiles/ctfl_valuation.dir/ctfl/valuation/scheme.cc.o.d"
+  "CMakeFiles/ctfl_valuation.dir/ctfl/valuation/shapley.cc.o"
+  "CMakeFiles/ctfl_valuation.dir/ctfl/valuation/shapley.cc.o.d"
+  "libctfl_valuation.a"
+  "libctfl_valuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctfl_valuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binarization_test.dir/binarization_test.cc.o"
+  "CMakeFiles/binarization_test.dir/binarization_test.cc.o.d"
+  "binarization_test"
+  "binarization_test.pdb"
+  "binarization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binarization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

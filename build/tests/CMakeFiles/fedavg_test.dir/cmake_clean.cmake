@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedavg_test.dir/fedavg_test.cc.o"
+  "CMakeFiles/fedavg_test.dir/fedavg_test.cc.o.d"
+  "fedavg_test"
+  "fedavg_test.pdb"
+  "fedavg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedavg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incentive_test.dir/incentive_test.cc.o"
+  "CMakeFiles/incentive_test.dir/incentive_test.cc.o.d"
+  "incentive_test"
+  "incentive_test.pdb"
+  "incentive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incentive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logical_net_test.dir/logical_net_test.cc.o"
+  "CMakeFiles/logical_net_test.dir/logical_net_test.cc.o.d"
+  "logical_net_test"
+  "logical_net_test.pdb"
+  "logical_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logical_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

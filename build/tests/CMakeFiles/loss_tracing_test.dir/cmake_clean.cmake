@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loss_tracing_test.dir/loss_tracing_test.cc.o"
+  "CMakeFiles/loss_tracing_test.dir/loss_tracing_test.cc.o.d"
+  "loss_tracing_test"
+  "loss_tracing_test.pdb"
+  "loss_tracing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loss_tracing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

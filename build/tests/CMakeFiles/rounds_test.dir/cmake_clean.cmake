@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rounds_test.dir/rounds_test.cc.o"
+  "CMakeFiles/rounds_test.dir/rounds_test.cc.o.d"
+  "rounds_test"
+  "rounds_test.pdb"
+  "rounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

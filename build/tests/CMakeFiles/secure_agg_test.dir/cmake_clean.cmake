@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_agg_test.dir/secure_agg_test.cc.o"
+  "CMakeFiles/secure_agg_test.dir/secure_agg_test.cc.o.d"
+  "secure_agg_test"
+  "secure_agg_test.pdb"
+  "secure_agg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_agg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

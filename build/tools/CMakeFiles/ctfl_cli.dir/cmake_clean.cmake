@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctfl_cli.dir/ctfl_cli.cc.o"
+  "CMakeFiles/ctfl_cli.dir/ctfl_cli.cc.o.d"
+  "ctfl"
+  "ctfl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctfl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
