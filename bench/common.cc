@@ -80,21 +80,28 @@ Result<ContributionResult> RunScheme(const std::string& scheme,
                                      const std::string& dataset,
                                      uint64_t seed,
                                      double budget_multiplier,
-                                     RetrainUtility* shared_utility) {
+                                     RetrainUtility* shared_utility,
+                                     std::shared_ptr<const CtflReport>*
+                                         ctfl_report_out) {
   const CtflConfig ctfl_config = MakeCtflConfig(dataset, seed);
   RetrainUtility local_utility(&experiment.federation, &experiment.test,
                                MakeUtilityConfig(dataset, seed));
   RetrainUtility& utility =
       shared_utility != nullptr ? *shared_utility : local_utility;
-  if (scheme == "CTFL-micro") {
+  const auto run_ctfl = [&](CtflScheme::Variant variant) {
     CtflScheme s(&experiment.federation, &experiment.test, ctfl_config,
-                 CtflScheme::Variant::kMicro);
-    return s.Compute(utility);
+                 variant);
+    Result<ContributionResult> result = s.Compute(utility);
+    if (result.ok() && ctfl_report_out != nullptr) {
+      *ctfl_report_out = s.shared_report();
+    }
+    return result;
+  };
+  if (scheme == "CTFL-micro") {
+    return run_ctfl(CtflScheme::Variant::kMicro);
   }
   if (scheme == "CTFL-macro") {
-    CtflScheme s(&experiment.federation, &experiment.test, ctfl_config,
-                 CtflScheme::Variant::kMacro);
-    return s.Compute(utility);
+    return run_ctfl(CtflScheme::Variant::kMacro);
   }
   if (scheme == "Individual") {
     IndividualScheme s;
@@ -155,6 +162,42 @@ double CurveAuc(const std::vector<double>& curve) {
     area += 0.5 * (curve[i] + curve[i + 1]);
   }
   return area / (curve.size() - 1);
+}
+
+void InitTelemetryFromEnv() {
+  const char* out = std::getenv("CTFL_TELEMETRY_OUT");
+  const char* summary = std::getenv("CTFL_TELEMETRY_SUMMARY");
+  if ((out != nullptr && out[0] != '\0') ||
+      (summary != nullptr && summary[0] == '1')) {
+    telemetry::SetTracingEnabled(true);
+  }
+}
+
+void FlushTelemetry() {
+  const char* out = std::getenv("CTFL_TELEMETRY_OUT");
+  const char* summary = std::getenv("CTFL_TELEMETRY_SUMMARY");
+  if (summary != nullptr && summary[0] == '1') {
+    std::printf("\nspan summary:\n%s",
+                telemetry::TraceSummaryTable().c_str());
+    std::printf("\nmetrics:\n%s",
+                telemetry::MetricsRegistry::Global().SummaryTable().c_str());
+  }
+  if (out != nullptr && out[0] != '\0') {
+    const Status status = telemetry::WriteChromeTrace(out);
+    if (status.ok()) {
+      std::printf("\nchrome trace (%zu events) -> %s\n",
+                  telemetry::TraceEventCount(), out);
+    } else {
+      std::fprintf(stderr, "telemetry export failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+}
+
+void PrintRunTelemetry(const std::string& label,
+                       const telemetry::RunTelemetry& run) {
+  std::printf("\n%s run telemetry:\n%s", label.c_str(),
+              run.Summary().c_str());
 }
 
 void PrintRule(char c, int width) {

@@ -11,6 +11,9 @@
 #include <vector>
 
 #include "ctfl/core/pipeline.h"
+#include "ctfl/telemetry/metrics.h"
+#include "ctfl/telemetry/run_telemetry.h"
+#include "ctfl/telemetry/trace.h"
 #include "ctfl/data/gen/benchmarks.h"
 #include "ctfl/data/split.h"
 #include "ctfl/fl/partition.h"
@@ -74,12 +77,26 @@ inline const std::vector<std::string>& SchemeNames() {
 /// When `shared_utility` is non-null, coalition evaluations are memoized
 /// across schemes (coalition values are deterministic, so sharing changes
 /// nothing but wall-clock); timing-sensitive benches pass nullptr.
-Result<ContributionResult> RunScheme(const std::string& scheme,
-                                     const PreparedExperiment& experiment,
-                                     const std::string& dataset,
-                                     uint64_t seed,
-                                     double budget_multiplier = 1.0,
-                                     RetrainUtility* shared_utility = nullptr);
+/// For CTFL schemes a non-null `ctfl_report_out` receives the full
+/// CtflReport (including RunTelemetry); other schemes leave it untouched.
+Result<ContributionResult> RunScheme(
+    const std::string& scheme, const PreparedExperiment& experiment,
+    const std::string& dataset, uint64_t seed,
+    double budget_multiplier = 1.0, RetrainUtility* shared_utility = nullptr,
+    std::shared_ptr<const CtflReport>* ctfl_report_out = nullptr);
+
+/// Bench-side telemetry switches, mirroring the CLI flags through the
+/// environment: CTFL_TELEMETRY_OUT=<path.json> buffers spans and writes a
+/// Chrome trace at FlushTelemetry(); CTFL_TELEMETRY_SUMMARY=1 prints the
+/// span + metrics tables. Call InitTelemetryFromEnv() once at startup and
+/// FlushTelemetry() before exit.
+void InitTelemetryFromEnv();
+void FlushTelemetry();
+
+/// Prints one run's per-phase / per-round telemetry (Fig. 5 companion:
+/// where CTFL's single pass spends its time).
+void PrintRunTelemetry(const std::string& label,
+                       const telemetry::RunTelemetry& run);
 
 /// Fig. 4 metric: retrains after removing the top-k scored participants
 /// one at a time (k = 1..removals) and returns the accuracy series

@@ -13,6 +13,11 @@ int main() {
   constexpr int kParticipants = 8;
   constexpr uint64_t kSeed = 11;
   const double budget = 1.0;  // the paper's Theta(n^2 log n) budget
+  bench::InitTelemetryFromEnv();
+
+  // Per-dataset CTFL run telemetry (captured from the CTFL-micro runs):
+  // the phase breakdown behind the headline wall-clock numbers.
+  std::vector<std::shared_ptr<const CtflReport>> ctfl_reports;
 
   bench::PrintTitle("Fig. 5: Execution Time (seconds; coalition trainings)");
   std::printf("%-13s", "scheme");
@@ -36,8 +41,12 @@ int main() {
       }
       const bench::PreparedExperiment experiment =
           bench::Prepare(dataset, kParticipants, /*skew_label=*/true, kSeed);
-      const Result<ContributionResult> result =
-          bench::RunScheme(scheme, experiment, dataset, kSeed, budget);
+      std::shared_ptr<const CtflReport> ctfl_report;
+      const Result<ContributionResult> result = bench::RunScheme(
+          scheme, experiment, dataset, kSeed, budget,
+          /*shared_utility=*/nullptr,
+          scheme == "CTFL-micro" ? &ctfl_report : nullptr);
+      if (ctfl_report != nullptr) ctfl_reports.push_back(ctfl_report);
       if (!result.ok()) {
         std::printf(" %21s", "ERROR");
         seconds[s].push_back(-1.0);
@@ -67,9 +76,19 @@ int main() {
     }
     std::printf("\n");
   }
+  // Where CTFL's single pass spends its time, per dataset (train vs trace
+  // vs allocate; grafting steps, tau_w hit counts) — the cost accounting
+  // behind the Fig. 5 comparison.
+  for (size_t d = 0;
+       d < ctfl_reports.size() && d < bench::Datasets().size(); ++d) {
+    bench::PrintRunTelemetry("CTFL-micro " + bench::Datasets()[d],
+                             ctfl_reports[d]->telemetry);
+  }
+
   std::printf(
       "\nExpected shape (paper): CTFL ~ Individual; ShapleyValue and\n"
       "LeastCore 2-3 orders of magnitude slower (hours-scale at paper\n"
       "sizes), infeasible on dota2.\n");
+  bench::FlushTelemetry();
   return 0;
 }

@@ -11,9 +11,62 @@
 #include "ctfl/mining/max_miner.h"
 #include "ctfl/nn/trainer.h"
 #include "ctfl/solver/simplex.h"
+#include "ctfl/telemetry/metrics.h"
+#include "ctfl/telemetry/trace.h"
 
 namespace ctfl {
 namespace {
+
+// ---------------------------------------------------------------------------
+// Telemetry overhead. BM_SpanDisabled is the contract check consumed by
+// tools/check_telemetry_overhead.sh: a disabled span must cost a single
+// relaxed atomic load + branch (single-digit nanoseconds), so telemetry
+// can stay compiled into every hot path.
+// ---------------------------------------------------------------------------
+void BM_SpanDisabled(benchmark::State& state) {
+  telemetry::SetTracingEnabled(false);
+  for (auto _ : state) {
+    CTFL_SPAN("bench.span.disabled");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  telemetry::SetTracingEnabled(true);
+  telemetry::ClearTrace();
+  for (auto _ : state) {
+    CTFL_SPAN("bench.span.enabled");
+    benchmark::ClobberMemory();
+  }
+  telemetry::SetTracingEnabled(false);
+  telemetry::ClearTrace();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_CounterAdd(benchmark::State& state) {
+  telemetry::Counter& counter =
+      telemetry::MetricsRegistry::Global().GetCounter("bench.counter");
+  for (auto _ : state) {
+    counter.Add(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  telemetry::Histogram& hist =
+      telemetry::MetricsRegistry::Global().GetHistogram("bench.hist");
+  double v = 0.0;
+  for (auto _ : state) {
+    hist.Observe(v);
+    v = v < 1e6 ? v + 17.0 : 0.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramObserve);
 
 // ---------------------------------------------------------------------------
 // Shared fixture: a trained model + federation on scaled-down adult.

@@ -1,5 +1,7 @@
 #include "ctfl/core/pipeline.h"
 
+#include "ctfl/telemetry/metrics.h"
+#include "ctfl/telemetry/trace.h"
 #include "ctfl/util/logging.h"
 #include "ctfl/util/stopwatch.h"
 
@@ -7,31 +9,76 @@ namespace ctfl {
 
 CtflReport RunCtfl(const Federation& federation, const Dataset& test,
                    const CtflConfig& config) {
+  CTFL_SPAN("ctfl.run");
   CTFL_CHECK(!federation.empty());
   const SchemaPtr schema = federation[0].data.schema();
 
+  // ---- Phase 1: train the single global rule-based model. ---------------
+  telemetry::Span train_span("ctfl.train");
   Stopwatch train_watch;
+  FedAvgStats fedavg_stats;
+  TrainReport central_report;
   LogicalNet model = [&] {
     if (config.federated) {
       std::vector<Dataset> clients;
       clients.reserve(federation.size());
       for (const Participant& p : federation) clients.push_back(p.data);
-      return TrainFederated(schema, config.net, clients, config.fedavg);
+      return TrainFederated(schema, config.net, clients, config.fedavg,
+                            &fedavg_stats);
     }
     return TrainCentral(schema, config.net, MergeFederation(federation),
-                        config.central);
+                        config.central, &central_report);
   }();
   const double train_seconds = train_watch.ElapsedSeconds();
+  train_span.End();
 
   CtflReport report(std::move(model));
   report.train_seconds = train_seconds;
 
+  telemetry::RunTelemetry& run = report.telemetry;
+  run.train_seconds = train_seconds;
+  if (config.federated) {
+    run.rounds = std::move(fedavg_stats.rounds);
+    run.grafting_steps = fedavg_stats.grafting_steps;
+  } else {
+    run.epochs = std::move(central_report.epoch_stats);
+    run.grafting_steps = central_report.steps;
+    run.train_accuracy = central_report.train_accuracy;
+  }
+
+  // Rule-extraction stats: how much of the trained model survives the
+  // tracer's weight threshold (kept vs pruned rule coordinates).
+  run.rules_total = report.model.num_rules();
+  for (int j = 0; j < report.model.num_rules(); ++j) {
+    if (report.model.RuleWeight(j) >= config.tracer.min_rule_weight) {
+      ++run.rules_kept;
+    } else {
+      ++run.rules_pruned;
+    }
+  }
+
+  // ---- Phase 2: single tracing pass. ------------------------------------
   const ContributionTracer tracer(&report.model, &federation, config.tracer);
   report.trace = tracer.Trace(test);
   report.trace_seconds = report.trace.tracing_seconds;
   report.test_accuracy = report.trace.global_accuracy;
-  report.micro_scores = MicroAllocation(report.trace);
-  report.macro_scores = MacroAllocation(report.trace, config.macro_delta);
+  run.trace_seconds = report.trace.tracing_seconds;
+  run.trace_keys = report.trace.num_keys;
+  run.tau_w_checks = report.trace.tau_w_checks;
+  run.related_records = report.trace.related_records;
+  run.uncovered_tests = static_cast<int64_t>(report.trace.uncovered_tests);
+
+  // ---- Phase 3: micro + macro credit allocation. ------------------------
+  {
+    CTFL_SPAN("ctfl.allocate");
+    telemetry::ScopedTimer allocate_timer(&run.allocate_seconds);
+    report.micro_scores = MicroAllocation(report.trace);
+    report.macro_scores = MacroAllocation(report.trace, config.macro_delta);
+  }
+
+  static telemetry::Counter& run_counter =
+      telemetry::MetricsRegistry::Global().GetCounter("ctfl.runs");
+  run_counter.Add(1);
   return report;
 }
 

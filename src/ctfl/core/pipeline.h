@@ -8,6 +8,7 @@
 #include "ctfl/core/loss_tracing.h"
 #include "ctfl/core/tracer.h"
 #include "ctfl/fl/fedavg.h"
+#include "ctfl/telemetry/run_telemetry.h"
 #include "ctfl/valuation/scheme.h"
 
 namespace ctfl {
@@ -37,6 +38,9 @@ struct CtflReport {
   double train_seconds = 0.0;
   double trace_seconds = 0.0;
   double test_accuracy = 0.0;
+  /// Per-phase timings + rule/tracer stats of this run (per-round FedAvg
+  /// timings, per-epoch losses, grafting-step counts, ...).
+  telemetry::RunTelemetry telemetry;
 
   explicit CtflReport(LogicalNet model_in) : model(std::move(model_in)) {}
 };
@@ -67,6 +71,9 @@ class CtflScheme : public ContributionScheme {
   /// The full report of the last Compute() call (shared by both variants
   /// when reuse is enabled via SharedReport).
   const CtflReport* last_report() const { return report_.get(); }
+  /// Shared handle to the same report, for callers that outlive the
+  /// scheme (e.g. bench harnesses consuming RunTelemetry).
+  std::shared_ptr<const CtflReport> shared_report() const { return report_; }
 
  private:
   const Federation* federation_;

@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "ctfl/fl/privacy.h"
+#include "ctfl/telemetry/metrics.h"
+#include "ctfl/telemetry/trace.h"
 #include "ctfl/util/logging.h"
 #include "ctfl/util/stopwatch.h"
 #include "ctfl/util/thread_pool.h"
@@ -73,6 +75,7 @@ ContributionTracer::ContributionTracer(const LogicalNet* net,
 }
 
 TraceResult ContributionTracer::Trace(const Dataset& test) const {
+  CTFL_SPAN("ctfl.trace.pass");
   Stopwatch watch;
   const int n = static_cast<int>(federation_->size());
   const int num_rules = net_->num_rules();
@@ -96,6 +99,7 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
   std::unordered_map<size_t, std::vector<size_t>> key_index;  // hash->keys
   size_t correct_total = 0;
 
+  telemetry::Span key_span("ctfl.trace.keys");
   for (size_t t = 0; t < test.size(); ++t) {
     const Instance& inst = test.instance(t);
     const int predicted = net_->Predict(inst);
@@ -148,12 +152,15 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
       ++key.miss_members;
     }
   }
+  key_span.End();
   result.global_accuracy =
       test.empty() ? 0.0 : static_cast<double>(correct_total) / test.size();
+  result.num_keys = static_cast<int64_t>(keys.size());
 
   // ---- Optional Max-Miner grouping: per-key candidate prefilter. ---------
   // candidate_refs[k] = indices into train_by_class_[class of key k]; empty
   // optional means "use the full class bucket".
+  telemetry::Span grouping_span("ctfl.trace.grouping");
   std::vector<std::vector<int>> candidate_refs(keys.size());
   std::vector<bool> has_prefilter(keys.size(), false);
   if (config_.use_max_miner && !keys.empty()) {
@@ -194,12 +201,19 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
     }
   }
 
+  grouping_span.End();
+
   // ---- Per-key related-set computation (parallel) + accumulation. --------
+  telemetry::Span match_span("ctfl.trace.match");
   struct Accumulator {
     Matrix beneficial;
     Matrix harmful;
     std::vector<std::vector<int>> match_correct;
     std::vector<std::vector<int>> match_miss;
+    // Thread-local tracing stats, merged after the join (keeps the hot
+    // tau_w loop free of shared atomics).
+    int64_t tau_w_checks = 0;
+    int64_t related_hits = 0;
   };
 
   int num_threads = config_.num_threads;
@@ -232,11 +246,13 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
     size_t total_related = 0;
 
     auto check_ref = [&](const TrainRef& ref) {
+      ++acc.tau_w_checks;
       double overlap = 0.0;
       for (const auto& [rule, weight] : key.supp_list) {
         if (ref.activation->Test(rule)) overlap += weight;
       }
       if (overlap < threshold) return;
+      ++acc.related_hits;
       ++related_per_participant[ref.participant];
       ++total_related;
       if (key.correct_members > 0) {
@@ -293,6 +309,8 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
   for (const Accumulator& acc : accumulators) {
     result.beneficial_rule_freq.Axpy(1.0, acc.beneficial);
     result.harmful_rule_freq.Axpy(1.0, acc.harmful);
+    result.tau_w_checks += acc.tau_w_checks;
+    result.related_records += acc.related_hits;
     for (int p = 0; p < n; ++p) {
       for (size_t i = 0; i < acc.match_correct[p].size(); ++i) {
         result.train_match_correct[p][i] += acc.match_correct[p][i];
@@ -300,6 +318,7 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
       }
     }
   }
+  match_span.End();
 
   // Matched accuracy + uncovered-scenario aggregation.
   size_t matched_correct = 0;
@@ -318,6 +337,27 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
       test.empty() ? 0.0
                    : static_cast<double>(matched_correct) / test.size();
   result.tracing_seconds = watch.ElapsedSeconds();
+
+  // Process-wide tracer metrics (cached after first lookup).
+  static telemetry::Counter& pass_counter =
+      telemetry::MetricsRegistry::Global().GetCounter("ctfl.trace.passes");
+  static telemetry::Counter& check_counter =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "ctfl.trace.tau_w_checks");
+  static telemetry::Counter& hit_counter =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "ctfl.trace.related_records");
+  static telemetry::Counter& uncovered_counter =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "ctfl.trace.uncovered_tests");
+  static telemetry::Histogram& pass_hist =
+      telemetry::MetricsRegistry::Global().GetHistogram(
+          "ctfl.trace.pass_us");
+  pass_counter.Add(1);
+  check_counter.Add(result.tau_w_checks);
+  hit_counter.Add(result.related_records);
+  uncovered_counter.Add(static_cast<int64_t>(result.uncovered_tests));
+  pass_hist.Observe(result.tracing_seconds * 1e6);
   return result;
 }
 

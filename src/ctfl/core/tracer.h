@@ -81,6 +81,15 @@ struct TraceResult {
   /// related training record (the mass the micro scheme distributes).
   double matched_accuracy = 0.0;
   double tracing_seconds = 0.0;
+
+  // ---- Tracer pass telemetry (feeds telemetry::RunTelemetry) -----------
+  /// Distinct (class, supporting-rule-set) keys after dedup — the number
+  /// of actual tracing tasks.
+  int64_t num_keys = 0;
+  /// Candidate (key, training-record) pairs tested against tau_w.
+  int64_t tau_w_checks = 0;
+  /// Pairs that met the tau_w threshold (total related-record hits).
+  int64_t related_records = 0;
 };
 
 /// Traces the test-performance gain of a trained global rule-based model

@@ -1,20 +1,37 @@
 #include "ctfl/fl/fedavg.h"
 
 #include "ctfl/fl/secure_agg.h"
+#include "ctfl/telemetry/metrics.h"
+#include "ctfl/telemetry/trace.h"
 #include "ctfl/util/logging.h"
+#include "ctfl/util/stopwatch.h"
 
 namespace ctfl {
 
 void RunFedAvg(LogicalNet& global, const std::vector<Dataset>& clients,
-               const FedAvgConfig& config) {
+               const FedAvgConfig& config, FedAvgStats* stats) {
   size_t total = 0;
   for (const Dataset& c : clients) total += c.size();
   if (total == 0) return;
 
+  static telemetry::Counter& round_counter =
+      telemetry::MetricsRegistry::Global().GetCounter("ctfl.train.rounds");
+  static telemetry::Histogram& round_hist =
+      telemetry::MetricsRegistry::Global().GetHistogram(
+          "ctfl.train.round_us");
+
   TrainConfig local = config.local;
   local.epochs = config.local_epochs;
 
+  if (stats != nullptr) {
+    stats->rounds.clear();
+    stats->rounds.reserve(config.rounds > 0 ? config.rounds : 0);
+    stats->grafting_steps = 0;
+  }
+
+  Stopwatch round_watch;
   for (int round = 0; round < config.rounds; ++round) {
+    CTFL_SPAN("ctfl.train.round");
     const std::vector<double> global_params = global.GetParameters();
     local.seed = config.local.seed + static_cast<uint64_t>(round) * 7919;
 
@@ -22,13 +39,19 @@ void RunFedAvg(LogicalNet& global, const std::vector<Dataset>& clients,
     // (empty clients contribute a zero update).
     std::vector<std::vector<double>> updates;
     updates.reserve(clients.size());
+    double loss_sum = 0.0;
+    int clients_trained = 0;
     for (const Dataset& client : clients) {
       if (client.empty()) {
         updates.emplace_back(global_params.size(), 0.0);
         continue;
       }
+      CTFL_SPAN("ctfl.train.client");
       LogicalNet local_net = global;  // start from the global weights
-      TrainGrafted(local_net, client, local);
+      const TrainReport local_report = TrainGrafted(local_net, client, local);
+      loss_sum += local_report.final_loss;
+      ++clients_trained;
+      if (stats != nullptr) stats->grafting_steps += local_report.steps;
       std::vector<double> params = local_net.GetParameters();
       const double weight = static_cast<double>(client.size()) / total;
       for (double& v : params) v *= weight;
@@ -36,26 +59,42 @@ void RunFedAvg(LogicalNet& global, const std::vector<Dataset>& clients,
     }
 
     std::vector<double> averaged(global_params.size(), 0.0);
-    if (config.secure_aggregation) {
-      const SecureAggregator aggregator(
-          static_cast<int>(clients.size()), global_params.size(),
-          config.secure_session_seed + round);
-      std::vector<std::vector<double>> masked;
-      masked.reserve(updates.size());
-      for (size_t c = 0; c < updates.size(); ++c) {
-        masked.push_back(
-            aggregator.Mask(static_cast<int>(c), updates[c]).value());
-      }
-      averaged = aggregator.Aggregate(masked).value();
-    } else {
-      for (const auto& update : updates) {
-        for (size_t k = 0; k < averaged.size(); ++k) {
-          averaged[k] += update[k];
+    {
+      CTFL_SPAN("ctfl.train.aggregate");
+      if (config.secure_aggregation) {
+        const SecureAggregator aggregator(
+            static_cast<int>(clients.size()), global_params.size(),
+            config.secure_session_seed + round);
+        std::vector<std::vector<double>> masked;
+        masked.reserve(updates.size());
+        for (size_t c = 0; c < updates.size(); ++c) {
+          masked.push_back(
+              aggregator.Mask(static_cast<int>(c), updates[c]).value());
+        }
+        averaged = aggregator.Aggregate(masked).value();
+      } else {
+        for (const auto& update : updates) {
+          for (size_t k = 0; k < averaged.size(); ++k) {
+            averaged[k] += update[k];
+          }
         }
       }
     }
     global.SetParameters(averaged);
     global.ProjectWeights();
+
+    round_counter.Add(1);
+    const double round_seconds = round_watch.LapSeconds();
+    round_hist.Observe(round_seconds * 1e6);
+    if (stats != nullptr) {
+      telemetry::RoundTelemetry rt;
+      rt.round = round;
+      rt.seconds = round_seconds;
+      rt.mean_local_loss =
+          clients_trained > 0 ? loss_sum / clients_trained : 0.0;
+      rt.clients_trained = clients_trained;
+      stats->rounds.push_back(rt);
+    }
     if (config.verbose) {
       CTFL_LOG(Info) << "fedavg round " << round << " done";
     }
@@ -65,16 +104,18 @@ void RunFedAvg(LogicalNet& global, const std::vector<Dataset>& clients,
 LogicalNet TrainFederated(SchemaPtr schema,
                           const LogicalNetConfig& net_config,
                           const std::vector<Dataset>& clients,
-                          const FedAvgConfig& config) {
+                          const FedAvgConfig& config, FedAvgStats* stats) {
   LogicalNet net(std::move(schema), net_config);
-  RunFedAvg(net, clients, config);
+  RunFedAvg(net, clients, config, stats);
   return net;
 }
 
 LogicalNet TrainCentral(SchemaPtr schema, const LogicalNetConfig& net_config,
-                        const Dataset& data, const TrainConfig& config) {
+                        const Dataset& data, const TrainConfig& config,
+                        TrainReport* report) {
   LogicalNet net(std::move(schema), net_config);
-  TrainGrafted(net, data, config);
+  TrainReport local_report = TrainGrafted(net, data, config);
+  if (report != nullptr) *report = std::move(local_report);
   return net;
 }
 

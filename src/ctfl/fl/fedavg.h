@@ -25,24 +25,36 @@ struct FedAvgConfig {
   bool verbose = false;
 };
 
+/// Per-run statistics of one RunFedAvg invocation, feeding
+/// telemetry::RunTelemetry.
+struct FedAvgStats {
+  std::vector<telemetry::RoundTelemetry> rounds;
+  /// Total grafted steps across all clients and rounds.
+  int64_t grafting_steps = 0;
+};
+
 /// Runs FedAvg rounds on an existing global model: every round each
 /// non-empty client trains a copy locally, and the server averages the
 /// resulting parameters weighted by client data volume — the observation
-/// CTFL's micro allocation scheme leans on (paper §III-C).
+/// CTFL's micro allocation scheme leans on (paper §III-C). When `stats`
+/// is non-null it is filled with per-round timings and loss telemetry.
 void RunFedAvg(LogicalNet& global, const std::vector<Dataset>& clients,
-               const FedAvgConfig& config);
+               const FedAvgConfig& config, FedAvgStats* stats = nullptr);
 
 /// Builds a fresh LogicalNet and federally trains it across `clients`.
 LogicalNet TrainFederated(SchemaPtr schema,
                           const LogicalNetConfig& net_config,
                           const std::vector<Dataset>& clients,
-                          const FedAvgConfig& config);
+                          const FedAvgConfig& config,
+                          FedAvgStats* stats = nullptr);
 
 /// Builds a fresh LogicalNet and centrally trains it on one dataset
 /// (equivalent to FedAvg with a single full-participation client; used
 /// where retraining speed matters, e.g. coalition utility evaluation).
+/// When `report` is non-null the TrainGrafted report is copied out.
 LogicalNet TrainCentral(SchemaPtr schema, const LogicalNetConfig& net_config,
-                        const Dataset& data, const TrainConfig& config);
+                        const Dataset& data, const TrainConfig& config,
+                        TrainReport* report = nullptr);
 
 }  // namespace ctfl
 

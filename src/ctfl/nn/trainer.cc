@@ -4,8 +4,11 @@
 #include <memory>
 
 #include "ctfl/nn/loss.h"
+#include "ctfl/telemetry/metrics.h"
+#include "ctfl/telemetry/trace.h"
 #include "ctfl/util/logging.h"
 #include "ctfl/util/rng.h"
+#include "ctfl/util/stopwatch.h"
 
 namespace ctfl {
 
@@ -43,8 +46,18 @@ TrainReport TrainGrafted(LogicalNet& net, const Dataset& data,
   std::vector<int> order(static_cast<int>(data.size()));
   for (size_t i = 0; i < data.size(); ++i) order[i] = static_cast<int>(i);
 
+  // Cached registry lookups: after the first call these are pure atomics.
+  static telemetry::Counter& step_counter =
+      telemetry::MetricsRegistry::Global().GetCounter("ctfl.train.steps");
+  static telemetry::Histogram& epoch_hist =
+      telemetry::MetricsRegistry::Global().GetHistogram(
+          "ctfl.train.epoch_us");
+
   const int batch_size = std::max(1, config.batch_size);
+  Stopwatch epoch_watch;
+  report.epoch_stats.reserve(config.epochs > 0 ? config.epochs : 0);
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    CTFL_SPAN("ctfl.train.epoch");
     rng.Shuffle(order);
     double epoch_loss = 0.0;
     int batches = 0;
@@ -66,6 +79,10 @@ TrainReport TrainGrafted(LogicalNet& net, const Dataset& data,
       ++report.steps;
     }
     report.final_loss = batches > 0 ? epoch_loss / batches : 0.0;
+    step_counter.Add(batches);
+    const double epoch_seconds = epoch_watch.LapSeconds();
+    epoch_hist.Observe(epoch_seconds * 1e6);
+    report.epoch_stats.push_back({epoch, epoch_seconds, report.final_loss});
     if (config.verbose) {
       CTFL_LOG(Info) << "epoch " << epoch << " loss " << report.final_loss;
     }

@@ -3,6 +3,7 @@
 
 #include "ctfl/data/dataset.h"
 #include "ctfl/nn/logical_net.h"
+#include "ctfl/telemetry/run_telemetry.h"
 
 namespace ctfl {
 
@@ -23,6 +24,8 @@ struct TrainReport {
   /// Accuracy of the deployed (binarized) model on the training data.
   double train_accuracy = 0.0;
   int steps = 0;
+  /// Per-epoch wall time + mean loss (one entry per epoch run).
+  std::vector<telemetry::EpochTelemetry> epoch_stats;
 };
 
 /// Trains `net` in place on `data` with gradient grafting: the loss is

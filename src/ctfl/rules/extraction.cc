@@ -2,6 +2,8 @@
 
 #include <fstream>
 
+#include "ctfl/telemetry/metrics.h"
+#include "ctfl/telemetry/trace.h"
 #include "ctfl/util/logging.h"
 #include "ctfl/util/string_util.h"
 
@@ -33,6 +35,10 @@ Rule NodeRule(const LogicalNet& net, int layer, int node) {
 }  // namespace
 
 ExtractionResult ExtractRules(const LogicalNet& net) {
+  CTFL_SPAN("ctfl.rules.extract");
+  static telemetry::Counter& extracted_counter =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "ctfl.rules.extracted");
   ExtractionResult result;
   result.rules.reserve(net.num_rules());
   for (int j = 0; j < net.num_rules(); ++j) {
@@ -49,6 +55,7 @@ ExtractionResult ExtractRules(const LogicalNet& net) {
     result.rules.push_back(std::move(er));
   }
   result.bias = net.linear().bias()(0, 0) - net.linear().bias()(0, 1);
+  extracted_counter.Add(static_cast<int64_t>(result.rules.size()));
   return result;
 }
 
@@ -71,12 +78,24 @@ Status ExportRulesText(const LogicalNet& net, const std::string& path,
   const ExtractionResult extraction = ExtractRules(net);
   out << "# CTFL rule export; bias (neg - pos) = " << extraction.bias
       << "\n";
+  int64_t kept = 0;
+  int64_t pruned = 0;
   for (const ExtractedRule& er : extraction.rules) {
-    if (er.weight < min_weight) continue;
+    if (er.weight < min_weight) {
+      ++pruned;
+      continue;
+    }
+    ++kept;
     out << "r" << er.coordinate << (er.support_class == 1 ? "+" : "-")
         << " w=" << StrFormat("%.6f", er.weight) << " : "
         << er.rule.ToString(*net.schema()) << "\n";
   }
+  telemetry::MetricsRegistry::Global()
+      .GetCounter("ctfl.rules.export_kept")
+      .Add(kept);
+  telemetry::MetricsRegistry::Global()
+      .GetCounter("ctfl.rules.export_pruned")
+      .Add(pruned);
   if (!out) return Status::IoError("write failed: " + path);
   return Status::OK();
 }

@@ -1,0 +1,55 @@
+#include "ctfl/telemetry/run_telemetry.h"
+
+#include <sstream>
+
+#include "ctfl/util/string_util.h"
+
+namespace ctfl {
+namespace telemetry {
+
+std::string RunTelemetry::Summary() const {
+  std::ostringstream out;
+  const double total = total_seconds();
+  const auto share = [total](double s) {
+    return total > 0.0 ? 100.0 * s / total : 0.0;
+  };
+  out << "phase        seconds    share\n";
+  out << StrFormat("train       %8.3f   %5.1f%%\n", train_seconds,
+                   share(train_seconds));
+  out << StrFormat("trace       %8.3f   %5.1f%%\n", trace_seconds,
+                   share(trace_seconds));
+  out << StrFormat("allocate    %8.3f   %5.1f%%\n", allocate_seconds,
+                   share(allocate_seconds));
+  out << StrFormat("total       %8.3f\n", total);
+
+  out << StrFormat(
+      "train: %lld grafting steps, accuracy %.4f\n",
+      static_cast<long long>(grafting_steps), train_accuracy);
+  if (!rounds.empty()) {
+    for (const RoundTelemetry& r : rounds) {
+      out << StrFormat(
+          "  round %-3d %7.3fs  mean local loss %.4f  (%d clients)\n",
+          r.round, r.seconds, r.mean_local_loss, r.clients_trained);
+    }
+  } else if (!epochs.empty()) {
+    // Epoch lines can be numerous; print first/last plus count.
+    const EpochTelemetry& first = epochs.front();
+    const EpochTelemetry& last = epochs.back();
+    out << StrFormat(
+        "  %zu central epochs: loss %.4f (epoch %d) -> %.4f (epoch %d)\n",
+        epochs.size(), first.loss, first.epoch, last.loss, last.epoch);
+  }
+  out << StrFormat("rules: %d total, %d kept, %d pruned\n", rules_total,
+                   rules_kept, rules_pruned);
+  out << StrFormat(
+      "trace: %lld keys, %lld tau_w checks, %lld related hits, "
+      "%lld uncovered tests\n",
+      static_cast<long long>(trace_keys),
+      static_cast<long long>(tau_w_checks),
+      static_cast<long long>(related_records),
+      static_cast<long long>(uncovered_tests));
+  return out.str();
+}
+
+}  // namespace telemetry
+}  // namespace ctfl

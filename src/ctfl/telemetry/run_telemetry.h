@@ -1,0 +1,75 @@
+#ifndef CTFL_TELEMETRY_RUN_TELEMETRY_H_
+#define CTFL_TELEMETRY_RUN_TELEMETRY_H_
+
+// Structured per-run telemetry attached to CtflReport: where one CTFL
+// pass (train -> trace -> allocate) spent its time and what the rule /
+// tracer machinery did. This is the data behind the paper's single-pass
+// efficiency claim (§III, Fig. 5) — benches and the CLI print it, and
+// BENCH_*.json regressions can be argued from it.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ctfl {
+namespace telemetry {
+
+/// One FedAvg communication round (federated training path).
+struct RoundTelemetry {
+  int round = 0;
+  double seconds = 0.0;
+  /// Mean of the participating clients' final local training losses.
+  double mean_local_loss = 0.0;
+  int clients_trained = 0;
+};
+
+/// One local/central training epoch.
+struct EpochTelemetry {
+  int epoch = 0;
+  double seconds = 0.0;
+  double loss = 0.0;
+};
+
+/// Everything a single RunCtfl invocation reports about itself.
+struct RunTelemetry {
+  // ---- Training phase ----------------------------------------------------
+  /// Per-round timings (federated path; empty when training centrally).
+  std::vector<RoundTelemetry> rounds;
+  /// Per-epoch stats of the central path (empty when federated).
+  std::vector<EpochTelemetry> epochs;
+  /// Total grafted gradient steps across all local/central training.
+  int64_t grafting_steps = 0;
+  double train_seconds = 0.0;
+  double train_accuracy = 0.0;
+
+  // ---- Rule extraction stats (model -> traceable rule set) --------------
+  int rules_total = 0;
+  /// Rules with vote weight >= the tracer's min_rule_weight.
+  int rules_kept = 0;
+  int rules_pruned = 0;
+
+  // ---- Tracer pass stats -------------------------------------------------
+  /// Distinct (class, supporting-rule-set) tracing keys after dedup.
+  int64_t trace_keys = 0;
+  /// Candidate (key, training-record) pairs examined against tau_w.
+  int64_t tau_w_checks = 0;
+  /// Pairs that met the tau_w threshold — total related-record hits.
+  int64_t related_records = 0;
+  int64_t uncovered_tests = 0;
+  double trace_seconds = 0.0;
+
+  // ---- Allocation phase --------------------------------------------------
+  double allocate_seconds = 0.0;
+
+  double total_seconds() const {
+    return train_seconds + trace_seconds + allocate_seconds;
+  }
+
+  /// Multi-line human-readable summary (phase table + per-round lines).
+  std::string Summary() const;
+};
+
+}  // namespace telemetry
+}  // namespace ctfl
+
+#endif  // CTFL_TELEMETRY_RUN_TELEMETRY_H_

@@ -1,0 +1,249 @@
+#include "ctfl/telemetry/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "ctfl/util/string_util.h"
+
+namespace ctfl {
+namespace telemetry {
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+/// Bounded event buffer. Appends take a mutex — spans end at phase
+/// granularity (rounds, epochs, passes), not per-record, so contention is
+/// negligible; the *disabled* path never reaches here.
+class TraceBuffer {
+ public:
+  static TraceBuffer& Global() {
+    static TraceBuffer* buffer = new TraceBuffer();
+    return *buffer;
+  }
+
+  void Append(const TraceEvent& event) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(event);
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  void SetCapacity(size_t capacity) {
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = capacity;
+    if (events_.size() > capacity_) events_.resize(capacity_);
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+  }
+
+  size_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
+
+  std::vector<TraceEvent> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  size_t capacity_ = 65536;
+  size_t dropped_ = 0;
+};
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+int NextThreadId() {
+  static std::atomic<int> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+thread_local int t_trace_tid = -1;
+thread_local int t_span_depth = 0;
+
+/// Escapes a string for embedding in a JSON string literal. Span names are
+/// static identifiers, but the exporter should never emit invalid JSON.
+std::string JsonEscape(const char* s) {
+  std::string out;
+  for (const char* p = s; *p != '\0'; ++p) {
+    const char c = *p;
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void SetTracingEnabled(bool enabled) {
+  if (enabled) TraceEpoch();  // pin the epoch before the first span
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+int64_t TraceClockMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - TraceEpoch())
+      .count();
+}
+
+int CurrentTraceThreadId() {
+  if (t_trace_tid < 0) t_trace_tid = NextThreadId();
+  return t_trace_tid;
+}
+
+void ClearTrace() { TraceBuffer::Global().Clear(); }
+
+void SetTraceCapacity(size_t capacity) {
+  TraceBuffer::Global().SetCapacity(capacity);
+}
+
+size_t TraceEventCount() { return TraceBuffer::Global().size(); }
+
+size_t DroppedSpanCount() { return TraceBuffer::Global().dropped(); }
+
+std::vector<TraceEvent> TraceEvents() {
+  return TraceBuffer::Global().Snapshot();
+}
+
+std::string ChromeTraceJson() {
+  std::vector<TraceEvent> events = TraceBuffer::Global().Snapshot();
+  // chrome://tracing renders nested "X" events best when parents precede
+  // children on each thread timeline; sort by (tid, start, -duration).
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.duration_us > b.duration_us;
+            });
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << JsonEscape(event.name)
+        << "\",\"cat\":\"ctfl\",\"ph\":\"X\",\"ts\":" << event.start_us
+        << ",\"dur\":" << event.duration_us
+        << ",\"pid\":1,\"tid\":" << event.tid
+        << ",\"args\":{\"depth\":" << event.depth << "}}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  out << ChromeTraceJson() << "\n";
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+std::string TraceSummaryTable() {
+  struct Aggregate {
+    int64_t count = 0;
+    int64_t total_us = 0;
+    int64_t min_us = INT64_MAX;
+    int64_t max_us = 0;
+  };
+  std::map<std::string, Aggregate> by_name;
+  for (const TraceEvent& event : TraceBuffer::Global().Snapshot()) {
+    Aggregate& agg = by_name[event.name];
+    ++agg.count;
+    agg.total_us += event.duration_us;
+    agg.min_us = std::min(agg.min_us, event.duration_us);
+    agg.max_us = std::max(agg.max_us, event.duration_us);
+  }
+  std::vector<std::pair<std::string, Aggregate>> rows(by_name.begin(),
+                                                      by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_us > b.second.total_us;
+  });
+  std::ostringstream out;
+  out << StrFormat("%-32s %8s %12s %12s %10s %10s\n", "span", "count",
+                   "total_ms", "mean_ms", "min_ms", "max_ms");
+  for (const auto& [name, agg] : rows) {
+    out << StrFormat("%-32s %8lld %12.3f %12.3f %10.3f %10.3f\n",
+                     name.c_str(), static_cast<long long>(agg.count),
+                     agg.total_us / 1e3,
+                     agg.total_us / 1e3 / static_cast<double>(agg.count),
+                     agg.min_us / 1e3, agg.max_us / 1e3);
+  }
+  const size_t dropped = DroppedSpanCount();
+  if (dropped > 0) {
+    out << StrFormat("(%zu spans dropped: trace buffer full)\n", dropped);
+  }
+  return out.str();
+}
+
+Span::Span(const char* name) : name_(name) {
+  if (!TracingEnabled()) return;  // disabled fast path: one load + branch
+  active_ = true;
+  start_us_ = TraceClockMicros();
+  ++t_span_depth;
+  watch_.Restart();
+}
+
+void Span::End() {
+  if (!active_) return;
+  active_ = false;
+  TraceEvent event;
+  event.name = name_;
+  event.start_us = start_us_;
+  event.duration_us = watch_.ElapsedMicros();
+  event.tid = CurrentTraceThreadId();
+  event.depth = --t_span_depth;
+  TraceBuffer::Global().Append(event);
+}
+
+Span::~Span() { End(); }
+
+}  // namespace telemetry
+}  // namespace ctfl

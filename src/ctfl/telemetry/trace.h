@@ -1,0 +1,125 @@
+#ifndef CTFL_TELEMETRY_TRACE_H_
+#define CTFL_TELEMETRY_TRACE_H_
+
+// RAII span tracing with a bounded in-memory buffer and Chrome
+// `chrome://tracing` / Perfetto JSON export (the `trace_event` "X"
+// complete-event format).
+//
+// Tracing is disabled by default: a disabled Span construction is a single
+// relaxed atomic load + branch (verified by BM_SpanDisabled in
+// bench/micro_benchmarks.cc and tools/check_telemetry_overhead.sh).
+// Span names must be string literals (or otherwise outlive the buffer);
+// they are stored by pointer.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ctfl/telemetry/metrics.h"
+#include "ctfl/util/status.h"
+#include "ctfl/util/stopwatch.h"
+
+namespace ctfl {
+namespace telemetry {
+
+/// One completed span, Chrome trace_event "X" style.
+struct TraceEvent {
+  const char* name = nullptr;
+  int64_t start_us = 0;  ///< microseconds since process trace epoch
+  int64_t duration_us = 0;
+  int tid = 0;     ///< small dense thread id (not the OS tid)
+  int depth = 0;   ///< nesting depth on its thread at the time
+};
+
+/// Turns span recording on/off process-wide. Off by default.
+void SetTracingEnabled(bool enabled);
+bool TracingEnabled();
+
+/// Microseconds since the process trace epoch (first use).
+int64_t TraceClockMicros();
+
+/// Small dense id for the calling thread (0, 1, 2, ... in first-seen
+/// order); stable for the thread's lifetime.
+int CurrentTraceThreadId();
+
+/// Clears buffered events and the drop counter (capacity is kept).
+void ClearTrace();
+/// Max buffered events before new spans are counted as dropped (default
+/// 65536). Shrinking below the current size drops the tail.
+void SetTraceCapacity(size_t capacity);
+size_t TraceEventCount();
+size_t DroppedSpanCount();
+/// Copy of the buffered events (test/export use).
+std::vector<TraceEvent> TraceEvents();
+
+/// Serializes the buffer as Chrome trace JSON:
+/// {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...,"pid":1,
+///   "tid":...,"cat":"ctfl","args":{"depth":...}}, ...],
+///  "displayTimeUnit":"ms"}.
+std::string ChromeTraceJson();
+/// Writes ChromeTraceJson() to `path`.
+Status WriteChromeTrace(const std::string& path);
+
+/// Plain-text aggregation of the buffer: per span name — count, total ms,
+/// mean ms, min/max ms — sorted by total descending.
+std::string TraceSummaryTable();
+
+/// RAII span. Construction snapshots the trace clock; destruction appends
+/// a TraceEvent to the bounded buffer. No-op (one atomic load) when
+/// tracing is disabled at construction time.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Ends the span now (records the event); idempotent. Lets one function
+  /// time consecutive sections without artificial scopes.
+  void End();
+
+  bool active() const { return active_; }
+
+ private:
+  const char* name_;
+  Stopwatch watch_;
+  int64_t start_us_ = 0;
+  bool active_ = false;
+};
+
+/// RAII timer that feeds elapsed time into a histogram (microseconds) or
+/// accumulates seconds into a caller-owned double — always on, for code
+/// that wants timings independent of the tracing switch.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram_micros)
+      : histogram_(histogram_micros) {}
+  explicit ScopedTimer(double* accumulate_seconds)
+      : seconds_out_(accumulate_seconds) {}
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Observe(static_cast<double>(watch_.ElapsedMicros()));
+    }
+    if (seconds_out_ != nullptr) *seconds_out_ += watch_.ElapsedSeconds();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Stopwatch watch_;
+  Histogram* histogram_ = nullptr;
+  double* seconds_out_ = nullptr;
+};
+
+}  // namespace telemetry
+}  // namespace ctfl
+
+// Convenience: `CTFL_SPAN("ctfl.trace.pass");` — names a unique local.
+#define CTFL_SPAN_CONCAT_INNER(a, b) a##b
+#define CTFL_SPAN_CONCAT(a, b) CTFL_SPAN_CONCAT_INNER(a, b)
+#define CTFL_SPAN(name) \
+  ::ctfl::telemetry::Span CTFL_SPAN_CONCAT(ctfl_span_, __COUNTER__)(name)
+
+#endif  // CTFL_TELEMETRY_TRACE_H_

@@ -1,12 +1,12 @@
 #include "ctfl/util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdio>
 #include <cstring>
 
 namespace ctfl {
 namespace {
-
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -27,6 +27,15 @@ const char* Basename(const char* path) {
   return slash != nullptr ? slash + 1 : path;
 }
 
+/// Startup level: CTFL_LOG_LEVEL if set and recognized, else info.
+int InitialLevel() {
+  const char* env = std::getenv("CTFL_LOG_LEVEL");
+  if (env == nullptr) return static_cast<int>(LogLevel::kInfo);
+  return static_cast<int>(LogLevelFromString(env, LogLevel::kInfo));
+}
+
+std::atomic<int> g_min_level{InitialLevel()};
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -35,6 +44,22 @@ void SetLogLevel(LogLevel level) {
 
 LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+LogLevel LogLevelFromString(const std::string& value, LogLevel fallback) {
+  std::string lower;
+  lower.reserve(value.size());
+  for (char c : value) {
+    lower += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn" || lower == "2") {
+    return LogLevel::kWarning;
+  }
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  return fallback;
 }
 
 namespace internal_logging {
@@ -53,7 +78,12 @@ LogMessage::~LogMessage() { Flush(); }
 void LogMessage::Flush() {
   if (enabled_ && !flushed_) {
     stream_ << "\n";
-    std::cerr << stream_.str();
+    // One fwrite per record: POSIX stdio streams lock around each call, so
+    // concurrent ThreadPool workers cannot interleave partial records the
+    // way multiple operator<< calls on std::cerr can.
+    const std::string record = stream_.str();
+    std::fwrite(record.data(), 1, record.size(), stderr);
+    std::fflush(stderr);
     flushed_ = true;
   }
 }

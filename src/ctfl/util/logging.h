@@ -10,13 +10,23 @@ namespace ctfl {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Process-wide minimum level; messages below it are dropped.
+/// Process-wide minimum level; messages below it are dropped. The initial
+/// level honors the CTFL_LOG_LEVEL environment variable at startup
+/// ("debug"/"info"/"warning"/"error", case-insensitive, or "0".."3");
+/// unset or unrecognized values default to info.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Parses a level name or digit as accepted by CTFL_LOG_LEVEL; returns
+/// `fallback` for unrecognized input.
+LogLevel LogLevelFromString(const std::string& value,
+                            LogLevel fallback = LogLevel::kInfo);
+
 namespace internal_logging {
 
-/// Stream-style log message that emits on destruction.
+/// Stream-style log message that emits on destruction. The whole record —
+/// prefix, payload, trailing newline — is written to stderr with one
+/// fwrite so records from concurrent ThreadPool workers never interleave.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

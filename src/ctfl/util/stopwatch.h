@@ -1,16 +1,24 @@
 #ifndef CTFL_UTIL_STOPWATCH_H_
 #define CTFL_UTIL_STOPWATCH_H_
 
+#include <cstdint>
 #include <chrono>
 
 namespace ctfl {
 
-/// Wall-clock stopwatch used by the benchmark harnesses.
+/// Wall-clock stopwatch used by the benchmark harnesses and the telemetry
+/// spans. Alongside the total elapsed time it keeps a "lap" mark so a
+/// single watch can time consecutive phases (rounds, epochs) without
+/// re-reading the clock twice per boundary.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(Clock::now()), lap_(start_) {}
 
-  void Restart() { start_ = Clock::now(); }
+  /// Resets both the start and the lap mark.
+  void Restart() {
+    start_ = Clock::now();
+    lap_ = start_;
+  }
 
   double ElapsedSeconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
@@ -18,9 +26,41 @@ class Stopwatch {
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  /// Elapsed time since construction/Restart in integer microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+  /// Seconds since the previous lap mark (or Restart/construction), and
+  /// advances the lap mark. Consecutive laps tile the total elapsed time.
+  double LapSeconds() {
+    const Clock::time_point now = Clock::now();
+    const double lap = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return lap;
+  }
+
+  /// Microsecond variant of LapSeconds().
+  int64_t LapMicros() {
+    const Clock::time_point now = Clock::now();
+    const int64_t lap = std::chrono::duration_cast<std::chrono::microseconds>(
+                            now - lap_)
+                            .count();
+    lap_ = now;
+    return lap;
+  }
+
+  /// Seconds since the previous lap mark without advancing it.
+  double PeekLapSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - lap_).count();
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  Clock::time_point lap_;
 };
 
 }  // namespace ctfl

@@ -1,11 +1,14 @@
 #include "ctfl/valuation/leave_one_out.h"
 
+#include "ctfl/telemetry/metrics.h"
+#include "ctfl/telemetry/trace.h"
 #include "ctfl/util/stopwatch.h"
 
 namespace ctfl {
 
 Result<ContributionResult> LeaveOneOutScheme::Compute(
     CoalitionUtility& utility) {
+  CTFL_SPAN("ctfl.valuation.leave_one_out");
   Stopwatch watch;
   ContributionResult result;
   result.scheme = name();
@@ -22,6 +25,9 @@ Result<ContributionResult> LeaveOneOutScheme::Compute(
   }
   result.coalitions_evaluated = utility.evaluations() - before;
   result.seconds = watch.ElapsedSeconds();
+  telemetry::MetricsRegistry::Global()
+      .GetCounter("ctfl.valuation.coalitions")
+      .Add(result.coalitions_evaluated);
   return result;
 }
 

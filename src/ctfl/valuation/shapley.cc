@@ -3,12 +3,29 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ctfl/telemetry/metrics.h"
+#include "ctfl/telemetry/trace.h"
 #include "ctfl/util/stopwatch.h"
+
+namespace {
+
+// Shared by the exact and sampled paths; valuation baselines report their
+// coalition budgets here so a bench run can contrast them against CTFL's
+// single pass (`ctfl.runs` / `ctfl.trace.passes`).
+ctfl::telemetry::Counter& CoalitionCounter() {
+  static ctfl::telemetry::Counter& counter =
+      ctfl::telemetry::MetricsRegistry::Global().GetCounter(
+          "ctfl.valuation.coalitions");
+  return counter;
+}
+
+}  // namespace
 
 namespace ctfl {
 
 Result<ContributionResult> ShapleyValueScheme::ComputeExact(
     CoalitionUtility& utility) {
+  CTFL_SPAN("ctfl.valuation.shapley_exact");
   Stopwatch watch;
   const int n = utility.num_participants();
   if (n > 20) {
@@ -44,6 +61,7 @@ Result<ContributionResult> ShapleyValueScheme::ComputeExact(
   }
   result.coalitions_evaluated = utility.evaluations() - before;
   result.seconds = watch.ElapsedSeconds();
+  CoalitionCounter().Add(result.coalitions_evaluated);
   return result;
 }
 
@@ -55,6 +73,7 @@ Result<ContributionResult> ShapleyValueScheme::Compute(
     return ComputeExact(utility);
   }
 
+  CTFL_SPAN("ctfl.valuation.shapley");
   Stopwatch watch;
   ContributionResult result;
   result.scheme = name();
@@ -103,6 +122,7 @@ Result<ContributionResult> ShapleyValueScheme::Compute(
   }
   result.coalitions_evaluated = utility.evaluations() - before;
   result.seconds = watch.ElapsedSeconds();
+  CoalitionCounter().Add(result.coalitions_evaluated);
   return result;
 }
 

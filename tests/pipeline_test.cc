@@ -77,6 +77,65 @@ TEST(PipelineTest, FederatedPathAlsoWorks) {
   config.fedavg.local.learning_rate = 0.05;
   const CtflReport report = RunCtfl(fed, test, config);
   EXPECT_GT(report.test_accuracy, 0.75);
+
+  // RunCtfl must populate per-round telemetry on the federated path.
+  const telemetry::RunTelemetry& run = report.telemetry;
+  ASSERT_EQ(run.rounds.size(), 3u);
+  EXPECT_TRUE(run.epochs.empty());
+  double round_total = 0.0;
+  for (size_t r = 0; r < run.rounds.size(); ++r) {
+    EXPECT_EQ(run.rounds[r].round, static_cast<int>(r));
+    EXPECT_GE(run.rounds[r].seconds, 0.0);
+    EXPECT_EQ(run.rounds[r].clients_trained, 3);
+    round_total += run.rounds[r].seconds;
+  }
+  // Round laps tile the training phase.
+  EXPECT_LE(round_total, run.train_seconds + 1e-3);
+  EXPECT_GT(run.grafting_steps, 0);
+}
+
+TEST(PipelineTest, RunCtflPopulatesTelemetryCentral) {
+  Rng rng(9);
+  const SyntheticSpec spec = TwoRuleSpec();
+  const Dataset all = GenerateSynthetic(spec, 400, rng);
+  const Dataset test = GenerateSynthetic(spec, 100, rng);
+  Rng prng(10);
+  const Federation fed = MakeFederation(PartitionUniform(all, 3, prng));
+
+  const CtflConfig config = FastConfig();
+  const CtflReport report = RunCtfl(fed, test, config);
+  const telemetry::RunTelemetry& run = report.telemetry;
+
+  // Central path: per-epoch stats instead of rounds.
+  EXPECT_TRUE(run.rounds.empty());
+  ASSERT_EQ(run.epochs.size(),
+            static_cast<size_t>(config.central.epochs));
+  for (const telemetry::EpochTelemetry& epoch : run.epochs) {
+    EXPECT_GE(epoch.seconds, 0.0);
+    EXPECT_GE(epoch.loss, 0.0);
+  }
+  EXPECT_GT(run.grafting_steps, 0);
+  EXPECT_GT(run.train_accuracy, 0.5);
+
+  // Phase timings mirror the report's headline numbers.
+  EXPECT_DOUBLE_EQ(run.train_seconds, report.train_seconds);
+  EXPECT_DOUBLE_EQ(run.trace_seconds, report.trace_seconds);
+  EXPECT_GE(run.allocate_seconds, 0.0);
+
+  // Rule stats partition the model's rule coordinates.
+  EXPECT_EQ(run.rules_total, report.model.num_rules());
+  EXPECT_EQ(run.rules_kept + run.rules_pruned, run.rules_total);
+  EXPECT_GT(run.rules_kept, 0);
+
+  // Tracer stats: keys exist, every related hit came from a tau_w check,
+  // and the uncovered count matches the trace.
+  EXPECT_GT(run.trace_keys, 0);
+  EXPECT_GE(run.tau_w_checks, run.related_records);
+  EXPECT_GT(run.related_records, 0);
+  EXPECT_EQ(run.trace_keys, report.trace.num_keys);
+  EXPECT_EQ(run.uncovered_tests,
+            static_cast<int64_t>(report.trace.uncovered_tests));
+  EXPECT_NE(run.Summary().find("trace"), std::string::npos);
 }
 
 TEST(PipelineTest, SchemeAdapterMatchesPipeline) {

@@ -1,0 +1,73 @@
+#include "ctfl/util/stopwatch.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace ctfl {
+namespace {
+
+void BurnCpu() {
+  volatile double sink = 0.0;
+  for (int i = 0; i < 500000; ++i) sink = sink + i * 1e-9;
+}
+
+TEST(StopwatchTest, ElapsedMicrosConsistentWithSeconds) {
+  Stopwatch watch;
+  BurnCpu();
+  const int64_t micros = watch.ElapsedMicros();
+  const double seconds = watch.ElapsedSeconds();
+  EXPECT_GT(micros, 0);
+  // Reads are sequential, so seconds (read later) >= micros-derived value
+  // minus one microsecond of truncation.
+  EXPECT_GE(seconds * 1e6, static_cast<double>(micros) - 1.0);
+  // And they agree within a loose factor (no clock mixing).
+  EXPECT_LT(static_cast<double>(micros), seconds * 1e6 + 1e6);
+}
+
+TEST(StopwatchTest, LapsTileTheTotal) {
+  Stopwatch watch;
+  BurnCpu();
+  const double lap1 = watch.LapSeconds();
+  BurnCpu();
+  const double lap2 = watch.LapSeconds();
+  const double total = watch.ElapsedSeconds();
+  EXPECT_GT(lap1, 0.0);
+  EXPECT_GT(lap2, 0.0);
+  // lap1 + lap2 <= total (the final read happens after the last lap).
+  EXPECT_LE(lap1 + lap2, total + 1e-6);
+  // And they cover most of it.
+  EXPECT_GT(lap1 + lap2, 0.5 * total);
+}
+
+TEST(StopwatchTest, LapMicrosAdvancesTheMark) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const int64_t lap1 = watch.LapMicros();
+  EXPECT_GE(lap1, 1000);  // slept >= 2ms; allow coarse clocks
+  const int64_t lap2 = watch.LapMicros();
+  // Mark advanced: the second lap is tiny compared to the first.
+  EXPECT_LT(lap2, lap1);
+}
+
+TEST(StopwatchTest, PeekDoesNotAdvance) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const double peek1 = watch.PeekLapSeconds();
+  const double peek2 = watch.PeekLapSeconds();
+  EXPECT_GE(peek2, peek1);  // still measuring from the same mark
+  const double lap = watch.LapSeconds();
+  EXPECT_GE(lap, peek1);
+}
+
+TEST(StopwatchTest, RestartResetsLapMark) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  watch.Restart();
+  const int64_t lap = watch.LapMicros();
+  EXPECT_LT(lap, 2000);  // the pre-Restart sleep is not included
+  EXPECT_GE(watch.ElapsedMicros(), 0);
+}
+
+}  // namespace
+}  // namespace ctfl

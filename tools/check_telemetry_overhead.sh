@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Contract check for the telemetry subsystem: a *disabled* span must stay
+# cheap enough that CTFL_SPAN can be compiled into every hot path
+# unconditionally. The fast path is one relaxed atomic load + branch, so
+# the per-iteration cost of BM_SpanDisabled should be single-digit
+# nanoseconds; we fail only above a generous threshold to stay robust on
+# slow/shared CI machines.
+#
+# Usage: tools/check_telemetry_overhead.sh [build-dir]
+#   build-dir defaults to build-release (configured Release if missing).
+#   Override the threshold with CTFL_SPAN_OVERHEAD_NS_MAX (default 100).
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build-release}"
+THRESHOLD_NS="${CTFL_SPAN_OVERHEAD_NS_MAX:-100}"
+
+cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${BUILD_DIR}" --target micro_benchmarks -j "$(nproc)" >/dev/null
+
+BENCH_BIN="$(find "${BUILD_DIR}" -name micro_benchmarks -type f -perm -u+x | head -n 1)"
+if [[ -z "${BENCH_BIN}" ]]; then
+  echo "check_telemetry_overhead: micro_benchmarks binary not found under ${BUILD_DIR}" >&2
+  exit 2
+fi
+
+JSON_OUT="$(mktemp)"
+trap 'rm -f "${JSON_OUT}"' EXIT
+
+"${BENCH_BIN}" \
+  --benchmark_filter='^BM_SpanDisabled$' \
+  --benchmark_format=json \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  >"${JSON_OUT}"
+
+# Pull the median aggregate's real_time (ns). No jq dependency: the JSON is
+# machine-generated with one key per line.
+MEDIAN_NS="$(python3 - "${JSON_OUT}" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+best = None
+for b in data.get("benchmarks", []):
+    if b.get("name", "").startswith("BM_SpanDisabled"):
+        if b.get("aggregate_name") == "median" or best is None:
+            unit = b.get("time_unit", "ns")
+            scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+            best = b["real_time"] * scale
+print(f"{best:.2f}" if best is not None else "")
+PY
+)"
+
+if [[ -z "${MEDIAN_NS}" ]]; then
+  echo "check_telemetry_overhead: could not parse BM_SpanDisabled result" >&2
+  exit 2
+fi
+
+echo "BM_SpanDisabled: ${MEDIAN_NS} ns/op (threshold ${THRESHOLD_NS} ns)"
+awk -v got="${MEDIAN_NS}" -v max="${THRESHOLD_NS}" 'BEGIN {
+  if (got + 0 > max + 0) {
+    printf "FAIL: disabled-span overhead %.2f ns exceeds %.2f ns\n", got, max
+    exit 1
+  }
+  print "OK: disabled-span overhead within budget"
+}'

@@ -10,8 +10,12 @@
 //       Prints (or writes) the model's extracted symbolic rules.
 //   score     --dataset NAME --train FILE --test FILE [--participants K]
 //             [--tau-w T] [--skew-label] [--seed S]
+//             [--telemetry-out FILE.json] [--telemetry-summary]
 //       Partitions the training CSV into K participants, runs the full
 //       CTFL pipeline, and prints micro/macro scores + a loss report.
+//       --telemetry-out writes a Chrome trace (open in chrome://tracing
+//       or ui.perfetto.dev); --telemetry-summary prints per-span and
+//       per-phase cost tables.
 //
 // The --dataset flag names the schema (the federation's agreed feature
 // space); CSV files must match it.
@@ -27,6 +31,8 @@
 #include "ctfl/data/split.h"
 #include "ctfl/fl/partition.h"
 #include "ctfl/nn/serialize.h"
+#include "ctfl/telemetry/metrics.h"
+#include "ctfl/telemetry/trace.h"
 #include "ctfl/util/flags.h"
 
 namespace ctfl {
@@ -140,7 +146,9 @@ Status RunScore(int argc, const char* const* argv) {
                     {"epochs", "20"},
                     {"width", "96"},
                     {"budget", "0"},
-                    {"seed", "42"}});
+                    {"seed", "42"},
+                    {"telemetry-out", ""},
+                    {"telemetry-summary", "false"}});
   CTFL_RETURN_IF_ERROR(flags.Parse(argc, argv));
   if (flags.GetString("train").empty() || flags.GetString("test").empty()) {
     return Status::InvalidArgument("--train and --test are required");
@@ -158,6 +166,11 @@ Status RunScore(int argc, const char* const* argv) {
   CTFL_ASSIGN_OR_RETURN(int width, flags.GetInt("width"));
   CTFL_ASSIGN_OR_RETURN(double budget, flags.GetDouble("budget"));
   CTFL_ASSIGN_OR_RETURN(int seed, flags.GetInt("seed"));
+  const std::string telemetry_out = flags.GetString("telemetry-out");
+  const bool telemetry_summary = flags.GetBool("telemetry-summary");
+  if (!telemetry_out.empty() || telemetry_summary) {
+    telemetry::SetTracingEnabled(true);
+  }
 
   Rng prng(seed);
   const Federation fed = MakeFederation(
@@ -190,6 +203,18 @@ Status RunScore(int argc, const char* const* argv) {
     incentive.budget = budget;
     std::printf("\npayouts (budget %.2f, macro scheme):\n%s", budget,
                 FormatPayouts(ComputePayouts(report, incentive)).c_str());
+  }
+  if (telemetry_summary) {
+    std::printf("\nrun telemetry:\n%s", report.telemetry.Summary().c_str());
+    std::printf("\nspan summary:\n%s",
+                telemetry::TraceSummaryTable().c_str());
+    std::printf("\nmetrics:\n%s",
+                telemetry::MetricsRegistry::Global().SummaryTable().c_str());
+  }
+  if (!telemetry_out.empty()) {
+    CTFL_RETURN_IF_ERROR(telemetry::WriteChromeTrace(telemetry_out));
+    std::printf("\nchrome trace (%zu events) -> %s\n",
+                telemetry::TraceEventCount(), telemetry_out.c_str());
   }
   return Status::OK();
 }
