@@ -3,6 +3,9 @@
 // tau_w sensitivity, logic-layer width, and the substrate hot loops
 // (bitset intersection, rule activation, grafted step, simplex).
 
+#include <filesystem>
+#include <fstream>
+
 #include <benchmark/benchmark.h>
 
 #include "common.h"
@@ -11,6 +14,8 @@
 #include "ctfl/mining/max_miner.h"
 #include "ctfl/nn/trainer.h"
 #include "ctfl/solver/simplex.h"
+#include "ctfl/store/query_engine.h"
+#include "ctfl/store/snapshot.h"
 #include "ctfl/telemetry/metrics.h"
 #include "ctfl/telemetry/trace.h"
 
@@ -256,6 +261,114 @@ void BM_SimplexLeastCoreShape(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimplexLeastCoreShape)->Arg(4)->Arg(8)->Arg(12);
+
+// ---------------------------------------------------------------------------
+// Contribution bundle store (DESIGN.md §8): persistence cost of the
+// train-once/query-forever split, plus the posting-list prefilter vs the
+// linear reference scan.
+// ---------------------------------------------------------------------------
+struct BundleFixture {
+  std::string path;
+  store::BundleContent content;
+  store::QueryEngine engine;
+
+  BundleFixture()
+      : path((std::filesystem::temp_directory_path() /
+              "ctfl_micro_bench_bundle.ctflb")
+                 .string()),
+        content([] {
+          TracingFixture& fx = Fixture();
+          const CtflConfig config = bench::MakeCtflConfig("adult", 5);
+          const ContributionTracer tracer(
+              &fx.model, &fx.experiment.federation, config.tracer);
+          store::SnapshotOptions options;
+          options.tau_w = config.tracer.tau_w;
+          options.macro_delta = config.macro_delta;
+          options.min_rule_weight = config.tracer.min_rule_weight;
+          return store::BuildBundleContent(
+                     fx.model, fx.experiment.federation, fx.experiment.test,
+                     tracer.train_activations(), options)
+              .value();
+        }()),
+        engine([this] {
+          store::BundleContent copy = content;
+          return store::QueryEngine::FromContent(std::move(copy)).value();
+        }()) {}
+};
+
+BundleFixture& GetBundleFixture() {
+  static BundleFixture* fixture = new BundleFixture();
+  return *fixture;
+}
+
+void BM_BundleSave(benchmark::State& state) {
+  BundleFixture& fx = GetBundleFixture();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const Status status = store::WriteBundle(fx.content, fx.path);
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+    benchmark::ClobberMemory();
+  }
+  {
+    std::ifstream in(fx.path, std::ios::binary | std::ios::ate);
+    if (in) bytes = static_cast<size_t>(in.tellg());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
+  state.counters["bundle_bytes"] = static_cast<double>(bytes);
+  state.counters["records"] =
+      static_cast<double>(fx.content.total_train_records());
+}
+BENCHMARK(BM_BundleSave);
+
+void BM_BundleLoad(benchmark::State& state) {
+  BundleFixture& fx = GetBundleFixture();
+  const Status written = store::WriteBundle(fx.content, fx.path);
+  if (!written.ok()) state.SkipWithError(written.ToString().c_str());
+  size_t bytes = 0;
+  for (auto _ : state) {
+    Result<store::BundleContent> loaded = store::ReadBundle(fx.path);
+    if (!loaded.ok()) state.SkipWithError(loaded.status().ToString().c_str());
+    benchmark::DoNotOptimize(loaded);
+    bytes = loaded->total_train_records();  // keep the decode alive
+  }
+  {
+    std::ifstream in(fx.path, std::ios::binary | std::ios::ate);
+    if (in) bytes = static_cast<size_t>(in.tellg());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
+  state.counters["bundle_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_BundleLoad);
+
+// Arg(0): linear class-bucket scan (the oracle). Arg(1): posting-list
+// prefilter. Both return identical related sets; the prune counters show
+// how much of the bucket the index skips.
+void BM_QueryRelated(benchmark::State& state) {
+  BundleFixture& fx = GetBundleFixture();
+  store::QueryOptions options;
+  options.use_index = state.range(0) != 0;
+  const size_t num_tests = fx.content.tests.size();
+  size_t t = 0;
+  int64_t checks = 0, bucket = 0, pruned = 0;
+  for (auto _ : state) {
+    const store::RelatedResult result =
+        fx.engine.RelatedForTest(t, options);
+    benchmark::DoNotOptimize(result.total_related);
+    checks += result.tau_w_checks;
+    bucket += result.bucket_size;
+    pruned += result.candidates_pruned;
+    t = (t + 1) % num_tests;
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (bucket > 0) {
+    state.counters["pruned_frac"] =
+        static_cast<double>(pruned) / static_cast<double>(bucket);
+  }
+  state.counters["tau_w_checks/query"] =
+      benchmark::Counter(static_cast<double>(checks),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_QueryRelated)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace ctfl

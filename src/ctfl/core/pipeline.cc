@@ -1,5 +1,8 @@
 #include "ctfl/core/pipeline.h"
 
+#include <fstream>
+
+#include "ctfl/store/snapshot.h"
 #include "ctfl/telemetry/metrics.h"
 #include "ctfl/telemetry/trace.h"
 #include "ctfl/util/logging.h"
@@ -74,6 +77,33 @@ CtflReport RunCtfl(const Federation& federation, const Dataset& test,
     telemetry::ScopedTimer allocate_timer(&run.allocate_seconds);
     report.micro_scores = MicroAllocation(report.trace);
     report.macro_scores = MacroAllocation(report.trace, config.macro_delta);
+  }
+
+  // ---- Optional phase 4: persist the contribution bundle. ---------------
+  if (!config.bundle_out.empty()) {
+    CTFL_SPAN("ctfl.bundle.emit");
+    store::SnapshotOptions snapshot;
+    snapshot.tau_w = config.tracer.tau_w;
+    snapshot.macro_delta = config.macro_delta;
+    snapshot.min_rule_weight = config.tracer.min_rule_weight;
+    snapshot.dp_epsilon = config.tracer.dp_epsilon;
+    snapshot.micro_scores = report.micro_scores;
+    snapshot.macro_scores = report.macro_scores;
+    snapshot.global_accuracy = report.trace.global_accuracy;
+    snapshot.matched_accuracy = report.trace.matched_accuracy;
+    Result<store::BundleContent> content = store::BuildBundleContent(
+        report.model, federation, test, tracer.train_activations(), snapshot);
+    report.bundle_status =
+        content.ok() ? store::WriteBundle(*content, config.bundle_out)
+                     : content.status();
+    if (report.bundle_status.ok()) {
+      std::ifstream in(config.bundle_out,
+                       std::ios::binary | std::ios::ate);
+      if (in) report.bundle_bytes = static_cast<size_t>(in.tellg());
+    } else {
+      CTFL_LOG(Warning) << "bundle emit to '" << config.bundle_out
+                        << "' failed: " << report.bundle_status.message();
+    }
   }
 
   static telemetry::Counter& run_counter =

@@ -26,6 +26,12 @@ struct CtflConfig {
   TracerConfig tracer;
   /// Minimum related records for macro credit (Eq. 6).
   int macro_delta = 1;
+  /// When non-empty, RunCtfl persists a contribution bundle (store/) at
+  /// this path after allocation: model + rules + activation uploads +
+  /// posting index, so later contribution / interpretability queries need
+  /// no retraining and no retracing. Failures are recorded in
+  /// CtflReport::bundle_status, never fatal to the run.
+  std::string bundle_out;
 };
 
 /// Output of one CTFL run: the trained global model, the tracing pass, and
@@ -38,6 +44,10 @@ struct CtflReport {
   double train_seconds = 0.0;
   double trace_seconds = 0.0;
   double test_accuracy = 0.0;
+  /// Outcome of the optional bundle emit (OK when bundle_out was empty).
+  Status bundle_status;
+  /// Bytes written to CtflConfig::bundle_out (0 when not emitted).
+  size_t bundle_bytes = 0;
   /// Per-phase timings + rule/tracer stats of this run (per-round FedAvg
   /// timings, per-epoch losses, grafting-step counts, ...).
   telemetry::RunTelemetry telemetry;

@@ -34,20 +34,7 @@ ContributionTracer::ContributionTracer(const LogicalNet* net,
                                        TracerConfig config)
     : net_(net), federation_(federation), config_(config) {
   CTFL_CHECK(net_ != nullptr && federation_ != nullptr);
-  const int num_rules = net_->num_rules();
-
-  rule_weights_.resize(num_rules);
-  class_mask_[0] = Bitset(num_rules);
-  class_mask_[1] = Bitset(num_rules);
-  for (int j = 0; j < num_rules; ++j) {
-    const double w = net_->RuleWeight(j);
-    if (w < config_.min_rule_weight) {
-      rule_weights_[j] = 0.0;
-      continue;
-    }
-    rule_weights_[j] = w;
-    class_mask_[net_->RuleClass(j)].Set(j);
-  }
+  BuildRuleMasks();
 
   // Participants compute their activation vectors locally and upload them
   // (paper §V privacy analysis); here that is this precomputation. When
@@ -66,6 +53,50 @@ ContributionTracer::ContributionTracer(const LogicalNet* net,
       }
       train_activations_[p].push_back(std::move(activation));
     }
+  }
+  IndexTrainRefs();
+}
+
+ContributionTracer::ContributionTracer(
+    const LogicalNet* net, const Federation* federation, TracerConfig config,
+    std::vector<std::vector<Bitset>> train_activations)
+    : net_(net),
+      federation_(federation),
+      config_(config),
+      train_activations_(std::move(train_activations)) {
+  CTFL_CHECK(net_ != nullptr && federation_ != nullptr);
+  CTFL_CHECK(train_activations_.size() == federation_->size());
+  for (size_t p = 0; p < federation_->size(); ++p) {
+    CTFL_CHECK(train_activations_[p].size() ==
+               (*federation_)[p].data.size());
+    for (const Bitset& activation : train_activations_[p]) {
+      CTFL_CHECK(activation.size() ==
+                 static_cast<size_t>(net_->num_rules()));
+    }
+  }
+  BuildRuleMasks();
+  IndexTrainRefs();
+}
+
+void ContributionTracer::BuildRuleMasks() {
+  const int num_rules = net_->num_rules();
+  rule_weights_.resize(num_rules);
+  class_mask_[0] = Bitset(num_rules);
+  class_mask_[1] = Bitset(num_rules);
+  for (int j = 0; j < num_rules; ++j) {
+    const double w = net_->RuleWeight(j);
+    if (w < config_.min_rule_weight) {
+      rule_weights_[j] = 0.0;
+      continue;
+    }
+    rule_weights_[j] = w;
+    class_mask_[net_->RuleClass(j)].Set(j);
+  }
+}
+
+void ContributionTracer::IndexTrainRefs() {
+  for (size_t p = 0; p < federation_->size(); ++p) {
+    const Dataset& data = (*federation_)[p].data;
     for (size_t i = 0; i < data.size(); ++i) {
       TrainRef ref{static_cast<int>(p), static_cast<int>(i),
                    &train_activations_[p][i]};

@@ -98,11 +98,31 @@ struct TraceResult {
 /// data — mirroring the privacy boundary of §V.
 class ContributionTracer {
  public:
-  /// `net` and `federation` must outlive the tracer.
+  /// `net` and `federation` must outlive the tracer. Computes each
+  /// participant's rule-activation upload locally (with optional DP
+  /// perturbation, per `config.dp_epsilon`).
   ContributionTracer(const LogicalNet* net, const Federation* federation,
                      TracerConfig config);
 
+  /// Same, but reuses already-uploaded activation bitsets instead of
+  /// recomputing them — the restore path of a persisted contribution
+  /// bundle (store/). `train_activations` must be indexed
+  /// [participant][local record], sized to the federation, with every
+  /// bitset as wide as the model's rule count. The bitsets are adopted
+  /// verbatim: if they were DP-perturbed at snapshot time, tracing
+  /// reproduces the originating run regardless of `config.dp_epsilon`.
+  ContributionTracer(const LogicalNet* net, const Federation* federation,
+                     TracerConfig config,
+                     std::vector<std::vector<Bitset>> train_activations);
+
   const TracerConfig& config() const { return config_; }
+
+  /// The per-participant activation uploads this tracer matches against
+  /// (after any DP perturbation) — exactly what a bundle snapshot must
+  /// persist for queries to reproduce this run.
+  const std::vector<std::vector<Bitset>>& train_activations() const {
+    return train_activations_;
+  }
 
   /// Single tracing pass over the reserved test set.
   TraceResult Trace(const Dataset& test) const;
@@ -113,6 +133,12 @@ class ContributionTracer {
     int local_index;
     const Bitset* activation;
   };
+
+  /// Zeroes sub-threshold rule weights and builds the per-class masks.
+  void BuildRuleMasks();
+  /// Builds train_by_class_ refs over train_activations_ (which must
+  /// already be populated and sized to the federation).
+  void IndexTrainRefs();
 
   const LogicalNet* net_;
   const Federation* federation_;

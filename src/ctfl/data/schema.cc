@@ -1,6 +1,38 @@
 #include "ctfl/data/schema.h"
 
+#include <cstring>
+
 namespace ctfl {
+namespace {
+
+// FNV-1a, byte-at-a-time; length-prefixed fields keep the hash injective
+// over field boundaries ("ab","c" vs "a","bc").
+class Fnv1a {
+ public:
+  void Bytes(const void* data, size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
+  void F64(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Str(const std::string& s) {
+    U64(s.size());
+    Bytes(s.data(), s.size());
+  }
+  uint64_t value() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace
 
 Result<int> FeatureSchema::FeatureIndex(const std::string& name) const {
   for (int i = 0; i < num_features(); ++i) {
@@ -34,6 +66,25 @@ int FeatureSchema::num_discrete() const {
 
 int FeatureSchema::num_continuous() const {
   return num_features() - num_discrete();
+}
+
+uint64_t SchemaFingerprint(const FeatureSchema& schema) {
+  Fnv1a h;
+  h.U64(static_cast<uint64_t>(schema.num_features()));
+  for (const FeatureSpec& spec : schema.features()) {
+    h.Str(spec.name);
+    h.U64(spec.type == FeatureType::kDiscrete ? 1 : 0);
+    if (spec.type == FeatureType::kDiscrete) {
+      h.U64(static_cast<uint64_t>(spec.categories.size()));
+      for (const std::string& category : spec.categories) h.Str(category);
+    } else {
+      h.F64(spec.lo);
+      h.F64(spec.hi);
+    }
+  }
+  h.Str(schema.label_name(0));
+  h.Str(schema.label_name(1));
+  return h.value();
 }
 
 }  // namespace ctfl

@@ -1,6 +1,7 @@
 #ifndef CTFL_DATA_SCHEMA_H_
 #define CTFL_DATA_SCHEMA_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -80,6 +81,13 @@ class FeatureSchema {
 };
 
 using SchemaPtr = std::shared_ptr<const FeatureSchema>;
+
+/// Order-sensitive 64-bit fingerprint (FNV-1a) of a schema: feature names,
+/// kinds, category vocabularies, continuous bounds (exact bit patterns),
+/// and label names. Persistence formats embed it so that a model or bundle
+/// saved against one schema is never silently loaded against another —
+/// equal fingerprints mean byte-for-byte identical schema descriptions.
+uint64_t SchemaFingerprint(const FeatureSchema& schema);
 
 }  // namespace ctfl
 

@@ -4,12 +4,16 @@
 #include <iomanip>
 #include <sstream>
 
+#include "ctfl/data/schema.h"
 #include "ctfl/util/string_util.h"
 
 namespace ctfl {
 namespace {
 
-constexpr int kFormatVersion = 1;
+// v1: config + params. v2 adds a schema_fingerprint line so a model file
+// refuses to load against a schema other than the one it was trained on.
+// Loading still accepts v1 files (no fingerprint check possible).
+constexpr int kFormatVersion = 2;
 
 }  // namespace
 
@@ -18,6 +22,7 @@ Status SaveLogicalNet(const LogicalNet& net, const std::string& path) {
   if (!out) return Status::IoError("cannot open " + path);
   const LogicalNetConfig& config = net.config();
   out << "ctfl-model " << kFormatVersion << "\n";
+  out << "schema_fingerprint " << SchemaFingerprint(*net.schema()) << "\n";
   out << "tau_d " << config.tau_d << "\n";
   out << "fan_in " << config.fan_in << "\n";
   out << "input_skip " << (config.input_skip ? 1 : 0) << "\n";
@@ -50,7 +55,7 @@ Result<LogicalNet> LoadLogicalNet(SchemaPtr schema,
   if (tag != "ctfl-model") {
     return Status::InvalidArgument(path + ": not a ctfl model file");
   }
-  if (version != kFormatVersion) {
+  if (version < 1 || version > kFormatVersion) {
     return Status::InvalidArgument(
         StrFormat("%s: unsupported version %d", path.c_str(), version));
   }
@@ -60,7 +65,18 @@ Result<LogicalNet> LoadLogicalNet(SchemaPtr schema,
   size_t num_layers = 0;
   config.logic_layers.clear();
   while (in >> key) {
-    if (key == "tau_d") {
+    if (key == "schema_fingerprint") {
+      uint64_t fingerprint = 0;
+      in >> fingerprint;
+      const uint64_t expected = SchemaFingerprint(*schema);
+      if (in && fingerprint != expected) {
+        return Status::InvalidArgument(StrFormat(
+            "%s: schema fingerprint mismatch — the model was trained on a "
+            "different schema (file %llu, supplied schema %llu)",
+            path.c_str(), static_cast<unsigned long long>(fingerprint),
+            static_cast<unsigned long long>(expected)));
+      }
+    } else if (key == "tau_d") {
       in >> config.tau_d;
     } else if (key == "fan_in") {
       in >> config.fan_in;

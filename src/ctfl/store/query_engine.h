@@ -1,0 +1,165 @@
+#ifndef CTFL_STORE_QUERY_ENGINE_H_
+#define CTFL_STORE_QUERY_ENGINE_H_
+
+// Serving side of the contribution bundle store: memory-loads a bundle and
+// answers contribution / interpretability queries with no retraining and
+// no recomputation of activation vectors. The expensive artifacts of the
+// single training+inference pass — model parameters, rule weights, and
+// every rule-activation bitset — come straight from the bundle; queries
+// only redo the cheap Eq. 4 overlap comparisons, prefiltered by the
+// bundle's inverted rule -> record posting lists.
+//
+// Exactness contract: for the originating run's parameters, Evaluate()
+// reproduces the run's micro/macro scores *bit-identically* (same related
+// sets, same floating-point accumulation order as core/allocation), and
+// Related() agrees with ContributionTracer::Trace on every instance. The
+// posting-list prefilter is lossless: a candidate set is the union of
+// postings of a minimal heaviest-weight prefix of the support rules whose
+// complement cannot reach the tau_w threshold.
+
+#include <string>
+#include <vector>
+
+#include "ctfl/store/bundle.h"
+
+namespace ctfl {
+namespace store {
+
+/// Knobs of a single related-record lookup.
+struct QueryOptions {
+  /// Eq. 4 threshold; defaults to the originating run's tau_w when < 0.
+  double tau_w = -1.0;
+  /// Posting-list candidate prefilter (false = linear scan of the class
+  /// bucket; the two paths return identical results).
+  bool use_index = true;
+  /// Max (participant, record) refs materialized in RelatedResult::records
+  /// (0 = counts only).
+  size_t max_records = 0;
+};
+
+struct RecordRef {
+  int participant = 0;
+  int local_index = 0;
+};
+
+/// Outcome of one Eq. 4 related-record lookup.
+struct RelatedResult {
+  int predicted = 0;
+  int support_size = 0;        ///< supporting rules of the predicted class
+  double support_weight = 0.0; ///< their total vote weight
+  std::vector<int> related_count;  ///< per participant
+  size_t total_related = 0;
+  std::vector<RecordRef> records;  ///< first max_records matches
+  // Lookup cost accounting.
+  int64_t bucket_size = 0;   ///< training records of the predicted class
+  int64_t tau_w_checks = 0;  ///< candidates that reached the exact check
+  int64_t postings_scanned = 0;
+  int64_t candidates_pruned = 0;  ///< bucket_size - tau_w_checks
+};
+
+/// One rule with its weight-regularized tracing frequency + symbolic text.
+struct RuleStat {
+  int rule = 0;
+  double frequency = 0.0;
+  std::string text;
+};
+
+/// Per-participant interpretability summary (paper section IV-B) computed
+/// from the bundle alone.
+struct ParticipantSummary {
+  int participant = 0;
+  std::string name;
+  size_t data_size = 0;
+  std::vector<RuleStat> beneficial;
+  std::vector<RuleStat> harmful;
+  double useless_ratio = 0.0;
+};
+
+/// Parameters of a batch re-evaluation; negative values default to the
+/// originating run's parameters.
+struct EvalOptions {
+  double tau_w = -1.0;
+  int delta = -1;
+  int top_k = 5;
+};
+
+/// Batch query answer: micro/macro scores under the requested parameters
+/// plus the interpretability artifacts of section IV-B.
+struct QueryReport {
+  double tau_w = 0.0;
+  int delta = 1;
+  std::vector<double> micro;
+  std::vector<double> macro;
+  double global_accuracy = 0.0;
+  double matched_accuracy = 0.0;
+  size_t uncovered_tests = 0;
+  std::vector<RuleStat> uncovered_rules;
+  std::vector<ParticipantSummary> participants;
+  // Evaluation cost accounting.
+  int64_t keys = 0;  ///< distinct (class, support-set) tracing tasks
+  int64_t tau_w_checks = 0;
+  int64_t postings_scanned = 0;
+  int64_t candidates_pruned = 0;
+};
+
+class QueryEngine {
+ public:
+  /// Reads + validates the bundle file and builds the engine (restores the
+  /// model, rule masks, and the flat record table).
+  static Result<QueryEngine> Open(const std::string& path);
+  /// Builds the engine over already-decoded content.
+  static Result<QueryEngine> FromContent(BundleContent content);
+
+  QueryEngine(QueryEngine&&) = default;
+  QueryEngine& operator=(QueryEngine&&) = delete;
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  const BundleContent& bundle() const { return content_; }
+  const LogicalNet& model() const { return model_; }
+  int num_participants() const { return content_.num_participants(); }
+  /// Originating-run parameters (the Evaluate/Related defaults).
+  double origin_tau_w() const { return content_.meta.tau_w; }
+  int origin_delta() const { return content_.meta.macro_delta; }
+
+  /// Eq. 4 related-record lookup for a new instance: runs deployed
+  /// inference on the restored model, then matches the stored training
+  /// activations (posting-prefiltered).
+  RelatedResult Related(const Instance& instance,
+                        const QueryOptions& options = {}) const;
+
+  /// Same lookup for stored test instance `test_index`, reusing its
+  /// persisted activation + prediction (no model inference at all).
+  RelatedResult RelatedForTest(size_t test_index,
+                               const QueryOptions& options = {}) const;
+
+  /// Batch micro/macro recomputation + interpretability summaries over the
+  /// bundle's reserved test set. One pass over deduplicated support sets;
+  /// no retraining, no activation recomputation.
+  QueryReport Evaluate(const EvalOptions& options = {}) const;
+
+ private:
+  QueryEngine(BundleContent content, LogicalNet model);
+
+  RelatedResult RelatedForActivation(const Bitset& activation, int predicted,
+                                     double tau_w, bool use_index,
+                                     size_t max_records) const;
+
+  // NOTE: record_activation_ points into content_.participants' vectors;
+  // moves of QueryEngine keep those heap buffers alive (hence: movable,
+  // not copyable).
+  BundleContent content_;
+  LogicalNet model_;
+  std::vector<double> rule_weights_;  ///< zeroed below min_rule_weight
+  Bitset class_mask_[2];
+  std::vector<int32_t> record_participant_;
+  std::vector<int32_t> record_local_;
+  std::vector<uint8_t> record_label_;
+  std::vector<const Bitset*> record_activation_;
+  std::vector<uint32_t> class_records_[2];  ///< ascending global ids
+};
+
+}  // namespace store
+}  // namespace ctfl
+
+#endif  // CTFL_STORE_QUERY_ENGINE_H_

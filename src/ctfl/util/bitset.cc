@@ -84,6 +84,23 @@ std::string Bitset::ToString() const {
   return out;
 }
 
+Result<Bitset> Bitset::FromWords(size_t size, std::vector<uint64_t> words) {
+  const size_t expected_words = (size + 63) / 64;
+  if (words.size() != expected_words) {
+    return Status::InvalidArgument("bitset word count does not match size");
+  }
+  if (size % 64 != 0 && !words.empty()) {
+    const uint64_t tail_mask = ~0ULL << (size % 64);
+    if ((words.back() & tail_mask) != 0) {
+      return Status::InvalidArgument("bitset has set bits past its size");
+    }
+  }
+  Bitset out;
+  out.size_ = size;
+  out.words_ = std::move(words);
+  return out;
+}
+
 size_t Bitset::Hash() const {
   // FNV-1a over the words.
   uint64_t h = 0xcbf29ce484222325ULL;

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "ctfl/util/result.h"
+
 namespace ctfl {
 
 /// Fixed-size dynamic bitset backed by 64-bit words. Rule-activation vectors
@@ -49,6 +51,15 @@ class Bitset {
 
   /// Hash usable with std::unordered_map.
   size_t Hash() const;
+
+  /// Backing 64-bit words (bit i lives in word i/64 at position i%64).
+  /// Exposed for binary persistence; trailing bits past size() are zero.
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  /// Rebuilds a bitset of `size` bits from backing words (inverse of
+  /// words()). Fails if the word count does not match or a trailing bit
+  /// past `size` is set — both indicate a corrupt serialization.
+  static Result<Bitset> FromWords(size_t size, std::vector<uint64_t> words);
 
  private:
   size_t size_;

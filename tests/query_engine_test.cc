@@ -1,0 +1,285 @@
+#include "ctfl/store/query_engine.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "ctfl/core/interpret.h"
+#include "ctfl/core/pipeline.h"
+#include "ctfl/data/gen/synthetic.h"
+#include "ctfl/fl/partition.h"
+#include "ctfl/store/snapshot.h"
+
+namespace ctfl {
+namespace store {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+SyntheticSpec TwoRuleSpec() {
+  SyntheticSpec spec;
+  spec.schema = std::make_shared<FeatureSchema>(
+      std::vector<FeatureSpec>{
+          FeatureSchema::Continuous("x", 0, 1),
+          FeatureSchema::Continuous("y", 0, 1),
+      },
+      "neg", "pos");
+  spec.samplers = {
+      FeatureSampler{FeatureSampler::Kind::kUniform, 0, 0, {}},
+      FeatureSampler{FeatureSampler::Kind::kUniform, 0, 0, {}}};
+  spec.rules = {{{{0, GtPredicate::Op::kGt, 0.5}}, 1, 1.0},
+                {{{0, GtPredicate::Op::kLt, 0.5}}, 0, 1.0}};
+  return spec;
+}
+
+CtflConfig FastConfig() {
+  CtflConfig config;
+  config.federated = false;
+  config.central.epochs = 12;
+  config.central.learning_rate = 0.05;
+  config.net.logic_layers = {{10, 10}};
+  config.net.seed = 7;
+  config.tracer.tau_w = 0.85;
+  return config;
+}
+
+/// A full run whose bundle was written through the pipeline itself. The
+/// bundle files live in the test temp dir; the harness cleans them up.
+struct Fixture {
+  Federation fed;
+  Dataset test;
+  CtflReport report;
+  std::string bundle_path;
+};
+
+Fixture MakeFixture(CtflConfig config, const std::string& name,
+                    int participants = 4) {
+  Rng rng(41);
+  const SyntheticSpec spec = TwoRuleSpec();
+  const Dataset all = GenerateSynthetic(spec, 500, rng);
+  Dataset test = GenerateSynthetic(spec, 140, rng);
+  Rng prng(42);
+  Federation fed =
+      MakeFederation(PartitionSkewSample(all, participants, 0.7, prng));
+  config.bundle_out = TempPath(name);
+  CtflReport report = RunCtfl(fed, test, config);
+  EXPECT_TRUE(report.bundle_status.ok()) << report.bundle_status;
+  return Fixture{std::move(fed), std::move(test), std::move(report),
+                 config.bundle_out};
+}
+
+TEST(QueryEngineTest, EvaluateReproducesOriginatingRunBitIdentically) {
+  const Fixture fx = MakeFixture(FastConfig(), "qe_origin.ctflb");
+  const Result<QueryEngine> engine = QueryEngine::Open(fx.bundle_path);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  EXPECT_EQ(engine->origin_tau_w(), 0.85);
+  EXPECT_EQ(engine->origin_delta(), 1);
+
+  const QueryReport report = engine->Evaluate();
+  EXPECT_EQ(report.tau_w, 0.85);
+  EXPECT_EQ(report.delta, 1);
+  // Bit-identical, not approximately equal: the engine replays the exact
+  // floating-point accumulation order of core/allocation.
+  EXPECT_EQ(report.micro, fx.report.micro_scores);
+  EXPECT_EQ(report.macro, fx.report.macro_scores);
+  EXPECT_EQ(report.global_accuracy, fx.report.trace.global_accuracy);
+  EXPECT_EQ(report.matched_accuracy, fx.report.trace.matched_accuracy);
+  EXPECT_EQ(report.uncovered_tests, fx.report.trace.uncovered_tests);
+  EXPECT_EQ(report.keys, fx.report.trace.num_keys);
+}
+
+TEST(QueryEngineTest, RelatedAgreesWithTracerOnEveryTestInstance) {
+  const Fixture fx = MakeFixture(FastConfig(), "qe_related.ctflb");
+  const QueryEngine engine = QueryEngine::Open(fx.bundle_path).value();
+
+  int64_t pruned_total = 0;
+  for (size_t t = 0; t < fx.test.size(); ++t) {
+    const TestTrace& expected = fx.report.trace.tests[t];
+
+    // Stored-test path (persisted activation + prediction).
+    const RelatedResult stored = engine.RelatedForTest(t);
+    EXPECT_EQ(stored.predicted, expected.predicted);
+    EXPECT_EQ(stored.support_size, expected.support_size);
+    EXPECT_EQ(stored.related_count, expected.related_count);
+    EXPECT_EQ(stored.total_related, expected.total_related);
+    pruned_total += stored.candidates_pruned;
+
+    // Fresh-instance path (restored-model inference) and the linear
+    // reference scan must agree with it everywhere.
+    QueryOptions linear;
+    linear.use_index = false;
+    const RelatedResult fresh = engine.Related(fx.test.instance(t));
+    const RelatedResult scan = engine.Related(fx.test.instance(t), linear);
+    EXPECT_EQ(fresh.related_count, expected.related_count);
+    EXPECT_EQ(scan.related_count, expected.related_count);
+    EXPECT_EQ(scan.candidates_pruned, 0);
+    EXPECT_GE(stored.postings_scanned, 0);
+  }
+  // The posting-list prefilter actually prunes on this workload.
+  EXPECT_GT(pruned_total, 0);
+}
+
+TEST(QueryEngineTest, MaterializedRecordsAreExactlyTheRelatedSet) {
+  const Fixture fx = MakeFixture(FastConfig(), "qe_records.ctflb");
+  const QueryEngine engine = QueryEngine::Open(fx.bundle_path).value();
+
+  for (size_t t = 0; t < fx.test.size(); ++t) {
+    QueryOptions all;
+    all.max_records = fx.fed.size() * 1000;
+    const RelatedResult result = engine.RelatedForTest(t, all);
+    ASSERT_EQ(result.records.size(), result.total_related);
+    std::vector<int> counted(fx.fed.size(), 0);
+    for (const RecordRef& ref : result.records) {
+      ASSERT_GE(ref.participant, 0);
+      ASSERT_LT(ref.participant, static_cast<int>(fx.fed.size()));
+      ++counted[ref.participant];
+      // Every materialized record really is related: its label matches the
+      // prediction (Eq. 4 matches within the predicted class bucket).
+      EXPECT_EQ(fx.fed[ref.participant].data.instance(ref.local_index).label,
+                result.predicted);
+    }
+    EXPECT_EQ(counted, result.related_count);
+
+    // Truncation keeps a prefix.
+    QueryOptions few;
+    few.max_records = 2;
+    const RelatedResult truncated = engine.RelatedForTest(t, few);
+    ASSERT_LE(truncated.records.size(), 2u);
+    for (size_t i = 0; i < truncated.records.size(); ++i) {
+      EXPECT_EQ(truncated.records[i].participant,
+                result.records[i].participant);
+      EXPECT_EQ(truncated.records[i].local_index,
+                result.records[i].local_index);
+    }
+  }
+}
+
+TEST(QueryEngineTest, NewParametersMatchAFreshTracerRun) {
+  const Fixture fx = MakeFixture(FastConfig(), "qe_params.ctflb");
+  const QueryEngine engine = QueryEngine::Open(fx.bundle_path).value();
+
+  EvalOptions eval;
+  eval.tau_w = 0.7;
+  eval.delta = 2;
+  const QueryReport report = engine.Evaluate(eval);
+
+  // Reference: retrace from scratch at the new parameters.
+  CtflConfig config = FastConfig();
+  config.tracer.tau_w = 0.7;
+  const ContributionTracer tracer(&fx.report.model, &fx.fed, config.tracer);
+  const TraceResult trace = tracer.Trace(fx.test);
+  EXPECT_EQ(report.micro, MicroAllocation(trace));
+  EXPECT_EQ(report.macro, MacroAllocation(trace, 2));
+
+  for (size_t t = 0; t < fx.test.size(); ++t) {
+    QueryOptions options;
+    options.tau_w = 0.7;
+    const RelatedResult related = engine.RelatedForTest(t, options);
+    EXPECT_EQ(related.related_count, trace.tests[t].related_count);
+  }
+}
+
+TEST(QueryEngineTest, PrecomputedActivationTracerReproducesTrace) {
+  const Fixture fx = MakeFixture(FastConfig(), "qe_pretracer.ctflb");
+  const BundleContent bundle = ReadBundle(fx.bundle_path).value();
+  const LogicalNet model = RestoreModel(bundle).value();
+
+  // Rehydrate the tracer from the bundle's persisted uploads — no
+  // RuleActivations call on any training record.
+  std::vector<std::vector<Bitset>> activations;
+  activations.reserve(bundle.participants.size());
+  for (const ParticipantRecords& records : bundle.participants) {
+    activations.push_back(records.activations);
+  }
+  const ContributionTracer tracer(&model, &fx.fed, FastConfig().tracer,
+                                  std::move(activations));
+  EXPECT_EQ(tracer.train_activations().size(), fx.fed.size());
+  const TraceResult trace = tracer.Trace(fx.test);
+
+  EXPECT_EQ(MicroAllocation(trace), fx.report.micro_scores);
+  EXPECT_EQ(MacroAllocation(trace, 1), fx.report.macro_scores);
+  for (size_t t = 0; t < fx.test.size(); ++t) {
+    EXPECT_EQ(trace.tests[t].related_count,
+              fx.report.trace.tests[t].related_count);
+  }
+}
+
+TEST(QueryEngineTest, SummariesMatchInterpretProfiles) {
+  const Fixture fx = MakeFixture(FastConfig(), "qe_profiles.ctflb");
+  const QueryEngine engine = QueryEngine::Open(fx.bundle_path).value();
+
+  EvalOptions eval;
+  eval.top_k = 3;
+  const QueryReport report = engine.Evaluate(eval);
+  const std::vector<ParticipantProfile> profiles =
+      BuildProfiles(fx.report.trace, 3);
+
+  ASSERT_EQ(report.participants.size(), profiles.size());
+  for (size_t p = 0; p < profiles.size(); ++p) {
+    const ParticipantSummary& summary = report.participants[p];
+    EXPECT_EQ(summary.participant, profiles[p].participant);
+    EXPECT_EQ(summary.data_size, profiles[p].data_size);
+    EXPECT_EQ(summary.useless_ratio, profiles[p].useless_ratio);
+    ASSERT_EQ(summary.beneficial.size(), profiles[p].beneficial.size());
+    for (size_t i = 0; i < summary.beneficial.size(); ++i) {
+      EXPECT_EQ(summary.beneficial[i].rule, profiles[p].beneficial[i].rule);
+      EXPECT_EQ(summary.beneficial[i].frequency,
+                profiles[p].beneficial[i].weighted_frequency);
+      EXPECT_FALSE(summary.beneficial[i].text.empty());
+    }
+    ASSERT_EQ(summary.harmful.size(), profiles[p].harmful.size());
+    for (size_t i = 0; i < summary.harmful.size(); ++i) {
+      EXPECT_EQ(summary.harmful[i].rule, profiles[p].harmful[i].rule);
+      EXPECT_EQ(summary.harmful[i].frequency,
+                profiles[p].harmful[i].weighted_frequency);
+    }
+  }
+
+  // Uncovered guidance agrees with the interpret module too.
+  const CollectionGuidance guidance =
+      GuideDataCollection(fx.report.trace, 3);
+  EXPECT_EQ(report.uncovered_tests, guidance.uncovered_tests);
+  ASSERT_EQ(report.uncovered_rules.size(), guidance.uncovered_rules.size());
+  for (size_t i = 0; i < guidance.uncovered_rules.size(); ++i) {
+    EXPECT_EQ(report.uncovered_rules[i].rule,
+              guidance.uncovered_rules[i].rule);
+    EXPECT_EQ(report.uncovered_rules[i].frequency,
+              guidance.uncovered_rules[i].weighted_frequency);
+  }
+}
+
+TEST(QueryEngineTest, DpPerturbedRunStillReproducesBitIdentically) {
+  CtflConfig config = FastConfig();
+  config.tracer.dp_epsilon = 1.0;  // heavy randomized-response noise
+  const Fixture fx = MakeFixture(config, "qe_dp.ctflb");
+  const QueryEngine engine = QueryEngine::Open(fx.bundle_path).value();
+  EXPECT_EQ(engine.bundle().meta.dp_epsilon, 1.0);
+
+  // The bundle persisted the *perturbed* uploads, so queries replay the
+  // originating DP run exactly — no fresh noise draw involved.
+  const QueryReport report = engine.Evaluate();
+  EXPECT_EQ(report.micro, fx.report.micro_scores);
+  EXPECT_EQ(report.macro, fx.report.macro_scores);
+  for (size_t t = 0; t < fx.test.size(); ++t) {
+    EXPECT_EQ(engine.RelatedForTest(t).related_count,
+              fx.report.trace.tests[t].related_count);
+  }
+}
+
+TEST(QueryEngineTest, OpenRejectsMissingAndRelatedForTestBounds) {
+  EXPECT_FALSE(QueryEngine::Open(TempPath("qe_missing.ctflb")).ok());
+
+  const Fixture fx = MakeFixture(FastConfig(), "qe_bounds.ctflb");
+  const QueryEngine engine = QueryEngine::Open(fx.bundle_path).value();
+  // FromContent over the same decoded bundle behaves identically.
+  const Result<QueryEngine> from_content =
+      QueryEngine::FromContent(ReadBundle(fx.bundle_path).value());
+  ASSERT_TRUE(from_content.ok()) << from_content.status();
+  EXPECT_EQ(from_content->Evaluate().micro, engine.Evaluate().micro);
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace ctfl

@@ -83,6 +83,67 @@ TEST(SerializeTest, LoadRejectsWrongSchema) {
   std::remove(path.c_str());
 }
 
+TEST(SerializeTest, LoadRejectsFingerprintMismatchOfSameWidthSchema) {
+  const SchemaPtr schema = MakeSchema();
+  LogicalNetConfig config;
+  config.tau_d = 4;
+  config.logic_layers = {{4, 4}};
+  LogicalNet net(schema, config);
+  const std::string path = TempPath("model_fingerprint.txt");
+  ASSERT_TRUE(SaveLogicalNet(net, path).ok());
+
+  // Same encoded width (param count matches), different feature name: only
+  // the v2 fingerprint can catch the swap.
+  const SchemaPtr renamed = std::make_shared<FeatureSchema>(
+      std::vector<FeatureSpec>{
+          FeatureSchema::Continuous("y", 0, 1),
+          FeatureSchema::Discrete("c", {"a", "b"}),
+      },
+      "neg", "pos");
+  const Result<LogicalNet> loaded = LoadLogicalNet(renamed, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("fingerprint"),
+            std::string::npos)
+      << loaded.status();
+  // The original schema still loads.
+  EXPECT_TRUE(LoadLogicalNet(schema, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadAcceptsVersion1FilesWithoutFingerprint) {
+  const SchemaPtr schema = MakeSchema();
+  LogicalNetConfig config;
+  config.tau_d = 4;
+  config.logic_layers = {{4, 4}};
+  config.seed = 11;
+  LogicalNet net(schema, config);
+  const std::string path = TempPath("model_v1.txt");
+  ASSERT_TRUE(SaveLogicalNet(net, path).ok());
+
+  // Downgrade the file to the v1 format: old header, no fingerprint line.
+  std::string contents;
+  {
+    std::ifstream in(path);
+    contents.assign((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  }
+  ASSERT_NE(contents.find("ctfl-model 2\n"), std::string::npos);
+  contents.replace(contents.find("ctfl-model 2\n"),
+                   std::string("ctfl-model 2\n").size(), "ctfl-model 1\n");
+  const size_t fp_begin = contents.find("schema_fingerprint");
+  ASSERT_NE(fp_begin, std::string::npos);
+  contents.erase(fp_begin, contents.find('\n', fp_begin) - fp_begin + 1);
+  {
+    std::ofstream out(path);
+    out << contents;
+  }
+
+  const Result<LogicalNet> loaded = LoadLogicalNet(schema, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->GetParameters(), net.GetParameters());
+  std::remove(path.c_str());
+}
+
 TEST(SerializeTest, LoadRejectsGarbage) {
   const std::string path = TempPath("not_a_model.txt");
   {

@@ -1,0 +1,401 @@
+#include "ctfl/store/bundle.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "ctfl/core/pipeline.h"
+#include "ctfl/data/gen/synthetic.h"
+#include "ctfl/fl/partition.h"
+#include "ctfl/store/snapshot.h"
+
+namespace ctfl {
+namespace store {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+SyntheticSpec TwoRuleSpec() {
+  SyntheticSpec spec;
+  spec.schema = std::make_shared<FeatureSchema>(
+      std::vector<FeatureSpec>{
+          FeatureSchema::Continuous("x", 0, 1),
+          FeatureSchema::Continuous("y", 0, 1),
+      },
+      "neg", "pos");
+  spec.samplers = {
+      FeatureSampler{FeatureSampler::Kind::kUniform, 0, 0, {}},
+      FeatureSampler{FeatureSampler::Kind::kUniform, 0, 0, {}}};
+  spec.rules = {{{{0, GtPredicate::Op::kGt, 0.5}}, 1, 1.0},
+                {{{0, GtPredicate::Op::kLt, 0.5}}, 0, 1.0}};
+  return spec;
+}
+
+/// One trained CTFL run plus everything a snapshot needs.
+struct Fixture {
+  Federation fed;
+  Dataset test;
+  CtflReport report;
+  std::vector<std::vector<Bitset>> activations;
+  SnapshotOptions options;
+};
+
+Fixture MakeFixture(int participants = 3) {
+  Rng rng(21);
+  const SyntheticSpec spec = TwoRuleSpec();
+  const Dataset all = GenerateSynthetic(spec, 400, rng);
+  Dataset test = GenerateSynthetic(spec, 120, rng);
+  Rng prng(22);
+  Federation fed =
+      MakeFederation(PartitionSkewSample(all, participants, 0.7, prng));
+
+  CtflConfig config;
+  config.federated = false;
+  config.central.epochs = 12;
+  config.central.learning_rate = 0.05;
+  config.net.logic_layers = {{10, 10}};
+  config.net.seed = 5;
+  config.tracer.tau_w = 0.85;
+  CtflReport report = RunCtfl(fed, test, config);
+
+  // Deterministic (no DP), so a fresh tracer reproduces the run's uploads.
+  const ContributionTracer tracer(&report.model, &fed, config.tracer);
+
+  Fixture fixture{std::move(fed), std::move(test), std::move(report),
+                  tracer.train_activations(), SnapshotOptions{}};
+  fixture.options.tau_w = config.tracer.tau_w;
+  fixture.options.macro_delta = config.macro_delta;
+  fixture.options.min_rule_weight = config.tracer.min_rule_weight;
+  fixture.options.micro_scores = fixture.report.micro_scores;
+  fixture.options.macro_scores = fixture.report.macro_scores;
+  fixture.options.global_accuracy = fixture.report.trace.global_accuracy;
+  fixture.options.matched_accuracy = fixture.report.trace.matched_accuracy;
+  return fixture;
+}
+
+// ---------------------------------------------------------------------------
+// Container level.
+// ---------------------------------------------------------------------------
+
+TEST(BundleContainerTest, Crc32MatchesKnownVectors) {
+  EXPECT_EQ(Crc32("", 0), 0u);
+  const std::string check = "123456789";
+  EXPECT_EQ(Crc32(check.data(), check.size()), 0xCBF43926u);
+}
+
+TEST(BundleContainerTest, RoundTripPreservesBinarySections) {
+  BundleWriter writer;
+  const std::string binary("\x00\x01\xff\x7f payload\n\x00", 12);
+  writer.AddSection("alpha", binary);
+  writer.AddSection("beta", "");
+  writer.AddSection("gamma", std::string(100000, 'x'));
+
+  const std::string path = TempPath("container_roundtrip.ctflb");
+  ASSERT_TRUE(writer.Write(path).ok());
+  EXPECT_EQ(ReadFile(path).size(), writer.TotalBytes());
+
+  const Result<BundleReader> reader = BundleReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  EXPECT_EQ(reader->section_names(),
+            (std::vector<std::string>{"alpha", "beta", "gamma"}));
+  EXPECT_EQ(reader->Section("alpha").value(), binary);
+  EXPECT_EQ(reader->Section("beta").value(), "");
+  EXPECT_EQ(reader->Section("gamma").value(), std::string(100000, 'x'));
+  EXPECT_TRUE(reader->HasSection("beta"));
+  EXPECT_FALSE(reader->HasSection("delta"));
+  EXPECT_FALSE(reader->Section("delta").ok());
+  std::remove(path.c_str());
+}
+
+TEST(BundleContainerTest, RejectsDuplicateOrEmptySectionNames) {
+  BundleWriter dup;
+  dup.AddSection("s", "1");
+  dup.AddSection("s", "2");
+  EXPECT_FALSE(dup.Serialize().ok());
+  BundleWriter anon;
+  anon.AddSection("", "1");
+  EXPECT_FALSE(anon.Serialize().ok());
+}
+
+TEST(BundleContainerTest, RejectsCorruptionTruncationAndBadMagic) {
+  BundleWriter writer;
+  writer.AddSection("alpha", std::string(512, 'a'));
+  writer.AddSection("beta", std::string(512, 'b'));
+  const std::string path = TempPath("container_corrupt.ctflb");
+  ASSERT_TRUE(writer.Write(path).ok());
+  const std::string good = ReadFile(path);
+  ASSERT_TRUE(BundleReader::Open(path).ok());
+
+  // Flip one payload byte: the per-section CRC must catch it.
+  std::string corrupt = good;
+  corrupt[corrupt.size() - 10] ^= 0x40;
+  WriteFile(path, corrupt);
+  const Result<BundleReader> crc = BundleReader::Open(path);
+  ASSERT_FALSE(crc.ok());
+  EXPECT_NE(crc.status().message().find("CRC"), std::string::npos)
+      << crc.status();
+
+  // Truncations anywhere must fail cleanly, never crash or misread.
+  for (size_t keep : {size_t{0}, size_t{4}, size_t{11}, size_t{40},
+                      good.size() / 2, good.size() - 1}) {
+    WriteFile(path, good.substr(0, keep));
+    EXPECT_FALSE(BundleReader::Open(path).ok()) << "kept " << keep;
+  }
+
+  // Wrong magic and wrong version.
+  std::string magic = good;
+  magic[0] = 'X';
+  WriteFile(path, magic);
+  EXPECT_FALSE(BundleReader::Open(path).ok());
+  std::string version = good;
+  version[8] = static_cast<char>(0xEE);
+  WriteFile(path, version);
+  EXPECT_FALSE(BundleReader::Open(path).ok());
+
+  std::remove(path.c_str());
+  EXPECT_FALSE(BundleReader::Open(TempPath("missing.ctflb")).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Typed level.
+// ---------------------------------------------------------------------------
+
+TEST(BundleTypedTest, SnapshotRoundTripIsBitExact) {
+  const Fixture fx = MakeFixture();
+  const Result<BundleContent> built = BuildBundleContent(
+      fx.report.model, fx.fed, fx.test, fx.activations, fx.options);
+  ASSERT_TRUE(built.ok()) << built.status();
+
+  const std::string path = TempPath("typed_roundtrip.ctflb");
+  ASSERT_TRUE(WriteBundle(*built, path).ok());
+  const Result<BundleContent> loaded = ReadBundle(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  // Meta: originating parameters and scores, bit-for-bit.
+  EXPECT_EQ(loaded->meta.tau_w, fx.options.tau_w);
+  EXPECT_EQ(loaded->meta.macro_delta, fx.options.macro_delta);
+  EXPECT_EQ(loaded->meta.min_rule_weight, fx.options.min_rule_weight);
+  EXPECT_EQ(loaded->meta.dp_epsilon, fx.options.dp_epsilon);
+  EXPECT_EQ(loaded->meta.micro_scores, fx.report.micro_scores);
+  EXPECT_EQ(loaded->meta.macro_scores, fx.report.macro_scores);
+  EXPECT_EQ(loaded->meta.global_accuracy, fx.report.trace.global_accuracy);
+  EXPECT_EQ(loaded->meta.matched_accuracy,
+            fx.report.trace.matched_accuracy);
+  EXPECT_EQ(loaded->meta.schema_fingerprint,
+            SchemaFingerprint(*fx.fed[0].data.schema()));
+  ASSERT_EQ(loaded->meta.participant_names.size(), fx.fed.size());
+  for (size_t p = 0; p < fx.fed.size(); ++p) {
+    EXPECT_EQ(loaded->meta.participant_names[p], fx.fed[p].name);
+  }
+
+  // Model parameters: bit-exact.
+  EXPECT_EQ(loaded->params, fx.report.model.GetParameters());
+
+  // Rules: one snapshot per coordinate with the model's class + weight.
+  ASSERT_EQ(loaded->num_rules(), fx.report.model.num_rules());
+  for (int j = 0; j < loaded->num_rules(); ++j) {
+    EXPECT_EQ(loaded->rules[j].support_class,
+              fx.report.model.RuleClass(j));
+    EXPECT_EQ(loaded->rules[j].weight, fx.report.model.RuleWeight(j));
+    EXPECT_EQ(loaded->rules[j].text, built->rules[j].text);
+  }
+
+  // Train section: labels + the exact uploaded activation bitsets.
+  ASSERT_EQ(loaded->participants.size(), fx.fed.size());
+  for (size_t p = 0; p < fx.fed.size(); ++p) {
+    const Dataset& data = fx.fed[p].data;
+    ASSERT_EQ(loaded->participants[p].size(), data.size());
+    for (size_t i = 0; i < data.size(); ++i) {
+      EXPECT_EQ(loaded->participants[p].labels[i],
+                static_cast<uint8_t>(data.instance(i).label));
+      EXPECT_EQ(loaded->participants[p].activations[i],
+                fx.activations[p][i]);
+    }
+  }
+
+  // Tests section: deployed inference artifacts.
+  ASSERT_EQ(loaded->tests.size(), fx.test.size());
+  for (size_t t = 0; t < fx.test.size(); ++t) {
+    EXPECT_EQ(loaded->tests[t].label,
+              static_cast<uint8_t>(fx.test.instance(t).label));
+    EXPECT_EQ(loaded->tests[t].predicted,
+              static_cast<uint8_t>(
+                  fx.report.model.Predict(fx.test.instance(t))));
+    EXPECT_EQ(loaded->tests[t].activation,
+              fx.report.model.RuleActivations(fx.test.instance(t)));
+  }
+
+  // Index survives verbatim.
+  EXPECT_EQ(loaded->posting_offsets, built->posting_offsets);
+  EXPECT_EQ(loaded->postings, built->postings);
+  std::remove(path.c_str());
+}
+
+TEST(BundleTypedTest, PostingIndexIsSoundAndComplete) {
+  const Fixture fx = MakeFixture();
+  const BundleContent content =
+      BuildBundleContent(fx.report.model, fx.fed, fx.test, fx.activations,
+                         fx.options)
+          .value();
+
+  // Flatten the records the way the index numbers them.
+  std::vector<const Bitset*> flat;
+  for (const ParticipantRecords& records : content.participants) {
+    for (const Bitset& activation : records.activations) {
+      flat.push_back(&activation);
+    }
+  }
+  ASSERT_EQ(flat.size(), content.total_train_records());
+  ASSERT_EQ(content.posting_offsets.size(),
+            static_cast<size_t>(content.num_rules()) + 1);
+  EXPECT_EQ(content.posting_offsets.back(), content.postings.size());
+
+  for (int j = 0; j < content.num_rules(); ++j) {
+    std::vector<uint32_t> expected;
+    for (size_t g = 0; g < flat.size(); ++g) {
+      if (flat[g]->Test(j)) expected.push_back(static_cast<uint32_t>(g));
+    }
+    const std::vector<uint32_t> actual(
+        content.postings.begin() + content.posting_offsets[j],
+        content.postings.begin() + content.posting_offsets[j + 1]);
+    ASSERT_EQ(actual, expected) << "rule " << j;
+  }
+}
+
+TEST(BundleTypedTest, RestoreModelReproducesInference) {
+  const Fixture fx = MakeFixture();
+  const std::string path = TempPath("typed_restore.ctflb");
+  ASSERT_TRUE(
+      WriteBundle(BuildBundleContent(fx.report.model, fx.fed, fx.test,
+                                     fx.activations, fx.options)
+                      .value(),
+                  path)
+          .ok());
+  const BundleContent loaded = ReadBundle(path).value();
+  const Result<LogicalNet> restored = RestoreModel(loaded);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+
+  EXPECT_EQ(restored->GetParameters(), fx.report.model.GetParameters());
+  for (size_t t = 0; t < fx.test.size(); ++t) {
+    const Instance& inst = fx.test.instance(t);
+    EXPECT_EQ(restored->Predict(inst), fx.report.model.Predict(inst));
+    EXPECT_EQ(restored->RuleActivations(inst),
+              fx.report.model.RuleActivations(inst));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BundleTypedTest, BuildValidatesShapes) {
+  const Fixture fx = MakeFixture();
+
+  // Participant count mismatch.
+  std::vector<std::vector<Bitset>> short_activations = fx.activations;
+  short_activations.pop_back();
+  EXPECT_FALSE(BuildBundleContent(fx.report.model, fx.fed, fx.test,
+                                  short_activations, fx.options)
+                   .ok());
+
+  // Per-participant record count mismatch.
+  std::vector<std::vector<Bitset>> uneven = fx.activations;
+  uneven[0].pop_back();
+  EXPECT_FALSE(BuildBundleContent(fx.report.model, fx.fed, fx.test, uneven,
+                                  fx.options)
+                   .ok());
+
+  // Activation width mismatch.
+  std::vector<std::vector<Bitset>> narrow = fx.activations;
+  narrow[0][0] = Bitset(3);
+  EXPECT_FALSE(BuildBundleContent(fx.report.model, fx.fed, fx.test, narrow,
+                                  fx.options)
+                   .ok());
+
+  // Score vectors must be empty or one per participant.
+  SnapshotOptions bad_scores = fx.options;
+  bad_scores.micro_scores.push_back(0.0);
+  EXPECT_FALSE(BuildBundleContent(fx.report.model, fx.fed, fx.test,
+                                  fx.activations, bad_scores)
+                   .ok());
+
+  // Empty scores are fine (bench fixtures never allocate).
+  SnapshotOptions no_scores = fx.options;
+  no_scores.micro_scores.clear();
+  no_scores.macro_scores.clear();
+  EXPECT_TRUE(BuildBundleContent(fx.report.model, fx.fed, fx.test,
+                                 fx.activations, no_scores)
+                  .ok());
+}
+
+TEST(BundleTypedTest, ReadRejectsCrossSectionInconsistency) {
+  const Fixture fx = MakeFixture();
+  BundleContent content =
+      BuildBundleContent(fx.report.model, fx.fed, fx.test, fx.activations,
+                         fx.options)
+          .value();
+  const std::string path = TempPath("typed_inconsistent.ctflb");
+
+  // Posting id beyond the record table.
+  BundleContent bad = content;
+  ASSERT_FALSE(bad.postings.empty());
+  bad.postings[0] = static_cast<uint32_t>(bad.total_train_records());
+  ASSERT_TRUE(WriteBundle(bad, path).ok());
+  EXPECT_FALSE(ReadBundle(path).ok());
+
+  // Meta participant names out of sync with the train section.
+  BundleContent extra = content;
+  extra.meta.participant_names.push_back("ghost");
+  ASSERT_TRUE(WriteBundle(extra, path).ok());
+  EXPECT_FALSE(ReadBundle(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BundleTypedTest, PipelineEmitsBundleWhenAsked) {
+  Rng rng(31);
+  const SyntheticSpec spec = TwoRuleSpec();
+  const Dataset all = GenerateSynthetic(spec, 300, rng);
+  const Dataset test = GenerateSynthetic(spec, 80, rng);
+  Rng prng(32);
+  const Federation fed = MakeFederation(PartitionUniform(all, 3, prng));
+
+  CtflConfig config;
+  config.federated = false;
+  config.central.epochs = 8;
+  config.net.logic_layers = {{8, 8}};
+  config.net.seed = 2;
+  config.bundle_out = TempPath("pipeline_emit.ctflb");
+  const CtflReport report = RunCtfl(fed, test, config);
+  ASSERT_TRUE(report.bundle_status.ok()) << report.bundle_status;
+  EXPECT_GT(report.bundle_bytes, 0u);
+
+  const Result<BundleContent> loaded = ReadBundle(config.bundle_out);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->meta.micro_scores, report.micro_scores);
+  EXPECT_EQ(loaded->meta.macro_scores, report.macro_scores);
+  EXPECT_EQ(loaded->meta.global_accuracy, report.trace.global_accuracy);
+  EXPECT_EQ(loaded->num_participants(), 3);
+  std::remove(config.bundle_out.c_str());
+
+  // Unwritable path: the run still succeeds, the status records why.
+  CtflConfig bad = config;
+  bad.bundle_out = "/nonexistent-dir/bundle.ctflb";
+  const CtflReport failed = RunCtfl(fed, test, bad);
+  EXPECT_FALSE(failed.bundle_status.ok());
+  EXPECT_EQ(failed.micro_scores.size(), 3u);
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace ctfl

@@ -9,17 +9,35 @@
 //   rules     --dataset NAME --model FILE [--out FILE] [--min-weight W]
 //       Prints (or writes) the model's extracted symbolic rules.
 //   score     --dataset NAME --train FILE --test FILE [--participants K]
-//             [--tau-w T] [--skew-label] [--seed S]
+//             [--tau-w T] [--skew-label] [--seed S] [--bundle-out FILE]
 //             [--telemetry-out FILE.json] [--telemetry-summary]
 //       Partitions the training CSV into K participants, runs the full
 //       CTFL pipeline, and prints micro/macro scores + a loss report.
-//       --telemetry-out writes a Chrome trace (open in chrome://tracing
-//       or ui.perfetto.dev); --telemetry-summary prints per-span and
-//       per-phase cost tables.
+//       --bundle-out additionally persists a contribution bundle for
+//       later `query` runs. --telemetry-out writes a Chrome trace (open
+//       in chrome://tracing or ui.perfetto.dev); --telemetry-summary
+//       prints per-span and per-phase cost tables.
+//   snapshot  --dataset NAME --train FILE --test FILE --bundle-out FILE
+//             [score flags]
+//       Same pipeline as `score`, but the bundle is the point: trains
+//       once, traces once, and persists model + rules + activation
+//       uploads + posting index so every later query needs no retraining
+//       and no retracing.
+//   query     --bundle FILE [--tau-w T] [--delta D] [--top-k K]
+//             [--instances FILE.csv] [--max-records N] [--linear]
+//             [--telemetry-summary]
+//       Serves a persisted bundle: re-evaluates micro/macro scores under
+//       the requested (or originating) parameters — bit-identical to the
+//       originating run at its own parameters — prints per-participant
+//       interpretability summaries, and looks up Eq. 4 related records
+//       for new instances from --instances (posting-list prefiltered;
+//       --linear forces the full class-bucket scan instead).
 //
 // The --dataset flag names the schema (the federation's agreed feature
-// space); CSV files must match it.
+// space); CSV files must match it. `query` needs no --dataset: the
+// bundle carries its schema.
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 
@@ -31,6 +49,7 @@
 #include "ctfl/data/split.h"
 #include "ctfl/fl/partition.h"
 #include "ctfl/nn/serialize.h"
+#include "ctfl/store/query_engine.h"
 #include "ctfl/telemetry/metrics.h"
 #include "ctfl/telemetry/trace.h"
 #include "ctfl/util/flags.h"
@@ -135,7 +154,8 @@ Status RunRules(int argc, const char* const* argv) {
   return Status::OK();
 }
 
-Status RunScore(int argc, const char* const* argv) {
+// Shared by `score` (bundle optional) and `snapshot` (bundle required).
+Status RunScore(int argc, const char* const* argv, bool snapshot_mode) {
   FlagParser flags({{"dataset", "adult"},
                     {"train", ""},
                     {"test", ""},
@@ -147,11 +167,15 @@ Status RunScore(int argc, const char* const* argv) {
                     {"width", "96"},
                     {"budget", "0"},
                     {"seed", "42"},
+                    {"bundle-out", ""},
                     {"telemetry-out", ""},
                     {"telemetry-summary", "false"}});
   CTFL_RETURN_IF_ERROR(flags.Parse(argc, argv));
   if (flags.GetString("train").empty() || flags.GetString("test").empty()) {
     return Status::InvalidArgument("--train and --test are required");
+  }
+  if (snapshot_mode && flags.GetString("bundle-out").empty()) {
+    return Status::InvalidArgument("snapshot requires --bundle-out");
   }
   CTFL_ASSIGN_OR_RETURN(SchemaPtr schema,
                         SchemaFor(flags.GetString("dataset")));
@@ -185,7 +209,13 @@ Status RunScore(int argc, const char* const* argv) {
   config.net.logic_layers = {{width / 2, width - width / 2}};
   config.net.seed = seed;
   config.tracer.tau_w = tau_w;
+  config.bundle_out = flags.GetString("bundle-out");
   const CtflReport report = RunCtfl(fed, test, config);
+  if (!config.bundle_out.empty()) {
+    CTFL_RETURN_IF_ERROR(report.bundle_status);
+    std::printf("bundle (%zu bytes) -> %s\n", report.bundle_bytes,
+                config.bundle_out.c_str());
+  }
 
   std::printf("model accuracy: %.4f  (train %.1fs, trace %.2fs)\n\n",
               report.test_accuracy, report.train_seconds,
@@ -219,10 +249,135 @@ Status RunScore(int argc, const char* const* argv) {
   return Status::OK();
 }
 
+void PrintRuleStats(const char* header,
+                    const std::vector<store::RuleStat>& stats) {
+  if (stats.empty()) return;
+  std::printf("  %s\n", header);
+  for (const store::RuleStat& stat : stats) {
+    std::printf("    r%-4d f=%-10.4f %s\n", stat.rule, stat.frequency,
+                stat.text.c_str());
+  }
+}
+
+Status RunQuery(int argc, const char* const* argv) {
+  FlagParser flags({{"bundle", ""},
+                    {"tau-w", "-1"},
+                    {"delta", "-1"},
+                    {"top-k", "5"},
+                    {"instances", ""},
+                    {"max-records", "3"},
+                    {"linear", "false"},
+                    {"telemetry-summary", "false"}});
+  CTFL_RETURN_IF_ERROR(flags.Parse(argc, argv));
+  if (flags.GetString("bundle").empty()) {
+    return Status::InvalidArgument("--bundle is required");
+  }
+  CTFL_ASSIGN_OR_RETURN(double tau_w, flags.GetDouble("tau-w"));
+  CTFL_ASSIGN_OR_RETURN(int delta, flags.GetInt("delta"));
+  CTFL_ASSIGN_OR_RETURN(int top_k, flags.GetInt("top-k"));
+  CTFL_ASSIGN_OR_RETURN(int max_records, flags.GetInt("max-records"));
+  const bool telemetry_summary = flags.GetBool("telemetry-summary");
+  if (telemetry_summary) telemetry::SetTracingEnabled(true);
+
+  CTFL_ASSIGN_OR_RETURN(store::QueryEngine engine,
+                        store::QueryEngine::Open(flags.GetString("bundle")));
+  const store::BundleContent& bundle = engine.bundle();
+  std::printf(
+      "bundle %s: %d participants, %d rules, %zu train records, %zu tests\n",
+      flags.GetString("bundle").c_str(), engine.num_participants(),
+      bundle.num_rules(), bundle.total_train_records(),
+      bundle.tests.size());
+  std::printf("origin run: tau_w=%.4f delta=%d accuracy=%.4f\n\n",
+              engine.origin_tau_w(), engine.origin_delta(),
+              bundle.meta.global_accuracy);
+
+  store::EvalOptions eval;
+  eval.tau_w = tau_w;
+  eval.delta = delta;
+  eval.top_k = top_k;
+  const store::QueryReport report = engine.Evaluate(eval);
+  const bool origin_params = report.tau_w == engine.origin_tau_w() &&
+                             report.delta == engine.origin_delta();
+  std::printf("scores at tau_w=%.4f delta=%d (no retraining, no retracing):\n",
+              report.tau_w, report.delta);
+  std::printf("participant        records    micro     macro\n");
+  for (int p = 0; p < engine.num_participants(); ++p) {
+    std::printf("%-17s %8zu   %.6f  %.6f\n",
+                bundle.meta.participant_names[p].c_str(),
+                bundle.participants[p].size(), report.micro[p],
+                report.macro[p]);
+  }
+  if (origin_params && !bundle.meta.micro_scores.empty()) {
+    bool identical = bundle.meta.macro_scores.size() == report.macro.size();
+    for (size_t p = 0; identical && p < report.micro.size(); ++p) {
+      identical = bundle.meta.micro_scores[p] == report.micro[p] &&
+                  bundle.meta.macro_scores[p] == report.macro[p];
+    }
+    std::printf("reproduction vs originating run: %s\n",
+                identical ? "bit-identical" : "MISMATCH");
+  }
+  std::printf(
+      "\nglobal accuracy %.4f, matched %.4f; %zu uncovered tests\n"
+      "lookup cost: %lld keys, %lld tau_w checks, %lld postings scanned, "
+      "%lld candidates pruned\n",
+      report.global_accuracy, report.matched_accuracy,
+      report.uncovered_tests, static_cast<long long>(report.keys),
+      static_cast<long long>(report.tau_w_checks),
+      static_cast<long long>(report.postings_scanned),
+      static_cast<long long>(report.candidates_pruned));
+  PrintRuleStats("uncovered scenarios (collect data here):",
+                 report.uncovered_rules);
+
+  for (const store::ParticipantSummary& summary : report.participants) {
+    std::printf("\n%s (%zu records, useless ratio %.3f)\n",
+                summary.name.c_str(), summary.data_size,
+                summary.useless_ratio);
+    PrintRuleStats("beneficial rules:", summary.beneficial);
+    PrintRuleStats("harmful rules:", summary.harmful);
+  }
+
+  const std::string instances_path = flags.GetString("instances");
+  if (!instances_path.empty()) {
+    CTFL_ASSIGN_OR_RETURN(Dataset instances,
+                          LoadCsvDataset(instances_path, bundle.schema));
+    store::QueryOptions options;
+    options.tau_w = tau_w;
+    options.use_index = !flags.GetBool("linear");
+    options.max_records = static_cast<size_t>(std::max(0, max_records));
+    std::printf("\nrelated-record lookups (%s):\n",
+                options.use_index ? "posting-list prefilter" : "linear scan");
+    for (size_t i = 0; i < instances.size(); ++i) {
+      const store::RelatedResult related =
+          engine.Related(instances.instance(i), options);
+      std::printf(
+          "instance %zu: predicted=%d support=%d related=%zu "
+          "(checked %lld of %lld, pruned %lld)\n",
+          i, related.predicted, related.support_size, related.total_related,
+          static_cast<long long>(related.tau_w_checks),
+          static_cast<long long>(related.bucket_size),
+          static_cast<long long>(related.candidates_pruned));
+      for (const store::RecordRef& ref : related.records) {
+        std::printf("    %s record %d\n",
+                    bundle.meta.participant_names[ref.participant].c_str(),
+                    ref.local_index);
+      }
+    }
+  }
+
+  if (telemetry_summary) {
+    std::printf("\nspan summary:\n%s",
+                telemetry::TraceSummaryTable().c_str());
+    std::printf("\nmetrics:\n%s",
+                telemetry::MetricsRegistry::Global().SummaryTable().c_str());
+  }
+  return Status::OK();
+}
+
 int Main(int argc, const char* const* argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: ctfl <generate|train|rules|score> [flags]\n"
+                 "usage: ctfl <generate|train|rules|score|snapshot|query> "
+                 "[flags]\n"
                  "run a subcommand with no flags to see its options\n");
     return 1;
   }
@@ -235,7 +390,11 @@ int Main(int argc, const char* const* argv) {
   } else if (command == "rules") {
     status = RunRules(argc - 2, argv + 2);
   } else if (command == "score") {
-    status = RunScore(argc - 2, argv + 2);
+    status = RunScore(argc - 2, argv + 2, /*snapshot_mode=*/false);
+  } else if (command == "snapshot") {
+    status = RunScore(argc - 2, argv + 2, /*snapshot_mode=*/true);
+  } else if (command == "query") {
+    status = RunQuery(argc - 2, argv + 2);
   } else {
     status = Status::InvalidArgument("unknown subcommand " + command);
   }
