@@ -10,8 +10,10 @@
 
 #include "common.h"
 #include "ctfl/core/tracer.h"
+#include "ctfl/fl/fedavg.h"
 #include "ctfl/mining/apriori.h"
 #include "ctfl/mining/max_miner.h"
+#include "ctfl/nn/matrix.h"
 #include "ctfl/nn/trainer.h"
 #include "ctfl/solver/simplex.h"
 #include "ctfl/store/query_engine.h"
@@ -190,6 +192,64 @@ void BM_GraftedStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_GraftedStep)->Arg(64)->Arg(128)->Arg(256);
+
+// ---------------------------------------------------------------------------
+// Parallel engine (DESIGN.md §9). The results are bit-identical at every
+// thread count, so these measure pure wall-clock scaling. Acceptance for
+// the fan-out: >= 2x at 4 threads on the 8-client federation.
+// ---------------------------------------------------------------------------
+
+void BM_FedAvgRound(benchmark::State& state) {
+  TracingFixture& fx = Fixture();
+  std::vector<Dataset> clients;
+  clients.reserve(fx.experiment.federation.size());
+  for (const Participant& p : fx.experiment.federation) {
+    clients.push_back(p.data);
+  }
+  CtflConfig base = bench::MakeCtflConfig("adult", 5);
+
+  FedAvgConfig config;
+  config.rounds = 1;
+  config.local_epochs = 1;
+  config.local.learning_rate = 0.05;
+  config.num_threads = static_cast<int>(state.range(0));
+  // Keep the local matrix kernels serial in every leg so this measures
+  // the client fan-out alone.
+  config.local.num_threads = 1;
+
+  const LogicalNet seed_net(fx.experiment.test.schema(), base.net);
+  for (auto _ : state) {
+    state.PauseTiming();
+    LogicalNet net = seed_net;  // fresh global model per round
+    state.ResumeTiming();
+    RunFedAvg(net, clients, config);
+    benchmark::DoNotOptimize(net);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(clients.size()));
+}
+BENCHMARK(BM_FedAvgRound)
+    ->ArgNames({"threads"})
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MatMul(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  Rng rng(11);
+  Matrix a(256, 512), b(512, 256);
+  a.RandomUniform(rng, -1, 1);
+  b.RandomUniform(rng, -1, 1);
+  SetMatrixParallelism(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMul(b));
+  }
+  SetMatrixParallelism(0);
+  state.SetItemsProcessed(state.iterations() * a.rows() * a.cols() *
+                          b.cols());
+}
+BENCHMARK(BM_MatMul)->ArgNames({"threads"})->Arg(1)->Arg(4)->Arg(8);
 
 void BM_MaxMiner(benchmark::State& state) {
   Rng rng(9);

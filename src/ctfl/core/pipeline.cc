@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "ctfl/nn/matrix.h"
 #include "ctfl/store/snapshot.h"
 #include "ctfl/telemetry/metrics.h"
 #include "ctfl/telemetry/trace.h"
@@ -10,10 +11,29 @@
 
 namespace ctfl {
 
+namespace {
+
+/// Applies the master num_threads knob to every per-component setting
+/// (see CtflConfig::num_threads).
+CtflConfig ApplyThreadOverrides(const CtflConfig& in) {
+  CtflConfig out = in;
+  if (in.num_threads >= 0) {
+    out.fedavg.num_threads = in.num_threads;
+    out.fedavg.local.num_threads = in.num_threads;
+    out.central.num_threads = in.num_threads;
+    out.tracer.num_threads = in.num_threads;
+    SetMatrixParallelism(in.num_threads);
+  }
+  return out;
+}
+
+}  // namespace
+
 CtflReport RunCtfl(const Federation& federation, const Dataset& test,
-                   const CtflConfig& config) {
+                   const CtflConfig& raw_config) {
   CTFL_SPAN("ctfl.run");
   CTFL_CHECK(!federation.empty());
+  const CtflConfig config = ApplyThreadOverrides(raw_config);
   const SchemaPtr schema = federation[0].data.schema();
 
   // ---- Phase 1: train the single global rule-based model. ---------------

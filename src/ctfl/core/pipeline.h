@@ -26,6 +26,14 @@ struct CtflConfig {
   TracerConfig tracer;
   /// Minimum related records for macro credit (Eq. 6).
   int macro_delta = 1;
+  /// Master thread knob. When >= 0 it overrides every per-component
+  /// setting — fedavg.num_threads (client fan-out), fedavg.local /
+  /// central num_threads (matrix kernels), tracer.num_threads — and the
+  /// process-wide matrix parallelism, so one flag steers the whole run
+  /// (0 = hardware concurrency, 1 = fully serial). -1 leaves the
+  /// per-component knobs untouched. Scores and parameters are
+  /// bit-identical for every value (DESIGN.md §9).
+  int num_threads = -1;
   /// When non-empty, RunCtfl persists a contribution bundle (store/) at
   /// this path after allocation: model + rules + activation uploads +
   /// posting index, so later contribution / interpretability queries need

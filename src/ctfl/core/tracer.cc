@@ -247,11 +247,7 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
     int64_t related_hits = 0;
   };
 
-  int num_threads = config_.num_threads;
-  if (num_threads <= 0) {
-    num_threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (num_threads <= 0) num_threads = 4;
-  }
+  int num_threads = ResolveThreadCount(config_.num_threads);
   num_threads = std::max(1, std::min<int>(num_threads,
                                           static_cast<int>(keys.size())));
 

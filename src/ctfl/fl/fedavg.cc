@@ -1,17 +1,49 @@
 #include "ctfl/fl/fedavg.h"
 
+#include <algorithm>
+#include <memory>
+
 #include "ctfl/fl/secure_agg.h"
 #include "ctfl/telemetry/metrics.h"
 #include "ctfl/telemetry/trace.h"
 #include "ctfl/util/logging.h"
 #include "ctfl/util/stopwatch.h"
+#include "ctfl/util/thread_pool.h"
 
 namespace ctfl {
 
+namespace {
+
+/// Result of one client's local training for one round, produced by any
+/// worker thread but *committed* in client-index order so that weighted
+/// averaging, secure-aggregation masking, and the round's loss stats are
+/// bit-identical to the serial schedule (DESIGN.md §9).
+struct ClientUpdate {
+  /// Weighted local parameters (zeros for an empty client).
+  std::vector<double> params;
+  double final_loss = 0.0;
+  int steps = 0;
+  bool trained = false;
+};
+
+}  // namespace
+
 void RunFedAvg(LogicalNet& global, const std::vector<Dataset>& clients,
                const FedAvgConfig& config, FedAvgStats* stats) {
+  // Reset stats before any early return so callers never read a previous
+  // invocation's rounds out of a reused FedAvgStats.
+  if (stats != nullptr) {
+    stats->rounds.clear();
+    stats->rounds.reserve(config.rounds > 0 ? config.rounds : 0);
+    stats->grafting_steps = 0;
+  }
+
   size_t total = 0;
-  for (const Dataset& c : clients) total += c.size();
+  size_t nonempty_clients = 0;
+  for (const Dataset& c : clients) {
+    total += c.size();
+    if (!c.empty()) ++nonempty_clients;
+  }
   if (total == 0) return;
 
   static telemetry::Counter& round_counter =
@@ -19,15 +51,24 @@ void RunFedAvg(LogicalNet& global, const std::vector<Dataset>& clients,
   static telemetry::Histogram& round_hist =
       telemetry::MetricsRegistry::Global().GetHistogram(
           "ctfl.train.round_us");
+  static telemetry::Gauge& parallel_gauge =
+      telemetry::MetricsRegistry::Global().GetGauge(
+          "ctfl.train.parallel_clients");
 
   TrainConfig local = config.local;
   local.epochs = config.local_epochs;
 
-  if (stats != nullptr) {
-    stats->rounds.clear();
-    stats->rounds.reserve(config.rounds > 0 ? config.rounds : 0);
-    stats->grafting_steps = 0;
+  // Fan local training out across at most one worker per non-empty
+  // client. Inside a pool worker (e.g. a nested federated run) we stay
+  // serial: ParallelFor would inline anyway, so skip the pool entirely.
+  int fan_out = std::min<int>(ResolveThreadCount(config.num_threads),
+                              static_cast<int>(nonempty_clients));
+  fan_out = std::max(1, fan_out);
+  std::unique_ptr<ThreadPool> pool;
+  if (fan_out > 1 && !ThreadPool::InPoolWorker()) {
+    pool = std::make_unique<ThreadPool>(fan_out);
   }
+  parallel_gauge.Set(pool != nullptr ? fan_out : 1);
 
   Stopwatch round_watch;
   for (int round = 0; round < config.rounds; ++round) {
@@ -35,27 +76,51 @@ void RunFedAvg(LogicalNet& global, const std::vector<Dataset>& clients,
     const std::vector<double> global_params = global.GetParameters();
     local.seed = config.local.seed + static_cast<uint64_t>(round) * 7919;
 
-    // Each client's contribution to the average, weighted by data volume
-    // (empty clients contribute a zero update).
-    std::vector<std::vector<double>> updates;
-    updates.reserve(clients.size());
-    double loss_sum = 0.0;
-    int clients_trained = 0;
-    for (const Dataset& client : clients) {
+    // ---- Fan-out: each client trains a private copy of the global net.
+    // Workers only touch their own ClientUpdate slot; `global` is read-
+    // only until every worker has joined. Spans inside workers carry the
+    // worker's trace thread id, so Chrome-trace timelines attribute each
+    // client's training to the worker that ran it.
+    std::vector<ClientUpdate> results(clients.size());
+    auto train_client = [&](size_t c) {
+      const Dataset& client = clients[c];
+      ClientUpdate& out = results[c];
       if (client.empty()) {
-        updates.emplace_back(global_params.size(), 0.0);
-        continue;
+        // Empty clients contribute a zero update to the weighted average.
+        out.params.assign(global_params.size(), 0.0);
+        return;
       }
       CTFL_SPAN("ctfl.train.client");
       LogicalNet local_net = global;  // start from the global weights
-      const TrainReport local_report = TrainGrafted(local_net, client, local);
-      loss_sum += local_report.final_loss;
-      ++clients_trained;
-      if (stats != nullptr) stats->grafting_steps += local_report.steps;
-      std::vector<double> params = local_net.GetParameters();
+      const TrainReport report = TrainGrafted(local_net, client, local);
+      out.final_loss = report.final_loss;
+      out.steps = report.steps;
+      out.trained = true;
+      out.params = local_net.GetParameters();
+      // Weight by data volume (the FedAvg average, McMahan et al.).
       const double weight = static_cast<double>(client.size()) / total;
-      for (double& v : params) v *= weight;
-      updates.push_back(std::move(params));
+      for (double& v : out.params) v *= weight;
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(0, clients.size(), train_client);
+    } else {
+      for (size_t c = 0; c < clients.size(); ++c) train_client(c);
+    }
+
+    // ---- Ordered commit: consume updates in client-index order. The
+    // floating-point folds below (loss sum, aggregation) therefore see
+    // the exact operand sequence of the serial schedule.
+    double loss_sum = 0.0;
+    int clients_trained = 0;
+    std::vector<std::vector<double>> updates;
+    updates.reserve(clients.size());
+    for (ClientUpdate& result : results) {
+      if (result.trained) {
+        loss_sum += result.final_loss;
+        ++clients_trained;
+        if (stats != nullptr) stats->grafting_steps += result.steps;
+      }
+      updates.push_back(std::move(result.params));
     }
 
     std::vector<double> averaged(global_params.size(), 0.0);
@@ -90,6 +155,8 @@ void RunFedAvg(LogicalNet& global, const std::vector<Dataset>& clients,
       telemetry::RoundTelemetry rt;
       rt.round = round;
       rt.seconds = round_seconds;
+      // Guard the mean: a round where every client is empty (or where
+      // training is skipped entirely) must not divide by zero.
       rt.mean_local_loss =
           clients_trained > 0 ? loss_sum / clients_trained : 0.0;
       rt.clients_trained = clients_trained;

@@ -22,6 +22,13 @@ struct FedAvgConfig {
   /// FedAvg up to floating-point rounding.
   bool secure_aggregation = false;
   uint64_t secure_session_seed = 0xa66;
+  /// Worker threads for the per-client local-training fan-out (0 =
+  /// hardware concurrency, 1 = serial). Determinism contract (DESIGN.md
+  /// §9): each client trains an independent copy of the global net with
+  /// its own optimizer/RNG state, and updates are committed in client-
+  /// index order, so the aggregated parameters — and the per-round loss
+  /// stats — are bit-identical for every value of this knob.
+  int num_threads = 0;
   bool verbose = false;
 };
 

@@ -1,8 +1,10 @@
 #include "ctfl/nn/logical_net.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "ctfl/util/logging.h"
+#include "ctfl/util/thread_pool.h"
 
 namespace ctfl {
 
@@ -97,7 +99,7 @@ Matrix LogicalNet::ForwardContinuous(const Matrix& encoded,
   return logits;
 }
 
-Matrix LogicalNet::RulesDiscrete(const Matrix& encoded) const {
+Matrix LogicalNet::RulesDiscreteSerial(const Matrix& encoded) const {
   std::vector<Matrix> outs;
   const Matrix* layer_in = &encoded;
   for (const LogicLayer& layer : logic_layers_) {
@@ -105,6 +107,41 @@ Matrix LogicalNet::RulesDiscrete(const Matrix& encoded) const {
     layer_in = &outs.back();
   }
   return ConcatRules(encoded, outs, config_.input_skip, num_rules_);
+}
+
+namespace {
+
+/// Minimum batch before the discrete forward pass fans out row chunks.
+constexpr size_t kBatchedForwardMinRows = 256;
+
+}  // namespace
+
+Matrix LogicalNet::RulesDiscrete(const Matrix& encoded) const {
+  const size_t batch = encoded.rows();
+  ThreadPool* pool = nullptr;
+  if (batch >= kBatchedForwardMinRows) pool = MatrixParallelPool();
+  if (pool == nullptr) return RulesDiscreteSerial(encoded);
+
+  // Batched forward (DESIGN.md §9): each chunk runs the unmodified serial
+  // pipeline on a contiguous row slice. Every output row is produced by
+  // exactly the per-row arithmetic of the serial pass, so the stitched
+  // result is bit-identical regardless of thread count or chunking.
+  Matrix rules(batch, num_rules_);
+  const size_t chunks = std::min<size_t>(
+      batch, static_cast<size_t>(pool->num_threads()) * 2);
+  const size_t chunk_rows = (batch + chunks - 1) / chunks;
+  pool->ParallelFor(0, chunks, [&](size_t ci) {
+    const size_t lo = ci * chunk_rows;
+    const size_t hi = std::min(batch, lo + chunk_rows);
+    if (lo >= hi) return;
+    Matrix sub(hi - lo, encoded.cols());
+    std::copy(encoded.row(lo), encoded.row(lo) + (hi - lo) * encoded.cols(),
+              sub.data());
+    const Matrix sub_rules = RulesDiscreteSerial(sub);
+    std::copy(sub_rules.data(), sub_rules.data() + sub_rules.size(),
+              rules.row(lo));
+  });
+  return rules;
 }
 
 Matrix LogicalNet::ForwardDiscrete(const Matrix& encoded) const {

@@ -78,6 +78,9 @@ class LogicalNet {
   Matrix ForwardDiscrete(const Matrix& encoded) const;
 
   /// Binarized rule-activation matrix (batch x num_rules, entries 0/1).
+  /// Large batches are row-sharded across the shared matrix pool
+  /// (DESIGN.md §9): every row's computation is unchanged, so the result
+  /// is bit-identical to a serial pass at any thread count.
   Matrix RulesDiscrete(const Matrix& encoded) const;
 
   /// Gradient-grafting backward: `dlogits` is dL(Ȳ)/dȲ computed on the
@@ -111,6 +114,9 @@ class LogicalNet {
   double RuleWeight(int j) const;
 
  private:
+  /// One-shot (single-thread) discrete rule pass over the whole batch.
+  Matrix RulesDiscreteSerial(const Matrix& encoded) const;
+
   LogicalNetConfig config_;
   BinarizationLayer encoder_;
   std::vector<LogicLayer> logic_layers_;

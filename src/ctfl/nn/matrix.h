@@ -8,6 +8,38 @@
 
 namespace ctfl {
 
+class ThreadPool;
+
+// ---------------------------------------------------------------------------
+// Process-wide parallelism knobs for the dense kernels (DESIGN.md §9).
+//
+// The sharded kernels split work across *output rows*, so every output
+// element is accumulated by exactly one thread in exactly the same term
+// order as the serial loop — results are bit-identical for any thread
+// count, and the knobs below only trade wall time.
+// ---------------------------------------------------------------------------
+
+/// Sets the worker budget of the sharded kernels: 0 = hardware
+/// concurrency, 1 = always serial, N = N workers. Thread-safe (atomic),
+/// but intended to be set from entry points (CLI, RunCtfl, TrainGrafted),
+/// not concurrently with running kernels.
+void SetMatrixParallelism(int num_threads);
+/// Resolved current setting (>= 1).
+int MatrixParallelism();
+
+/// Minimum multiply-accumulate count before a kernel engages the sharded
+/// path (serial fallback below it; default 64k). Exposed as a test hook so
+/// the differential suite can force tiny matrices onto the parallel path.
+void SetMatrixParallelGrain(size_t min_flops);
+size_t MatrixParallelGrain();
+
+/// Shared pool behind the sharded kernels, sized to MatrixParallelism().
+/// Returns nullptr when the resolved setting is serial or the caller is
+/// already inside a pool worker (nested parallelism is never profitable
+/// here). Exposed so other batch-parallel code (LogicalNet's batched
+/// forward) shares one pool instead of spawning its own.
+ThreadPool* MatrixParallelPool();
+
 /// Dense row-major matrix of doubles; the numeric workhorse of the logical
 /// neural network. Deliberately minimal: only the operations the training
 /// loop needs.
@@ -41,15 +73,19 @@ class Matrix {
   /// Clamps every element into [lo, hi].
   void Clamp(double lo, double hi);
 
-  /// Returns this(rows x k) * other(k x cols).
+  /// Returns this(rows x k) * other(k x cols). Row-sharded across the
+  /// matrix pool above the grain threshold; bit-identical to the serial
+  /// loop at any thread count.
   Matrix MatMul(const Matrix& other) const;
 
   /// Returns transpose(this)(cols x rows) * other(rows x c) without
-  /// materializing the transpose.
+  /// materializing the transpose. The sharded path walks output rows
+  /// (columns of this) and accumulates the r-terms in the same ascending
+  /// order as the serial loop — bit-identical results.
   Matrix TransposedMatMul(const Matrix& other) const;
 
   /// Returns this(rows x k) * transpose(other)(k x c) without materializing
-  /// the transpose.
+  /// the transpose. Row-sharded; bit-identical to serial.
   Matrix MatMulTransposed(const Matrix& other) const;
 
   /// Fills with U[lo, hi) samples.

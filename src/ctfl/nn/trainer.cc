@@ -9,6 +9,7 @@
 #include "ctfl/util/logging.h"
 #include "ctfl/util/rng.h"
 #include "ctfl/util/stopwatch.h"
+#include "ctfl/util/thread_pool.h"
 
 namespace ctfl {
 
@@ -31,6 +32,13 @@ TrainReport TrainGrafted(LogicalNet& net, const Dataset& data,
                          const TrainConfig& config) {
   TrainReport report;
   if (data.empty()) return report;
+
+  // Honor the config's matrix-parallelism budget. Inside a pool worker
+  // (FedAvg client fan-out) the kernels run serial regardless, so the
+  // process-wide knob is left alone there.
+  if (!ThreadPool::InPoolWorker()) {
+    SetMatrixParallelism(config.num_threads);
+  }
 
   std::unique_ptr<Optimizer> optimizer;
   if (config.use_adam) {

@@ -4,11 +4,24 @@
 
 namespace ctfl {
 
+namespace {
+
+/// Set for the lifetime of every worker thread (any pool). Lets nested
+/// parallel sections detect they are already inside the pool machinery.
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
+
+int ResolveThreadCount(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 4;
+}
+
+bool ThreadPool::InPoolWorker() { return t_in_pool_worker; }
+
 ThreadPool::ThreadPool(int num_threads) {
-  if (num_threads <= 0) {
-    num_threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (num_threads <= 0) num_threads = 4;
-  }
+  num_threads = ResolveThreadCount(num_threads);
   workers_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -41,22 +54,42 @@ void ThreadPool::Wait() {
 void ThreadPool::ParallelFor(size_t begin, size_t end,
                              const std::function<void(size_t)>& fn) {
   if (begin >= end) return;
+
+  // Nested-submission deadlock guard: a worker thread calling ParallelFor
+  // on its own (or any) pool would block in Wait() while occupying the
+  // very worker slot its chunks need. Run inline instead — exceptions
+  // propagate naturally on this path.
+  if (InPoolWorker()) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
   const size_t n = end - begin;
   const size_t chunks =
       std::min<size_t>(n, static_cast<size_t>(num_threads()) * 4);
   const size_t chunk_size = (n + chunks - 1) / chunks;
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
   for (size_t c = 0; c < chunks; ++c) {
     const size_t lo = begin + c * chunk_size;
     const size_t hi = std::min(end, lo + chunk_size);
     if (lo >= hi) break;
-    Submit([lo, hi, &fn] {
-      for (size_t i = lo; i < hi; ++i) fn(i);
+    Submit([lo, hi, &fn, &error_mu, &first_error] {
+      try {
+        for (size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
     });
   }
   Wait();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {

@@ -2,16 +2,27 @@
 #define CTFL_UTIL_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace ctfl {
 
+/// Resolves a user-facing `num_threads` knob to a concrete worker count:
+/// `<= 0` means "hardware concurrency" (with a fallback of 4 when the
+/// runtime cannot report it), any positive value is taken verbatim.
+/// Shared by every parallel subsystem (tracer, FedAvg fan-out, matrix
+/// kernels) so "0 = all cores, 1 = serial" means the same thing everywhere.
+int ResolveThreadCount(int num_threads);
+
 /// Fixed-size worker pool. CTFL's tracing phase is embarrassingly parallel
-/// across test instances (paper §III-C); ParallelFor is its workhorse.
+/// across test instances (paper §III-C); ParallelFor is its workhorse, and
+/// the deterministic training engine (DESIGN.md §9) builds its ordered
+/// reduction on top of it.
 class ThreadPool {
  public:
   /// `num_threads <= 0` uses the hardware concurrency.
@@ -23,7 +34,14 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  /// Enqueues a task; returns immediately.
+  /// True when the calling thread is a worker of *any* ThreadPool. Nested
+  /// parallel sections use this to run inline (deadlock guard: a worker
+  /// that blocked in Wait() on its own pool could starve the queue) and
+  /// the sharded matrix kernels use it to avoid oversubscription.
+  static bool InPoolWorker();
+
+  /// Enqueues a task; returns immediately. Tasks must not throw (use
+  /// ParallelFor for exception-safe fan-out).
   void Submit(std::function<void()> task);
 
   /// Blocks until all submitted tasks have completed.
@@ -31,8 +49,33 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [begin, end), splitting into contiguous chunks
   /// across the pool, and blocks until done. fn must be thread-safe.
+  ///
+  /// - Called from inside any pool worker thread it degrades to a serial
+  ///   inline loop (nested-submission deadlock guard).
+  /// - Exceptions thrown by fn are captured; the first one (in completion
+  ///   order) is rethrown on the calling thread after all chunks finish.
+  ///   The throwing chunk stops at the faulting index; other chunks still
+  ///   run to completion, so the pool stays reusable.
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t)>& fn);
+
+  /// Deterministic parallel map + ordered serial reduce: `map(i)` runs in
+  /// parallel for i in [begin, end), each result landing in its own slot;
+  /// then `reduce(i, T&&)` is invoked serially in strict index order on
+  /// the calling thread. Because the reduction order is independent of the
+  /// worker schedule, any order-sensitive fold (floating-point sums,
+  /// secure-aggregation masking) is bit-identical to a serial loop — the
+  /// primitive behind the determinism contract of DESIGN.md §9.
+  template <typename T, typename MapFn, typename ReduceFn>
+  void OrderedReduce(size_t begin, size_t end, MapFn map, ReduceFn reduce) {
+    if (begin >= end) return;
+    std::vector<T> results(end - begin);
+    ParallelFor(begin, end,
+                [&](size_t i) { results[i - begin] = map(i); });
+    for (size_t i = begin; i < end; ++i) {
+      reduce(i, std::move(results[i - begin]));
+    }
+  }
 
  private:
   void WorkerLoop();

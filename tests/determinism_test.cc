@@ -1,0 +1,263 @@
+// Differential determinism suite for the parallel training engine
+// (DESIGN.md §9): `num_threads = 1` and `num_threads = N` must produce
+// bit-identical global parameters, tracing related-counts, and Eq. 5/6
+// micro/macro contribution scores end-to-end — with and without secure
+// aggregation and DP perturbation. Contribution scores that depend on the
+// worker schedule would be worthless as incentives (cf. the fragility
+// critique of Pejó et al.), so these tests are the PR's contract.
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ctfl/core/pipeline.h"
+#include "ctfl/data/gen/synthetic.h"
+#include "ctfl/fl/fedavg.h"
+#include "ctfl/fl/partition.h"
+#include "ctfl/nn/matrix.h"
+
+namespace ctfl {
+namespace {
+
+// Two-feature task with a conjunctive rule so the logic layers carry real
+// signal: label = (x > 0.5 AND a = yes).
+Dataset TwoFeatureDataset(size_t n, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.schema = std::make_shared<FeatureSchema>(
+      std::vector<FeatureSpec>{FeatureSchema::Continuous("x", 0, 1),
+                               FeatureSchema::Discrete("a", {"no", "yes"})},
+      "neg", "pos");
+  spec.samplers = {
+      FeatureSampler{FeatureSampler::Kind::kUniform, 0, 0, {}},
+      FeatureSampler{FeatureSampler::Kind::kCategorical, 0, 0, {0.5, 0.5}}};
+  spec.rules = {{{{0, GtPredicate::Op::kGt, 0.5}, {1, GtPredicate::Op::kGt, 0.5}},
+                 1,
+                 1.0},
+                {{{0, GtPredicate::Op::kLt, 0.5}}, 0, 1.0}};
+  Rng rng(seed);
+  return GenerateSynthetic(spec, n, rng);
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Force even the tiny test matrices onto the sharded kernel path so
+    // the differential legs actually exercise parallel code.
+    SetMatrixParallelGrain(1);
+  }
+  void TearDown() override {
+    SetMatrixParallelism(0);
+    SetMatrixParallelGrain(size_t{1} << 16);
+  }
+};
+
+CtflConfig BaseConfig() {
+  CtflConfig config;
+  config.federated = true;
+  config.net.logic_layers = {{8, 8}};
+  config.net.tau_d = 6;
+  config.net.seed = 11;
+  config.fedavg.rounds = 2;
+  config.fedavg.local_epochs = 2;
+  config.fedavg.local.learning_rate = 0.05;
+  config.tracer.tau_w = 0.9;
+  return config;
+}
+
+struct PipelineSnapshot {
+  std::vector<double> params;
+  std::vector<double> micro;
+  std::vector<double> macro;
+  std::vector<std::vector<int>> related_counts;
+  std::vector<size_t> total_related;
+  int64_t tau_w_checks = 0;
+  int64_t related_records = 0;
+  int64_t num_keys = 0;
+  double global_accuracy = 0.0;
+  double matched_accuracy = 0.0;
+};
+
+PipelineSnapshot RunPipeline(const Federation& fed, const Dataset& test,
+                             CtflConfig config, int num_threads) {
+  config.num_threads = num_threads;
+  const CtflReport report = RunCtfl(fed, test, config);
+  PipelineSnapshot snap;
+  snap.params = report.model.GetParameters();
+  snap.micro = report.micro_scores;
+  snap.macro = report.macro_scores;
+  for (const TestTrace& t : report.trace.tests) {
+    snap.related_counts.push_back(t.related_count);
+    snap.total_related.push_back(t.total_related);
+  }
+  snap.tau_w_checks = report.trace.tau_w_checks;
+  snap.related_records = report.trace.related_records;
+  snap.num_keys = report.trace.num_keys;
+  snap.global_accuracy = report.trace.global_accuracy;
+  snap.matched_accuracy = report.trace.matched_accuracy;
+  return snap;
+}
+
+/// Bitwise equality for double vectors (EXPECT_EQ would accept -0.0 vs
+/// +0.0; the determinism contract is *bit* identity).
+::testing::AssertionResult BitIdentical(const std::vector<double>& a,
+                                        const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "size mismatch: " << a.size() << " vs " << b.size();
+  }
+  if (!a.empty() &&
+      std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) != 0) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) {
+        return ::testing::AssertionFailure()
+               << "first bit difference at index " << i << ": " << a[i]
+               << " vs " << b[i];
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+void ExpectSnapshotsIdentical(const PipelineSnapshot& base,
+                              const PipelineSnapshot& other,
+                              const char* label) {
+  SCOPED_TRACE(label);
+  EXPECT_TRUE(BitIdentical(base.params, other.params)) << "global parameters";
+  EXPECT_TRUE(BitIdentical(base.micro, other.micro)) << "micro scores";
+  EXPECT_TRUE(BitIdentical(base.macro, other.macro)) << "macro scores";
+  EXPECT_EQ(base.related_counts, other.related_counts);
+  EXPECT_EQ(base.total_related, other.total_related);
+  EXPECT_EQ(base.tau_w_checks, other.tau_w_checks);
+  EXPECT_EQ(base.related_records, other.related_records);
+  EXPECT_EQ(base.num_keys, other.num_keys);
+  EXPECT_EQ(base.global_accuracy, other.global_accuracy);
+  EXPECT_EQ(base.matched_accuracy, other.matched_accuracy);
+}
+
+TEST_F(DeterminismTest, RunFedAvgBitIdenticalAcrossThreadCounts) {
+  const Dataset all = TwoFeatureDataset(400, 7);
+  Rng rng(3);
+  const std::vector<Dataset> clients = PartitionUniform(all, 5, rng);
+
+  LogicalNetConfig net_config;
+  net_config.logic_layers = {{8, 8}};
+  net_config.seed = 4;
+
+  FedAvgConfig config;
+  config.rounds = 3;
+  config.local_epochs = 2;
+  config.local.learning_rate = 0.05;
+
+  std::vector<double> baseline;
+  std::vector<telemetry::RoundTelemetry> baseline_rounds;
+  for (const int threads : {1, 2, 8}) {
+    config.num_threads = threads;
+    config.local.num_threads = threads;
+    FedAvgStats stats;
+    const LogicalNet net =
+        TrainFederated(all.schema(), net_config, clients, config, &stats);
+    const std::vector<double> params = net.GetParameters();
+    ASSERT_EQ(stats.rounds.size(), 3u);
+    if (threads == 1) {
+      baseline = params;
+      baseline_rounds = stats.rounds;
+      continue;
+    }
+    SCOPED_TRACE(threads);
+    EXPECT_TRUE(BitIdentical(baseline, params));
+    // Round stats (loss fold runs in the ordered commit) match too.
+    for (size_t r = 0; r < stats.rounds.size(); ++r) {
+      EXPECT_EQ(stats.rounds[r].mean_local_loss,
+                baseline_rounds[r].mean_local_loss);
+      EXPECT_EQ(stats.rounds[r].clients_trained,
+                baseline_rounds[r].clients_trained);
+    }
+    EXPECT_EQ(stats.grafting_steps, stats.grafting_steps);
+  }
+}
+
+TEST_F(DeterminismTest, RunFedAvgBitIdenticalWithSecureAggregation) {
+  const Dataset all = TwoFeatureDataset(300, 17);
+  Rng rng(5);
+  const std::vector<Dataset> clients = PartitionUniform(all, 4, rng);
+
+  LogicalNetConfig net_config;
+  net_config.logic_layers = {{8, 8}};
+  net_config.seed = 6;
+
+  FedAvgConfig config;
+  config.rounds = 2;
+  config.local_epochs = 2;
+  config.local.learning_rate = 0.05;
+  config.secure_aggregation = true;
+
+  std::vector<double> baseline;
+  for (const int threads : {1, 2, 8}) {
+    config.num_threads = threads;
+    config.local.num_threads = threads;
+    const LogicalNet net =
+        TrainFederated(all.schema(), net_config, clients, config);
+    if (threads == 1) {
+      baseline = net.GetParameters();
+    } else {
+      SCOPED_TRACE(threads);
+      // Masking consumes updates in client-index order; the parallel
+      // fan-out must not perturb a single bit of the masked sum.
+      EXPECT_TRUE(BitIdentical(baseline, net.GetParameters()));
+    }
+  }
+}
+
+TEST_F(DeterminismTest, FullPipelineBitIdenticalAcrossThreadCounts) {
+  const Dataset all = TwoFeatureDataset(360, 23);
+  const Dataset test = TwoFeatureDataset(120, 29);
+  Rng rng(9);
+  const Federation fed = MakeFederation(PartitionUniform(all, 4, rng));
+
+  const CtflConfig config = BaseConfig();
+  const PipelineSnapshot base = RunPipeline(fed, test, config, 1);
+  // A federation with data must actually produce tracing work, or the
+  // equalities below would be vacuous.
+  ASSERT_GT(base.num_keys, 0);
+  ASSERT_GT(base.tau_w_checks, 0);
+  ExpectSnapshotsIdentical(base, RunPipeline(fed, test, config, 2),
+                           "threads=2");
+  ExpectSnapshotsIdentical(base, RunPipeline(fed, test, config, 8),
+                           "threads=8");
+}
+
+TEST_F(DeterminismTest, FullPipelineBitIdenticalWithSecureAggAndDp) {
+  const Dataset all = TwoFeatureDataset(360, 33);
+  const Dataset test = TwoFeatureDataset(120, 39);
+  Rng rng(13);
+  const Federation fed = MakeFederation(PartitionUniform(all, 4, rng));
+
+  CtflConfig config = BaseConfig();
+  config.fedavg.secure_aggregation = true;
+  config.tracer.dp_epsilon = 2.0;  // randomized-response perturbation on
+  const PipelineSnapshot base = RunPipeline(fed, test, config, 1);
+  ASSERT_GT(base.num_keys, 0);
+  ExpectSnapshotsIdentical(base, RunPipeline(fed, test, config, 2),
+                           "threads=2");
+  ExpectSnapshotsIdentical(base, RunPipeline(fed, test, config, 8),
+                           "threads=8");
+}
+
+TEST_F(DeterminismTest, CentralPathBitIdenticalAcrossThreadCounts) {
+  const Dataset all = TwoFeatureDataset(360, 43);
+  const Dataset test = TwoFeatureDataset(120, 49);
+  Rng rng(17);
+  const Federation fed = MakeFederation(PartitionUniform(all, 3, rng));
+
+  CtflConfig config = BaseConfig();
+  config.federated = false;
+  config.central.epochs = 4;
+  config.central.learning_rate = 0.05;
+  const PipelineSnapshot base = RunPipeline(fed, test, config, 1);
+  ExpectSnapshotsIdentical(base, RunPipeline(fed, test, config, 8),
+                           "threads=8");
+}
+
+}  // namespace
+}  // namespace ctfl

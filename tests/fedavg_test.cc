@@ -67,6 +67,54 @@ TEST(FedAvgTest, AllEmptyClientsLeaveModelUntouched) {
   EXPECT_EQ(net.GetParameters(), before);
 }
 
+TEST(FedAvgTest, StatsAreResetEvenWhenFederationIsEmpty) {
+  // Regression: RunFedAvg used to return early on an all-empty federation
+  // *before* clearing the caller's stats, so a reused FedAvgStats kept the
+  // previous invocation's rounds.
+  const SchemaPtr schema = ThresholdDataset(1, 1).schema();
+
+  FedAvgStats stats;
+  {
+    const Dataset all = ThresholdDataset(200, 12);
+    Rng rng(13);
+    const std::vector<Dataset> clients = PartitionUniform(all, 2, rng);
+    FedAvgConfig config;
+    config.rounds = 2;
+    config.local_epochs = 1;
+    LogicalNet net(schema, SmallNet());
+    RunFedAvg(net, clients, config, &stats);
+    ASSERT_EQ(stats.rounds.size(), 2u);
+    ASSERT_GT(stats.grafting_steps, 0);
+  }
+
+  std::vector<Dataset> empty_clients(3, Dataset(schema));
+  FedAvgConfig config;
+  config.rounds = 4;
+  LogicalNet net(schema, SmallNet());
+  RunFedAvg(net, empty_clients, config, &stats);
+  EXPECT_TRUE(stats.rounds.empty());
+  EXPECT_EQ(stats.grafting_steps, 0);
+}
+
+TEST(FedAvgTest, ParallelFanOutMatchesSerial) {
+  const Dataset all = ThresholdDataset(600, 14);
+  Rng rng(15);
+  const std::vector<Dataset> clients = PartitionUniform(all, 4, rng);
+
+  FedAvgConfig config;
+  config.rounds = 3;
+  config.local_epochs = 2;
+  config.local.learning_rate = 0.05;
+
+  config.num_threads = 1;
+  const LogicalNet serial =
+      TrainFederated(all.schema(), SmallNet(), clients, config);
+  config.num_threads = 4;
+  const LogicalNet parallel =
+      TrainFederated(all.schema(), SmallNet(), clients, config);
+  EXPECT_EQ(serial.GetParameters(), parallel.GetParameters());
+}
+
 TEST(FedAvgTest, SingleClientFedAvgApproximatesCentral) {
   const Dataset all = ThresholdDataset(600, 6);
   FedAvgConfig config;

@@ -1,5 +1,9 @@
 #include "ctfl/nn/matrix.h"
 
+#include <cstring>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace ctfl {
@@ -83,6 +87,106 @@ TEST(MatrixTest, TransposedVariantsAgreeWithExplicit) {
       EXPECT_NEAR(act(i, j), expected, 1e-12);
     }
   }
+}
+
+// ---- Sharded kernels vs serial reference --------------------------------
+//
+// The parallel kernels promise *bit* identity with the serial path: each
+// output element is accumulated by exactly one thread in the same term
+// order. These tests force the sharded path with a grain of 1 flop and
+// compare against the serial result with memcmp — EXPECT_NEAR would hide a
+// broken schedule.
+
+class ShardedKernelTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    SetMatrixParallelism(0);
+    SetMatrixParallelGrain(size_t{1} << 16);
+  }
+
+  static Matrix Random(size_t rows, size_t cols, uint64_t seed,
+                       bool with_zeros = false) {
+    Rng rng(seed);
+    Matrix m(rows, cols);
+    m.RandomUniform(rng, -1, 1);
+    if (with_zeros) {
+      // Sprinkle exact zeros so TransposedMatMul's zero-skip branch is
+      // exercised (skipping vs adding 0.0 can flip signed zeros).
+      for (size_t i = 0; i < m.size(); i += 3) m.data()[i] = 0.0;
+    }
+    return m;
+  }
+
+  static ::testing::AssertionResult SameBits(const Matrix& a,
+                                             const Matrix& b) {
+    if (a.rows() != b.rows() || a.cols() != b.cols()) {
+      return ::testing::AssertionFailure() << "shape mismatch";
+    }
+    if (std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) != 0) {
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (std::memcmp(&a.data()[i], &b.data()[i], sizeof(double)) != 0) {
+          return ::testing::AssertionFailure()
+                 << "first bit difference at flat index " << i << ": "
+                 << a.data()[i] << " vs " << b.data()[i];
+        }
+      }
+    }
+    return ::testing::AssertionSuccess();
+  }
+};
+
+TEST_F(ShardedKernelTest, AllKernelsBitIdenticalOnRaggedShapes) {
+  // Ragged and degenerate shapes: single row, single column, prime
+  // dimensions, and a shape with fewer rows than workers.
+  const std::vector<std::pair<size_t, size_t>> shapes = {
+      {1, 97}, {97, 1}, {3, 8}, {7, 11}, {13, 5}, {31, 2}, {64, 64}};
+  uint64_t seed = 100;
+  for (const auto& [m, k] : shapes) {
+    for (const size_t n : {size_t{1}, size_t{7}, size_t{32}}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "m=" << m << " k=" << k << " n=" << n);
+      const Matrix a = Random(m, k, ++seed, /*with_zeros=*/true);
+      const Matrix b = Random(k, n, ++seed);
+      const Matrix bt = Random(n, k, ++seed);
+      const Matrix at_rhs = Random(m, n, ++seed);
+
+      SetMatrixParallelism(1);  // serial reference
+      const Matrix serial_ab = a.MatMul(b);
+      const Matrix serial_abt = a.MatMulTransposed(bt);
+      const Matrix serial_atb = a.TransposedMatMul(at_rhs);
+
+      SetMatrixParallelism(8);
+      SetMatrixParallelGrain(1);  // force the sharded path on tiny inputs
+      EXPECT_TRUE(SameBits(serial_ab, a.MatMul(b)));
+      EXPECT_TRUE(SameBits(serial_abt, a.MatMulTransposed(bt)));
+      EXPECT_TRUE(SameBits(serial_atb, a.TransposedMatMul(at_rhs)));
+      SetMatrixParallelism(1);
+      SetMatrixParallelGrain(size_t{1} << 16);
+    }
+  }
+}
+
+TEST_F(ShardedKernelTest, GrainThresholdKeepsSmallProductsSerial) {
+  // Below the grain the parallel pool must not even be consulted; the
+  // result is identical either way, but this pins the gate's semantics.
+  SetMatrixParallelism(8);
+  SetMatrixParallelGrain(size_t{1} << 30);
+  const Matrix a = Random(5, 5, 1);
+  const Matrix b = Random(5, 5, 2);
+  const Matrix gated = a.MatMul(b);
+  SetMatrixParallelism(1);
+  EXPECT_TRUE(SameBits(gated, a.MatMul(b)));
+}
+
+TEST_F(ShardedKernelTest, ParallelismKnobRoundTrips) {
+  SetMatrixParallelism(3);
+  EXPECT_EQ(MatrixParallelism(), 3);
+  SetMatrixParallelism(1);
+  EXPECT_EQ(MatrixParallelism(), 1);
+  SetMatrixParallelism(0);  // 0 = hardware concurrency, resolved >= 1
+  EXPECT_GE(MatrixParallelism(), 1);
+  SetMatrixParallelGrain(42);
+  EXPECT_EQ(MatrixParallelGrain(), 42u);
 }
 
 TEST(MatrixTest, RandomUniformInRange) {

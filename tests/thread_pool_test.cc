@@ -1,7 +1,11 @@
 #include "ctfl/util/thread_pool.h"
 
 #include <atomic>
+#include <cmath>
+#include <memory>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -66,6 +70,155 @@ TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
   std::atomic<int> counter{0};
   pool.ParallelFor(0, 64, [&](size_t) { counter.fetch_add(1); });
   EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCountSemantics) {
+  EXPECT_EQ(ResolveThreadCount(1), 1);
+  EXPECT_EQ(ResolveThreadCount(7), 7);
+  EXPECT_GT(ResolveThreadCount(0), 0);
+  EXPECT_GT(ResolveThreadCount(-3), 0);
+  EXPECT_EQ(ResolveThreadCount(0), ResolveThreadCount(-1));
+}
+
+TEST(ThreadPoolTest, ParallelForRangeSmallerThanWorkerCount) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> touched(3);
+  pool.ParallelFor(0, touched.size(),
+                   [&](size_t i) { touched[i].fetch_add(1); });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesWorkerException) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  EXPECT_THROW(
+      pool.ParallelFor(0, 1000,
+                       [&](size_t i) {
+                         calls.fetch_add(1);
+                         if (i == 137) {
+                           throw std::runtime_error("boom at 137");
+                         }
+                       }),
+      std::runtime_error);
+  // The faulting chunk stopped early but every other chunk ran.
+  EXPECT_GT(calls.load(), 0);
+  EXPECT_LE(calls.load(), 1000);
+
+  // The pool is still usable after an exception.
+  std::atomic<int> after{0};
+  pool.ParallelFor(0, 100, [&](size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForExceptionMessageSurvives) {
+  ThreadPool pool(2);
+  try {
+    pool.ParallelFor(0, 10, [](size_t i) {
+      if (i == 3) throw std::runtime_error("deterministic failure");
+    });
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "deterministic failure");
+  }
+}
+
+TEST(ThreadPoolTest, InPoolWorkerFlagTracksContext) {
+  EXPECT_FALSE(ThreadPool::InPoolWorker());
+  ThreadPool pool(2);
+  std::atomic<int> inside{0};
+  pool.ParallelFor(0, 16, [&](size_t) {
+    if (ThreadPool::InPoolWorker()) inside.fetch_add(1);
+  });
+  EXPECT_EQ(inside.load(), 16);
+  EXPECT_FALSE(ThreadPool::InPoolWorker());
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  // A worker calling ParallelFor on its own pool must not block in Wait()
+  // while holding the worker slot its chunks would need; the guard runs
+  // the nested loop inline. With pool size 1 a real nested submission
+  // would deadlock instantly, so completion *is* the assertion.
+  ThreadPool pool(1);
+  std::atomic<int> outer{0}, inner{0};
+  pool.ParallelFor(0, 4, [&](size_t) {
+    outer.fetch_add(1);
+    pool.ParallelFor(0, 8, [&](size_t) { inner.fetch_add(1); });
+  });
+  EXPECT_EQ(outer.load(), 4);
+  EXPECT_EQ(inner.load(), 32);
+}
+
+TEST(ThreadPoolTest, NestedParallelForAcrossPoolsRunsInline) {
+  ThreadPool outer_pool(4);
+  ThreadPool inner_pool(4);
+  std::atomic<int> inner{0};
+  outer_pool.ParallelFor(0, 8, [&](size_t) {
+    // Cross-pool nesting cannot deadlock, but it still runs inline to
+    // avoid oversubscription; correctness is what we assert.
+    inner_pool.ParallelFor(0, 8, [&](size_t) { inner.fetch_add(1); });
+  });
+  EXPECT_EQ(inner.load(), 64);
+}
+
+TEST(ThreadPoolTest, OrderedReduceEmptyAndInvertedRange) {
+  ThreadPool pool(2);
+  int reduces = 0;
+  pool.OrderedReduce<int>(
+      5, 5, [](size_t) { return 1; }, [&](size_t, int) { ++reduces; });
+  pool.OrderedReduce<int>(
+      9, 2, [](size_t) { return 1; }, [&](size_t, int) { ++reduces; });
+  EXPECT_EQ(reduces, 0);
+}
+
+TEST(ThreadPoolTest, OrderedReduceVisitsIndicesInOrderUnderContention) {
+  ThreadPool pool(8);
+  const size_t n = 4096;
+  std::vector<size_t> order;
+  order.reserve(n);
+  // Uneven per-index work so workers finish out of submission order; the
+  // reduce sequence must stay strictly ascending regardless.
+  pool.OrderedReduce<double>(
+      0, n,
+      [](size_t i) {
+        double acc = 0.0;
+        const int spins = (i % 7 == 0) ? 2000 : 10;
+        for (int s = 0; s < spins; ++s) acc += std::sin(s + i);
+        return acc + static_cast<double>(i);
+      },
+      [&](size_t i, double) { order.push_back(i); });
+  ASSERT_EQ(order.size(), n);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, OrderedReduceFoldMatchesSerialBitwise) {
+  // An order-sensitive floating-point fold: x -> x * c + f(i). Any
+  // reordering of the reduction changes the result, so equality with the
+  // serial fold proves the parallel schedule is invisible.
+  auto map = [](size_t i) {
+    return std::sin(static_cast<double>(i) * 0.7) + 1.0 / (1.0 + i);
+  };
+  const size_t n = 2000;
+  double serial = 0.0;
+  for (size_t i = 0; i < n; ++i) serial = serial * 0.9999 + map(i);
+
+  for (int trial = 0; trial < 3; ++trial) {
+    ThreadPool pool(8);
+    double folded = 0.0;
+    pool.OrderedReduce<double>(
+        0, n, map, [&](size_t, double v) { folded = folded * 0.9999 + v; });
+    EXPECT_EQ(folded, serial) << "trial " << trial;
+  }
+}
+
+TEST(ThreadPoolTest, OrderedReduceMoveOnlyResults) {
+  ThreadPool pool(4);
+  std::vector<int> collected;
+  pool.OrderedReduce<std::unique_ptr<int>>(
+      0, 64,
+      [](size_t i) { return std::make_unique<int>(static_cast<int>(i)); },
+      [&](size_t, std::unique_ptr<int> v) { collected.push_back(*v); });
+  ASSERT_EQ(collected.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(collected[i], i);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include "ctfl/data/gen/synthetic.h"
 #include "ctfl/data/gen/tictactoe.h"
 #include "ctfl/data/split.h"
+#include "ctfl/nn/matrix.h"
 
 namespace ctfl {
 namespace {
@@ -116,6 +117,48 @@ TEST(TrainerTest, DeterministicGivenSeeds) {
   TrainGrafted(a, train, tc);
   TrainGrafted(b, train, tc);
   EXPECT_EQ(a.GetParameters(), b.GetParameters());
+}
+
+TEST(TrainerTest, LossTrajectoryIdenticalAcrossThreadCounts) {
+  // The sharded kernels promise bit-identical results, so the whole loss
+  // trajectory — not just the endpoint — must match between a serial and a
+  // heavily parallel run with the same seed.
+  const Dataset train = ThresholdDataset(400, 55);
+  LogicalNetConfig config;
+  config.logic_layers = {{8, 8}};
+  config.seed = 9;
+
+  // Force even these tiny matrices onto the sharded kernels.
+  SetMatrixParallelGrain(1);
+
+  TrainConfig tc;
+  tc.epochs = 6;
+  tc.seed = 13;
+  tc.learning_rate = 0.05;
+
+  tc.num_threads = 1;
+  LogicalNet serial(train.schema(), config);
+  const TrainReport serial_report = TrainGrafted(serial, train, tc);
+
+  tc.num_threads = 8;
+  LogicalNet parallel(train.schema(), config);
+  const TrainReport parallel_report = TrainGrafted(parallel, train, tc);
+
+  // Restore process defaults for the other tests in this binary.
+  SetMatrixParallelism(0);
+  SetMatrixParallelGrain(size_t{1} << 16);
+
+  EXPECT_EQ(serial.GetParameters(), parallel.GetParameters());
+  EXPECT_EQ(serial_report.final_loss, parallel_report.final_loss);
+  EXPECT_EQ(serial_report.train_accuracy, parallel_report.train_accuracy);
+  EXPECT_EQ(serial_report.steps, parallel_report.steps);
+  ASSERT_EQ(serial_report.epoch_stats.size(),
+            parallel_report.epoch_stats.size());
+  for (size_t e = 0; e < serial_report.epoch_stats.size(); ++e) {
+    SCOPED_TRACE(e);
+    EXPECT_EQ(serial_report.epoch_stats[e].loss,
+              parallel_report.epoch_stats[e].loss);
+  }
 }
 
 TEST(TrainerTest, SgdPathAlsoLearns) {

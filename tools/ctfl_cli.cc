@@ -9,14 +9,17 @@
 //   rules     --dataset NAME --model FILE [--out FILE] [--min-weight W]
 //       Prints (or writes) the model's extracted symbolic rules.
 //   score     --dataset NAME --train FILE --test FILE [--participants K]
-//             [--tau-w T] [--skew-label] [--seed S] [--bundle-out FILE]
-//             [--telemetry-out FILE.json] [--telemetry-summary]
+//             [--tau-w T] [--skew-label] [--seed S] [--num-threads N]
+//             [--bundle-out FILE] [--telemetry-out FILE.json]
+//             [--telemetry-summary]
 //       Partitions the training CSV into K participants, runs the full
 //       CTFL pipeline, and prints micro/macro scores + a loss report.
 //       --bundle-out additionally persists a contribution bundle for
-//       later `query` runs. --telemetry-out writes a Chrome trace (open
-//       in chrome://tracing or ui.perfetto.dev); --telemetry-summary
-//       prints per-span and per-phase cost tables.
+//       later `query` runs. --num-threads steers training, tracing, and
+//       the matrix kernels together (0 = all cores, 1 = serial; scores
+//       are bit-identical either way). --telemetry-out writes a Chrome
+//       trace (open in chrome://tracing or ui.perfetto.dev);
+//       --telemetry-summary prints per-span and per-phase cost tables.
 //   snapshot  --dataset NAME --train FILE --test FILE --bundle-out FILE
 //             [score flags]
 //       Same pipeline as `score`, but the bundle is the point: trains
@@ -95,6 +98,7 @@ Status RunTrain(int argc, const char* const* argv) {
                     {"epochs", "30"},
                     {"lr", "0.05"},
                     {"width", "96"},
+                    {"num-threads", "0"},
                     {"seed", "42"}});
   CTFL_RETURN_IF_ERROR(flags.Parse(argc, argv));
   if (flags.GetString("data").empty() || flags.GetString("model").empty()) {
@@ -107,6 +111,7 @@ Status RunTrain(int argc, const char* const* argv) {
   CTFL_ASSIGN_OR_RETURN(int epochs, flags.GetInt("epochs"));
   CTFL_ASSIGN_OR_RETURN(double lr, flags.GetDouble("lr"));
   CTFL_ASSIGN_OR_RETURN(int width, flags.GetInt("width"));
+  CTFL_ASSIGN_OR_RETURN(int num_threads, flags.GetInt("num-threads"));
   CTFL_ASSIGN_OR_RETURN(int seed, flags.GetInt("seed"));
 
   LogicalNetConfig net_config;
@@ -115,6 +120,7 @@ Status RunTrain(int argc, const char* const* argv) {
   TrainConfig train_config;
   train_config.epochs = epochs;
   train_config.learning_rate = lr;
+  train_config.num_threads = num_threads;
   LogicalNet net(schema, net_config);
   const TrainReport report = TrainGrafted(net, data, train_config);
   CTFL_RETURN_IF_ERROR(SaveLogicalNet(net, flags.GetString("model")));
@@ -166,6 +172,7 @@ Status RunScore(int argc, const char* const* argv, bool snapshot_mode) {
                     {"epochs", "20"},
                     {"width", "96"},
                     {"budget", "0"},
+                    {"num-threads", "-1"},
                     {"seed", "42"},
                     {"bundle-out", ""},
                     {"telemetry-out", ""},
@@ -189,6 +196,7 @@ Status RunScore(int argc, const char* const* argv, bool snapshot_mode) {
   CTFL_ASSIGN_OR_RETURN(int epochs, flags.GetInt("epochs"));
   CTFL_ASSIGN_OR_RETURN(int width, flags.GetInt("width"));
   CTFL_ASSIGN_OR_RETURN(double budget, flags.GetDouble("budget"));
+  CTFL_ASSIGN_OR_RETURN(int num_threads, flags.GetInt("num-threads"));
   CTFL_ASSIGN_OR_RETURN(int seed, flags.GetInt("seed"));
   const std::string telemetry_out = flags.GetString("telemetry-out");
   const bool telemetry_summary = flags.GetBool("telemetry-summary");
@@ -209,6 +217,7 @@ Status RunScore(int argc, const char* const* argv, bool snapshot_mode) {
   config.net.logic_layers = {{width / 2, width - width / 2}};
   config.net.seed = seed;
   config.tracer.tau_w = tau_w;
+  config.num_threads = num_threads;
   config.bundle_out = flags.GetString("bundle-out");
   const CtflReport report = RunCtfl(fed, test, config);
   if (!config.bundle_out.empty()) {
