@@ -10,6 +10,7 @@
 
 #include "common.h"
 #include "ctfl/core/tracer.h"
+#include "ctfl/data/gen/synthetic.h"
 #include "ctfl/fl/fedavg.h"
 #include "ctfl/mining/apriori.h"
 #include "ctfl/mining/max_miner.h"
@@ -153,6 +154,90 @@ BENCHMARK(BM_TracingPaths)
     ->Args({1, 0, 1})   // + dedup
     ->Args({1, 1, 1})   // + Max-Miner prefilter
     ->Args({1, 1, 0});  // + all cores
+
+// ---------------------------------------------------------------------------
+// Tracing kernel (DESIGN.md §10): legacy scalar tau_w loop vs the blocked
+// word-parallel kernel on a tracing-heavy shape (>= 64 rules, >= 10k
+// training records; dedup on, Max-Miner off, single thread) so the
+// speedup is the kernel's alone. Both legs produce bit-identical
+// TraceResults; the counters expose the pruning the blocked kernel does.
+// Acceptance (ISSUE PR4): blocked >= 2x over legacy single-thread.
+// tools/bench_trace_json.sh turns this into BENCH_trace.json.
+// ---------------------------------------------------------------------------
+struct TraceBenchFixture {
+  SyntheticSpec spec;
+  Federation federation;
+  Dataset test;
+  LogicalNet model;
+
+  TraceBenchFixture()
+      : spec(BenchmarkSpec("adult").value()),
+        federation([this] {
+          Rng rng(17);
+          const Dataset train = GenerateSynthetic(spec, 10240, rng);
+          Rng prng(18);
+          return MakeFederation(PartitionSkewSample(train, 8, 0.7, prng));
+        }()),
+        test([this] {
+          Rng rng(19);
+          return GenerateSynthetic(spec, 256, rng);
+        }()),
+        model([this] {
+          LogicalNetConfig config;
+          config.logic_layers = {{32, 32}};
+          config.seed = 5;
+          LogicalNet net(spec.schema, config);
+          // Train on a small independent sample: fixture setup stays
+          // cheap, and tracing cost does not depend on training size.
+          Rng rng(20);
+          const Dataset sample = GenerateSynthetic(spec, 2000, rng);
+          TrainConfig tc;
+          tc.epochs = 5;
+          tc.learning_rate = 0.05;
+          TrainGrafted(net, sample, tc);
+          return net;
+        }()) {}
+};
+
+TraceBenchFixture& GetTraceBenchFixture() {
+  static TraceBenchFixture* fixture = new TraceBenchFixture();
+  return *fixture;
+}
+
+void BM_TracePass(benchmark::State& state, TraceKernelKind kind) {
+  TraceBenchFixture& fx = GetTraceBenchFixture();
+  TracerConfig config;
+  config.tau_w = 0.9;
+  config.use_dedup = true;
+  config.use_max_miner = false;
+  config.num_threads = 1;
+  config.kernel = kind;
+  const ContributionTracer tracer(&fx.model, &fx.federation, config);
+  int64_t checks = 0, scanned = 0, pruned = 0, related = 0;
+  for (auto _ : state) {
+    const TraceResult result = tracer.Trace(fx.test);
+    benchmark::DoNotOptimize(result.related_records);
+    checks += result.tau_w_checks;
+    scanned += result.records_scanned;
+    pruned += result.blocks_pruned;
+    related += result.related_records;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.test.size()));
+  state.counters["num_rules"] = static_cast<double>(fx.model.num_rules());
+  state.counters["tau_w_checks"] = benchmark::Counter(
+      static_cast<double>(checks), benchmark::Counter::kAvgIterations);
+  state.counters["records_scanned"] = benchmark::Counter(
+      static_cast<double>(scanned), benchmark::Counter::kAvgIterations);
+  state.counters["blocks_pruned"] = benchmark::Counter(
+      static_cast<double>(pruned), benchmark::Counter::kAvgIterations);
+  state.counters["related"] = benchmark::Counter(
+      static_cast<double>(related), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK_CAPTURE(BM_TracePass, legacy, TraceKernelKind::kLegacy)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TracePass, blocked, TraceKernelKind::kBlocked)
+    ->Unit(benchmark::kMillisecond);
 
 // Ablation: tau_w sensitivity of tracing cost.
 void BM_TracingTauW(benchmark::State& state) {
@@ -402,14 +487,16 @@ BENCHMARK(BM_BundleLoad);
 
 // Arg(0): linear class-bucket scan (the oracle). Arg(1): posting-list
 // prefilter. Both return identical related sets; the prune counters show
-// how much of the bucket the index skips.
-void BM_QueryRelated(benchmark::State& state) {
+// how much of the bucket the index skips. The capture name picks the
+// Eq. 4 matching engine (legacy scalar vs blocked word-parallel kernel).
+void BM_QueryRelated(benchmark::State& state, TraceKernelKind kind) {
   BundleFixture& fx = GetBundleFixture();
   store::QueryOptions options;
   options.use_index = state.range(0) != 0;
+  options.kernel = kind;
   const size_t num_tests = fx.content.tests.size();
   size_t t = 0;
-  int64_t checks = 0, bucket = 0, pruned = 0;
+  int64_t checks = 0, bucket = 0, pruned = 0, scanned = 0;
   for (auto _ : state) {
     const store::RelatedResult result =
         fx.engine.RelatedForTest(t, options);
@@ -417,6 +504,7 @@ void BM_QueryRelated(benchmark::State& state) {
     checks += result.tau_w_checks;
     bucket += result.bucket_size;
     pruned += result.candidates_pruned;
+    scanned += result.records_scanned;
     t = (t + 1) % num_tests;
   }
   state.SetItemsProcessed(state.iterations());
@@ -427,8 +515,16 @@ void BM_QueryRelated(benchmark::State& state) {
   state.counters["tau_w_checks/query"] =
       benchmark::Counter(static_cast<double>(checks),
                          benchmark::Counter::kAvgIterations);
+  state.counters["records_scanned/query"] =
+      benchmark::Counter(static_cast<double>(scanned),
+                         benchmark::Counter::kAvgIterations);
 }
-BENCHMARK(BM_QueryRelated)->Arg(0)->Arg(1);
+BENCHMARK_CAPTURE(BM_QueryRelated, legacy, TraceKernelKind::kLegacy)
+    ->Arg(0)
+    ->Arg(1);
+BENCHMARK_CAPTURE(BM_QueryRelated, blocked, TraceKernelKind::kBlocked)
+    ->Arg(0)
+    ->Arg(1);
 
 }  // namespace
 }  // namespace ctfl

@@ -89,6 +89,8 @@ CtflReport RunCtfl(const Federation& federation, const Dataset& test,
   run.trace_keys = report.trace.num_keys;
   run.tau_w_checks = report.trace.tau_w_checks;
   run.related_records = report.trace.related_records;
+  run.records_scanned = report.trace.records_scanned;
+  run.blocks_pruned = report.trace.blocks_pruned;
   run.uncovered_tests = static_cast<int64_t>(report.trace.uncovered_tests);
 
   // ---- Phase 3: micro + macro credit allocation. ------------------------

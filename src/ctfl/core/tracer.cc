@@ -1,6 +1,7 @@
 #include "ctfl/core/tracer.h"
 
 #include <algorithm>
+#include <bit>
 #include <unordered_map>
 
 #include "ctfl/fl/privacy.h"
@@ -103,6 +104,17 @@ void ContributionTracer::IndexTrainRefs() {
       train_by_class_[data.instance(i).label].push_back(ref);
     }
   }
+  if (config_.kernel == TraceKernelKind::kBlocked) {
+    CTFL_SPAN("ctfl.trace.kernel_pack");
+    for (int c = 0; c < 2; ++c) {
+      std::vector<const Bitset*> records;
+      records.reserve(train_by_class_[c].size());
+      for (const TrainRef& ref : train_by_class_[c]) {
+        records.push_back(ref.activation);
+      }
+      class_kernel_[c] = TraceKernel(std::move(records), net_->num_rules());
+    }
+  }
 }
 
 TraceResult ContributionTracer::Trace(const Dataset& test) const {
@@ -129,6 +141,10 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
   std::vector<TraceKey> keys;
   std::unordered_map<size_t, std::vector<size_t>> key_index;  // hash->keys
   size_t correct_total = 0;
+  // Raw (un-masked) activation of each misclassified test, retained from
+  // this forward pass so the uncovered-scenario aggregation below does not
+  // run the network a second time.
+  std::unordered_map<size_t, Bitset> miss_activations;
 
   telemetry::Span key_span("ctfl.trace.keys");
   for (size_t t = 0; t < test.size(); ++t) {
@@ -138,6 +154,7 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
     if (correct) ++correct_total;
 
     Bitset support = net_->RuleActivations(inst);
+    if (!correct) miss_activations.emplace(t, support);
     support &= class_mask_[predicted];
 
     TestTrace& trace = result.tests[t];
@@ -170,10 +187,10 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
     if (key.members.empty()) {
       key.target_class = predicted;
       key.supp_list.reserve(support.Count());
-      for (size_t j : support.SetBits()) {
+      support.ForEachSetBit([&](size_t j) {
         key.supp_list.emplace_back(static_cast<int>(j), rule_weights_[j]);
         key.weight_sum += rule_weights_[j];
-      }
+      });
       key.support = std::move(support);
     }
     key.members.push_back(t);
@@ -212,15 +229,41 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
         if (group.theta <= 0.0) continue;  // prefilter would pass everyone
         // Training candidates achieving w(act ∩ F) >= theta.
         std::vector<int> candidates;
-        for (size_t r = 0; r < bucket.size(); ++r) {
-          double overlap = 0.0;
+        if (config_.kernel == TraceKernelKind::kBlocked) {
+          // Kernel path: same theta comparison, phrased as kPlusEpsGe so
+          // the exact fallback replays `overlap + kRatioEps >= theta`
+          // bit-for-bit. Stats are deliberately discarded — the prefilter
+          // is bookkept via tau_w_checks only, keeping the CI invariant
+          // records_scanned <= tau_w_checks intact.
+          std::vector<std::pair<int, double>> items;
+          items.reserve(group.frequent_subset.size());
           for (int item : group.frequent_subset) {
-            if (bucket[r].activation->Test(item)) {
-              overlap += rule_weights_[item];
+            items.emplace_back(item, rule_weights_[item]);
+          }
+          const TraceKernel::Support prefilter = TraceKernel::Prepare(
+              items, group.theta, TraceKernel::Cmp::kPlusEpsGe, kRatioEps);
+          const TraceKernel& kernel = class_kernel_[target];
+          std::vector<uint64_t> related(kernel.num_blocks(), 0);
+          kernel.Match(prefilter, nullptr, related.data(), nullptr);
+          for (size_t b = 0; b < related.size(); ++b) {
+            uint64_t word = related[b];
+            while (word != 0) {
+              const int lane = std::countr_zero(word);
+              word &= word - 1;
+              candidates.push_back(static_cast<int>(b * 64) + lane);
             }
           }
-          if (overlap + kRatioEps >= group.theta) {
-            candidates.push_back(static_cast<int>(r));
+        } else {
+          for (size_t r = 0; r < bucket.size(); ++r) {
+            double overlap = 0.0;
+            for (int item : group.frequent_subset) {
+              if (bucket[r].activation->Test(item)) {
+                overlap += rule_weights_[item];
+              }
+            }
+            if (overlap + kRatioEps >= group.theta) {
+              candidates.push_back(static_cast<int>(r));
+            }
           }
         }
         for (size_t local : group.members) {
@@ -245,6 +288,12 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
     // tau_w loop free of shared atomics).
     int64_t tau_w_checks = 0;
     int64_t related_hits = 0;
+    int64_t records_scanned = 0;
+    int64_t blocks_pruned = 0;
+    // Blocked-kernel per-key scratch (reused across keys to stay
+    // allocation-free in the hot loop).
+    std::vector<uint64_t> candidate_mask;
+    std::vector<uint64_t> related_mask;
   };
 
   int num_threads = ResolveThreadCount(config_.num_threads);
@@ -272,13 +321,11 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
     std::vector<int> related_per_participant(n, 0);
     size_t total_related = 0;
 
-    auto check_ref = [&](const TrainRef& ref) {
-      ++acc.tau_w_checks;
-      double overlap = 0.0;
-      for (const auto& [rule, weight] : key.supp_list) {
-        if (ref.activation->Test(rule)) overlap += weight;
-      }
-      if (overlap < threshold) return;
+    // Shared per-related-record bookkeeping. Per (participant, rule) cell
+    // every addition within one key is the same value, so the blocked
+    // kernel's rule-outer/record-inner order sums bit-identically to this
+    // record-outer/rule-inner reference order.
+    auto record_related = [&](const TrainRef& ref) {
       ++acc.related_hits;
       ++related_per_participant[ref.participant];
       ++total_related;
@@ -290,24 +337,88 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
         acc.match_miss[ref.participant][ref.local_index] +=
             key.miss_members;
       }
-      // Weight-regularized rule activation frequencies (§IV-B), scaled by
-      // how many member tests this key covers.
-      for (const auto& [rule, weight] : key.supp_list) {
-        if (!ref.activation->Test(rule)) continue;
-        if (key.correct_members > 0) {
-          acc.beneficial(ref.participant, rule) +=
-              weight * key.correct_members;
-        }
-        if (key.miss_members > 0) {
-          acc.harmful(ref.participant, rule) += weight * key.miss_members;
-        }
-      }
     };
 
-    if (has_prefilter[k]) {
-      for (int r : candidate_refs[k]) check_ref(bucket[r]);
+    if (config_.kernel == TraceKernelKind::kBlocked) {
+      const TraceKernel& kernel = class_kernel_[key.target_class];
+      const size_t nb = kernel.num_blocks();
+      const uint64_t* cmask = nullptr;
+      if (has_prefilter[k]) {
+        acc.candidate_mask.assign(nb, 0);
+        for (int r : candidate_refs[k]) {
+          acc.candidate_mask[static_cast<size_t>(r) / 64] |=
+              1ULL << (static_cast<size_t>(r) % 64);
+        }
+        cmask = acc.candidate_mask.data();
+        acc.tau_w_checks += static_cast<int64_t>(candidate_refs[k].size());
+      } else {
+        acc.tau_w_checks += static_cast<int64_t>(bucket.size());
+      }
+      const TraceKernel::Support support =
+          TraceKernel::Prepare(key.supp_list, threshold);
+      if (acc.related_mask.size() < nb) acc.related_mask.resize(nb);
+      TraceKernelStats kstats;
+      kernel.Match(support, cmask, acc.related_mask.data(), &kstats);
+      acc.records_scanned += kstats.records_scanned;
+      acc.blocks_pruned += kstats.blocks_pruned;
+      for (size_t b = 0; b < nb; ++b) {
+        uint64_t word = acc.related_mask[b];
+        while (word != 0) {
+          const int lane = std::countr_zero(word);
+          word &= word - 1;
+          record_related(bucket[b * 64 + static_cast<size_t>(lane)]);
+        }
+      }
+      // Weight-regularized rule activation frequencies (§IV-B):
+      // word-driven over the transposed rule rows — only activated
+      // (rule, related-record) pairs cost work.
+      for (const auto& [rule, weight] : key.supp_list) {
+        const uint64_t* row = kernel.rule_bits(rule);
+        for (size_t b = 0; b < nb; ++b) {
+          uint64_t word = row[b] & acc.related_mask[b];
+          while (word != 0) {
+            const int lane = std::countr_zero(word);
+            word &= word - 1;
+            const TrainRef& ref = bucket[b * 64 + static_cast<size_t>(lane)];
+            if (key.correct_members > 0) {
+              acc.beneficial(ref.participant, rule) +=
+                  weight * key.correct_members;
+            }
+            if (key.miss_members > 0) {
+              acc.harmful(ref.participant, rule) +=
+                  weight * key.miss_members;
+            }
+          }
+        }
+      }
     } else {
-      for (const TrainRef& ref : bucket) check_ref(ref);
+      auto check_ref = [&](const TrainRef& ref) {
+        ++acc.tau_w_checks;
+        double overlap = 0.0;
+        for (const auto& [rule, weight] : key.supp_list) {
+          if (ref.activation->Test(rule)) overlap += weight;
+        }
+        if (overlap < threshold) return;
+        record_related(ref);
+        // Weight-regularized rule activation frequencies (§IV-B), scaled
+        // by how many member tests this key covers.
+        for (const auto& [rule, weight] : key.supp_list) {
+          if (!ref.activation->Test(rule)) continue;
+          if (key.correct_members > 0) {
+            acc.beneficial(ref.participant, rule) +=
+                weight * key.correct_members;
+          }
+          if (key.miss_members > 0) {
+            acc.harmful(ref.participant, rule) += weight * key.miss_members;
+          }
+        }
+      };
+
+      if (has_prefilter[k]) {
+        for (int r : candidate_refs[k]) check_ref(bucket[r]);
+      } else {
+        for (const TrainRef& ref : bucket) check_ref(ref);
+      }
     }
 
     for (size_t t : key.members) {
@@ -338,6 +449,8 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
     result.harmful_rule_freq.Axpy(1.0, acc.harmful);
     result.tau_w_checks += acc.tau_w_checks;
     result.related_records += acc.related_hits;
+    result.records_scanned += acc.records_scanned;
+    result.blocks_pruned += acc.blocks_pruned;
     for (int p = 0; p < n; ++p) {
       for (size_t i = 0; i < acc.match_correct[p].size(); ++i) {
         result.train_match_correct[p][i] += acc.match_correct[p][i];
@@ -354,10 +467,12 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
     if (trace.correct && trace.total_related > 0) ++matched_correct;
     if (!trace.correct && trace.total_related == 0) {
       ++result.uncovered_tests;
-      const Bitset act = net_->RuleActivations(test.instance(t));
-      for (size_t j : act.SetBits()) {
+      // Activation retained from the key-building forward pass — the
+      // network is not run a second time for uncovered tests.
+      const Bitset& act = miss_activations.at(t);
+      act.ForEachSetBit([&](size_t j) {
         result.uncovered_rule_freq[j] += rule_weights_[j];
-      }
+      });
     }
   }
   result.matched_accuracy =
@@ -377,6 +492,12 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
   static telemetry::Counter& uncovered_counter =
       telemetry::MetricsRegistry::Global().GetCounter(
           "ctfl.trace.uncovered_tests");
+  static telemetry::Counter& scanned_counter =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "ctfl.trace.records_scanned");
+  static telemetry::Counter& pruned_counter =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "ctfl.trace.blocks_pruned");
   static telemetry::Histogram& pass_hist =
       telemetry::MetricsRegistry::Global().GetHistogram(
           "ctfl.trace.pass_us");
@@ -384,6 +505,8 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
   check_counter.Add(result.tau_w_checks);
   hit_counter.Add(result.related_records);
   uncovered_counter.Add(static_cast<int64_t>(result.uncovered_tests));
+  scanned_counter.Add(result.records_scanned);
+  pruned_counter.Add(result.blocks_pruned);
   pass_hist.Observe(result.tracing_seconds * 1e6);
   return result;
 }

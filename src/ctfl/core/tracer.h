@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "ctfl/fl/participant.h"
+#include "ctfl/kernel/trace_kernel.h"
 #include "ctfl/mining/test_grouping.h"
 #include "ctfl/nn/logical_net.h"
 
@@ -34,6 +35,11 @@ struct TracerConfig {
   /// stronger privacy = noisier tracing.
   double dp_epsilon = 0.0;
   uint64_t dp_seed = 0x5eed;
+  /// Eq. 4 matching implementation (DESIGN.md §10). kBlocked scores keys
+  /// against a transposed rule-major bit-matrix with weight-sorted
+  /// early-exit pruning; kLegacy is the scalar per-record reference.
+  /// Results are bit-identical either way.
+  TraceKernelKind kernel = TraceKernelKind::kBlocked;
 };
 
 /// Tracing outcome for one test instance.
@@ -90,6 +96,11 @@ struct TraceResult {
   int64_t tau_w_checks = 0;
   /// Pairs that met the tau_w threshold (total related-record hits).
   int64_t related_records = 0;
+  /// Blocked-kernel work accounting (0 on the legacy path): candidate
+  /// records the kernel actually touched (always <= tau_w_checks) and
+  /// 64-record blocks skipped or early-exited by pruning.
+  int64_t records_scanned = 0;
+  int64_t blocks_pruned = 0;
 };
 
 /// Traces the test-performance gain of a trained global rule-based model
@@ -137,7 +148,8 @@ class ContributionTracer {
   /// Zeroes sub-threshold rule weights and builds the per-class masks.
   void BuildRuleMasks();
   /// Builds train_by_class_ refs over train_activations_ (which must
-  /// already be populated and sized to the federation).
+  /// already be populated and sized to the federation), then packs the
+  /// per-class blocked kernels when config_.kernel == kBlocked.
   void IndexTrainRefs();
 
   const LogicalNet* net_;
@@ -152,6 +164,9 @@ class ContributionTracer {
   std::vector<std::vector<Bitset>> train_activations_;
   /// Per class: refs to all training instances with that label.
   std::vector<TrainRef> train_by_class_[2];
+  /// Per class: transposed rule-major bit-matrix over the class bucket
+  /// (built only when config_.kernel == kBlocked; empty otherwise).
+  TraceKernel class_kernel_[2];
 };
 
 }  // namespace ctfl

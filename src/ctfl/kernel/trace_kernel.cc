@@ -1,0 +1,196 @@
+#include "ctfl/kernel/trace_kernel.h"
+
+#include <algorithm>
+#include <bit>
+#include <cfloat>
+#include <numeric>
+
+#include "ctfl/util/logging.h"
+
+namespace ctfl {
+
+Result<TraceKernelKind> ParseTraceKernelKind(const std::string& name) {
+  if (name == "legacy") return TraceKernelKind::kLegacy;
+  if (name == "blocked") return TraceKernelKind::kBlocked;
+  return Status::InvalidArgument("unknown trace kernel '" + name +
+                                 "' (expected legacy|blocked)");
+}
+
+const char* TraceKernelKindName(TraceKernelKind kind) {
+  return kind == TraceKernelKind::kLegacy ? "legacy" : "blocked";
+}
+
+TraceKernel::TraceKernel(std::vector<const Bitset*> records, int num_rules)
+    : records_(std::move(records)),
+      num_rules_(num_rules),
+      num_blocks_((records_.size() + 63) / 64) {
+  CTFL_CHECK(num_rules_ >= 0);
+  bits_.assign(static_cast<size_t>(num_rules_) * num_blocks_, 0);
+  full_mask_.assign(num_blocks_, 0);
+  for (size_t r = 0; r < records_.size(); ++r) {
+    CTFL_CHECK(records_[r] != nullptr);
+    CTFL_CHECK(records_[r]->size() == static_cast<size_t>(num_rules_));
+    const size_t block = r / 64;
+    const uint64_t lane = 1ULL << (r % 64);
+    full_mask_[block] |= lane;
+    records_[r]->ForEachSetBit([&](size_t rule) {
+      bits_[rule * num_blocks_ + block] |= lane;
+    });
+  }
+}
+
+TraceKernel::Support TraceKernel::Prepare(
+    const std::vector<std::pair<int, double>>& supp, double threshold,
+    Cmp cmp, double eps) {
+  Support s;
+  s.cmp = cmp;
+  s.threshold = threshold;
+  s.eps = eps;
+  const size_t m = supp.size();
+  s.rules.reserve(m);
+  s.weights.reserve(m);
+  double weight_sum = 0.0;
+  for (const auto& [rule, weight] : supp) {
+    s.rules.push_back(rule);
+    s.weights.push_back(weight);
+    weight_sum += weight;
+  }
+  // Descending weight, ascending rule tie-break: deterministic pruning
+  // order regardless of the caller's float quirks.
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&s](size_t a, size_t b) {
+    if (s.weights[a] != s.weights[b]) return s.weights[a] > s.weights[b];
+    return s.rules[a] < s.rules[b];
+  });
+  s.sorted_rules.resize(m);
+  s.sorted_weights.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    s.sorted_rules[i] = s.rules[order[i]];
+    s.sorted_weights[i] = s.weights[order[i]];
+  }
+  // Fixed-order suffix sums: the upper-bound weights used for pruning are
+  // computed once here, independent of any pruning decision.
+  s.suffix.assign(m + 1, 0.0);
+  for (size_t i = m; i-- > 0;) {
+    s.suffix[i] = s.suffix[i + 1] + s.sorted_weights[i];
+  }
+  // Band center: the exact comparison accepts when the ascending-order
+  // overlap reaches (roughly) this value.
+  s.pivot = cmp == Cmp::kGeThreshold ? threshold : threshold - eps;
+  // Conservative bound on the float drift between any two summation
+  // orders of <= m positive terms bounded by weight_sum, plus the
+  // comparison's own rounding: 2(m-1)*u*S covers the reordering error
+  // rigorously; the (m + 4) * 4 * DBL_EPSILON factor leaves a wide
+  // margin. Lanes inside +-safety of the pivot are re-decided exactly.
+  const double scale =
+      weight_sum + std::abs(threshold) + std::abs(eps) + 1.0;
+  s.safety = scale * static_cast<double>(m + 4) * 4.0 * DBL_EPSILON;
+  return s;
+}
+
+bool TraceKernel::ExactRelated(const Support& s, size_t record) const {
+  const Bitset& act = *records_[record];
+  double overlap = 0.0;
+  const size_t m = s.rules.size();
+  for (size_t i = 0; i < m; ++i) {
+    // Ascending rule order — the scalar reference accumulation.
+    if (act.Test(static_cast<size_t>(s.rules[i]))) overlap += s.weights[i];
+  }
+  if (s.cmp == Cmp::kGeThreshold) return !(overlap < s.threshold);
+  return overlap + s.eps >= s.threshold;
+}
+
+size_t TraceKernel::Match(const Support& s, const uint64_t* candidate_mask,
+                          uint64_t* out_related,
+                          TraceKernelStats* stats) const {
+  const size_t nb = num_blocks_;
+  std::fill(out_related, out_related + nb, 0);
+  size_t total_related = 0;
+  const size_t m = s.sorted_rules.size();
+  const double pivot = s.pivot;
+  const double safety = s.safety;
+  const double total_weight = s.suffix.empty() ? 0.0 : s.suffix[0];
+
+  alignas(64) double lb[64];
+  for (size_t b = 0; b < nb; ++b) {
+    uint64_t valid = full_mask_[b];
+    if (candidate_mask != nullptr) valid &= candidate_mask[b];
+    if (valid == 0) {
+      if (stats != nullptr) ++stats->blocks_pruned;
+      continue;
+    }
+    if (stats != nullptr) {
+      stats->records_scanned +=
+          static_cast<int64_t>(std::popcount(valid));
+    }
+    std::fill(lb, lb + 64, 0.0);
+    uint64_t undecided = valid;
+    uint64_t related = 0;
+    bool early_exit = false;
+
+    for (size_t ri = 0; ri < m; ++ri) {
+      const double weight = s.sorted_weights[ri];
+      uint64_t word =
+          bits_[static_cast<size_t>(s.sorted_rules[ri]) * nb + b] &
+          undecided;
+      while (word != 0) {
+        const int lane = std::countr_zero(word);
+        lb[lane] += weight;
+        word &= word - 1;
+      }
+      const double remaining = s.suffix[ri + 1];
+      // Kill checkpoints fire as soon as the unprocessed weight can no
+      // longer lift an empty lane over the pivot; accept-only
+      // checkpoints are rate-limited (they only buy a full-block early
+      // exit, so sweeping every rule would cost more than it saves).
+      const bool can_kill = remaining + safety < pivot;
+      const bool accept_open = total_weight - remaining >= pivot + safety;
+      if (can_kill || (accept_open && ((ri & 7) == 7))) {
+        uint64_t scan = undecided;
+        while (scan != 0) {
+          const int lane = std::countr_zero(scan);
+          scan &= scan - 1;
+          const uint64_t bit = 1ULL << lane;
+          if (lb[lane] >= pivot + safety) {
+            undecided &= ~bit;
+            related |= bit;
+          } else if (can_kill &&
+                     lb[lane] + remaining + safety < pivot) {
+            undecided &= ~bit;
+          }
+        }
+        if (undecided == 0) {
+          early_exit = ri + 1 < m;
+          break;
+        }
+      }
+    }
+    if (stats != nullptr && early_exit) ++stats->blocks_pruned;
+
+    // Classify leftover lanes: all support rules processed, so lb is the
+    // full (descending-order) overlap; outside the +-safety band it
+    // decides, inside we replay the exact scalar comparison.
+    uint64_t scan = undecided;
+    while (scan != 0) {
+      const int lane = std::countr_zero(scan);
+      scan &= scan - 1;
+      const uint64_t bit = 1ULL << lane;
+      if (lb[lane] >= pivot + safety) {
+        related |= bit;
+      } else if (lb[lane] + safety < pivot) {
+        // definitely below threshold
+      } else {
+        if (stats != nullptr) ++stats->exact_fallbacks;
+        if (ExactRelated(s, b * 64 + static_cast<size_t>(lane))) {
+          related |= bit;
+        }
+      }
+    }
+    out_related[b] = related;
+    total_related += static_cast<size_t>(std::popcount(related));
+  }
+  return total_related;
+}
+
+}  // namespace ctfl

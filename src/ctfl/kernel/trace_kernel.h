@@ -1,0 +1,157 @@
+#ifndef CTFL_KERNEL_TRACE_KERNEL_H_
+#define CTFL_KERNEL_TRACE_KERNEL_H_
+
+// Word-parallel blocked tracing kernel — the shared Eq. 4 matching engine
+// behind ContributionTracer (core/) and store::QueryEngine.
+//
+// The scalar tau_w loop scores every (support set, training record) pair
+// one rule bit at a time: |supp| Bitset::Test calls per candidate. This
+// kernel instead packs each class bucket's training activations into a
+// *transposed, rule-major bit-matrix* — one contiguous bitmap per rule
+// over record index — so scoring becomes, per 64-record block,
+// `overlap[lane] += weight` driven by word AND + ctz iteration: only
+// *activated* (rule, record) pairs cost work, and 64 records share every
+// rule-row load.
+//
+// Early-exit pruning processes the support rules in descending weight
+// order keeping per-lane lower bounds; once the remaining (unprocessed)
+// weight can no longer lift a lane over the threshold the lane is killed,
+// and lanes whose lower bound already clears the threshold are accepted
+// without scanning the rest (full-block accept). Blocks whose candidate
+// mask is empty are skipped outright.
+//
+// Bit-identity contract (DESIGN.md §10): the kernel's accept/reject
+// decisions are *exactly* those of the scalar loop, which accumulates
+// weights in ascending rule order and compares with a fixed epsilon. The
+// descending-order pruning bounds are only ever trusted outside a
+// conservative float-drift band (`Support::safety`, a rigorous bound on
+// the reordering error of a positive-term sum); lanes that land inside
+// the band fall back to the scalar ascending-order comparison on the
+// record's original activation bitset. Pruning therefore changes which
+// records get *scanned*, never which records get *matched*.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ctfl/util/bitset.h"
+#include "ctfl/util/result.h"
+
+namespace ctfl {
+
+/// Which Eq. 4 matching implementation a tracer / query engine uses. Both
+/// produce bit-identical results; kLegacy is the scalar reference loop.
+enum class TraceKernelKind {
+  kLegacy,
+  kBlocked,
+};
+
+/// Parses "legacy" / "blocked" (the CLI --trace-kernel values).
+Result<TraceKernelKind> ParseTraceKernelKind(const std::string& name);
+const char* TraceKernelKindName(TraceKernelKind kind);
+
+/// Work accounting of one (or many accumulated) Match calls.
+struct TraceKernelStats {
+  /// Candidate records in blocks the kernel actually entered (every such
+  /// record is counted once, whether it was decided early or scanned to
+  /// the end). Always <= the number of candidates submitted.
+  int64_t records_scanned = 0;
+  /// 64-record blocks skipped without per-lane work (empty candidate
+  /// mask) plus blocks whose lane scan ended before the full support was
+  /// processed (all lanes decided early).
+  int64_t blocks_pruned = 0;
+  /// Lanes whose pruning bounds landed inside the float-drift band and
+  /// were re-decided by the exact scalar comparison (rare).
+  int64_t exact_fallbacks = 0;
+};
+
+/// Transposed, cache-blocked activation bit-matrix over one class bucket
+/// plus the pruned matcher. Records are addressed by their *bucket
+/// position* (0..num_records), in the same order the scalar loop scans
+/// them, so lane order == legacy match order.
+class TraceKernel {
+ public:
+  TraceKernel() = default;
+
+  /// Packs `records` (activation bitsets in bucket order, each `num_rules`
+  /// wide) into the rule-major bit-matrix. The pointed-to bitsets must
+  /// outlive the kernel: they back the exact ambiguous-lane fallback.
+  TraceKernel(std::vector<const Bitset*> records, int num_rules);
+
+  size_t num_records() const { return records_.size(); }
+  size_t num_blocks() const { return num_blocks_; }
+  int num_rules() const { return num_rules_; }
+  bool empty() const { return records_.empty(); }
+
+  /// Transposed row of rule `rule`: num_blocks() words; bit `i` of word
+  /// `b` is set iff record `b * 64 + i` activates the rule. Callers use
+  /// this for word-driven frequency accumulation over matched lanes.
+  const uint64_t* rule_bits(int rule) const {
+    return bits_.data() + static_cast<size_t>(rule) * num_blocks_;
+  }
+
+  /// How the exact (legacy-identical) accept decision is phrased.
+  enum class Cmp {
+    /// Accept iff !(overlap < threshold) — the tracer / query-engine
+    /// Eq. 4 comparison (threshold already carries its kRatioEps slack).
+    kGeThreshold,
+    /// Accept iff (overlap + eps >= threshold) — the Max-Miner
+    /// group-prefilter comparison (theta check).
+    kPlusEpsGe,
+  };
+
+  /// A support set prepared for matching. `rules`/`weights` keep the
+  /// caller's ascending rule order (the exact-fallback accumulation
+  /// order); `order` re-sorts them by descending weight for pruning.
+  struct Support {
+    std::vector<int> rules;        ///< ascending rule coordinates
+    std::vector<double> weights;   ///< aligned to `rules`
+    std::vector<int> sorted_rules; ///< descending weight, rule tie-break
+    std::vector<double> sorted_weights;
+    /// suffix[i] = sum of sorted_weights[i..] (suffix[m] = 0): the weight
+    /// still unprocessed before sorted rule i — deterministic, fixed
+    /// accumulation order, independent of any pruning decision.
+    std::vector<double> suffix;
+    Cmp cmp = Cmp::kGeThreshold;
+    double threshold = 0.0;  ///< exact comparison value
+    double eps = 0.0;        ///< kPlusEpsGe only
+    /// Band center for pruning decisions (threshold, shifted by -eps for
+    /// kPlusEpsGe) and the conservative float-drift half-width around it.
+    double pivot = 0.0;
+    double safety = 0.0;
+  };
+
+  /// Builds a Support from `supp` (ascending (rule, weight) pairs — the
+  /// scalar loop's iteration order). For kGeThreshold, `threshold` is the
+  /// exact comparison value (e.g. tau_w * weight_sum - kRatioEps); for
+  /// kPlusEpsGe it is the raw theta and `eps` the slack added to overlap.
+  static Support Prepare(const std::vector<std::pair<int, double>>& supp,
+                         double threshold, Cmp cmp = Cmp::kGeThreshold,
+                         double eps = 0.0);
+
+  /// Matches every record (or only those in `candidate_mask`, a
+  /// num_blocks()-word lane bitmap; nullptr = all records) against the
+  /// support. Sets matched-lane bits in `out_related` (num_blocks()
+  /// words, overwritten) and returns the match count. Decisions are
+  /// bit-identical to the scalar ascending-order loop. `stats` (optional)
+  /// accumulates work accounting.
+  size_t Match(const Support& support, const uint64_t* candidate_mask,
+               uint64_t* out_related, TraceKernelStats* stats) const;
+
+ private:
+  /// Scalar reference decision for one record (ascending accumulation).
+  bool ExactRelated(const Support& support, size_t record) const;
+
+  std::vector<const Bitset*> records_;
+  int num_rules_ = 0;
+  size_t num_blocks_ = 0;
+  /// Rule-major: bits_[rule * num_blocks_ + block].
+  std::vector<uint64_t> bits_;
+  /// Valid-lane mask per block (all ones except the trailing block).
+  std::vector<uint64_t> full_mask_;
+};
+
+}  // namespace ctfl
+
+#endif  // CTFL_KERNEL_TRACE_KERNEL_H_

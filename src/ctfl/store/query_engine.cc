@@ -1,6 +1,7 @@
 #include "ctfl/store/query_engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <unordered_map>
 #include <utility>
 
@@ -84,16 +85,31 @@ QueryEngine::QueryEngine(BundleContent content, LogicalNet model)
   record_local_.reserve(total);
   record_label_.reserve(total);
   record_activation_.reserve(total);
+  record_bucket_pos_.reserve(total);
   for (size_t p = 0; p < content_.participants.size(); ++p) {
     const ParticipantRecords& records = content_.participants[p];
     for (size_t i = 0; i < records.size(); ++i) {
       const uint32_t id = static_cast<uint32_t>(record_participant_.size());
+      const int cls = records.labels[i] & 1;
       record_participant_.push_back(static_cast<int32_t>(p));
       record_local_.push_back(static_cast<int32_t>(i));
       record_label_.push_back(records.labels[i]);
       record_activation_.push_back(&records.activations[i]);
-      class_records_[records.labels[i] & 1].push_back(id);
+      record_bucket_pos_.push_back(
+          static_cast<uint32_t>(class_records_[cls].size()));
+      class_records_[cls].push_back(id);
     }
+  }
+  // Pack the per-class blocked kernels once; the pointed-to activation
+  // bitsets live on content_.participants' heap buffers, which stay put
+  // across moves of the engine.
+  for (int c = 0; c < 2; ++c) {
+    std::vector<const Bitset*> records;
+    records.reserve(class_records_[c].size());
+    for (uint32_t id : class_records_[c]) {
+      records.push_back(record_activation_[id]);
+    }
+    class_kernel_[c] = TraceKernel(std::move(records), num_rules);
   }
 }
 
@@ -122,10 +138,9 @@ Result<QueryEngine> QueryEngine::FromContent(BundleContent content) {
   return QueryEngine(std::move(content), std::move(model));
 }
 
-RelatedResult QueryEngine::RelatedForActivation(const Bitset& activation,
-                                                int predicted, double tau_w,
-                                                bool use_index,
-                                                size_t max_records) const {
+RelatedResult QueryEngine::RelatedForActivation(
+    const Bitset& activation, int predicted, double tau_w, bool use_index,
+    size_t max_records, TraceKernelKind kernel_kind) const {
   const int n = content_.num_participants();
   RelatedResult result;
   result.predicted = predicted;
@@ -139,10 +154,10 @@ RelatedResult QueryEngine::RelatedForActivation(const Bitset& activation,
   support &= class_mask_[predicted & 1];
   std::vector<std::pair<int, double>> supp_list;
   double weight_sum = 0.0;
-  for (size_t j : support.SetBits()) {
+  support.ForEachSetBit([&](size_t j) {
     supp_list.emplace_back(static_cast<int>(j), rule_weights_[j]);
     weight_sum += rule_weights_[j];
-  }
+  });
   result.support_size = static_cast<int>(supp_list.size());
   result.support_weight = weight_sum;
   if (weight_sum <= 0.0) {
@@ -195,20 +210,60 @@ RelatedResult QueryEngine::RelatedForActivation(const Bitset& activation,
   }
   const std::vector<uint32_t>& scan = prefiltered ? candidates : bucket;
 
-  // ---- Exact Eq. 4 check (identical arithmetic to the tracer). -----------
-  for (uint32_t id : scan) {
-    ++result.tau_w_checks;
-    const Bitset& record = *record_activation_[id];
-    double overlap = 0.0;
-    for (const auto& [rule, weight] : supp_list) {
-      if (record.Test(rule)) overlap += weight;
+  if (kernel_kind == TraceKernelKind::kBlocked) {
+    // ---- Blocked word-parallel match (bit-identical to the scalar scan;
+    // kernel/trace_kernel.h). Candidates are addressed by bucket position,
+    // so the lane sweep reproduces the ascending-id match order.
+    const TraceKernel& kernel = class_kernel_[predicted & 1];
+    const size_t nb = kernel.num_blocks();
+    std::vector<uint64_t> cmask_storage;
+    const uint64_t* cmask = nullptr;
+    if (prefiltered) {
+      cmask_storage.assign(nb, 0);
+      for (uint32_t id : candidates) {
+        const uint32_t pos = record_bucket_pos_[id];
+        cmask_storage[pos / 64] |= 1ULL << (pos % 64);
+      }
+      cmask = cmask_storage.data();
     }
-    if (overlap < threshold) continue;
-    ++result.related_count[record_participant_[id]];
-    ++result.total_related;
-    if (result.records.size() < max_records) {
-      result.records.push_back(
-          {record_participant_[id], record_local_[id]});
+    result.tau_w_checks = static_cast<int64_t>(scan.size());
+    const TraceKernel::Support support_set =
+        TraceKernel::Prepare(supp_list, threshold);
+    std::vector<uint64_t> related(nb, 0);
+    TraceKernelStats kstats;
+    result.total_related =
+        kernel.Match(support_set, cmask, related.data(), &kstats);
+    result.records_scanned = kstats.records_scanned;
+    result.blocks_pruned = kstats.blocks_pruned;
+    for (size_t b = 0; b < nb; ++b) {
+      uint64_t word = related[b];
+      while (word != 0) {
+        const int lane = std::countr_zero(word);
+        word &= word - 1;
+        const uint32_t id = bucket[b * 64 + static_cast<size_t>(lane)];
+        ++result.related_count[record_participant_[id]];
+        if (result.records.size() < max_records) {
+          result.records.push_back(
+              {record_participant_[id], record_local_[id]});
+        }
+      }
+    }
+  } else {
+    // ---- Exact Eq. 4 check (identical arithmetic to the tracer). ---------
+    for (uint32_t id : scan) {
+      ++result.tau_w_checks;
+      const Bitset& record = *record_activation_[id];
+      double overlap = 0.0;
+      for (const auto& [rule, weight] : supp_list) {
+        if (record.Test(rule)) overlap += weight;
+      }
+      if (overlap < threshold) continue;
+      ++result.related_count[record_participant_[id]];
+      ++result.total_related;
+      if (result.records.size() < max_records) {
+        result.records.push_back(
+            {record_participant_[id], record_local_[id]});
+      }
     }
   }
   result.candidates_pruned = result.bucket_size - result.tau_w_checks;
@@ -226,7 +281,8 @@ RelatedResult QueryEngine::Related(const Instance& instance,
   const int predicted = model_.Predict(instance);
   const Bitset activation = model_.RuleActivations(instance);
   return RelatedForActivation(activation, predicted, tau_w,
-                              options.use_index, options.max_records);
+                              options.use_index, options.max_records,
+                              options.kernel);
 }
 
 RelatedResult QueryEngine::RelatedForTest(size_t test_index,
@@ -237,7 +293,8 @@ RelatedResult QueryEngine::RelatedForTest(size_t test_index,
   const double tau_w = options.tau_w < 0.0 ? origin_tau_w() : options.tau_w;
   const TestRecord& test = content_.tests[test_index];
   return RelatedForActivation(test.activation, test.predicted, tau_w,
-                              options.use_index, options.max_records);
+                              options.use_index, options.max_records,
+                              options.kernel);
 }
 
 QueryReport QueryEngine::Evaluate(const EvalOptions& options) const {
@@ -304,16 +361,18 @@ QueryReport QueryEngine::Evaluate(const EvalOptions& options) const {
   for (const Key& key : keys) {
     RelatedResult related = RelatedForActivation(
         key.support, key.target, tau_w, /*use_index=*/true,
-        /*max_records=*/record_participant_.size());
+        /*max_records=*/record_participant_.size(), options.kernel);
     report.tau_w_checks += related.tau_w_checks;
     report.postings_scanned += related.postings_scanned;
     report.candidates_pruned += related.candidates_pruned;
+    report.records_scanned += related.records_scanned;
+    report.blocks_pruned += related.blocks_pruned;
     // Section IV-B frequencies, weighted by how many member tests the key
     // covers (same accumulation as the tracer).
     std::vector<std::pair<int, double>> supp_list;
-    for (size_t j : key.support.SetBits()) {
+    key.support.ForEachSetBit([&](size_t j) {
       supp_list.emplace_back(static_cast<int>(j), rule_weights_[j]);
-    }
+    });
     for (const RecordRef& ref : related.records) {
       size_t global = 0;
       for (int p = 0; p < ref.participant; ++p) {
@@ -381,9 +440,9 @@ QueryReport QueryEngine::Evaluate(const EvalOptions& options) const {
     if (correct && test_total[t] > 0) ++matched_correct;
     if (!correct && test_total[t] == 0) {
       ++report.uncovered_tests;
-      for (size_t j : test.activation.SetBits()) {
+      test.activation.ForEachSetBit([&](size_t j) {
         uncovered_freq[j] += rule_weights_[j];
-      }
+      });
     }
   }
   report.matched_accuracy =

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "ctfl/kernel/trace_kernel.h"
 #include "ctfl/store/bundle.h"
 
 namespace ctfl {
@@ -35,6 +36,11 @@ struct QueryOptions {
   /// Max (participant, record) refs materialized in RelatedResult::records
   /// (0 = counts only).
   size_t max_records = 0;
+  /// Eq. 4 matching implementation (kernel/trace_kernel.h). kBlocked runs
+  /// the word-parallel blocked kernel over the engine's transposed
+  /// per-class bit-matrices; kLegacy is the scalar reference scan. Results
+  /// are bit-identical either way.
+  TraceKernelKind kernel = TraceKernelKind::kBlocked;
 };
 
 struct RecordRef {
@@ -52,9 +58,14 @@ struct RelatedResult {
   std::vector<RecordRef> records;  ///< first max_records matches
   // Lookup cost accounting.
   int64_t bucket_size = 0;   ///< training records of the predicted class
-  int64_t tau_w_checks = 0;  ///< candidates that reached the exact check
+  int64_t tau_w_checks = 0;  ///< candidates submitted to Eq. 4 matching
   int64_t postings_scanned = 0;
   int64_t candidates_pruned = 0;  ///< bucket_size - tau_w_checks
+  /// Blocked-kernel work accounting (0 on the legacy path): candidates the
+  /// kernel actually touched (always <= tau_w_checks) and 64-record blocks
+  /// skipped or early-exited by pruning.
+  int64_t records_scanned = 0;
+  int64_t blocks_pruned = 0;
 };
 
 /// One rule with its weight-regularized tracing frequency + symbolic text.
@@ -81,6 +92,9 @@ struct EvalOptions {
   double tau_w = -1.0;
   int delta = -1;
   int top_k = 5;
+  /// Eq. 4 matching implementation for the batch pass (bit-identical
+  /// results either way).
+  TraceKernelKind kernel = TraceKernelKind::kBlocked;
 };
 
 /// Batch query answer: micro/macro scores under the requested parameters
@@ -100,6 +114,9 @@ struct QueryReport {
   int64_t tau_w_checks = 0;
   int64_t postings_scanned = 0;
   int64_t candidates_pruned = 0;
+  /// Blocked-kernel work accounting (0 on the legacy path).
+  int64_t records_scanned = 0;
+  int64_t blocks_pruned = 0;
 };
 
 class QueryEngine {
@@ -143,7 +160,8 @@ class QueryEngine {
 
   RelatedResult RelatedForActivation(const Bitset& activation, int predicted,
                                      double tau_w, bool use_index,
-                                     size_t max_records) const;
+                                     size_t max_records,
+                                     TraceKernelKind kernel) const;
 
   // NOTE: record_activation_ points into content_.participants' vectors;
   // moves of QueryEngine keep those heap buffers alive (hence: movable,
@@ -157,6 +175,12 @@ class QueryEngine {
   std::vector<uint8_t> record_label_;
   std::vector<const Bitset*> record_activation_;
   std::vector<uint32_t> class_records_[2];  ///< ascending global ids
+  /// Position of each global record inside its class bucket (the blocked
+  /// kernel's lane address space).
+  std::vector<uint32_t> record_bucket_pos_;
+  /// Per class: transposed rule-major bit-matrix over the class bucket
+  /// (kernel/trace_kernel.h), packed once at engine build.
+  TraceKernel class_kernel_[2];
 };
 
 }  // namespace store

@@ -48,6 +48,12 @@ std::string RunTelemetry::Summary() const {
       static_cast<long long>(tau_w_checks),
       static_cast<long long>(related_records),
       static_cast<long long>(uncovered_tests));
+  if (records_scanned > 0 || blocks_pruned > 0) {
+    out << StrFormat(
+        "trace kernel: %lld records scanned, %lld blocks pruned\n",
+        static_cast<long long>(records_scanned),
+        static_cast<long long>(blocks_pruned));
+  }
   return out.str();
 }
 

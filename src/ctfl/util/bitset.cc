@@ -76,6 +76,10 @@ std::vector<size_t> Bitset::SetBits() const {
   return out;
 }
 
+void Bitset::AndWordsInto(uint64_t* dst) const {
+  for (size_t i = 0; i < words_.size(); ++i) dst[i] &= words_[i];
+}
+
 std::string Bitset::ToString() const {
   std::string out(size_, '0');
   for (size_t i = 0; i < size_; ++i) {

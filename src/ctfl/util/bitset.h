@@ -1,6 +1,7 @@
 #ifndef CTFL_UTIL_BITSET_H_
 #define CTFL_UTIL_BITSET_H_
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -45,6 +46,31 @@ class Bitset {
 
   /// Indices of set bits, ascending.
   std::vector<size_t> SetBits() const;
+
+  /// Calls `fn(size_t index)` for every set bit in ascending order without
+  /// materializing an index vector — the allocation-free replacement for
+  /// SetBits() on hot paths (tracer key build, uncovered aggregation,
+  /// query-engine support enumeration).
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = std::countr_zero(w);
+        fn(wi * 64 + static_cast<size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// ANDs this bitset's backing words into the raw word array `dst`
+  /// (`dst[i] &= words()[i]` for every backing word). `dst` must hold at
+  /// least `word_count()` words. Allocation-free mask intersection for
+  /// word-parallel kernels that keep lane masks as raw uint64 arrays.
+  void AndWordsInto(uint64_t* dst) const;
+
+  /// Number of backing 64-bit words ((size + 63) / 64).
+  size_t word_count() const { return words_.size(); }
 
   /// e.g. "10110" (bit 0 first).
   std::string ToString() const;

@@ -82,6 +82,75 @@ TEST(BitsetTest, SetBitsAscending) {
   EXPECT_EQ(bits[2], 149u);
 }
 
+TEST(BitsetTest, ForEachSetBitMatchesSetBits) {
+  Bitset b(150);
+  b.Set(149);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(127);
+  b.Set(128);
+  std::vector<size_t> visited;
+  b.ForEachSetBit([&](size_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, b.SetBits());
+}
+
+TEST(BitsetTest, ForEachSetBitEmptyAndFull) {
+  Bitset empty(130);
+  size_t calls = 0;
+  empty.ForEachSetBit([&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+
+  // Full bitset with a partial trailing word: every index visited once,
+  // ascending, none past size().
+  Bitset full(67);
+  for (size_t i = 0; i < 67; ++i) full.Set(i);
+  std::vector<size_t> visited;
+  full.ForEachSetBit([&](size_t i) { visited.push_back(i); });
+  ASSERT_EQ(visited.size(), 67u);
+  for (size_t i = 0; i < 67; ++i) EXPECT_EQ(visited[i], i);
+}
+
+TEST(BitsetTest, ForEachSetBitTrailingWordEdge) {
+  // Sizes that land exactly on / just past a word boundary.
+  for (size_t size : {64u, 65u, 128u, 129u}) {
+    Bitset b(size);
+    b.Set(size - 1);
+    std::vector<size_t> visited;
+    b.ForEachSetBit([&](size_t i) { visited.push_back(i); });
+    ASSERT_EQ(visited.size(), 1u) << "size=" << size;
+    EXPECT_EQ(visited[0], size - 1) << "size=" << size;
+  }
+}
+
+TEST(BitsetTest, AndWordsInto) {
+  Bitset b(130);
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  ASSERT_EQ(b.word_count(), 3u);
+  std::vector<uint64_t> dst = {~0ULL, ~0ULL, ~0ULL};
+  b.AndWordsInto(dst.data());
+  EXPECT_EQ(dst[0], 1ULL);
+  EXPECT_EQ(dst[1], 1ULL);
+  EXPECT_EQ(dst[2], 1ULL << 1);
+}
+
+TEST(BitsetTest, AndWordsIntoMatchesAndOperator) {
+  Rng rng(7);
+  const size_t size = 64 + rng.UniformInt(200);
+  Bitset a(size), b(size);
+  for (size_t i = 0; i < size; ++i) {
+    if (rng.Bernoulli(0.4)) a.Set(i);
+    if (rng.Bernoulli(0.4)) b.Set(i);
+  }
+  std::vector<uint64_t> dst = a.words();
+  b.AndWordsInto(dst.data());
+  Bitset reference = a;
+  reference &= b;
+  EXPECT_EQ(dst, reference.words());
+}
+
 TEST(BitsetTest, EqualityAndHash) {
   Bitset a(66), b(66);
   a.Set(65);

@@ -10,16 +10,20 @@
 //       Prints (or writes) the model's extracted symbolic rules.
 //   score     --dataset NAME --train FILE --test FILE [--participants K]
 //             [--tau-w T] [--skew-label] [--seed S] [--num-threads N]
-//             [--bundle-out FILE] [--telemetry-out FILE.json]
-//             [--telemetry-summary]
+//             [--trace-kernel legacy|blocked] [--bundle-out FILE]
+//             [--telemetry-out FILE.json] [--telemetry-summary]
 //       Partitions the training CSV into K participants, runs the full
 //       CTFL pipeline, and prints micro/macro scores + a loss report.
 //       --bundle-out additionally persists a contribution bundle for
 //       later `query` runs. --num-threads steers training, tracing, and
 //       the matrix kernels together (0 = all cores, 1 = serial; scores
-//       are bit-identical either way). --telemetry-out writes a Chrome
-//       trace (open in chrome://tracing or ui.perfetto.dev);
-//       --telemetry-summary prints per-span and per-phase cost tables.
+//       are bit-identical either way). --trace-kernel selects the Eq. 4
+//       matching engine: `blocked` (default) is the word-parallel blocked
+//       kernel with early-exit pruning, `legacy` the scalar reference
+//       loop — results are bit-identical either way. --telemetry-out
+//       writes a Chrome trace (open in chrome://tracing or
+//       ui.perfetto.dev); --telemetry-summary prints per-span and
+//       per-phase cost tables.
 //   snapshot  --dataset NAME --train FILE --test FILE --bundle-out FILE
 //             [score flags]
 //       Same pipeline as `score`, but the bundle is the point: trains
@@ -28,7 +32,7 @@
 //       and no retracing.
 //   query     --bundle FILE [--tau-w T] [--delta D] [--top-k K]
 //             [--instances FILE.csv] [--max-records N] [--linear]
-//             [--telemetry-summary]
+//             [--trace-kernel legacy|blocked] [--telemetry-summary]
 //       Serves a persisted bundle: re-evaluates micro/macro scores under
 //       the requested (or originating) parameters — bit-identical to the
 //       originating run at its own parameters — prints per-participant
@@ -51,6 +55,7 @@
 #include "ctfl/data/gen/tictactoe.h"
 #include "ctfl/data/split.h"
 #include "ctfl/fl/partition.h"
+#include "ctfl/kernel/trace_kernel.h"
 #include "ctfl/nn/serialize.h"
 #include "ctfl/store/query_engine.h"
 #include "ctfl/telemetry/metrics.h"
@@ -174,6 +179,7 @@ Status RunScore(int argc, const char* const* argv, bool snapshot_mode) {
                     {"budget", "0"},
                     {"num-threads", "-1"},
                     {"seed", "42"},
+                    {"trace-kernel", "blocked"},
                     {"bundle-out", ""},
                     {"telemetry-out", ""},
                     {"telemetry-summary", "false"}});
@@ -198,6 +204,8 @@ Status RunScore(int argc, const char* const* argv, bool snapshot_mode) {
   CTFL_ASSIGN_OR_RETURN(double budget, flags.GetDouble("budget"));
   CTFL_ASSIGN_OR_RETURN(int num_threads, flags.GetInt("num-threads"));
   CTFL_ASSIGN_OR_RETURN(int seed, flags.GetInt("seed"));
+  CTFL_ASSIGN_OR_RETURN(TraceKernelKind trace_kernel,
+                        ParseTraceKernelKind(flags.GetString("trace-kernel")));
   const std::string telemetry_out = flags.GetString("telemetry-out");
   const bool telemetry_summary = flags.GetBool("telemetry-summary");
   if (!telemetry_out.empty() || telemetry_summary) {
@@ -217,6 +225,7 @@ Status RunScore(int argc, const char* const* argv, bool snapshot_mode) {
   config.net.logic_layers = {{width / 2, width - width / 2}};
   config.net.seed = seed;
   config.tracer.tau_w = tau_w;
+  config.tracer.kernel = trace_kernel;
   config.num_threads = num_threads;
   config.bundle_out = flags.GetString("bundle-out");
   const CtflReport report = RunCtfl(fed, test, config);
@@ -276,6 +285,7 @@ Status RunQuery(int argc, const char* const* argv) {
                     {"instances", ""},
                     {"max-records", "3"},
                     {"linear", "false"},
+                    {"trace-kernel", "blocked"},
                     {"telemetry-summary", "false"}});
   CTFL_RETURN_IF_ERROR(flags.Parse(argc, argv));
   if (flags.GetString("bundle").empty()) {
@@ -285,6 +295,8 @@ Status RunQuery(int argc, const char* const* argv) {
   CTFL_ASSIGN_OR_RETURN(int delta, flags.GetInt("delta"));
   CTFL_ASSIGN_OR_RETURN(int top_k, flags.GetInt("top-k"));
   CTFL_ASSIGN_OR_RETURN(int max_records, flags.GetInt("max-records"));
+  CTFL_ASSIGN_OR_RETURN(TraceKernelKind trace_kernel,
+                        ParseTraceKernelKind(flags.GetString("trace-kernel")));
   const bool telemetry_summary = flags.GetBool("telemetry-summary");
   if (telemetry_summary) telemetry::SetTracingEnabled(true);
 
@@ -304,6 +316,7 @@ Status RunQuery(int argc, const char* const* argv) {
   eval.tau_w = tau_w;
   eval.delta = delta;
   eval.top_k = top_k;
+  eval.kernel = trace_kernel;
   const store::QueryReport report = engine.Evaluate(eval);
   const bool origin_params = report.tau_w == engine.origin_tau_w() &&
                              report.delta == engine.origin_delta();
@@ -328,12 +341,16 @@ Status RunQuery(int argc, const char* const* argv) {
   std::printf(
       "\nglobal accuracy %.4f, matched %.4f; %zu uncovered tests\n"
       "lookup cost: %lld keys, %lld tau_w checks, %lld postings scanned, "
-      "%lld candidates pruned\n",
+      "%lld candidates pruned\n"
+      "trace kernel (%s): %lld records scanned, %lld blocks pruned\n",
       report.global_accuracy, report.matched_accuracy,
       report.uncovered_tests, static_cast<long long>(report.keys),
       static_cast<long long>(report.tau_w_checks),
       static_cast<long long>(report.postings_scanned),
-      static_cast<long long>(report.candidates_pruned));
+      static_cast<long long>(report.candidates_pruned),
+      TraceKernelKindName(eval.kernel),
+      static_cast<long long>(report.records_scanned),
+      static_cast<long long>(report.blocks_pruned));
   PrintRuleStats("uncovered scenarios (collect data here):",
                  report.uncovered_rules);
 
@@ -352,6 +369,7 @@ Status RunQuery(int argc, const char* const* argv) {
     store::QueryOptions options;
     options.tau_w = tau_w;
     options.use_index = !flags.GetBool("linear");
+    options.kernel = trace_kernel;
     options.max_records = static_cast<size_t>(std::max(0, max_records));
     std::printf("\nrelated-record lookups (%s):\n",
                 options.use_index ? "posting-list prefilter" : "linear scan");
