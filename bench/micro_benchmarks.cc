@@ -307,7 +307,11 @@ void BM_FedAvgRound(benchmark::State& state) {
     state.PauseTiming();
     LogicalNet net = seed_net;  // fresh global model per round
     state.ResumeTiming();
-    RunFedAvg(net, clients, config);
+    const Status status = RunFedAvg(net, clients, config);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      break;
+    }
     benchmark::DoNotOptimize(net);
   }
   state.SetItemsProcessed(state.iterations() *
@@ -318,6 +322,53 @@ BENCHMARK(BM_FedAvgRound)
     ->Arg(1)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Degraded round: dropout + straggler + corrupt uploads with one retry.
+// Measures the validation/retry overhead of the fault-tolerant commit
+// phase relative to BM_FedAvgRound's fault-free fast path.
+void BM_FedAvgRoundFaulty(benchmark::State& state) {
+  TracingFixture& fx = Fixture();
+  std::vector<Dataset> clients;
+  clients.reserve(fx.experiment.federation.size());
+  for (const Participant& p : fx.experiment.federation) {
+    clients.push_back(p.data);
+  }
+  CtflConfig base = bench::MakeCtflConfig("adult", 5);
+
+  FedAvgConfig config;
+  config.rounds = 1;
+  config.local_epochs = 1;
+  config.local.learning_rate = 0.05;
+  config.num_threads = static_cast<int>(state.range(0));
+  config.local.num_threads = 1;
+  FailureSpec spec;
+  spec.dropout = 0.2;
+  spec.straggler = 0.2;
+  spec.corrupt = 0.1;
+  spec.seed = 21;
+  config.failure = FailurePlan(spec);
+  config.retry_budget = 1;
+
+  const LogicalNet seed_net(fx.experiment.test.schema(), base.net);
+  for (auto _ : state) {
+    state.PauseTiming();
+    LogicalNet net = seed_net;  // fresh global model per round
+    state.ResumeTiming();
+    const Status status = RunFedAvg(net, clients, config);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(net);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(clients.size()));
+}
+BENCHMARK(BM_FedAvgRoundFaulty)
+    ->ArgNames({"threads"})
+    ->Arg(1)
+    ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 void BM_MatMul(benchmark::State& state) {

@@ -46,8 +46,15 @@ CtflReport RunCtfl(const Federation& federation, const Dataset& test,
       std::vector<Dataset> clients;
       clients.reserve(federation.size());
       for (const Participant& p : federation) clients.push_back(p.data);
-      return TrainFederated(schema, config.net, clients, config.fedavg,
-                            &fedavg_stats);
+      Result<LogicalNet> trained = TrainFederated(
+          schema, config.net, clients, config.fedavg, &fedavg_stats);
+      // Per-client faults degrade rounds instead of failing the run, so
+      // an error here means the configuration itself is malformed — a
+      // caller bug by RunCtfl's contract (cf. the federation check
+      // above).
+      CTFL_CHECK(trained.ok())
+          << "federated training failed: " << trained.status();
+      return std::move(trained).value();
     }
     return TrainCentral(schema, config.net, MergeFederation(federation),
                         config.central, &central_report);
@@ -63,6 +70,9 @@ CtflReport RunCtfl(const Federation& federation, const Dataset& test,
   if (config.federated) {
     run.rounds = std::move(fedavg_stats.rounds);
     run.grafting_steps = fedavg_stats.grafting_steps;
+    run.clients_dropped = fedavg_stats.clients_dropped;
+    run.retries = fedavg_stats.retries;
+    run.rounds_degraded = fedavg_stats.rounds_degraded;
   } else {
     run.epochs = std::move(central_report.epoch_stats);
     run.grafting_steps = central_report.steps;
@@ -109,6 +119,10 @@ CtflReport RunCtfl(const Federation& federation, const Dataset& test,
     snapshot.macro_delta = config.macro_delta;
     snapshot.min_rule_weight = config.tracer.min_rule_weight;
     snapshot.dp_epsilon = config.tracer.dp_epsilon;
+    // A persisted run names the fault schedule it trained under: scores
+    // from a degraded run are only reproducible given (seed, plan).
+    snapshot.failure_plan_fingerprint =
+        config.federated ? config.fedavg.failure.Fingerprint() : 0;
     snapshot.micro_scores = report.micro_scores;
     snapshot.macro_scores = report.macro_scores;
     snapshot.global_accuracy = report.trace.global_accuracy;

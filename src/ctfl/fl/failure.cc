@@ -1,0 +1,207 @@
+#include "ctfl/fl/failure.h"
+
+#include <cmath>
+#include <limits>
+
+#include "ctfl/util/string_util.h"
+
+namespace ctfl {
+
+namespace {
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64 -> 64 bit hash.
+uint64_t Mix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless uniform draw in [0, 1) keyed by (seed, round, client,
+/// attempt, salt). Order-independent by construction: no generator state
+/// is threaded between draws.
+double HashUniform(uint64_t seed, int round, int client, int attempt,
+                   uint64_t salt) {
+  uint64_t h = Mix64(seed ^ (salt * 0x9e3779b97f4a7c15ULL));
+  h = Mix64(h ^ (static_cast<uint64_t>(static_cast<uint32_t>(round)) |
+                 (static_cast<uint64_t>(static_cast<uint32_t>(client))
+                  << 32)));
+  h = Mix64(h ^ static_cast<uint64_t>(static_cast<uint32_t>(attempt)));
+  // 53 high-quality bits -> double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+Status RateError(const char* key, double value) {
+  return Status::InvalidArgument(StrFormat(
+      "failure plan: %s=%g is not a probability in [0, 1]", key, value));
+}
+
+}  // namespace
+
+const char* FailureKindName(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNone:
+      return "none";
+    case FailureKind::kDropout:
+      return "dropout";
+    case FailureKind::kStraggler:
+      return "straggler";
+    case FailureKind::kCorrupt:
+      return "corrupt";
+    case FailureKind::kSizeMismatch:
+      return "mismatch";
+  }
+  return "unknown";
+}
+
+Result<FailurePlan> FailurePlan::Parse(const std::string& text) {
+  FailureSpec spec;
+  if (Trim(text).empty()) return FailurePlan(spec);
+  for (const std::string& raw_term : Split(text, ',')) {
+    const std::string term(Trim(raw_term));
+    if (term.empty()) continue;
+    const std::vector<std::string> kv = Split(term, '=');
+    if (kv.size() != 2) {
+      return Status::InvalidArgument(
+          StrFormat("failure plan: term '%s' is not key=value",
+                    term.c_str()));
+    }
+    const std::string key(Trim(kv[0]));
+    const std::string value(Trim(kv[1]));
+    if (key == "seed") {
+      CTFL_ASSIGN_OR_RETURN(const int seed, ParseInt(value));
+      spec.seed = static_cast<uint64_t>(seed);
+      continue;
+    }
+    CTFL_ASSIGN_OR_RETURN(const double rate, ParseDouble(value));
+    double* slot = nullptr;
+    if (key == "dropout") {
+      slot = &spec.dropout;
+    } else if (key == "straggler") {
+      slot = &spec.straggler;
+    } else if (key == "corrupt") {
+      slot = &spec.corrupt;
+    } else if (key == "mismatch" || key == "size_mismatch") {
+      slot = &spec.size_mismatch;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("failure plan: unknown key '%s'", key.c_str()));
+    }
+    if (!(rate >= 0.0 && rate <= 1.0)) return RateError(key.c_str(), rate);
+    *slot = rate;
+  }
+  const double upload_total =
+      spec.straggler + spec.corrupt + spec.size_mismatch;
+  if (upload_total > 1.0) {
+    return Status::InvalidArgument(StrFormat(
+        "failure plan: straggler+corrupt+mismatch=%g exceeds 1",
+        upload_total));
+  }
+  return FailurePlan(spec);
+}
+
+bool FailurePlan::DropsOut(int round, int client) const {
+  if (spec_.dropout <= 0.0) return false;
+  return HashUniform(spec_.seed, round, client, /*attempt=*/0,
+                     /*salt=*/0xd0u) < spec_.dropout;
+}
+
+FailureKind FailurePlan::UploadOutcome(int round, int client,
+                                       int attempt) const {
+  const double straggler = spec_.straggler;
+  const double corrupt = spec_.corrupt;
+  const double mismatch = spec_.size_mismatch;
+  if (straggler <= 0.0 && corrupt <= 0.0 && mismatch <= 0.0) {
+    return FailureKind::kNone;
+  }
+  const double u =
+      HashUniform(spec_.seed, round, client, attempt, /*salt=*/0x0au);
+  if (u < straggler) return FailureKind::kStraggler;
+  if (u < straggler + corrupt) return FailureKind::kCorrupt;
+  if (u < straggler + corrupt + mismatch) return FailureKind::kSizeMismatch;
+  return FailureKind::kNone;
+}
+
+uint64_t FailurePlan::Fingerprint() const {
+  if (empty()) return 0;
+  auto mix_double = [](uint64_t h, double v) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    return Mix64(h ^ bits);
+  };
+  uint64_t h = Mix64(0xfa17u ^ spec_.seed);
+  h = mix_double(h, spec_.dropout);
+  h = mix_double(h, spec_.straggler);
+  h = mix_double(h, spec_.corrupt);
+  h = mix_double(h, spec_.size_mismatch);
+  // Never collide with the "no plan" sentinel 0.
+  return h == 0 ? 1 : h;
+}
+
+std::string FailurePlan::ToString() const {
+  if (empty()) return "";
+  std::string out;
+  auto append = [&out](const char* key, double rate) {
+    if (rate <= 0.0) return;
+    if (!out.empty()) out += ',';
+    out += StrFormat("%s=%g", key, rate);
+  };
+  append("dropout", spec_.dropout);
+  append("straggler", spec_.straggler);
+  append("corrupt", spec_.corrupt);
+  append("mismatch", spec_.size_mismatch);
+  out += StrFormat(",seed=%llu",
+                   static_cast<unsigned long long>(spec_.seed));
+  return out;
+}
+
+Status ValidateClientUpdate(const std::vector<double>& update,
+                            size_t expected_size) {
+  if (update.size() != expected_size) {
+    return Status::InvalidArgument(
+        StrFormat("update has %zu parameters, expected %zu", update.size(),
+                  expected_size));
+  }
+  for (size_t i = 0; i < update.size(); ++i) {
+    if (!std::isfinite(update[i])) {
+      return Status::InvalidArgument(
+          StrFormat("update coordinate %zu is not finite", i));
+    }
+  }
+  return Status::OK();
+}
+
+void TamperUpdate(FailureKind kind, int round, int client, int attempt,
+                  std::vector<double>& update) {
+  switch (kind) {
+    case FailureKind::kNone:
+    case FailureKind::kStraggler:
+    case FailureKind::kDropout:
+      return;
+    case FailureKind::kCorrupt: {
+      if (update.empty()) return;
+      // Plant NaNs at hashed coordinates — at least one, roughly 1/8 of
+      // the vector — so validation sees realistic partial corruption.
+      const uint64_t h =
+          Mix64((static_cast<uint64_t>(static_cast<uint32_t>(round)) << 40) ^
+                (static_cast<uint64_t>(static_cast<uint32_t>(client)) << 8) ^
+                static_cast<uint64_t>(static_cast<uint32_t>(attempt)));
+      const double nan = std::numeric_limits<double>::quiet_NaN();
+      update[h % update.size()] = nan;
+      for (size_t i = 0; i < update.size(); ++i) {
+        if (((i * 0x9e3779b97f4a7c15ULL) ^ h) % 8 == 0) update[i] = nan;
+      }
+      return;
+    }
+    case FailureKind::kSizeMismatch:
+      if (!update.empty()) {
+        update.resize(update.size() - 1 - (update.size() - 1) / 2);
+      } else {
+        update.push_back(0.0);
+      }
+      return;
+  }
+}
+
+}  // namespace ctfl

@@ -1,0 +1,110 @@
+#ifndef CTFL_FL_FAILURE_H_
+#define CTFL_FL_FAILURE_H_
+
+// Deterministic failure injection for federated rounds (DESIGN.md §11).
+//
+// Production federations lose participants constantly: devices go offline
+// mid-round (dropout), uploads miss the aggregation deadline (stragglers),
+// and payloads arrive corrupted (NaN weights, truncated tensors). The
+// paper's robustness claim — and the fragility critique of contribution
+// scores (Pejó et al.) — both demand that score computation degrade
+// gracefully under exactly these faults. A FailurePlan makes every fault a
+// *pure function of (seed, round, client, attempt)*, so a faulty run is
+// replayable bit-for-bit: run the same plan twice and you must get the
+// same dropouts, the same retries, the same quarantines, and therefore the
+// same scores. The empty plan injects nothing and leaves the round engine
+// on its fault-free fast path.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ctfl/util/result.h"
+
+namespace ctfl {
+
+/// What happened to one client's participation attempt.
+enum class FailureKind : uint8_t {
+  kNone = 0,        ///< clean upload, accepted
+  kDropout,         ///< client offline for the whole round (no retries)
+  kStraggler,       ///< upload missed the round deadline
+  kCorrupt,         ///< upload arrived with non-finite (NaN) coordinates
+  kSizeMismatch,    ///< upload arrived truncated (wrong parameter count)
+};
+
+/// Canonical name, e.g. "dropout".
+const char* FailureKindName(FailureKind kind);
+
+/// Per-round, per-client fault rates. All rates are probabilities in
+/// [0, 1]; `dropout` is drawn once per (round, client), the other three
+/// are drawn independently per upload attempt (so a retry can fail again).
+struct FailureSpec {
+  double dropout = 0.0;
+  double straggler = 0.0;
+  double corrupt = 0.0;
+  double size_mismatch = 0.0;
+  uint64_t seed = 0;
+
+  bool empty() const {
+    return dropout <= 0.0 && straggler <= 0.0 && corrupt <= 0.0 &&
+           size_mismatch <= 0.0;
+  }
+};
+
+/// A replayable schedule of client failures, keyed by seed. Stateless:
+/// every draw hashes (seed, round, client, attempt), so outcomes do not
+/// depend on evaluation order, thread count, or how many draws preceded
+/// them — the properties the determinism suite (DESIGN.md §9) relies on.
+class FailurePlan {
+ public:
+  /// The empty plan: no faults, ever.
+  FailurePlan() = default;
+  explicit FailurePlan(const FailureSpec& spec) : spec_(spec) {}
+
+  /// Parses a plan spec of comma-separated `key=value` terms, e.g.
+  ///   "dropout=0.2,straggler=0.1,corrupt=0.05,mismatch=0.05,seed=17".
+  /// Unknown keys and rates outside [0, 1] are errors; the empty string
+  /// parses to the empty plan.
+  static Result<FailurePlan> Parse(const std::string& text);
+
+  const FailureSpec& spec() const { return spec_; }
+  bool empty() const { return spec_.empty(); }
+
+  /// True when `client` is offline for all of `round` (terminal: a
+  /// dropped-out client has no upload to retry).
+  bool DropsOut(int round, int client) const;
+
+  /// Outcome of upload attempt `attempt` (0-based) for a client that is
+  /// not dropped out: kNone, kStraggler, kCorrupt, or kSizeMismatch.
+  FailureKind UploadOutcome(int round, int client, int attempt) const;
+
+  /// Stable 64-bit digest of the spec (0 for the empty plan); recorded in
+  /// bundle metadata so a persisted run names the fault schedule it ran
+  /// under.
+  uint64_t Fingerprint() const;
+
+  /// Canonical spec string (round-trips through Parse); "" when empty.
+  std::string ToString() const;
+
+ private:
+  FailureSpec spec_;
+};
+
+/// Server-side upload validation: accepts exactly the updates the
+/// aggregator can use — the right parameter count and every coordinate
+/// finite. Anything else is quarantined by the round engine instead of
+/// aborting the process (the bug this subsystem replaces).
+Status ValidateClientUpdate(const std::vector<double>& update,
+                            size_t expected_size);
+
+/// Applies `kind`'s wire-level damage to `update` in place, deterministic
+/// in (round, client, attempt): kCorrupt plants quiet NaNs at hashed
+/// coordinates, kSizeMismatch truncates the tail. kNone/kStraggler leave
+/// the payload untouched (a straggler's payload is fine — it is just
+/// late). Exposed for tests.
+void TamperUpdate(FailureKind kind, int round, int client, int attempt,
+                  std::vector<double>& update);
+
+}  // namespace ctfl
+
+#endif  // CTFL_FL_FAILURE_H_

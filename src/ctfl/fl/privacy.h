@@ -29,10 +29,13 @@ Bitset RandomizedResponse(const Bitset& bits, double epsilon, Rng& rng);
 std::vector<Bitset> RandomizedResponseAll(const std::vector<Bitset>& uploads,
                                           double epsilon, Rng& rng);
 
-/// Unbiased estimate of the true activation count from perturbed reports:
-/// given observed count c over n reports with flip probability q,
-/// estimate (c - n q) / (1 - 2 q). Exposed so aggregate statistics (e.g.
-/// rule popularity) stay calibrated under DP.
+/// Estimate of the true activation count from perturbed reports: given
+/// observed count c over n reports with flip probability q, the unbiased
+/// estimator (c - n q) / (1 - 2 q) projected onto the feasible range
+/// [0, n] (a raw count can never be negative nor exceed the number of
+/// reports, but the estimator's tails can — especially as eps -> 0).
+/// Exposed so aggregate statistics (e.g. rule popularity) stay calibrated
+/// under DP.
 double DebiasedCount(double observed_count, double num_reports,
                      double epsilon);
 

@@ -26,7 +26,8 @@ class SecureAggregator {
   int num_clients() const { return num_clients_; }
   size_t update_size() const { return update_size_; }
 
-  /// The masked update client `client` would send for `update`.
+  /// The masked update client `client` would send for `update` under full
+  /// participation (every client in the session survives the round).
   Result<std::vector<double>> Mask(int client,
                                    const std::vector<double>& update) const;
 
@@ -35,9 +36,33 @@ class SecureAggregator {
   Result<std::vector<double>> Aggregate(
       const std::vector<std::vector<double>>& masked_updates) const;
 
+  /// Cohort-aware masking for rounds with partial participation: the
+  /// masked update `client` (a member of `cohort`) would send when only
+  /// `cohort` survives the round. Masks are derived pairwise over the
+  /// cohort only — a dropped client owes no mask and is owed none — so
+  /// AggregateCohort over the same cohort cancels them exactly.
+  /// `cohort` must be strictly ascending client ids in
+  /// [0, num_clients()). With the full cohort this is bit-identical to
+  /// Mask (same pair masks, folded in the same order).
+  Result<std::vector<double>> MaskCohort(
+      int client, const std::vector<int>& cohort,
+      const std::vector<double>& update) const;
+
+  /// Server-side aggregation of the surviving cohort's masked updates
+  /// (one per cohort member, in cohort order). The cohort's pairwise
+  /// masks cancel, recovering the element-wise sum of the survivors'
+  /// true updates; with the full cohort this is bit-identical to
+  /// Aggregate.
+  Result<std::vector<double>> AggregateCohort(
+      const std::vector<int>& cohort,
+      const std::vector<std::vector<double>>& masked_updates) const;
+
  private:
   /// Deterministic mask shared by the pair (i, j), i < j.
   std::vector<double> PairMask(int i, int j) const;
+
+  /// Cohorts must be non-empty, strictly ascending, in range.
+  Status CheckCohort(const std::vector<int>& cohort) const;
 
   int num_clients_;
   size_t update_size_;

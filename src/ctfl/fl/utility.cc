@@ -55,9 +55,12 @@ double RetrainUtility::Value(const std::vector<int>& coalition) {
       std::vector<Dataset> clients;
       clients.reserve(members.size());
       for (int id : members) clients.push_back((*federation_)[id].data);
-      LogicalNet net =
+      Result<LogicalNet> net =
           TrainFederated(schema, config_.net, clients, config_.fedavg);
-      value = EvaluateMetric(net, *test_, config_.metric);
+      // Coalition evaluation never configures failure injection, so an
+      // error here can only be a malformed FedAvgConfig — a caller bug.
+      CTFL_CHECK(net.ok()) << "coalition training failed: " << net.status();
+      value = EvaluateMetric(*net, *test_, config_.metric);
     } else {
       const Dataset merged = MergeCoalition(*federation_, members);
       if (merged.empty()) {

@@ -348,6 +348,9 @@ std::string EncodeMeta(const BundleContent& c) {
   for (double v : c.meta.macro_scores) w.F64(v);
   w.U32(static_cast<uint32_t>(c.meta.participant_names.size()));
   for (const std::string& name : c.meta.participant_names) w.Str(name);
+  // Trailing optional fields (decoders treat end-of-payload as defaults,
+  // so pre-failure-injection bundles keep decoding).
+  w.U64(c.meta.failure_plan_fingerprint);
   return w.Take();
 }
 
@@ -387,6 +390,11 @@ Status DecodeMeta(const std::string& payload, BundleContent& c,
       names != *num_participants) {
     return Status::InvalidArgument(
         "meta: scores/names are not one per participant");
+  }
+  // Optional trailing fields: absent in bundles written before failure
+  // injection existed (defaults already hold).
+  if (!r.AtEnd()) {
+    CTFL_RETURN_IF_ERROR(r.U64(&c.meta.failure_plan_fingerprint));
   }
   return r.ExpectEnd(kMetaSection);
 }

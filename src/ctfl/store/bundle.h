@@ -95,6 +95,11 @@ struct BundleMeta {
   double global_accuracy = 0.0;
   double matched_accuracy = 0.0;
   uint64_t schema_fingerprint = 0;
+  /// Digest of the FailurePlan the originating run trained under
+  /// (FailurePlan::Fingerprint(); 0 = fault-free). Encoded as an optional
+  /// trailing meta field: bundles written before failure injection
+  /// existed decode with 0.
+  uint64_t failure_plan_fingerprint = 0;
   std::vector<double> micro_scores;
   std::vector<double> macro_scores;
   std::vector<std::string> participant_names;

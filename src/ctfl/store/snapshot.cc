@@ -44,6 +44,7 @@ Result<BundleContent> BuildBundleContent(
   content.meta.global_accuracy = options.global_accuracy;
   content.meta.matched_accuracy = options.matched_accuracy;
   content.meta.schema_fingerprint = SchemaFingerprint(*content.schema);
+  content.meta.failure_plan_fingerprint = options.failure_plan_fingerprint;
   for (const Participant& participant : federation) {
     content.meta.participant_names.push_back(participant.name);
   }

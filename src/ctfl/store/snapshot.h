@@ -24,6 +24,10 @@ struct SnapshotOptions {
   int macro_delta = 1;
   double min_rule_weight = 1e-6;
   double dp_epsilon = 0.0;
+  /// FailurePlan::Fingerprint() of the fault schedule the originating
+  /// run trained under (0 = fault-free). Scores from a degraded run are
+  /// a pure function of (seed, plan); the bundle records which plan.
+  uint64_t failure_plan_fingerprint = 0;
   std::vector<double> micro_scores;
   std::vector<double> macro_scores;
   double global_accuracy = 0.0;

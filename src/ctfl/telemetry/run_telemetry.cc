@@ -28,9 +28,18 @@ std::string RunTelemetry::Summary() const {
   if (!rounds.empty()) {
     for (const RoundTelemetry& r : rounds) {
       out << StrFormat(
-          "  round %-3d %7.3fs  mean local loss %.4f  (%d clients)\n",
+          "  round %-3d %7.3fs  mean local loss %.4f  (%d clients)",
           r.round, r.seconds, r.mean_local_loss, r.clients_trained);
+      if (r.degraded || r.retries > 0) {
+        out << StrFormat("  [degraded: %d dropped, %d retries]",
+                         r.clients_dropped, r.retries);
+      }
+      out << "\n";
     }
+    out << StrFormat(
+        "faults: clients_dropped=%lld retries=%lld rounds_degraded=%d\n",
+        static_cast<long long>(clients_dropped),
+        static_cast<long long>(retries), rounds_degraded);
   } else if (!epochs.empty()) {
     // Epoch lines can be numerous; print first/last plus count.
     const EpochTelemetry& first = epochs.front();

@@ -18,9 +18,16 @@ namespace telemetry {
 struct RoundTelemetry {
   int round = 0;
   double seconds = 0.0;
-  /// Mean of the participating clients' final local training losses.
+  /// Mean of the accepted clients' final local training losses.
   double mean_local_loss = 0.0;
   int clients_trained = 0;
+  /// Participation churn under failure injection (DESIGN.md §11):
+  /// clients that ended the round without an accepted upload, upload
+  /// re-attempts consumed, and whether the round aggregated a smaller
+  /// cohort than scheduled. All zero/false on the fault-free path.
+  int clients_dropped = 0;
+  int retries = 0;
+  bool degraded = false;
 };
 
 /// One local/central training epoch.
@@ -41,6 +48,11 @@ struct RunTelemetry {
   int64_t grafting_steps = 0;
   double train_seconds = 0.0;
   double train_accuracy = 0.0;
+  /// Fault-tolerance totals across all rounds (federated path; zero when
+  /// training centrally or fault-free — DESIGN.md §11).
+  int64_t clients_dropped = 0;
+  int64_t retries = 0;
+  int rounds_degraded = 0;
 
   // ---- Rule extraction stats (model -> traceable rule set) --------------
   int rules_total = 0;

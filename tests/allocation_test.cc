@@ -49,6 +49,39 @@ TEST(AllocationTest, PaperExampleIII4) {
   EXPECT_NEAR(macro[0], 0.0, 1e-12);
 }
 
+// Regression pin for the Eq. 5/6 normalization convention: scores divide
+// by |D_te| — ALL reserved test records — not by the number of tests with
+// the matching outcome, and not by the number of matched tests. A correct
+// split over {4 tests, 1 matched} therefore yields exactly 1/4 of the
+// per-test credit, and adding wrong-outcome tests dilutes everyone.
+TEST(AllocationTest, NormalizationDividesByAllTests) {
+  // One matched correct test among one unmatched correct and two wrong.
+  const TraceResult trace = MakeTrace(
+      2, {Correct({3, 1}), Correct({0, 0}), Wrong({5, 5}), Wrong({2, 0})});
+  const std::vector<double> micro = MicroAllocation(trace);
+  EXPECT_NEAR(micro[0], 0.75 / 4, 1e-12);  // NOT 0.75 / 1 or 0.75 / 2
+  EXPECT_NEAR(micro[1], 0.25 / 4, 1e-12);
+
+  const std::vector<double> macro = MacroAllocation(trace, /*delta=*/1);
+  EXPECT_NEAR(macro[0], 0.5 / 4, 1e-12);
+  EXPECT_NEAR(macro[1], 0.5 / 4, 1e-12);
+
+  // The wrong-outcome view normalizes by the same |D_te| = 4.
+  const std::vector<double> micro_wrong =
+      MicroAllocation(trace, /*on_correct=*/false);
+  EXPECT_NEAR(micro_wrong[0], (0.5 + 1.0) / 4, 1e-12);
+  EXPECT_NEAR(micro_wrong[1], 0.5 / 4, 1e-12);
+
+  // Appending more wrong tests shrinks correct-side scores: the
+  // denominator tracks the full test set.
+  TraceResult diluted = trace;
+  diluted.tests.push_back(Wrong({1, 1}));
+  diluted.tests.push_back(Wrong({1, 1}));
+  const std::vector<double> diluted_micro = MicroAllocation(diluted);
+  EXPECT_NEAR(diluted_micro[0], 0.75 / 6, 1e-12);
+  EXPECT_NEAR(diluted_micro[1], 0.25 / 6, 1e-12);
+}
+
 TEST(AllocationTest, MicroIsProportionalToRelatedCounts) {
   const TraceResult trace = MakeTrace(2, {Correct({3, 1})});
   const std::vector<double> micro = MicroAllocation(trace);

@@ -156,7 +156,8 @@ TEST_F(DeterminismTest, RunFedAvgBitIdenticalAcrossThreadCounts) {
     config.local.num_threads = threads;
     FedAvgStats stats;
     const LogicalNet net =
-        TrainFederated(all.schema(), net_config, clients, config, &stats);
+        TrainFederated(all.schema(), net_config, clients, config, &stats)
+            .value();
     const std::vector<double> params = net.GetParameters();
     ASSERT_EQ(stats.rounds.size(), 3u);
     if (threads == 1) {
@@ -197,7 +198,7 @@ TEST_F(DeterminismTest, RunFedAvgBitIdenticalWithSecureAggregation) {
     config.num_threads = threads;
     config.local.num_threads = threads;
     const LogicalNet net =
-        TrainFederated(all.schema(), net_config, clients, config);
+        TrainFederated(all.schema(), net_config, clients, config).value();
     if (threads == 1) {
       baseline = net.GetParameters();
     } else {
@@ -207,6 +208,85 @@ TEST_F(DeterminismTest, RunFedAvgBitIdenticalWithSecureAggregation) {
       EXPECT_TRUE(BitIdentical(baseline, net.GetParameters()));
     }
   }
+}
+
+TEST_F(DeterminismTest, FaultyRunFedAvgBitIdenticalAcrossThreadCounts) {
+  // DESIGN.md §11: a FailurePlan is a pure function of (seed, round,
+  // client, attempt), so injected faults must not break the thread-count
+  // determinism contract — dropouts, retries, and quarantines land on the
+  // same clients no matter how the fan-out is scheduled.
+  const Dataset all = TwoFeatureDataset(400, 57);
+  Rng rng(19);
+  const std::vector<Dataset> clients = PartitionUniform(all, 5, rng);
+
+  LogicalNetConfig net_config;
+  net_config.logic_layers = {{8, 8}};
+  net_config.seed = 21;
+
+  FedAvgConfig config;
+  config.rounds = 4;
+  config.local_epochs = 2;
+  config.local.learning_rate = 0.05;
+  config.secure_aggregation = true;
+  config.failure =
+      FailurePlan::Parse(
+          "dropout=0.25,straggler=0.15,corrupt=0.1,mismatch=0.1,seed=77")
+          .value();
+  config.retry_budget = 2;
+
+  std::vector<double> baseline;
+  FedAvgStats baseline_stats;
+  for (const int threads : {1, 2, 8}) {
+    config.num_threads = threads;
+    config.local.num_threads = threads;
+    FedAvgStats stats;
+    const LogicalNet net =
+        TrainFederated(all.schema(), net_config, clients, config, &stats)
+            .value();
+    if (threads == 1) {
+      baseline = net.GetParameters();
+      baseline_stats = stats;
+      // The plan must actually bite, or the test is vacuous.
+      ASSERT_GT(stats.clients_dropped, 0);
+      continue;
+    }
+    SCOPED_TRACE(threads);
+    EXPECT_TRUE(BitIdentical(baseline, net.GetParameters()));
+    EXPECT_EQ(stats.clients_dropped, baseline_stats.clients_dropped);
+    EXPECT_EQ(stats.retries, baseline_stats.retries);
+    EXPECT_EQ(stats.rounds_degraded, baseline_stats.rounds_degraded);
+    ASSERT_EQ(stats.rounds.size(), baseline_stats.rounds.size());
+    for (size_t r = 0; r < stats.rounds.size(); ++r) {
+      EXPECT_EQ(stats.rounds[r].clients_dropped,
+                baseline_stats.rounds[r].clients_dropped);
+      EXPECT_EQ(stats.rounds[r].mean_local_loss,
+                baseline_stats.rounds[r].mean_local_loss);
+    }
+  }
+}
+
+TEST_F(DeterminismTest, FaultyPipelineScoresBitIdenticalAcrossThreadCounts) {
+  // End-to-end: contribution scores computed from a degraded federation
+  // are still a pure function of (seed, plan) — the incentive payments
+  // cannot depend on which worker thread observed the fault.
+  const Dataset all = TwoFeatureDataset(360, 61);
+  const Dataset test = TwoFeatureDataset(120, 67);
+  Rng rng(23);
+  const Federation fed = MakeFederation(PartitionUniform(all, 4, rng));
+
+  CtflConfig config = BaseConfig();
+  config.fedavg.rounds = 3;
+  config.fedavg.secure_aggregation = true;
+  config.fedavg.failure =
+      FailurePlan::Parse("dropout=0.3,straggler=0.2,seed=41").value();
+  config.fedavg.retry_budget = 1;
+
+  const PipelineSnapshot base = RunPipeline(fed, test, config, 1);
+  ASSERT_GT(base.num_keys, 0);
+  ExpectSnapshotsIdentical(base, RunPipeline(fed, test, config, 2),
+                           "threads=2");
+  ExpectSnapshotsIdentical(base, RunPipeline(fed, test, config, 8),
+                           "threads=8");
 }
 
 TEST_F(DeterminismTest, FullPipelineBitIdenticalAcrossThreadCounts) {

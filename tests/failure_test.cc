@@ -1,0 +1,416 @@
+#include "ctfl/fl/failure.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ctfl/data/gen/synthetic.h"
+#include "ctfl/fl/fedavg.h"
+#include "ctfl/fl/partition.h"
+
+namespace ctfl {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FailurePlan: parsing, determinism, fingerprints.
+// ---------------------------------------------------------------------------
+
+TEST(FailurePlanTest, EmptyStringParsesToEmptyPlan) {
+  const Result<FailurePlan> plan = FailurePlan::Parse("");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan->empty());
+  EXPECT_EQ(plan->Fingerprint(), 0u);
+  EXPECT_EQ(plan->ToString(), "");
+  // The empty plan injects nothing, anywhere.
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_FALSE(plan->DropsOut(r, c));
+      EXPECT_EQ(plan->UploadOutcome(r, c, 0), FailureKind::kNone);
+    }
+  }
+}
+
+TEST(FailurePlanTest, ParseReadsEveryKey) {
+  const Result<FailurePlan> plan = FailurePlan::Parse(
+      " dropout=0.2, straggler=0.1,corrupt=0.05,mismatch=0.04,seed=17 ");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_DOUBLE_EQ(plan->spec().dropout, 0.2);
+  EXPECT_DOUBLE_EQ(plan->spec().straggler, 0.1);
+  EXPECT_DOUBLE_EQ(plan->spec().corrupt, 0.05);
+  EXPECT_DOUBLE_EQ(plan->spec().size_mismatch, 0.04);
+  EXPECT_EQ(plan->spec().seed, 17u);
+  // "size_mismatch" is an accepted alias.
+  const Result<FailurePlan> alias =
+      FailurePlan::Parse("size_mismatch=0.3");
+  ASSERT_TRUE(alias.ok()) << alias.status();
+  EXPECT_DOUBLE_EQ(alias->spec().size_mismatch, 0.3);
+}
+
+TEST(FailurePlanTest, ToStringRoundTripsThroughParse) {
+  const Result<FailurePlan> plan =
+      FailurePlan::Parse("dropout=0.25,corrupt=0.125,seed=9");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  const Result<FailurePlan> reparsed = FailurePlan::Parse(plan->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->Fingerprint(), plan->Fingerprint());
+}
+
+TEST(FailurePlanTest, ParseRejectsMalformedSpecs) {
+  EXPECT_FALSE(FailurePlan::Parse("dropout").ok());        // not key=value
+  EXPECT_FALSE(FailurePlan::Parse("jitter=0.5").ok());     // unknown key
+  EXPECT_FALSE(FailurePlan::Parse("dropout=1.5").ok());    // rate > 1
+  EXPECT_FALSE(FailurePlan::Parse("corrupt=-0.1").ok());   // rate < 0
+  EXPECT_FALSE(FailurePlan::Parse("dropout=abc").ok());    // not a number
+  // Upload fault rates are mutually exclusive bands; they cannot sum > 1.
+  EXPECT_FALSE(
+      FailurePlan::Parse("straggler=0.5,corrupt=0.4,mismatch=0.2").ok());
+}
+
+TEST(FailurePlanTest, OutcomesArePureFunctionsOfTheKey) {
+  FailureSpec spec;
+  spec.dropout = 0.3;
+  spec.straggler = 0.2;
+  spec.corrupt = 0.2;
+  spec.size_mismatch = 0.2;
+  spec.seed = 42;
+  const FailurePlan a(spec);
+  const FailurePlan b(spec);
+  // Two plan instances (no shared state) agree everywhere, and repeated
+  // queries — in any order — return the same answer: no generator state.
+  for (int r = 4; r >= 0; --r) {
+    for (int c = 0; c < 6; ++c) {
+      EXPECT_EQ(a.DropsOut(r, c), b.DropsOut(r, c));
+      for (int attempt : {2, 0, 1}) {
+        EXPECT_EQ(a.UploadOutcome(r, c, attempt),
+                  b.UploadOutcome(r, c, attempt));
+        EXPECT_EQ(a.UploadOutcome(r, c, attempt),
+                  a.UploadOutcome(r, c, attempt));
+      }
+    }
+  }
+
+  // A different seed reshuffles the schedule.
+  spec.seed = 43;
+  const FailurePlan other(spec);
+  int differences = 0;
+  for (int r = 0; r < 20; ++r) {
+    for (int c = 0; c < 20; ++c) {
+      differences += a.DropsOut(r, c) != other.DropsOut(r, c);
+    }
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(FailurePlanTest, EmpiricalRatesMatchTheSpec) {
+  FailureSpec spec;
+  spec.dropout = 0.3;
+  spec.straggler = 0.25;
+  spec.corrupt = 0.15;
+  spec.size_mismatch = 0.1;
+  spec.seed = 7;
+  const FailurePlan plan(spec);
+  int drops = 0, stragglers = 0, corrupts = 0, mismatches = 0;
+  const int rounds = 200, clients = 50;
+  for (int r = 0; r < rounds; ++r) {
+    for (int c = 0; c < clients; ++c) {
+      drops += plan.DropsOut(r, c);
+      switch (plan.UploadOutcome(r, c, 0)) {
+        case FailureKind::kStraggler: ++stragglers; break;
+        case FailureKind::kCorrupt: ++corrupts; break;
+        case FailureKind::kSizeMismatch: ++mismatches; break;
+        default: break;
+      }
+    }
+  }
+  const double n = rounds * clients;
+  EXPECT_NEAR(drops / n, 0.3, 0.02);
+  EXPECT_NEAR(stragglers / n, 0.25, 0.02);
+  EXPECT_NEAR(corrupts / n, 0.15, 0.02);
+  EXPECT_NEAR(mismatches / n, 0.1, 0.02);
+}
+
+TEST(FailurePlanTest, FingerprintSeparatesPlans) {
+  const FailurePlan a = FailurePlan::Parse("dropout=0.2,seed=1").value();
+  const FailurePlan b = FailurePlan::Parse("dropout=0.2,seed=2").value();
+  const FailurePlan c = FailurePlan::Parse("straggler=0.2,seed=1").value();
+  EXPECT_NE(a.Fingerprint(), 0u);
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+  EXPECT_NE(b.Fingerprint(), c.Fingerprint());
+  // Stable across instances: the digest names the spec, not the object.
+  EXPECT_EQ(a.Fingerprint(),
+            FailurePlan::Parse("dropout=0.2,seed=1").value().Fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// Upload validation and wire-level tampering.
+// ---------------------------------------------------------------------------
+
+TEST(ValidateClientUpdateTest, AcceptsOnlyFiniteWellSizedUpdates) {
+  const std::vector<double> good = {1.0, -2.5, 0.0};
+  EXPECT_TRUE(ValidateClientUpdate(good, 3).ok());
+  EXPECT_FALSE(ValidateClientUpdate(good, 4).ok());  // size mismatch
+
+  std::vector<double> nan_update = good;
+  nan_update[1] = std::nan("");
+  EXPECT_FALSE(ValidateClientUpdate(nan_update, 3).ok());
+
+  std::vector<double> inf_update = good;
+  inf_update[2] = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(ValidateClientUpdate(inf_update, 3).ok());
+}
+
+TEST(TamperUpdateTest, CorruptPlantsNansDeterministically) {
+  std::vector<double> update(64, 1.0);
+  TamperUpdate(FailureKind::kCorrupt, 2, 3, 0, update);
+  ASSERT_EQ(update.size(), 64u);
+  int nans = 0;
+  for (double v : update) nans += std::isnan(v);
+  EXPECT_GT(nans, 0);
+  EXPECT_LT(nans, 64);  // partial corruption, not a wipe
+  EXPECT_FALSE(ValidateClientUpdate(update, 64).ok());
+
+  // Deterministic in (round, client, attempt).
+  std::vector<double> replay(64, 1.0);
+  TamperUpdate(FailureKind::kCorrupt, 2, 3, 0, replay);
+  EXPECT_EQ(0, std::memcmp(update.data(), replay.data(),
+                           update.size() * sizeof(double)));
+}
+
+TEST(TamperUpdateTest, SizeMismatchTruncates) {
+  std::vector<double> update(64, 1.0);
+  TamperUpdate(FailureKind::kSizeMismatch, 0, 0, 0, update);
+  EXPECT_LT(update.size(), 64u);
+  EXPECT_FALSE(ValidateClientUpdate(update, 64).ok());
+}
+
+TEST(TamperUpdateTest, CleanAndStragglerLeavePayloadAlone) {
+  const std::vector<double> original(16, 0.25);
+  for (FailureKind kind : {FailureKind::kNone, FailureKind::kStraggler,
+                           FailureKind::kDropout}) {
+    std::vector<double> update = original;
+    TamperUpdate(kind, 1, 1, 1, update);
+    EXPECT_EQ(update, original);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-tolerant RunFedAvg: quarantine, retries, degraded rounds, replay.
+// ---------------------------------------------------------------------------
+
+Dataset ThresholdDataset(size_t n, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.schema = std::make_shared<FeatureSchema>(
+      std::vector<FeatureSpec>{FeatureSchema::Continuous("x", 0, 1)}, "neg",
+      "pos");
+  spec.samplers = {FeatureSampler{FeatureSampler::Kind::kUniform, 0, 0, {}}};
+  spec.rules = {{{{0, GtPredicate::Op::kGt, 0.5}}, 1, 1.0},
+                {{{0, GtPredicate::Op::kLt, 0.5}}, 0, 1.0}};
+  Rng rng(seed);
+  return GenerateSynthetic(spec, n, rng);
+}
+
+LogicalNetConfig SmallNet() {
+  LogicalNetConfig config;
+  config.logic_layers = {{8, 8}};
+  config.seed = 3;
+  return config;
+}
+
+FedAvgConfig FaultyConfig(const std::string& plan) {
+  FedAvgConfig config;
+  config.rounds = 4;
+  config.local_epochs = 2;
+  config.local.learning_rate = 0.05;
+  config.failure = FailurePlan::Parse(plan).value();
+  return config;
+}
+
+TEST(FaultTolerantFedAvgTest, SizeMismatchedUploadsFailTheRoundCleanly) {
+  // Satellite regression: RunFedAvg used to call Mask(...).value() /
+  // Aggregate(...).value() and would CHECK-crash on the first bad upload.
+  // Now a plan that mangles most uploads must complete, quarantining the
+  // bad ones and degrading the affected rounds.
+  const Dataset all = ThresholdDataset(400, 31);
+  Rng rng(32);
+  const std::vector<Dataset> clients = PartitionUniform(all, 4, rng);
+
+  FedAvgConfig config = FaultyConfig("mismatch=0.6,seed=5");
+  config.retry_budget = 0;  // no second chances: quarantine on first fault
+  LogicalNet net(all.schema(), SmallNet());
+  FedAvgStats stats;
+  const Status status = RunFedAvg(net, clients, config, &stats);
+  ASSERT_TRUE(status.ok()) << status;
+  ASSERT_EQ(stats.rounds.size(), 4u);
+  EXPECT_GT(stats.clients_dropped, 0);
+  EXPECT_GT(stats.rounds_degraded, 0);
+  // Quarantine keeps the aggregate finite and usable.
+  for (double v : net.GetParameters()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(FaultTolerantFedAvgTest, SecureAggSurvivesDropoutAndMatchesPlain) {
+  // Cohort-aware masking: with clients dropping out every round, the
+  // surviving cohort's masks must still cancel — secure and plain
+  // aggregation see the same cohorts and agree numerically.
+  const Dataset all = ThresholdDataset(480, 33);
+  Rng rng(34);
+  const std::vector<Dataset> clients = PartitionUniform(all, 4, rng);
+
+  FedAvgConfig plain = FaultyConfig("dropout=0.35,straggler=0.2,seed=11");
+  FedAvgConfig secure = plain;
+  secure.secure_aggregation = true;
+
+  FedAvgStats plain_stats, secure_stats;
+  const LogicalNet a =
+      TrainFederated(all.schema(), SmallNet(), clients, plain, &plain_stats)
+          .value();
+  const LogicalNet b =
+      TrainFederated(all.schema(), SmallNet(), clients, secure,
+                     &secure_stats)
+          .value();
+
+  // The plan is a pure function of (seed, round, client): both runs lose
+  // the same clients.
+  EXPECT_GT(plain_stats.clients_dropped, 0);
+  EXPECT_EQ(plain_stats.clients_dropped, secure_stats.clients_dropped);
+  EXPECT_EQ(plain_stats.rounds_degraded, secure_stats.rounds_degraded);
+
+  const std::vector<double> pa = a.GetParameters();
+  const std::vector<double> pb = b.GetParameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t k = 0; k < pa.size(); ++k) {
+    EXPECT_NEAR(pa[k], pb[k], 1e-6) << "coordinate " << k;
+  }
+}
+
+TEST(FaultTolerantFedAvgTest, FaultyRunsReplayBitIdentically) {
+  const Dataset all = ThresholdDataset(360, 35);
+  Rng rng(36);
+  const std::vector<Dataset> clients = PartitionUniform(all, 5, rng);
+
+  const FedAvgConfig config =
+      FaultyConfig("dropout=0.2,straggler=0.15,corrupt=0.1,mismatch=0.1,"
+                   "seed=23");
+  FedAvgStats first_stats, second_stats;
+  const LogicalNet first =
+      TrainFederated(all.schema(), SmallNet(), clients, config, &first_stats)
+          .value();
+  const LogicalNet second =
+      TrainFederated(all.schema(), SmallNet(), clients, config,
+                     &second_stats)
+          .value();
+
+  const std::vector<double> pa = first.GetParameters();
+  const std::vector<double> pb = second.GetParameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  EXPECT_EQ(0, std::memcmp(pa.data(), pb.data(), pa.size() * sizeof(double)));
+  EXPECT_EQ(first_stats.clients_dropped, second_stats.clients_dropped);
+  EXPECT_EQ(first_stats.retries, second_stats.retries);
+  EXPECT_EQ(first_stats.rounds_degraded, second_stats.rounds_degraded);
+  ASSERT_EQ(first_stats.rounds.size(), second_stats.rounds.size());
+  for (size_t r = 0; r < first_stats.rounds.size(); ++r) {
+    EXPECT_EQ(first_stats.rounds[r].clients_dropped,
+              second_stats.rounds[r].clients_dropped);
+    EXPECT_EQ(first_stats.rounds[r].retries,
+              second_stats.rounds[r].retries);
+    EXPECT_EQ(first_stats.rounds[r].degraded,
+              second_stats.rounds[r].degraded);
+  }
+}
+
+TEST(FaultTolerantFedAvgTest, RetryBudgetRecoversStragglers) {
+  // A straggler's payload is intact — it is merely late — so a retry
+  // usually lands it. More budget => fewer quarantines, and the retry
+  // counter moves.
+  const Dataset all = ThresholdDataset(360, 37);
+  Rng rng(38);
+  const std::vector<Dataset> clients = PartitionUniform(all, 4, rng);
+
+  FedAvgConfig config = FaultyConfig("straggler=0.5,seed=3");
+  config.rounds = 6;
+
+  config.retry_budget = 0;
+  FedAvgStats no_retries;
+  LogicalNet strict_net(all.schema(), SmallNet());
+  ASSERT_TRUE(RunFedAvg(strict_net, clients, config, &no_retries).ok());
+  EXPECT_EQ(no_retries.retries, 0);
+  EXPECT_GT(no_retries.clients_dropped, 0);
+
+  config.retry_budget = 4;
+  FedAvgStats generous;
+  LogicalNet net(all.schema(), SmallNet());
+  ASSERT_TRUE(RunFedAvg(net, clients, config, &generous).ok());
+  EXPECT_GT(generous.retries, 0);
+  EXPECT_LT(generous.clients_dropped, no_retries.clients_dropped);
+}
+
+TEST(FaultTolerantFedAvgTest, FullyDegradedRoundLeavesModelUntouched) {
+  const Dataset all = ThresholdDataset(200, 39);
+  Rng rng(40);
+  const std::vector<Dataset> clients = PartitionUniform(all, 3, rng);
+
+  FedAvgConfig config = FaultyConfig("dropout=1,seed=1");
+  config.rounds = 3;
+  LogicalNet net(all.schema(), SmallNet());
+  const std::vector<double> before = net.GetParameters();
+  FedAvgStats stats;
+  ASSERT_TRUE(RunFedAvg(net, clients, config, &stats).ok());
+  EXPECT_EQ(net.GetParameters(), before);
+  EXPECT_EQ(stats.rounds_degraded, 3);
+  EXPECT_EQ(stats.clients_dropped, 3 * 3);
+  for (const telemetry::RoundTelemetry& rt : stats.rounds) {
+    EXPECT_TRUE(rt.degraded);
+    EXPECT_EQ(rt.clients_trained, 0);
+    EXPECT_EQ(rt.mean_local_loss, 0.0);
+  }
+}
+
+TEST(FaultTolerantFedAvgTest, EmptyPlanIsBitIdenticalToFaultFreeEngine) {
+  // The acceptance criterion that keeps this PR honest: wiring the fault
+  // machinery through the round loop must not move a single bit on the
+  // default path.
+  const Dataset all = ThresholdDataset(400, 41);
+  Rng rng(42);
+  const std::vector<Dataset> clients = PartitionUniform(all, 4, rng);
+
+  FedAvgConfig baseline;
+  baseline.rounds = 3;
+  baseline.local_epochs = 2;
+  baseline.local.learning_rate = 0.05;
+
+  FedAvgConfig with_plan = baseline;
+  with_plan.failure = FailurePlan::Parse("").value();
+  with_plan.retry_budget = 5;  // budget is irrelevant when nothing fails
+
+  for (const bool secure : {false, true}) {
+    FedAvgConfig a = baseline, b = with_plan;
+    a.secure_aggregation = b.secure_aggregation = secure;
+    const std::vector<double> pa =
+        TrainFederated(all.schema(), SmallNet(), clients, a)
+            .value()
+            .GetParameters();
+    const std::vector<double> pb =
+        TrainFederated(all.schema(), SmallNet(), clients, b)
+            .value()
+            .GetParameters();
+    ASSERT_EQ(pa.size(), pb.size());
+    EXPECT_EQ(
+        0, std::memcmp(pa.data(), pb.data(), pa.size() * sizeof(double)))
+        << "secure=" << secure;
+  }
+}
+
+TEST(FaultTolerantFedAvgTest, NegativeRetryBudgetIsRejected) {
+  const Dataset all = ThresholdDataset(100, 43);
+  FedAvgConfig config;
+  config.retry_budget = -1;
+  LogicalNet net(all.schema(), SmallNet());
+  const Status status = RunFedAvg(net, {all}, config);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ctfl

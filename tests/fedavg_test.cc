@@ -38,7 +38,7 @@ TEST(FedAvgTest, FederatedTrainingLearnsAcrossClients) {
   config.local_epochs = 3;
   config.local.learning_rate = 0.05;
   const LogicalNet net =
-      TrainFederated(all.schema(), SmallNet(), clients, config);
+      TrainFederated(all.schema(), SmallNet(), clients, config).value();
   EXPECT_GT(net.Accuracy(test), 0.9);
 }
 
@@ -52,7 +52,7 @@ TEST(FedAvgTest, EmptyClientsAreSkipped) {
   config.rounds = 2;
   config.local_epochs = 1;
   const LogicalNet net =
-      TrainFederated(all.schema(), SmallNet(), clients, config);
+      TrainFederated(all.schema(), SmallNet(), clients, config).value();
   EXPECT_GT(net.Accuracy(all), 0.5);
 }
 
@@ -63,7 +63,7 @@ TEST(FedAvgTest, AllEmptyClientsLeaveModelUntouched) {
   const std::vector<double> before = net.GetParameters();
   FedAvgConfig config;
   config.rounds = 3;
-  RunFedAvg(net, clients, config);
+  ASSERT_TRUE(RunFedAvg(net, clients, config).ok());
   EXPECT_EQ(net.GetParameters(), before);
 }
 
@@ -82,7 +82,7 @@ TEST(FedAvgTest, StatsAreResetEvenWhenFederationIsEmpty) {
     config.rounds = 2;
     config.local_epochs = 1;
     LogicalNet net(schema, SmallNet());
-    RunFedAvg(net, clients, config, &stats);
+    ASSERT_TRUE(RunFedAvg(net, clients, config, &stats).ok());
     ASSERT_EQ(stats.rounds.size(), 2u);
     ASSERT_GT(stats.grafting_steps, 0);
   }
@@ -91,7 +91,7 @@ TEST(FedAvgTest, StatsAreResetEvenWhenFederationIsEmpty) {
   FedAvgConfig config;
   config.rounds = 4;
   LogicalNet net(schema, SmallNet());
-  RunFedAvg(net, empty_clients, config, &stats);
+  ASSERT_TRUE(RunFedAvg(net, empty_clients, config, &stats).ok());
   EXPECT_TRUE(stats.rounds.empty());
   EXPECT_EQ(stats.grafting_steps, 0);
 }
@@ -108,10 +108,10 @@ TEST(FedAvgTest, ParallelFanOutMatchesSerial) {
 
   config.num_threads = 1;
   const LogicalNet serial =
-      TrainFederated(all.schema(), SmallNet(), clients, config);
+      TrainFederated(all.schema(), SmallNet(), clients, config).value();
   config.num_threads = 4;
   const LogicalNet parallel =
-      TrainFederated(all.schema(), SmallNet(), clients, config);
+      TrainFederated(all.schema(), SmallNet(), clients, config).value();
   EXPECT_EQ(serial.GetParameters(), parallel.GetParameters());
 }
 
@@ -121,11 +121,36 @@ TEST(FedAvgTest, SingleClientFedAvgApproximatesCentral) {
   config.rounds = 1;
   config.local_epochs = 10;
   config.local.learning_rate = 0.05;
-  config.local.seed = 7919;  // match the round-0 reseeding
   const LogicalNet fed =
-      TrainFederated(all.schema(), SmallNet(), {all}, config);
+      TrainFederated(all.schema(), SmallNet(), {all}, config).value();
 
   EXPECT_GT(fed.Accuracy(all), 0.85);
+}
+
+TEST(FedAvgTest, IdenticalClientsDrawDistinctSeeds) {
+  // Satellite regression: the old derivation `seed + round * 7919` gave
+  // every client of a round the same training seed, so two clients with
+  // byte-identical data emitted byte-identical updates — and the
+  // federation's average collapsed, bit-for-bit, to a single client's
+  // update (0.5*u + 0.5*u == u in IEEE arithmetic). With per-client seed
+  // mixing the clones shuffle differently, so the two-clone average must
+  // differ from the single-client run.
+  const Dataset d = ThresholdDataset(300, 11);
+  FedAvgConfig config;
+  config.rounds = 1;
+  config.local_epochs = 2;
+  config.local.learning_rate = 0.05;
+
+  const std::vector<double> solo =
+      TrainFederated(d.schema(), SmallNet(), {d}, config)
+          .value()
+          .GetParameters();
+  const std::vector<double> clones =
+      TrainFederated(d.schema(), SmallNet(), {d, d}, config)
+          .value()
+          .GetParameters();
+  ASSERT_EQ(solo.size(), clones.size());
+  EXPECT_NE(solo, clones);
 }
 
 TEST(FedAvgTest, WeightedAveragingFavorsLargeClient) {
@@ -145,7 +170,7 @@ TEST(FedAvgTest, WeightedAveragingFavorsLargeClient) {
   config.local_epochs = 2;
   config.local.learning_rate = 0.05;
   const LogicalNet net =
-      TrainFederated(big.schema(), SmallNet(), {big, flipped}, config);
+      TrainFederated(big.schema(), SmallNet(), {big, flipped}, config).value();
   EXPECT_GT(net.Accuracy(big), 0.8);
 }
 

@@ -68,6 +68,87 @@ TEST(SecureAggTest, SingleClientIsPassthrough) {
   EXPECT_EQ(masked, update);  // no pairs, no masks
 }
 
+TEST(SecureAggTest, CohortMasksCancelOverTheSurvivors) {
+  // Clients 1 and 3 dropped out; masks are derived pairwise over the
+  // survivors {0, 2, 4} only, so the cohort sum recovers their true sum.
+  const size_t dim = 128;
+  SecureAggregator agg(5, dim, /*session_seed=*/19);
+  const std::vector<int> cohort = {0, 2, 4};
+
+  Rng rng(7);
+  std::vector<std::vector<double>> updates;
+  std::vector<double> expected(dim, 0.0);
+  for (size_t i = 0; i < cohort.size(); ++i) {
+    std::vector<double> u(dim);
+    for (double& v : u) v = rng.Uniform(-2.0, 2.0);
+    for (size_t k = 0; k < dim; ++k) expected[k] += u[k];
+    updates.push_back(std::move(u));
+  }
+
+  std::vector<std::vector<double>> masked;
+  for (size_t i = 0; i < cohort.size(); ++i) {
+    masked.push_back(agg.MaskCohort(cohort[i], cohort, updates[i]).value());
+    // Each masked upload in isolation hides the original.
+    if (cohort.size() > 1) {
+      EXPECT_NE(masked.back(), updates[i]);
+    }
+  }
+  const std::vector<double> sum =
+      agg.AggregateCohort(cohort, masked).value();
+  for (size_t k = 0; k < dim; ++k) {
+    EXPECT_NEAR(sum[k], expected[k], 1e-9);
+  }
+}
+
+TEST(SecureAggTest, FullCohortIsBitIdenticalToFullParticipationApi) {
+  const size_t dim = 64;
+  const int n = 4;
+  SecureAggregator agg(n, dim, 23);
+  std::vector<int> everyone(n);
+  for (int c = 0; c < n; ++c) everyone[c] = c;
+
+  Rng rng(9);
+  std::vector<std::vector<double>> updates(n, std::vector<double>(dim));
+  for (auto& u : updates) {
+    for (double& v : u) v = rng.Uniform(-1.0, 1.0);
+  }
+
+  std::vector<std::vector<double>> masked_full, masked_cohort;
+  for (int c = 0; c < n; ++c) {
+    masked_full.push_back(agg.Mask(c, updates[c]).value());
+    masked_cohort.push_back(
+        agg.MaskCohort(c, everyone, updates[c]).value());
+    EXPECT_EQ(masked_full[c], masked_cohort[c]) << "client " << c;
+  }
+  EXPECT_EQ(agg.Aggregate(masked_full).value(),
+            agg.AggregateCohort(everyone, masked_cohort).value());
+}
+
+TEST(SecureAggTest, SingletonCohortIsPassthrough) {
+  SecureAggregator agg(5, 3, 29);
+  const std::vector<double> update = {1.0, 2.0, 3.0};
+  const std::vector<int> cohort = {3};
+  EXPECT_EQ(agg.MaskCohort(3, cohort, update).value(), update);
+  EXPECT_EQ(agg.AggregateCohort(cohort, {update}).value(), update);
+}
+
+TEST(SecureAggTest, CohortApisRejectBadInputs) {
+  SecureAggregator agg(4, 8, 31);
+  const std::vector<double> update(8, 0.0);
+  // Client not in the cohort.
+  EXPECT_FALSE(agg.MaskCohort(1, {0, 2}, update).ok());
+  // Cohort not strictly ascending / duplicate / out of range / empty.
+  EXPECT_FALSE(agg.MaskCohort(2, {2, 0}, update).ok());
+  EXPECT_FALSE(agg.MaskCohort(0, {0, 0}, update).ok());
+  EXPECT_FALSE(agg.MaskCohort(0, {0, 7}, update).ok());
+  EXPECT_FALSE(agg.MaskCohort(0, {}, update).ok());
+  // Wrong update width.
+  EXPECT_FALSE(agg.MaskCohort(0, {0, 1}, std::vector<double>(3)).ok());
+  // Aggregation needs exactly one masked update per cohort member.
+  std::vector<std::vector<double>> one(1, update);
+  EXPECT_FALSE(agg.AggregateCohort({0, 1}, one).ok());
+}
+
 // FedAvg with secure aggregation must match plain FedAvg numerically.
 TEST(SecureAggTest, SecureFedAvgMatchesPlain) {
   SyntheticSpec spec;
@@ -93,9 +174,9 @@ TEST(SecureAggTest, SecureFedAvgMatchesPlain) {
   secure.secure_aggregation = true;
 
   const LogicalNet a =
-      TrainFederated(all.schema(), net_config, clients, plain);
+      TrainFederated(all.schema(), net_config, clients, plain).value();
   const LogicalNet b =
-      TrainFederated(all.schema(), net_config, clients, secure);
+      TrainFederated(all.schema(), net_config, clients, secure).value();
 
   const std::vector<double> pa = a.GetParameters();
   const std::vector<double> pb = b.GetParameters();

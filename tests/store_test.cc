@@ -245,6 +245,53 @@ TEST(BundleTypedTest, SnapshotRoundTripIsBitExact) {
   std::remove(path.c_str());
 }
 
+TEST(BundleTypedTest, FailurePlanFingerprintRoundTrips) {
+  Fixture fx = MakeFixture();
+  fx.options.failure_plan_fingerprint = 0xdeadbeefcafef00dULL;
+  const Result<BundleContent> built = BuildBundleContent(
+      fx.report.model, fx.fed, fx.test, fx.activations, fx.options);
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_EQ(built->meta.failure_plan_fingerprint, 0xdeadbeefcafef00dULL);
+
+  const std::string path = TempPath("fp_roundtrip.ctflb");
+  ASSERT_TRUE(WriteBundle(*built, path).ok());
+  const Result<BundleContent> loaded = ReadBundle(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->meta.failure_plan_fingerprint, 0xdeadbeefcafef00dULL);
+}
+
+TEST(BundleTypedTest, MetaWithoutFailureFingerprintDecodesToZero) {
+  // Bundles written before failure injection existed carry a meta section
+  // that ends right after the participant names. Simulate one by slicing
+  // the trailing 8-byte fingerprint off a fresh bundle's meta payload: the
+  // optional-field decode must land on fingerprint = 0, not an error.
+  const Fixture fx = MakeFixture();
+  const Result<BundleContent> built = BuildBundleContent(
+      fx.report.model, fx.fed, fx.test, fx.activations, fx.options);
+  ASSERT_TRUE(built.ok()) << built.status();
+  const std::string path = TempPath("fp_legacy.ctflb");
+  ASSERT_TRUE(WriteBundle(*built, path).ok());
+
+  const Result<BundleReader> reader = BundleReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  BundleWriter rewriter;
+  for (const std::string& name : reader->section_names()) {
+    std::string payload = reader->Section(name).value();
+    if (name == "meta") {
+      ASSERT_GE(payload.size(), 8u);
+      payload.resize(payload.size() - 8);  // drop the trailing u64
+    }
+    rewriter.AddSection(name, std::move(payload));
+  }
+  const std::string legacy_path = TempPath("fp_legacy_rewritten.ctflb");
+  ASSERT_TRUE(rewriter.Write(legacy_path).ok());
+
+  const Result<BundleContent> loaded = ReadBundle(legacy_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->meta.failure_plan_fingerprint, 0u);
+  EXPECT_EQ(loaded->meta.participant_names.size(), fx.fed.size());
+}
+
 TEST(BundleTypedTest, PostingIndexIsSoundAndComplete) {
   const Fixture fx = MakeFixture();
   const BundleContent content =

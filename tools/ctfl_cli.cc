@@ -10,20 +10,30 @@
 //       Prints (or writes) the model's extracted symbolic rules.
 //   score     --dataset NAME --train FILE --test FILE [--participants K]
 //             [--tau-w T] [--skew-label] [--seed S] [--num-threads N]
+//             [--federated] [--rounds R] [--local-epochs E] [--secure-agg]
+//             [--failure-plan SPEC] [--retry-budget B]
 //             [--trace-kernel legacy|blocked] [--bundle-out FILE]
 //             [--telemetry-out FILE.json] [--telemetry-summary]
 //       Partitions the training CSV into K participants, runs the full
 //       CTFL pipeline, and prints micro/macro scores + a loss report.
-//       --bundle-out additionally persists a contribution bundle for
-//       later `query` runs. --num-threads steers training, tracing, and
-//       the matrix kernels together (0 = all cores, 1 = serial; scores
-//       are bit-identical either way). --trace-kernel selects the Eq. 4
-//       matching engine: `blocked` (default) is the word-parallel blocked
-//       kernel with early-exit pruning, `legacy` the scalar reference
-//       loop — results are bit-identical either way. --telemetry-out
-//       writes a Chrome trace (open in chrome://tracing or
-//       ui.perfetto.dev); --telemetry-summary prints per-span and
-//       per-phase cost tables.
+//       --federated trains the global model with FedAvg rounds across
+//       the participants (the paper's setting) instead of centrally;
+//       --secure-agg masks every upload with cohort-aware pairwise
+//       secure aggregation. --failure-plan injects a deterministic fault
+//       schedule into the rounds (DESIGN.md §11), e.g.
+//       "dropout=0.2,straggler=0.1,corrupt=0.05,mismatch=0.05,seed=17";
+//       bad uploads are retried up to --retry-budget times, then
+//       quarantined — the run completes over the surviving cohorts and
+//       is a pure function of (seed, plan). --bundle-out additionally
+//       persists a contribution bundle for later `query` runs.
+//       --num-threads steers training, tracing, and the matrix kernels
+//       together (0 = all cores, 1 = serial; scores are bit-identical
+//       either way). --trace-kernel selects the Eq. 4 matching engine:
+//       `blocked` (default) is the word-parallel blocked kernel with
+//       early-exit pruning, `legacy` the scalar reference loop — results
+//       are bit-identical either way. --telemetry-out writes a Chrome
+//       trace (open in chrome://tracing or ui.perfetto.dev);
+//       --telemetry-summary prints per-span and per-phase cost tables.
 //   snapshot  --dataset NAME --train FILE --test FILE --bundle-out FILE
 //             [score flags]
 //       Same pipeline as `score`, but the bundle is the point: trains
@@ -179,6 +189,12 @@ Status RunScore(int argc, const char* const* argv, bool snapshot_mode) {
                     {"budget", "0"},
                     {"num-threads", "-1"},
                     {"seed", "42"},
+                    {"federated", "false"},
+                    {"rounds", "5"},
+                    {"local-epochs", "2"},
+                    {"secure-agg", "false"},
+                    {"failure-plan", ""},
+                    {"retry-budget", "1"},
                     {"trace-kernel", "blocked"},
                     {"bundle-out", ""},
                     {"telemetry-out", ""},
@@ -204,6 +220,14 @@ Status RunScore(int argc, const char* const* argv, bool snapshot_mode) {
   CTFL_ASSIGN_OR_RETURN(double budget, flags.GetDouble("budget"));
   CTFL_ASSIGN_OR_RETURN(int num_threads, flags.GetInt("num-threads"));
   CTFL_ASSIGN_OR_RETURN(int seed, flags.GetInt("seed"));
+  CTFL_ASSIGN_OR_RETURN(int rounds, flags.GetInt("rounds"));
+  CTFL_ASSIGN_OR_RETURN(int local_epochs, flags.GetInt("local-epochs"));
+  CTFL_ASSIGN_OR_RETURN(int retry_budget, flags.GetInt("retry-budget"));
+  if (retry_budget < 0) {
+    return Status::InvalidArgument("--retry-budget must be >= 0");
+  }
+  CTFL_ASSIGN_OR_RETURN(FailurePlan failure_plan,
+                        FailurePlan::Parse(flags.GetString("failure-plan")));
   CTFL_ASSIGN_OR_RETURN(TraceKernelKind trace_kernel,
                         ParseTraceKernelKind(flags.GetString("trace-kernel")));
   const std::string telemetry_out = flags.GetString("telemetry-out");
@@ -219,9 +243,22 @@ Status RunScore(int argc, const char* const* argv, bool snapshot_mode) {
           : PartitionSkewSample(train, participants, alpha, prng));
 
   CtflConfig config;
-  config.federated = false;
+  config.federated = flags.GetBool("federated");
   config.central.epochs = epochs;
   config.central.learning_rate = 0.05;
+  config.fedavg.rounds = rounds;
+  config.fedavg.local_epochs = local_epochs;
+  config.fedavg.local.learning_rate = 0.05;
+  config.fedavg.local.seed = static_cast<uint64_t>(seed);
+  config.fedavg.secure_aggregation = flags.GetBool("secure-agg");
+  config.fedavg.failure = failure_plan;
+  config.fedavg.retry_budget = retry_budget;
+  if (!config.federated && (!failure_plan.empty() ||
+                            config.fedavg.secure_aggregation)) {
+    return Status::InvalidArgument(
+        "--failure-plan/--secure-agg require --federated "
+        "(faults and masking happen in FedAvg rounds)");
+  }
   config.net.logic_layers = {{width / 2, width - width / 2}};
   config.net.seed = seed;
   config.tracer.tau_w = tau_w;
