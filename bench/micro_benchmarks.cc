@@ -21,6 +21,7 @@
 #include "ctfl/store/snapshot.h"
 #include "ctfl/telemetry/metrics.h"
 #include "ctfl/telemetry/trace.h"
+#include "ctfl/util/build_info.h"
 
 namespace ctfl {
 namespace {
@@ -317,11 +318,16 @@ void BM_FedAvgRound(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(clients.size()));
 }
+// Real-time rates: the pooled legs park the orchestrating thread while
+// ThreadPool workers train, so CPU-time-based items_per_second (the
+// google-benchmark default) would measure scheduler noise — useless and
+// unstable for the perf-gate trajectory.
 BENCHMARK(BM_FedAvgRound)
     ->ArgNames({"threads"})
     ->Arg(1)
     ->Arg(4)
     ->Arg(8)
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 // Degraded round: dropout + straggler + corrupt uploads with one retry.
@@ -369,6 +375,7 @@ BENCHMARK(BM_FedAvgRoundFaulty)
     ->ArgNames({"threads"})
     ->Arg(1)
     ->Arg(4)
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 void BM_MatMul(benchmark::State& state) {
@@ -579,3 +586,16 @@ BENCHMARK_CAPTURE(BM_QueryRelated, blocked, TraceKernelKind::kBlocked)
 
 }  // namespace
 }  // namespace ctfl
+
+// Custom main (replacing benchmark_main) so every BENCH_*.json carries
+// the CTFL library's build type in its context block: perf trajectories
+// must never mix debug and release numbers, and tools/perf_gate.py keys
+// baseline-vs-candidate comparisons on this value.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("ctfl_build_type", ctfl::BuildTypeName());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

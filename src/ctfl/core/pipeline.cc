@@ -1,11 +1,15 @@
 #include "ctfl/core/pipeline.h"
 
+#include <cstring>
 #include <fstream>
 
+#include "ctfl/data/schema.h"
 #include "ctfl/nn/matrix.h"
 #include "ctfl/store/snapshot.h"
 #include "ctfl/telemetry/metrics.h"
 #include "ctfl/telemetry/trace.h"
+#include "ctfl/util/build_info.h"
+#include "ctfl/util/cpu_time.h"
 #include "ctfl/util/logging.h"
 #include "ctfl/util/stopwatch.h"
 
@@ -27,6 +31,43 @@ CtflConfig ApplyThreadOverrides(const CtflConfig& in) {
   return out;
 }
 
+/// SplitMix64 finalizer (same mixer failure.cc uses): full-avalanche,
+/// cheap, and stable across platforms.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-sensitive accumulator for config digests: every knob is mixed
+/// as a 64-bit word, doubles by bit pattern (so a digest changes iff a
+/// knob's exact value changes).
+class Digest {
+ public:
+  void Mix(uint64_t v) { state_ = Mix64(state_ ^ v); }
+  void MixInt(int64_t v) { Mix(static_cast<uint64_t>(v)); }
+  void MixBool(bool v) { Mix(v ? 1u : 2u); }
+  void MixDouble(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    Mix(bits);
+  }
+  uint64_t value() const { return state_; }
+
+ private:
+  uint64_t state_ = 0xc7f1d16e57ab1e5ULL;  // arbitrary non-zero seed
+};
+
+void MixTrainConfig(const TrainConfig& c, Digest& d) {
+  d.MixInt(c.epochs);
+  d.MixInt(c.batch_size);
+  d.MixDouble(c.learning_rate);
+  d.MixBool(c.use_adam);
+  d.MixDouble(c.sgd_momentum);
+  d.Mix(c.seed);
+}
+
 }  // namespace
 
 CtflReport RunCtfl(const Federation& federation, const Dataset& test,
@@ -35,10 +76,18 @@ CtflReport RunCtfl(const Federation& federation, const Dataset& test,
   CTFL_CHECK(!federation.empty());
   const CtflConfig config = ApplyThreadOverrides(raw_config);
   const SchemaPtr schema = federation[0].data.schema();
+  // Context-switch counters are monotone process totals; snapshot them
+  // here so the report carries this run's delta, not the process's
+  // lifetime churn.
+  const ResourceUsage usage_start = CurrentResourceUsage();
 
   // ---- Phase 1: train the single global rule-based model. ---------------
   telemetry::Span train_span("ctfl.train");
   Stopwatch train_watch;
+  // Process-CPU clock: phases fan work out to ThreadPool workers, whose
+  // CPU time a thread clock would miss. cpu/wall ratio ~ effective
+  // parallelism; cpu <= wall * threads always holds (pinned by tests).
+  ProcessCpuStopwatch phase_cpu_watch;
   FedAvgStats fedavg_stats;
   TrainReport central_report;
   LogicalNet model = [&] {
@@ -60,6 +109,7 @@ CtflReport RunCtfl(const Federation& federation, const Dataset& test,
                         config.central, &central_report);
   }();
   const double train_seconds = train_watch.ElapsedSeconds();
+  const double train_cpu_seconds = phase_cpu_watch.LapSeconds();
   train_span.End();
 
   CtflReport report(std::move(model));
@@ -67,6 +117,7 @@ CtflReport RunCtfl(const Federation& federation, const Dataset& test,
 
   telemetry::RunTelemetry& run = report.telemetry;
   run.train_seconds = train_seconds;
+  run.train_cpu_seconds = train_cpu_seconds;
   if (config.federated) {
     run.rounds = std::move(fedavg_stats.rounds);
     run.grafting_steps = fedavg_stats.grafting_steps;
@@ -91,8 +142,10 @@ CtflReport RunCtfl(const Federation& federation, const Dataset& test,
   }
 
   // ---- Phase 2: single tracing pass. ------------------------------------
+  phase_cpu_watch.Restart();
   const ContributionTracer tracer(&report.model, &federation, config.tracer);
   report.trace = tracer.Trace(test);
+  run.trace_cpu_seconds = phase_cpu_watch.LapSeconds();
   report.trace_seconds = report.trace.tracing_seconds;
   report.test_accuracy = report.trace.global_accuracy;
   run.trace_seconds = report.trace.tracing_seconds;
@@ -106,10 +159,12 @@ CtflReport RunCtfl(const Federation& federation, const Dataset& test,
   // ---- Phase 3: micro + macro credit allocation. ------------------------
   {
     CTFL_SPAN("ctfl.allocate");
+    phase_cpu_watch.Restart();
     telemetry::ScopedTimer allocate_timer(&run.allocate_seconds);
     report.micro_scores = MicroAllocation(report.trace);
     report.macro_scores = MacroAllocation(report.trace, config.macro_delta);
   }
+  run.allocate_cpu_seconds = phase_cpu_watch.LapSeconds();
 
   // ---- Optional phase 4: persist the contribution bundle. ---------------
   if (!config.bundle_out.empty()) {
@@ -142,10 +197,95 @@ CtflReport RunCtfl(const Federation& federation, const Dataset& test,
     }
   }
 
+  const ResourceUsage usage_end = CurrentResourceUsage();
+  run.max_rss_kb = usage_end.max_rss_kb;  // high-water mark, not a delta
+  run.voluntary_ctx_switches =
+      usage_end.voluntary_ctx_switches - usage_start.voluntary_ctx_switches;
+  run.involuntary_ctx_switches = usage_end.involuntary_ctx_switches -
+                                 usage_start.involuntary_ctx_switches;
+
   static telemetry::Counter& run_counter =
       telemetry::MetricsRegistry::Global().GetCounter("ctfl.runs");
   run_counter.Add(1);
   return report;
+}
+
+uint64_t CtflConfigDigest(const CtflConfig& config) {
+  Digest d;
+  d.MixInt(config.net.tau_d);
+  d.MixInt(static_cast<int64_t>(config.net.logic_layers.size()));
+  for (const auto& [conj, disj] : config.net.logic_layers) {
+    d.MixInt(conj);
+    d.MixInt(disj);
+  }
+  d.MixInt(config.net.fan_in);
+  d.MixBool(config.net.input_skip);
+  d.MixDouble(config.net.linear_init_scale);
+  d.Mix(config.net.seed);
+
+  d.MixBool(config.federated);
+  if (config.federated) {
+    d.MixInt(config.fedavg.rounds);
+    d.MixInt(config.fedavg.local_epochs);
+    MixTrainConfig(config.fedavg.local, d);
+    d.MixBool(config.fedavg.secure_aggregation);
+    d.Mix(config.fedavg.secure_session_seed);
+    d.MixInt(config.fedavg.retry_budget);
+  } else {
+    MixTrainConfig(config.central, d);
+  }
+
+  d.MixDouble(config.tracer.tau_w);
+  d.MixBool(config.tracer.use_dedup);
+  d.MixBool(config.tracer.use_max_miner);
+  d.MixDouble(config.tracer.grouping.min_support_fraction);
+  d.MixInt(static_cast<int64_t>(config.tracer.grouping.min_instances));
+  d.MixDouble(config.tracer.grouping.max_item_support_fraction);
+  d.MixInt(static_cast<int64_t>(config.tracer.grouping.max_expansions));
+  d.MixInt(static_cast<int64_t>(config.tracer.grouping.max_itemsets));
+  d.MixDouble(config.tracer.min_rule_weight);
+  d.MixDouble(config.tracer.dp_epsilon);
+  d.Mix(config.tracer.dp_seed);
+  d.MixInt(static_cast<int64_t>(config.tracer.kernel));
+  d.MixInt(config.macro_delta);
+  return d.value();
+}
+
+telemetry::RunReport MakeRunReport(const CtflReport& report,
+                                   const CtflConfig& config,
+                                   const Federation& federation,
+                                   const Dataset& test) {
+  telemetry::RunReport out;
+  out.config_digest = CtflConfigDigest(config);
+  out.schema_fingerprint =
+      federation.empty() ? 0
+                         : SchemaFingerprint(*federation[0].data.schema());
+  out.failure_plan_fingerprint =
+      config.federated ? config.fedavg.failure.Fingerprint() : 0;
+
+  out.federated = config.federated;
+  out.num_participants = static_cast<int>(federation.size());
+  for (const Participant& p : federation) {
+    out.train_records += static_cast<int64_t>(p.data.size());
+  }
+  out.test_records = static_cast<int64_t>(test.size());
+  out.test_accuracy = report.test_accuracy;
+  out.build_type = BuildTypeName();
+  out.telemetry = report.telemetry;
+
+  // The run fingerprint folds identity and data shape into one word: two
+  // runs with equal fingerprints replay each other's scores bit-for-bit.
+  Digest run_id;
+  run_id.Mix(out.config_digest);
+  run_id.Mix(out.schema_fingerprint);
+  run_id.Mix(out.failure_plan_fingerprint);
+  run_id.MixInt(out.num_participants);
+  for (const Participant& p : federation) {
+    run_id.MixInt(static_cast<int64_t>(p.data.size()));
+  }
+  run_id.MixInt(out.test_records);
+  out.run_fingerprint = run_id.value();
+  return out;
 }
 
 CtflScheme::CtflScheme(const Federation* federation, const Dataset* test,

@@ -8,6 +8,7 @@
 #include "ctfl/core/loss_tracing.h"
 #include "ctfl/core/tracer.h"
 #include "ctfl/fl/fedavg.h"
+#include "ctfl/telemetry/run_report.h"
 #include "ctfl/telemetry/run_telemetry.h"
 #include "ctfl/valuation/scheme.h"
 
@@ -68,6 +69,23 @@ struct CtflReport {
 /// and macro credits.
 CtflReport RunCtfl(const Federation& federation, const Dataset& test,
                    const CtflConfig& config);
+
+/// Digest over the semantic CtflConfig knobs — everything that can change
+/// the run's scores (net shape, seeds, rounds/epochs, tau_w, kernel,
+/// privacy, ...). Thread-count knobs, verbosity, and output paths are
+/// excluded: they never change results (DESIGN.md §9). The failure plan
+/// is also excluded — it is fingerprinted separately so a report can name
+/// the fault schedule independently of the configuration.
+uint64_t CtflConfigDigest(const CtflConfig& config);
+
+/// Assembles the structured run report (DESIGN.md §12) for a finished
+/// RunCtfl invocation: run identity (config digest, schema and
+/// failure-plan fingerprints mixed into one run fingerprint), data shape,
+/// build type, and the full RunTelemetry carried by `report`.
+telemetry::RunReport MakeRunReport(const CtflReport& report,
+                                   const CtflConfig& config,
+                                   const Federation& federation,
+                                   const Dataset& test);
 
 /// Adapters exposing CTFL through the ContributionScheme interface so
 /// benches iterate one scheme list. The CoalitionUtility passed to

@@ -7,6 +7,7 @@
 #include "ctfl/fl/secure_agg.h"
 #include "ctfl/telemetry/metrics.h"
 #include "ctfl/telemetry/trace.h"
+#include "ctfl/util/cpu_time.h"
 #include "ctfl/util/logging.h"
 #include "ctfl/util/stopwatch.h"
 #include "ctfl/util/string_util.h"
@@ -106,6 +107,9 @@ Status RunFedAvg(LogicalNet& global, const std::vector<Dataset>& clients,
   parallel_gauge.Set(pool != nullptr ? fan_out : 1);
 
   Stopwatch round_watch;
+  // Process-wide CPU clock so a round's cpu_seconds includes the
+  // ThreadPool workers' local-training time, not just this thread.
+  ProcessCpuStopwatch round_cpu_watch;
   for (int round = 0; round < config.rounds; ++round) {
     CTFL_SPAN("ctfl.train.round");
     const std::vector<double> global_params = global.GetParameters();
@@ -303,11 +307,13 @@ Status RunFedAvg(LogicalNet& global, const std::vector<Dataset>& clients,
     if (round_retries > 0) retry_counter.Add(round_retries);
     if (degraded) degraded_counter.Add(1);
     const double round_seconds = round_watch.LapSeconds();
+    const double round_cpu_seconds = round_cpu_watch.LapSeconds();
     round_hist.Observe(round_seconds * 1e6);
-    if (stats != nullptr) {
+    if (stats != nullptr || config.round_observer) {
       telemetry::RoundTelemetry rt;
       rt.round = round;
       rt.seconds = round_seconds;
+      rt.cpu_seconds = round_cpu_seconds;
       // Guard the mean: a round where every client is empty (or
       // quarantined) must not divide by zero.
       rt.mean_local_loss =
@@ -316,10 +322,13 @@ Status RunFedAvg(LogicalNet& global, const std::vector<Dataset>& clients,
       rt.clients_dropped = round_dropped;
       rt.retries = round_retries;
       rt.degraded = degraded;
-      stats->rounds.push_back(rt);
-      stats->clients_dropped += round_dropped;
-      stats->retries += round_retries;
-      if (degraded) ++stats->rounds_degraded;
+      if (config.round_observer) config.round_observer(rt);
+      if (stats != nullptr) {
+        stats->rounds.push_back(rt);
+        stats->clients_dropped += round_dropped;
+        stats->retries += round_retries;
+        if (degraded) ++stats->rounds_degraded;
+      }
     }
     if (config.verbose) {
       CTFL_LOG(Info) << "fedavg round " << round << " done ("

@@ -1,6 +1,7 @@
 #ifndef CTFL_FL_FEDAVG_H_
 #define CTFL_FL_FEDAVG_H_
 
+#include <functional>
 #include <vector>
 
 #include "ctfl/fl/failure.h"
@@ -46,6 +47,12 @@ struct FedAvgConfig {
   /// stats — are bit-identical for every value of this knob.
   int num_threads = 0;
   bool verbose = false;
+  /// Invoked once per completed round with that round's telemetry (wall
+  /// and process-CPU seconds, loss, participation churn), before the
+  /// round is appended to `stats`. Used by the CLI's `--metrics-out`
+  /// JSONL snapshot writer to turn round health into a time series.
+  /// Called from the orchestrating thread; may be empty.
+  std::function<void(const telemetry::RoundTelemetry&)> round_observer;
 };
 
 /// Per-run statistics of one RunFedAvg invocation, feeding

@@ -1,0 +1,67 @@
+#ifndef CTFL_TELEMETRY_EXPOSITION_H_
+#define CTFL_TELEMETRY_EXPOSITION_H_
+
+// Metrics exposition (DESIGN.md §12): Prometheus text-format export of
+// the MetricsRegistry and a JSONL snapshot writer that turns round
+// health (clients_dropped, retries, degraded, ...) into a time series —
+// one line per federated round — instead of a single end-of-run total.
+
+#include <fstream>
+#include <string>
+
+#include "ctfl/telemetry/metrics.h"
+#include "ctfl/telemetry/run_telemetry.h"
+#include "ctfl/util/status.h"
+
+namespace ctfl {
+namespace telemetry {
+
+/// Renders `snapshot` in the Prometheus text exposition format
+/// (version 0.0.4): counters and gauges as single samples, histograms as
+/// cumulative `_bucket{le="..."}` series plus `_sum`/`_count`, and the
+/// approximate p50/p90/p99 as `{quantile="..."}` samples. Metric names
+/// are sanitized (dots and other invalid characters become underscores),
+/// e.g. `ctfl.train.steps` -> `ctfl_train_steps`.
+std::string PrometheusText(const MetricsRegistry::Snapshot& snapshot);
+
+/// Convenience: snapshot + render the process-wide registry.
+std::string PrometheusText();
+
+/// Sanitized Prometheus metric name for a registry instrument name.
+std::string PrometheusMetricName(const std::string& name);
+
+/// Appends point-in-time metric snapshots to a JSONL file: one JSON
+/// object per line, each carrying a monotone sequence number, a label,
+/// optional per-round telemetry, and the registry's counters/gauges plus
+/// histogram digests (count/sum/p50/p90/p99). Lines are flushed as they
+/// are written so a crashed run keeps every completed round.
+class MetricsSnapshotWriter {
+ public:
+  /// Opens `path` for writing (truncates). Check status() before use.
+  explicit MetricsSnapshotWriter(const std::string& path);
+
+  MetricsSnapshotWriter(const MetricsSnapshotWriter&) = delete;
+  MetricsSnapshotWriter& operator=(const MetricsSnapshotWriter&) = delete;
+
+  /// Open/write health of the underlying stream.
+  const Status& status() const { return status_; }
+  int snapshots_written() const { return sequence_; }
+
+  /// One snapshot line labeled with a federated round's telemetry.
+  Status WriteRound(const RoundTelemetry& round);
+  /// One snapshot line with a free-form label ("final", "start", ...).
+  Status WriteLabeled(const std::string& label);
+
+ private:
+  Status WriteLine(const std::string& label, const RoundTelemetry* round);
+
+  std::ofstream out_;
+  std::string path_;
+  Status status_;
+  int sequence_ = 0;
+};
+
+}  // namespace telemetry
+}  // namespace ctfl
+
+#endif  // CTFL_TELEMETRY_EXPOSITION_H_

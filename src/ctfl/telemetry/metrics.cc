@@ -55,10 +55,14 @@ double Histogram::ApproxQuantile(double p) const {
   for (int64_t c : counts) total += c;
   if (total == 0) return 0.0;
   p = std::clamp(p, 0.0, 1.0);
-  const double target = p * static_cast<double>(total);
-  double cumulative = 0.0;
+  // Integer rank in [1, total]: p=0 resolves to the first observation's
+  // bucket (not blindly bounds[0]) and no float accumulation can skip a
+  // bucket.
+  const int64_t target = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(p * static_cast<double>(total))));
+  int64_t cumulative = 0;
   for (size_t i = 0; i < counts.size(); ++i) {
-    cumulative += static_cast<double>(counts[i]);
+    cumulative += counts[i];
     if (cumulative >= target) {
       return i < bounds_.size()
                  ? bounds_[i]
@@ -132,6 +136,7 @@ MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
     data.count = histogram->count();
     data.sum = histogram->sum();
     data.p50 = histogram->ApproxQuantile(0.5);
+    data.p90 = histogram->ApproxQuantile(0.9);
     data.p99 = histogram->ApproxQuantile(0.99);
     snapshot.histograms[name] = std::move(data);
   }
@@ -152,9 +157,10 @@ std::string MetricsRegistry::SummaryTable() const {
     const double mean =
         data.count > 0 ? data.sum / static_cast<double>(data.count) : 0.0;
     out << StrFormat(
-        "%-40s histo   n=%-9lld mean=%-12.2f p50<=%-12.3g p99<=%-12.3g\n",
-        name.c_str(), static_cast<long long>(data.count), mean, data.p50,
-        data.p99);
+        "%-40s histo   n=%-9lld sum=%-12.4g mean=%-12.2f p50<=%-10.3g "
+        "p90<=%-10.3g p99<=%-10.3g\n",
+        name.c_str(), static_cast<long long>(data.count), data.sum, mean,
+        data.p50, data.p90, data.p99);
   }
   return out.str();
 }

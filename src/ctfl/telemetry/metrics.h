@@ -68,9 +68,11 @@ class Histogram {
   /// bounds().size() + 1 entries; the last is the overflow bucket.
   std::vector<int64_t> BucketCounts() const;
 
-  /// Upper bound of the bucket containing the p-quantile (p in [0,1]).
-  /// Returns +inf when the quantile falls in the overflow bucket, 0 when
-  /// the histogram is empty.
+  /// Upper bound of the bucket containing the p-quantile (p clamped to
+  /// [0,1]). Returns +inf when the quantile falls in the overflow bucket,
+  /// 0 when the histogram is empty. Safe against concurrent Observe()
+  /// racing the bucket scan: the target rank is derived from the same
+  /// bucket snapshot that is scanned, never from the live count.
   double ApproxQuantile(double p) const;
 
   void Reset();
@@ -117,6 +119,7 @@ class MetricsRegistry {
       int64_t count = 0;
       double sum = 0.0;
       double p50 = 0.0;
+      double p90 = 0.0;
       double p99 = 0.0;
     };
     std::map<std::string, HistogramData> histograms;

@@ -13,14 +13,23 @@ std::string RunTelemetry::Summary() const {
   const auto share = [total](double s) {
     return total > 0.0 ? 100.0 * s / total : 0.0;
   };
-  out << "phase        seconds    share\n";
-  out << StrFormat("train       %8.3f   %5.1f%%\n", train_seconds,
-                   share(train_seconds));
-  out << StrFormat("trace       %8.3f   %5.1f%%\n", trace_seconds,
-                   share(trace_seconds));
-  out << StrFormat("allocate    %8.3f   %5.1f%%\n", allocate_seconds,
-                   share(allocate_seconds));
-  out << StrFormat("total       %8.3f\n", total);
+  out << "phase        seconds    cpu_s    share\n";
+  out << StrFormat("train       %8.3f %8.3f   %5.1f%%\n", train_seconds,
+                   train_cpu_seconds, share(train_seconds));
+  out << StrFormat("trace       %8.3f %8.3f   %5.1f%%\n", trace_seconds,
+                   trace_cpu_seconds, share(trace_seconds));
+  out << StrFormat("allocate    %8.3f %8.3f   %5.1f%%\n", allocate_seconds,
+                   allocate_cpu_seconds, share(allocate_seconds));
+  out << StrFormat("total       %8.3f %8.3f\n", total, total_cpu_seconds());
+  if (max_rss_kb > 0 || voluntary_ctx_switches > 0 ||
+      involuntary_ctx_switches > 0) {
+    out << StrFormat(
+        "resources: max_rss=%lldkB ctx_switches=%lld voluntary, "
+        "%lld involuntary\n",
+        static_cast<long long>(max_rss_kb),
+        static_cast<long long>(voluntary_ctx_switches),
+        static_cast<long long>(involuntary_ctx_switches));
+  }
 
   out << StrFormat(
       "train: %lld grafting steps, accuracy %.4f\n",

@@ -28,6 +28,10 @@ struct RoundTelemetry {
   int clients_dropped = 0;
   int retries = 0;
   bool degraded = false;
+  /// Process CPU time the round consumed across every thread
+  /// (CLOCK_PROCESS_CPUTIME_ID delta; 0 when unsupported). At most
+  /// seconds * worker-threads up to clock granularity.
+  double cpu_seconds = 0.0;
 };
 
 /// One local/central training epoch.
@@ -78,8 +82,27 @@ struct RunTelemetry {
   // ---- Allocation phase --------------------------------------------------
   double allocate_seconds = 0.0;
 
+  // ---- Profiling-grade breakdown (DESIGN.md §12) -------------------------
+  /// Process CPU time per phase across all threads
+  /// (CLOCK_PROCESS_CPUTIME_ID deltas; 0 when the platform lacks the
+  /// clock). Each is bounded by the phase's wall time times the number of
+  /// running threads; cpu ~= wall on a single core means the phase is
+  /// compute-bound, cpu << wall means it was blocked or preempted.
+  double train_cpu_seconds = 0.0;
+  double trace_cpu_seconds = 0.0;
+  double allocate_cpu_seconds = 0.0;
+  /// getrusage(RUSAGE_SELF) view of the run: peak resident set (process
+  /// high-water mark, not a delta) and context switches consumed between
+  /// RunCtfl entry and exit.
+  int64_t max_rss_kb = 0;
+  int64_t voluntary_ctx_switches = 0;
+  int64_t involuntary_ctx_switches = 0;
+
   double total_seconds() const {
     return train_seconds + trace_seconds + allocate_seconds;
+  }
+  double total_cpu_seconds() const {
+    return train_cpu_seconds + trace_cpu_seconds + allocate_cpu_seconds;
   }
 
   /// Multi-line human-readable summary (phase table + per-round lines).

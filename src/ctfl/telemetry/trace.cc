@@ -8,6 +8,8 @@
 #include <mutex>
 #include <sstream>
 
+#include "ctfl/util/cpu_time.h"
+#include "ctfl/util/json.h"
 #include "ctfl/util/string_util.h"
 
 namespace ctfl {
@@ -83,39 +85,6 @@ int NextThreadId() {
 thread_local int t_trace_tid = -1;
 thread_local int t_span_depth = 0;
 
-/// Escapes a string for embedding in a JSON string literal. Span names are
-/// static identifiers, but the exporter should never emit invalid JSON.
-std::string JsonEscape(const char* s) {
-  std::string out;
-  for (const char* p = s; *p != '\0'; ++p) {
-    const char c = *p;
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += StrFormat("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 }  // namespace
 
 void SetTracingEnabled(bool enabled) {
@@ -172,7 +141,8 @@ std::string ChromeTraceJson() {
         << "\",\"cat\":\"ctfl\",\"ph\":\"X\",\"ts\":" << event.start_us
         << ",\"dur\":" << event.duration_us
         << ",\"pid\":1,\"tid\":" << event.tid
-        << ",\"args\":{\"depth\":" << event.depth << "}}";
+        << ",\"args\":{\"depth\":" << event.depth
+        << ",\"cpu_us\":" << event.cpu_us << "}}";
   }
   out << "],\"displayTimeUnit\":\"ms\"}";
   return out.str();
@@ -190,6 +160,7 @@ std::string TraceSummaryTable() {
   struct Aggregate {
     int64_t count = 0;
     int64_t total_us = 0;
+    int64_t cpu_us = 0;
     int64_t min_us = INT64_MAX;
     int64_t max_us = 0;
   };
@@ -198,6 +169,7 @@ std::string TraceSummaryTable() {
     Aggregate& agg = by_name[event.name];
     ++agg.count;
     agg.total_us += event.duration_us;
+    agg.cpu_us += event.cpu_us;
     agg.min_us = std::min(agg.min_us, event.duration_us);
     agg.max_us = std::max(agg.max_us, event.duration_us);
   }
@@ -207,12 +179,12 @@ std::string TraceSummaryTable() {
     return a.second.total_us > b.second.total_us;
   });
   std::ostringstream out;
-  out << StrFormat("%-32s %8s %12s %12s %10s %10s\n", "span", "count",
-                   "total_ms", "mean_ms", "min_ms", "max_ms");
+  out << StrFormat("%-32s %8s %12s %12s %12s %10s %10s\n", "span", "count",
+                   "total_ms", "cpu_ms", "mean_ms", "min_ms", "max_ms");
   for (const auto& [name, agg] : rows) {
-    out << StrFormat("%-32s %8lld %12.3f %12.3f %10.3f %10.3f\n",
+    out << StrFormat("%-32s %8lld %12.3f %12.3f %12.3f %10.3f %10.3f\n",
                      name.c_str(), static_cast<long long>(agg.count),
-                     agg.total_us / 1e3,
+                     agg.total_us / 1e3, agg.cpu_us / 1e3,
                      agg.total_us / 1e3 / static_cast<double>(agg.count),
                      agg.min_us / 1e3, agg.max_us / 1e3);
   }
@@ -226,8 +198,13 @@ std::string TraceSummaryTable() {
 Span::Span(const char* name) : name_(name) {
   if (!TracingEnabled()) return;  // disabled fast path: one load + branch
   active_ = true;
-  start_us_ = TraceClockMicros();
   ++t_span_depth;
+  // CPU clock first: its very first call in a process can be slow
+  // (symbol resolution / non-vDSO syscall), and sampling it before the
+  // wall clocks keeps that cost out of the [ts, ts+dur] window so child
+  // spans still nest inside their parent.
+  start_cpu_us_ = ThreadCpuMicros();
+  start_us_ = TraceClockMicros();
   watch_.Restart();
 }
 
@@ -237,6 +214,11 @@ void Span::End() {
   TraceEvent event;
   event.name = name_;
   event.start_us = start_us_;
+  // End() can run on a different thread than the constructor only for
+  // heap-escaped spans, which the RAII contract forbids; the CPU delta is
+  // the owning thread's. CPU before wall, mirroring the constructor, so
+  // the CPU window never extends past the wall window.
+  event.cpu_us = ThreadCpuMicros() - start_cpu_us_;
   event.duration_us = watch_.ElapsedMicros();
   event.tid = CurrentTraceThreadId();
   event.depth = --t_span_depth;

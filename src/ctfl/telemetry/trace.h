@@ -27,6 +27,11 @@ struct TraceEvent {
   const char* name = nullptr;
   int64_t start_us = 0;  ///< microseconds since process trace epoch
   int64_t duration_us = 0;
+  /// CPU time the span's own thread consumed inside the span
+  /// (CLOCK_THREAD_CPUTIME_ID delta; 0 when the platform lacks the
+  /// clock). cpu_us <= duration_us up to scheduler/clock granularity —
+  /// a large gap means the span was blocked or preempted, not working.
+  int64_t cpu_us = 0;
   int tid = 0;     ///< small dense thread id (not the OS tid)
   int depth = 0;   ///< nesting depth on its thread at the time
 };
@@ -54,7 +59,7 @@ std::vector<TraceEvent> TraceEvents();
 
 /// Serializes the buffer as Chrome trace JSON:
 /// {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...,"pid":1,
-///   "tid":...,"cat":"ctfl","args":{"depth":...}}, ...],
+///   "tid":...,"cat":"ctfl","args":{"depth":...,"cpu_us":...}}, ...],
 ///  "displayTimeUnit":"ms"}.
 std::string ChromeTraceJson();
 /// Writes ChromeTraceJson() to `path`.
@@ -85,6 +90,7 @@ class Span {
   const char* name_;
   Stopwatch watch_;
   int64_t start_us_ = 0;
+  int64_t start_cpu_us_ = 0;
   bool active_ = false;
 };
 

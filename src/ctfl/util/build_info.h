@@ -1,0 +1,24 @@
+#ifndef CTFL_UTIL_BUILD_INFO_H_
+#define CTFL_UTIL_BUILD_INFO_H_
+
+// Build-type identification for the performance observatory: RunReports,
+// bench JSON context, and the perf gate all refuse to compare numbers
+// across build types (a Debug trace pass is ~5x a Release one), so every
+// artifact stamps this.
+
+namespace ctfl {
+
+/// "release" when assertions are compiled out (NDEBUG), "debug" otherwise.
+/// Tracks the optimization reality of *this* translation's flags, which
+/// CMake ties to CMAKE_BUILD_TYPE for every standard configuration.
+inline const char* BuildTypeName() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+}  // namespace ctfl
+
+#endif  // CTFL_UTIL_BUILD_INFO_H_

@@ -1,0 +1,63 @@
+#include "ctfl/util/cpu_time.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CTFL_HAVE_POSIX_CPU_TIME 1
+#include <sys/resource.h>
+#include <time.h>
+#else
+#define CTFL_HAVE_POSIX_CPU_TIME 0
+#endif
+
+namespace ctfl {
+namespace {
+
+#if CTFL_HAVE_POSIX_CPU_TIME
+int64_t ClockMicros(clockid_t id) {
+  timespec ts;
+  if (clock_gettime(id, &ts) != 0) return 0;
+  return static_cast<int64_t>(ts.tv_sec) * 1000000 +
+         static_cast<int64_t>(ts.tv_nsec) / 1000;
+}
+#endif
+
+}  // namespace
+
+bool CpuTimeSupported() { return CTFL_HAVE_POSIX_CPU_TIME != 0; }
+
+int64_t ThreadCpuMicros() {
+#if CTFL_HAVE_POSIX_CPU_TIME
+  return ClockMicros(CLOCK_THREAD_CPUTIME_ID);
+#else
+  return 0;
+#endif
+}
+
+int64_t ProcessCpuMicros() {
+#if CTFL_HAVE_POSIX_CPU_TIME
+  return ClockMicros(CLOCK_PROCESS_CPUTIME_ID);
+#else
+  return 0;
+#endif
+}
+
+ResourceUsage CurrentResourceUsage() {
+  ResourceUsage usage;
+#if CTFL_HAVE_POSIX_CPU_TIME
+  rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return usage;
+#if defined(__APPLE__)
+  usage.max_rss_kb = ru.ru_maxrss / 1024;  // bytes on macOS
+#else
+  usage.max_rss_kb = ru.ru_maxrss;  // kilobytes on Linux
+#endif
+  usage.voluntary_ctx_switches = ru.ru_nvcsw;
+  usage.involuntary_ctx_switches = ru.ru_nivcsw;
+  usage.user_cpu_micros =
+      static_cast<int64_t>(ru.ru_utime.tv_sec) * 1000000 + ru.ru_utime.tv_usec;
+  usage.system_cpu_micros =
+      static_cast<int64_t>(ru.ru_stime.tv_sec) * 1000000 + ru.ru_stime.tv_usec;
+#endif
+  return usage;
+}
+
+}  // namespace ctfl

@@ -1,0 +1,88 @@
+#ifndef CTFL_UTIL_CPU_TIME_H_
+#define CTFL_UTIL_CPU_TIME_H_
+
+// CPU-clock and process-resource probes backing the profiling-grade
+// telemetry layer (DESIGN.md §12): per-span thread CPU time, per-phase
+// process CPU time, and getrusage deltas (max RSS, context switches).
+//
+// All probes degrade gracefully: on platforms without the POSIX clocks
+// they return 0 and CpuTimeSupported() reports false, so telemetry
+// consumers can distinguish "no CPU work" from "not measured".
+
+#include <cstdint>
+
+namespace ctfl {
+
+/// True when the per-thread / per-process CPU clocks are available.
+bool CpuTimeSupported();
+
+/// CPU time consumed by the calling thread, in microseconds
+/// (CLOCK_THREAD_CPUTIME_ID). 0 when unsupported.
+int64_t ThreadCpuMicros();
+
+/// CPU time consumed by the whole process across all threads, in
+/// microseconds (CLOCK_PROCESS_CPUTIME_ID). 0 when unsupported.
+int64_t ProcessCpuMicros();
+
+/// Point-in-time process resource usage (getrusage(RUSAGE_SELF)).
+/// max_rss_kb is a high-water mark; the context-switch counters are
+/// monotonically increasing totals — subtract two probes for a delta.
+struct ResourceUsage {
+  int64_t max_rss_kb = 0;
+  int64_t voluntary_ctx_switches = 0;
+  int64_t involuntary_ctx_switches = 0;
+  int64_t user_cpu_micros = 0;
+  int64_t system_cpu_micros = 0;
+};
+
+/// Current process usage; all-zero when getrusage is unavailable.
+ResourceUsage CurrentResourceUsage();
+
+/// Stopwatch over the calling thread's CPU clock. Mirrors Stopwatch's
+/// Restart/Elapsed shape; only meaningful when read from the thread that
+/// constructed it.
+class ThreadCpuStopwatch {
+ public:
+  ThreadCpuStopwatch() : start_(ThreadCpuMicros()) {}
+  void Restart() { start_ = ThreadCpuMicros(); }
+  int64_t ElapsedMicros() const { return ThreadCpuMicros() - start_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+  /// Elapsed seconds since construction/last lap, then restarts.
+  double LapSeconds() {
+    const int64_t now = ThreadCpuMicros();
+    const double lap = static_cast<double>(now - start_) / 1e6;
+    start_ = now;
+    return lap;
+  }
+
+ private:
+  int64_t start_;
+};
+
+/// Stopwatch over the process CPU clock (sums every thread's CPU time),
+/// for per-phase breakdowns that must include ThreadPool workers.
+class ProcessCpuStopwatch {
+ public:
+  ProcessCpuStopwatch() : start_(ProcessCpuMicros()) {}
+  void Restart() { start_ = ProcessCpuMicros(); }
+  int64_t ElapsedMicros() const { return ProcessCpuMicros() - start_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+  /// Elapsed seconds since construction/last lap, then restarts.
+  double LapSeconds() {
+    const int64_t now = ProcessCpuMicros();
+    const double lap = static_cast<double>(now - start_) / 1e6;
+    start_ = now;
+    return lap;
+  }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace ctfl
+
+#endif  // CTFL_UTIL_CPU_TIME_H_

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "ctfl/util/cpu_time.h"
+
 namespace ctfl {
 namespace {
 
@@ -67,6 +69,53 @@ TEST(StopwatchTest, RestartResetsLapMark) {
   const int64_t lap = watch.LapMicros();
   EXPECT_LT(lap, 2000);  // the pre-Restart sleep is not included
   EXPECT_GE(watch.ElapsedMicros(), 0);
+}
+
+TEST(CpuTimeTest, ThreadCpuTracksWorkNotSleep) {
+  if (!CpuTimeSupported()) GTEST_SKIP() << "no POSIX CPU clocks";
+  ThreadCpuStopwatch cpu;
+  Stopwatch wall;
+  BurnCpu();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double cpu_seconds = cpu.ElapsedSeconds();
+  const double wall_seconds = wall.ElapsedSeconds();
+  EXPECT_GT(cpu_seconds, 0.0);  // the burn loop consumed CPU
+  // A thread's CPU time never exceeds its wall time (allow 1ms of clock
+  // granularity), and sleeping is wall-only, so cpu < wall here.
+  EXPECT_LE(cpu_seconds, wall_seconds + 1e-3);
+}
+
+TEST(CpuTimeTest, ProcessCpuCoversAllThreadsAndLaps) {
+  if (!CpuTimeSupported()) GTEST_SKIP() << "no POSIX CPU clocks";
+  ProcessCpuStopwatch cpu;
+  std::thread worker(BurnCpu);
+  BurnCpu();
+  worker.join();
+  const double lap1 = cpu.LapSeconds();
+  EXPECT_GT(lap1, 0.0);  // both threads' burn loops are visible
+  const double lap2 = cpu.LapSeconds();
+  // The mark advanced: the second lap no longer includes the burns.
+  EXPECT_LT(lap2, lap1);
+  EXPECT_GE(lap2, 0.0);
+}
+
+TEST(CpuTimeTest, ResourceUsageIsMonotone) {
+  const ResourceUsage before = CurrentResourceUsage();
+  BurnCpu();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const ResourceUsage after = CurrentResourceUsage();
+  // Context-switch totals and the RSS high-water mark never decrease.
+  EXPECT_GE(after.voluntary_ctx_switches, before.voluntary_ctx_switches);
+  EXPECT_GE(after.involuntary_ctx_switches,
+            before.involuntary_ctx_switches);
+  EXPECT_GE(after.max_rss_kb, before.max_rss_kb);
+  if (CpuTimeSupported()) {
+    // getrusage is populated alongside the CPU clocks on POSIX.
+    EXPECT_GT(after.max_rss_kb, 0);
+    // The sleep above yields the CPU: at least one voluntary switch.
+    EXPECT_GT(after.voluntary_ctx_switches,
+              before.voluntary_ctx_switches);
+  }
 }
 
 }  // namespace

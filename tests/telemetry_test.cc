@@ -515,5 +515,97 @@ TEST_F(TelemetryTest, MetricsSummaryTableListsInstruments) {
   EXPECT_EQ(snapshot.counters.at("test.summary.counter"), 5);
 }
 
+TEST_F(TelemetryTest, SnapshotCarriesHistogramDigest) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("test.digest", {1.0, 2.0, 4.0});
+  for (int i = 0; i < 50; ++i) h.Observe(0.5);
+  for (int i = 0; i < 49; ++i) h.Observe(1.5);
+  h.Observe(100.0);
+  const MetricsRegistry::Snapshot snapshot = registry.TakeSnapshot();
+  const auto& data = snapshot.histograms.at("test.digest");
+  EXPECT_EQ(data.count, 100);
+  EXPECT_DOUBLE_EQ(data.sum, 50 * 0.5 + 49 * 1.5 + 100.0);
+  EXPECT_DOUBLE_EQ(data.p50, 1.0);
+  EXPECT_DOUBLE_EQ(data.p90, 2.0);
+  EXPECT_DOUBLE_EQ(data.p99, 2.0);  // rank 99 is still in bucket le=2
+}
+
+TEST_F(TelemetryTest, SummaryTableShowsHistogramCountSumQuantiles) {
+  Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "test.summary.histo", {1.0, 10.0});
+  h.Observe(0.5);
+  h.Observe(5.0);
+  const std::string table = MetricsRegistry::Global().SummaryTable();
+  EXPECT_NE(table.find("test.summary.histo"), std::string::npos);
+  EXPECT_NE(table.find("n="), std::string::npos) << table;
+  EXPECT_NE(table.find("sum="), std::string::npos) << table;
+  EXPECT_NE(table.find("p50<="), std::string::npos) << table;
+  EXPECT_NE(table.find("p90<="), std::string::npos) << table;
+  EXPECT_NE(table.find("p99<="), std::string::npos) << table;
+}
+
+// ---------------------------------------------------------------------------
+// Profiling-grade span CPU time.
+// ---------------------------------------------------------------------------
+
+TEST_F(TelemetryTest, SpanRecordsThreadCpuWithinWall) {
+  telemetry::SetTracingEnabled(true);
+  {
+    Span span("test.cpu");
+    volatile double sink = 0.0;
+    for (int i = 0; i < 200000; ++i) sink = sink + i * 1e-9;
+  }
+  const std::vector<telemetry::TraceEvent> events =
+      telemetry::TraceEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_GE(events[0].cpu_us, 0);
+  // A span's thread-CPU delta never exceeds its wall duration (allow 1ms
+  // of clock granularity between the two clocks).
+  EXPECT_LE(events[0].cpu_us, events[0].duration_us + 1000);
+}
+
+TEST_F(TelemetryTest, ChromeTraceArgsCarryCpuMicros) {
+  telemetry::SetTracingEnabled(true);
+  { Span span("test.cpu.args"); }
+  const std::string json = telemetry::ChromeTraceJson();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
+  const JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 1u);
+  const JsonValue* args = events->array[0].Find("args");
+  ASSERT_NE(args, nullptr);
+  const JsonValue* cpu_us = args->Find("cpu_us");
+  ASSERT_NE(cpu_us, nullptr) << json;
+  EXPECT_GE(cpu_us->number, 0.0);
+  EXPECT_LE(cpu_us->number,
+            events->array[0].Find("dur")->number + 1000.0);
+}
+
+TEST_F(TelemetryTest, TraceSummaryTableHasCpuColumn) {
+  telemetry::SetTracingEnabled(true);
+  { Span span("test.cpu.table"); }
+  const std::string table = telemetry::TraceSummaryTable();
+  EXPECT_NE(table.find("cpu_ms"), std::string::npos) << table;
+}
+
+TEST_F(TelemetryTest, RunTelemetrySummaryShowsCpuAndResources) {
+  telemetry::RunTelemetry run;
+  run.train_seconds = 1.0;
+  run.train_cpu_seconds = 1.5;  // parallel training: cpu > wall
+  run.trace_seconds = 0.5;
+  run.trace_cpu_seconds = 0.5;
+  run.allocate_seconds = 0.25;
+  run.allocate_cpu_seconds = 0.25;
+  run.max_rss_kb = 2048;
+  run.voluntary_ctx_switches = 10;
+  run.involuntary_ctx_switches = 3;
+  const std::string summary = run.Summary();
+  EXPECT_NE(summary.find("cpu_s"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("max_rss=2048kB"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("10 voluntary"), std::string::npos) << summary;
+  EXPECT_DOUBLE_EQ(run.total_cpu_seconds(), 2.25);
+}
+
 }  // namespace
 }  // namespace ctfl

@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# Runs the perf-trajectory benchmark suite and writes the machine-readable
+# BENCH_*.json files the CI perf gate (tools/perf_gate.py) compares against
+# their committed baselines:
+#
+#   BENCH_trace.json   BM_TracePass/{legacy,blocked}   Eq. 4 tracing pass
+#   BENCH_fedavg.json  BM_FedAvgRound/threads:*        one federated round
+#   BENCH_query.json   BM_QueryRelated/* + BM_BundleLoad  bundle serving
+#
+# Guard rails:
+#   * The build is forced to (and verified as) CMAKE_BUILD_TYPE=Release —
+#     debug numbers must never enter a perf trajectory. The benchmark
+#     binary additionally stamps "ctfl_build_type" into each JSON context
+#     (from its own NDEBUG), and this script refuses to continue if that
+#     says anything but "release".
+#   * The repo git revision is stamped into each JSON context as
+#     "ctfl_git_revision" so a trajectory point names the code it measured.
+#
+# Usage: tools/bench_suite.sh [build-dir] [out-dir] [suite]
+#   build-dir defaults to build-release (configured Release if missing).
+#   out-dir   defaults to the repo root (BENCH_*.json land next to the
+#             committed baselines).
+#   suite     trace|fedavg|query|all (default all).
+# Extra benchmark flags (e.g. --benchmark_min_time=0.05s for CI smoke
+# runs) can be passed via CTFL_BENCH_EXTRA_ARGS.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build-release}"
+OUT_DIR="${2:-${REPO_ROOT}}"
+SUITE="${3:-all}"
+EXTRA_ARGS=(${CTFL_BENCH_EXTRA_ARGS:-})
+
+case "${SUITE}" in
+  trace|fedavg|query|all) ;;
+  *)
+    echo "bench_suite: unknown suite '${SUITE}' (want trace|fedavg|query|all)" >&2
+    exit 2
+    ;;
+esac
+
+cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=Release >/dev/null
+# Belt and braces: an existing build dir configured Debug would silently
+# win over the -D above in older CMake workflows; verify the cache.
+CACHED_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "${BUILD_DIR}/CMakeCache.txt")"
+if [[ "${CACHED_TYPE}" != "Release" ]]; then
+  echo "bench_suite: ${BUILD_DIR} is configured '${CACHED_TYPE}', not Release" >&2
+  echo "bench_suite: use a dedicated Release build dir (default: build-release)" >&2
+  exit 2
+fi
+cmake --build "${BUILD_DIR}" --target micro_benchmarks -j "$(nproc)" >/dev/null
+
+BENCH_BIN="$(find "${BUILD_DIR}" -name micro_benchmarks -type f -perm -u+x | head -n 1)"
+if [[ -z "${BENCH_BIN}" ]]; then
+  echo "bench_suite: micro_benchmarks binary not found under ${BUILD_DIR}" >&2
+  exit 2
+fi
+
+GIT_REV="$(git -C "${REPO_ROOT}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+mkdir -p "${OUT_DIR}"
+
+run_group() {
+  local name="$1" filter="$2"
+  local out_json="${OUT_DIR}/BENCH_${name}.json"
+  echo "== ${name}: ${filter}"
+  "${BENCH_BIN}" \
+    --benchmark_filter="${filter}" \
+    --benchmark_out="${out_json}" \
+    --benchmark_out_format=json \
+    --benchmark_format=console \
+    "${EXTRA_ARGS[@]+"${EXTRA_ARGS[@]}"}"
+  # Stamp the git revision and refuse debug numbers.
+  python3 - "${out_json}" "${GIT_REV}" <<'PY'
+import json, sys
+path, rev = sys.argv[1], sys.argv[2]
+with open(path) as f:
+    data = json.load(f)
+ctx = data.setdefault("context", {})
+build_type = ctx.get("ctfl_build_type")
+if build_type != "release":
+    print(f"bench_suite: {path} measured a '{build_type}' CTFL build; "
+          "perf trajectories only accept release numbers", file=sys.stderr)
+    sys.exit(2)
+if not data.get("benchmarks"):
+    print(f"bench_suite: {path} contains no benchmarks (bad filter?)",
+          file=sys.stderr)
+    sys.exit(2)
+ctx["ctfl_git_revision"] = rev
+with open(path, "w") as f:
+    json.dump(data, f, indent=2)
+    f.write("\n")
+PY
+  echo "wrote ${out_json}"
+}
+
+if [[ "${SUITE}" == "trace" || "${SUITE}" == "all" ]]; then
+  run_group trace '^BM_TracePass/'
+  # Sanity-check the tracing variants + pruning counters (the historical
+  # bench_trace_json.sh contract: blocked must report its counters, and
+  # legacy's records_scanned is 0 by construction).
+  python3 - "${OUT_DIR}/BENCH_trace.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+rows = {}
+for b in data.get("benchmarks", []):
+    name = b.get("name", "")
+    if name.startswith("BM_TracePass/"):
+        rows[name.split("/")[1]] = b
+missing = {"legacy", "blocked"} - rows.keys()
+if missing:
+    print(f"bench_suite: missing trace variants: {sorted(missing)}",
+          file=sys.stderr)
+    sys.exit(2)
+for variant in ("legacy", "blocked"):
+    b = rows[variant]
+    for counter in ("tau_w_checks", "records_scanned", "blocks_pruned"):
+        if counter not in b:
+            print(f"bench_suite: {variant} missing counter {counter}",
+                  file=sys.stderr)
+            sys.exit(2)
+    unit = b.get("time_unit", "ns")
+    print(f"BM_TracePass/{variant}: {b['real_time']:.3f} {unit}/pass  "
+          f"tau_w_checks={b['tau_w_checks']:.0f}  "
+          f"records_scanned={b['records_scanned']:.0f}  "
+          f"blocks_pruned={b['blocks_pruned']:.0f}")
+speedup = rows["legacy"]["real_time"] / max(rows["blocked"]["real_time"], 1e-12)
+print(f"blocked speedup over legacy: {speedup:.2f}x")
+PY
+fi
+if [[ "${SUITE}" == "fedavg" || "${SUITE}" == "all" ]]; then
+  run_group fedavg '^BM_FedAvgRound/'
+fi
+if [[ "${SUITE}" == "query" || "${SUITE}" == "all" ]]; then
+  run_group query '^BM_QueryRelated/|^BM_BundleLoad'
+fi
+
+echo "bench_suite: done (${SUITE})"

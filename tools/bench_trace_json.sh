@@ -1,13 +1,9 @@
 #!/usr/bin/env bash
-# Runs the tracing-kernel benchmarks (BM_TracePass legacy vs blocked) and
-# writes a machine-readable BENCH_trace.json. The JSON carries, per variant,
-# the pass wall time plus the pruning counters exported by the kernel:
-# tau_w_checks (candidates submitted), records_scanned (candidates whose
-# overlap words were actually touched by the blocked kernel) and
-# blocks_pruned (64-record blocks skipped wholesale by the upper-bound
-# early exit). The legacy kernel reports records_scanned == 0 by
-# construction, so downstream checks compare blocked.records_scanned
-# against legacy.tau_w_checks.
+# Back-compat wrapper: the tracing benchmark JSON is now produced by the
+# generalized suite runner (tools/bench_suite.sh, suite "trace"), which
+# enforces a Release build and stamps build type + git revision into the
+# JSON context. This wrapper keeps the historical interface alive for
+# scripts and CI jobs that call it directly.
 #
 # Usage: tools/bench_trace_json.sh [build-dir] [out.json]
 #   build-dir defaults to build-release (configured Release if missing).
@@ -20,53 +16,10 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-${REPO_ROOT}/build-release}"
 OUT_JSON="${2:-${CTFL_BENCH_TRACE_OUT:-${REPO_ROOT}/BENCH_trace.json}}"
 
-cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "${BUILD_DIR}" --target micro_benchmarks -j "$(nproc)" >/dev/null
+OUT_DIR="$(cd "$(dirname "${OUT_JSON}")" && pwd)"
+"${REPO_ROOT}/tools/bench_suite.sh" "${BUILD_DIR}" "${OUT_DIR}" trace
 
-BENCH_BIN="$(find "${BUILD_DIR}" -name micro_benchmarks -type f -perm -u+x | head -n 1)"
-if [[ -z "${BENCH_BIN}" ]]; then
-  echo "bench_trace_json: micro_benchmarks binary not found under ${BUILD_DIR}" >&2
-  exit 2
+if [[ "${OUT_DIR}/BENCH_trace.json" != "${OUT_JSON}" ]]; then
+  mv "${OUT_DIR}/BENCH_trace.json" "${OUT_JSON}"
 fi
-
-"${BENCH_BIN}" \
-  --benchmark_filter='^BM_TracePass/' \
-  --benchmark_out="${OUT_JSON}" \
-  --benchmark_out_format=json \
-  --benchmark_format=console
-
-# Human-readable summary + sanity check that both variants and their
-# counters landed in the JSON.
-python3 - "${OUT_JSON}" <<'PY'
-import json, sys
-with open(sys.argv[1]) as f:
-    data = json.load(f)
-rows = {}
-for b in data.get("benchmarks", []):
-    name = b.get("name", "")
-    if not name.startswith("BM_TracePass/"):
-        continue
-    variant = name.split("/")[1]
-    rows[variant] = b
-missing = {"legacy", "blocked"} - rows.keys()
-if missing:
-    print(f"bench_trace_json: missing variants in output: {sorted(missing)}",
-          file=sys.stderr)
-    sys.exit(2)
-for variant in ("legacy", "blocked"):
-    b = rows[variant]
-    for counter in ("tau_w_checks", "records_scanned", "blocks_pruned"):
-        if counter not in b:
-            print(f"bench_trace_json: {variant} missing counter {counter}",
-                  file=sys.stderr)
-            sys.exit(2)
-    unit = b.get("time_unit", "ns")
-    print(f"BM_TracePass/{variant}: {b['real_time']:.3f} {unit}/pass  "
-          f"tau_w_checks={b['tau_w_checks']:.0f}  "
-          f"records_scanned={b['records_scanned']:.0f}  "
-          f"blocks_pruned={b['blocks_pruned']:.0f}")
-speedup = rows["legacy"]["real_time"] / max(rows["blocked"]["real_time"], 1e-12)
-print(f"blocked speedup over legacy: {speedup:.2f}x")
-PY
-
 echo "wrote ${OUT_JSON}"

@@ -14,6 +14,7 @@
 //             [--failure-plan SPEC] [--retry-budget B]
 //             [--trace-kernel legacy|blocked] [--bundle-out FILE]
 //             [--telemetry-out FILE.json] [--telemetry-summary]
+//             [--metrics-out FILE.jsonl] [--report-out FILE.json]
 //       Partitions the training CSV into K participants, runs the full
 //       CTFL pipeline, and prints micro/macro scores + a loss report.
 //       --federated trains the global model with FedAvg rounds across
@@ -34,6 +35,11 @@
 //       are bit-identical either way. --telemetry-out writes a Chrome
 //       trace (open in chrome://tracing or ui.perfetto.dev);
 //       --telemetry-summary prints per-span and per-phase cost tables.
+//       --metrics-out appends one JSONL metrics snapshot per federated
+//       round (plus a final one), turning round health into a time
+//       series; --report-out writes the structured RunReport JSON
+//       (fingerprints, per-phase wall/CPU breakdown, kernel counters —
+//       DESIGN.md §12).
 //   snapshot  --dataset NAME --train FILE --test FILE --bundle-out FILE
 //             [score flags]
 //       Same pipeline as `score`, but the bundle is the point: trains
@@ -57,6 +63,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <memory>
 
 #include "ctfl/core/incentive.h"
 #include "ctfl/core/interpret.h"
@@ -68,9 +75,11 @@
 #include "ctfl/kernel/trace_kernel.h"
 #include "ctfl/nn/serialize.h"
 #include "ctfl/store/query_engine.h"
+#include "ctfl/telemetry/exposition.h"
 #include "ctfl/telemetry/metrics.h"
 #include "ctfl/telemetry/trace.h"
 #include "ctfl/util/flags.h"
+#include "ctfl/util/logging.h"
 
 namespace ctfl {
 namespace {
@@ -198,7 +207,9 @@ Status RunScore(int argc, const char* const* argv, bool snapshot_mode) {
                     {"trace-kernel", "blocked"},
                     {"bundle-out", ""},
                     {"telemetry-out", ""},
-                    {"telemetry-summary", "false"}});
+                    {"telemetry-summary", "false"},
+                    {"metrics-out", ""},
+                    {"report-out", ""}});
   CTFL_RETURN_IF_ERROR(flags.Parse(argc, argv));
   if (flags.GetString("train").empty() || flags.GetString("test").empty()) {
     return Status::InvalidArgument("--train and --test are required");
@@ -235,6 +246,8 @@ Status RunScore(int argc, const char* const* argv, bool snapshot_mode) {
   if (!telemetry_out.empty() || telemetry_summary) {
     telemetry::SetTracingEnabled(true);
   }
+  const std::string metrics_out = flags.GetString("metrics-out");
+  const std::string report_out = flags.GetString("report-out");
 
   Rng prng(seed);
   const Federation fed = MakeFederation(
@@ -265,7 +278,39 @@ Status RunScore(int argc, const char* const* argv, bool snapshot_mode) {
   config.tracer.kernel = trace_kernel;
   config.num_threads = num_threads;
   config.bundle_out = flags.GetString("bundle-out");
+
+  // --metrics-out: one metrics snapshot per completed federated round
+  // (plus a closing "final" line after the run), so round health is a
+  // time series rather than an end-of-run total.
+  std::unique_ptr<telemetry::MetricsSnapshotWriter> metrics_writer;
+  if (!metrics_out.empty()) {
+    metrics_writer =
+        std::make_unique<telemetry::MetricsSnapshotWriter>(metrics_out);
+    CTFL_RETURN_IF_ERROR(metrics_writer->status());
+    config.fedavg.round_observer =
+        [&metrics_writer](const telemetry::RoundTelemetry& round) {
+          const Status status = metrics_writer->WriteRound(round);
+          if (!status.ok()) {
+            CTFL_LOG(Warning)
+                << "metrics snapshot failed: " << status.message();
+          }
+        };
+  }
+
   const CtflReport report = RunCtfl(fed, test, config);
+  if (metrics_writer != nullptr) {
+    CTFL_RETURN_IF_ERROR(metrics_writer->WriteLabeled("final"));
+    std::printf("metrics snapshots (%d) -> %s\n",
+                metrics_writer->snapshots_written(), metrics_out.c_str());
+  }
+  if (!report_out.empty()) {
+    const telemetry::RunReport run_report =
+        MakeRunReport(report, config, fed, test);
+    CTFL_RETURN_IF_ERROR(telemetry::WriteRunReport(run_report, report_out));
+    std::printf("run report (fingerprint 0x%016llx, %s build) -> %s\n",
+                static_cast<unsigned long long>(run_report.run_fingerprint),
+                run_report.build_type.c_str(), report_out.c_str());
+  }
   if (!config.bundle_out.empty()) {
     CTFL_RETURN_IF_ERROR(report.bundle_status);
     std::printf("bundle (%zu bytes) -> %s\n", report.bundle_bytes,

@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over google-benchmark JSON trajectories.
+
+Compares candidate BENCH_*.json files (fresh tools/bench_suite.sh output)
+against their committed baselines and fails when any benchmark's
+items_per_second dropped by more than the threshold (default 25%).
+
+Comparisons only run when the numbers are actually comparable: the
+baseline and candidate must carry the same ctfl_build_type (and both must
+be "release") and the same num_cpus host shape. Anything else SKIPs that
+pair with a note instead of failing — a laptop run against a CI baseline
+must not turn red, it is simply not evidence.
+
+Usage:
+  tools/perf_gate.py BASELINE.json CANDIDATE.json [BASELINE CANDIDATE ...]
+      [--threshold 0.25] [--require-comparable]
+  tools/perf_gate.py --self-test
+
+Exit codes: 0 = pass (or nothing comparable), 1 = regression detected,
+2 = usage/IO error. --require-comparable turns "nothing comparable" into
+exit 2, for CI jobs where a silent skip would mask a broken setup.
+--self-test exercises the gate on synthetic data (a >25% drop must fail,
+a small drop must pass, a build-type mismatch must skip) and is wired
+into ctest so the gate's failure path stays covered.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def comparable(baseline, candidate):
+    """Returns (ok, reason): whether the two runs may be compared."""
+    bctx = baseline.get("context", {})
+    cctx = candidate.get("context", {})
+    bt_base = bctx.get("ctfl_build_type")
+    bt_cand = cctx.get("ctfl_build_type")
+    if bt_base != "release" or bt_cand != "release":
+        return False, (f"build type mismatch or non-release "
+                       f"(baseline={bt_base}, candidate={bt_cand})")
+    cpus_base = bctx.get("num_cpus")
+    cpus_cand = cctx.get("num_cpus")
+    if cpus_base != cpus_cand:
+        return False, (f"host shape mismatch "
+                       f"(num_cpus baseline={cpus_base}, "
+                       f"candidate={cpus_cand})")
+    return True, ""
+
+
+def rows(data):
+    """name -> items_per_second for plain (non-aggregate) runs."""
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        ips = b.get("items_per_second")
+        if ips is None or ips <= 0:
+            continue
+        out[b["name"]] = ips
+    return out
+
+
+def gate_pair(baseline, candidate, threshold, label, verbose=True):
+    """Returns (checked, regressions) for one baseline/candidate pair."""
+    ok, reason = comparable(baseline, candidate)
+    if not ok:
+        if verbose:
+            print(f"SKIP  {label}: {reason}")
+        return 0, []
+    base_rows = rows(baseline)
+    cand_rows = rows(candidate)
+    regressions = []
+    checked = 0
+    for name in sorted(base_rows.keys() & cand_rows.keys()):
+        base_ips, cand_ips = base_rows[name], cand_rows[name]
+        drop = (base_ips - cand_ips) / base_ips
+        checked += 1
+        status = "FAIL" if drop > threshold else "ok"
+        if drop > threshold:
+            regressions.append((name, base_ips, cand_ips, drop))
+        if verbose:
+            print(f"{status:>4}  {label} {name}: "
+                  f"{base_ips:.3g} -> {cand_ips:.3g} items/s "
+                  f"({-drop:+.1%})")
+    missing = base_rows.keys() - cand_rows.keys()
+    if missing and verbose:
+        # A vanished benchmark is not a perf regression, but CI should
+        # see it happen rather than silently shrink its coverage.
+        print(f"note  {label}: candidate lacks {sorted(missing)}")
+    return checked, regressions
+
+
+def run_gate(pairs, threshold, require_comparable):
+    total_checked = 0
+    all_regressions = []
+    for base_path, cand_path in pairs:
+        try:
+            baseline = load(base_path)
+            candidate = load(cand_path)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"perf_gate: cannot load pair "
+                  f"({base_path}, {cand_path}): {e}", file=sys.stderr)
+            return 2
+        checked, regressions = gate_pair(
+            baseline, candidate, threshold, label=base_path)
+        total_checked += checked
+        all_regressions.extend(regressions)
+    if all_regressions:
+        print(f"perf_gate: {len(all_regressions)} regression(s) beyond "
+              f"{threshold:.0%}:")
+        for name, base_ips, cand_ips, drop in all_regressions:
+            print(f"  {name}: {base_ips:.3g} -> {cand_ips:.3g} items/s "
+                  f"({-drop:+.1%})")
+        return 1
+    if total_checked == 0:
+        print("perf_gate: nothing comparable was checked")
+        return 2 if require_comparable else 0
+    print(f"perf_gate: {total_checked} benchmark(s) within "
+          f"{threshold:.0%} of baseline")
+    return 0
+
+
+def synthetic(ips_by_name, build_type="release", num_cpus=1):
+    return {
+        "context": {"ctfl_build_type": build_type, "num_cpus": num_cpus},
+        "benchmarks": [
+            {"name": name, "items_per_second": ips}
+            for name, ips in ips_by_name.items()
+        ],
+    }
+
+
+def self_test():
+    failures = []
+
+    def expect(label, got, want):
+        if got != want:
+            failures.append(f"{label}: got {got}, want {want}")
+
+    base = synthetic({"BM_TracePass/blocked": 100.0,
+                      "BM_TracePass/legacy": 20.0})
+
+    # A 30% throughput drop on one benchmark must trip the gate.
+    drop30 = synthetic({"BM_TracePass/blocked": 70.0,
+                        "BM_TracePass/legacy": 20.0})
+    checked, regressions = gate_pair(base, drop30, 0.25, "drop30",
+                                     verbose=False)
+    expect("drop30 checked", checked, 2)
+    expect("drop30 regressions", len(regressions), 1)
+
+    # A 10% drop stays within the 25% budget.
+    drop10 = synthetic({"BM_TracePass/blocked": 90.0,
+                        "BM_TracePass/legacy": 20.0})
+    checked, regressions = gate_pair(base, drop10, 0.25, "drop10",
+                                     verbose=False)
+    expect("drop10 checked", checked, 2)
+    expect("drop10 regressions", len(regressions), 0)
+
+    # An improvement never fails.
+    faster = synthetic({"BM_TracePass/blocked": 300.0,
+                        "BM_TracePass/legacy": 20.0})
+    checked, regressions = gate_pair(base, faster, 0.25, "faster",
+                                     verbose=False)
+    expect("faster regressions", len(regressions), 0)
+
+    # Debug candidates and host-shape mismatches are not evidence: skip.
+    debug = synthetic({"BM_TracePass/blocked": 1.0}, build_type="debug")
+    checked, _ = gate_pair(base, debug, 0.25, "debug", verbose=False)
+    expect("debug checked", checked, 0)
+
+    other_host = synthetic({"BM_TracePass/blocked": 1.0}, num_cpus=64)
+    checked, _ = gate_pair(base, other_host, 0.25, "other_host",
+                           verbose=False)
+    expect("other_host checked", checked, 0)
+
+    # Exactly-at-threshold is a pass; just beyond is a failure.
+    at_edge = synthetic({"BM_TracePass/blocked": 75.0,
+                         "BM_TracePass/legacy": 15.0})
+    _, regressions = gate_pair(base, at_edge, 0.25, "at_edge",
+                               verbose=False)
+    expect("at_edge regressions", len(regressions), 0)
+    past_edge = synthetic({"BM_TracePass/blocked": 74.9,
+                           "BM_TracePass/legacy": 14.9})
+    _, regressions = gate_pair(base, past_edge, 0.25, "past_edge",
+                               verbose=False)
+    expect("past_edge regressions", len(regressions), 2)
+
+    if failures:
+        for failure in failures:
+            print(f"perf_gate self-test FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("perf_gate self-test: ok")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Perf-regression gate over BENCH_*.json files.")
+    parser.add_argument("files", nargs="*",
+                        help="baseline/candidate JSON pairs, interleaved")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max tolerated items_per_second drop "
+                             "(fraction, default 0.25)")
+    parser.add_argument("--require-comparable", action="store_true",
+                        help="exit 2 when no pair was comparable")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the synthetic-drop self test and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.files or len(args.files) % 2 != 0:
+        parser.error("expected BASELINE CANDIDATE file pairs")
+    pairs = list(zip(args.files[0::2], args.files[1::2]))
+    return run_gate(pairs, args.threshold, args.require_comparable)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
