@@ -57,6 +57,37 @@ double Dataset::PositiveRate() const {
   return static_cast<double>(ClassCounts()[1]) / instances_.size();
 }
 
+Result<Instance> ParseCsvInstanceRow(const SchemaPtr& schema,
+                                     const std::vector<std::string>& fields) {
+  const int nf = schema->num_features();
+  if (static_cast<int>(fields.size()) != nf + 1) {
+    return Status::InvalidArgument(
+        StrFormat("expected %d fields (features + label), got %zu", nf + 1,
+                  fields.size()));
+  }
+  Instance inst;
+  inst.values.resize(nf);
+  for (int f = 0; f < nf; ++f) {
+    const FeatureSpec& spec = schema->feature(f);
+    if (spec.type == FeatureType::kDiscrete) {
+      CTFL_ASSIGN_OR_RETURN(int c, schema->CategoryIndex(f, fields[f]));
+      inst.values[f] = c;
+    } else {
+      CTFL_ASSIGN_OR_RETURN(double v, ParseDouble(fields[f]));
+      inst.values[f] = v;
+    }
+  }
+  const std::string& label = fields[nf];
+  if (label == schema->label_name(0)) {
+    inst.label = 0;
+  } else if (label == schema->label_name(1)) {
+    inst.label = 1;
+  } else {
+    return Status::InvalidArgument("unknown label " + label);
+  }
+  return inst;
+}
+
 Result<Dataset> LoadCsvDataset(const std::string& path, SchemaPtr schema) {
   CTFL_ASSIGN_OR_RETURN(CsvTable table, ReadCsv(path, /*has_header=*/true));
   const int nf = schema->num_features();
@@ -67,26 +98,7 @@ Result<Dataset> LoadCsvDataset(const std::string& path, SchemaPtr schema) {
   }
   Dataset dataset(schema);
   for (const auto& row : table.rows) {
-    Instance inst;
-    inst.values.resize(nf);
-    for (int f = 0; f < nf; ++f) {
-      const FeatureSpec& spec = schema->feature(f);
-      if (spec.type == FeatureType::kDiscrete) {
-        CTFL_ASSIGN_OR_RETURN(int c, schema->CategoryIndex(f, row[f]));
-        inst.values[f] = c;
-      } else {
-        CTFL_ASSIGN_OR_RETURN(double v, ParseDouble(row[f]));
-        inst.values[f] = v;
-      }
-    }
-    const std::string& label = row[nf];
-    if (label == schema->label_name(0)) {
-      inst.label = 0;
-    } else if (label == schema->label_name(1)) {
-      inst.label = 1;
-    } else {
-      return Status::InvalidArgument("unknown label " + label);
-    }
+    CTFL_ASSIGN_OR_RETURN(Instance inst, ParseCsvInstanceRow(schema, row));
     CTFL_RETURN_IF_ERROR(dataset.Append(std::move(inst)));
   }
   return dataset;

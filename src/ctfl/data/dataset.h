@@ -54,6 +54,13 @@ class Dataset {
   std::vector<Instance> instances_;
 };
 
+/// Parses one CSV row (feature fields in schema order plus a final label
+/// field) into an Instance. The row-level half of LoadCsvDataset, exposed
+/// so line-oriented front ends (`ctfl query --requests-file`, the query
+/// service client) can parse single instances without a CSV file.
+Result<Instance> ParseCsvInstanceRow(const SchemaPtr& schema,
+                                     const std::vector<std::string>& fields);
+
 /// Loads a dataset from CSV whose columns match `schema` feature names plus
 /// a final "label" column containing the schema's label names.
 Result<Dataset> LoadCsvDataset(const std::string& path, SchemaPtr schema);

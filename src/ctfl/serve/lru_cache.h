@@ -1,0 +1,115 @@
+#ifndef CTFL_SERVE_LRU_CACHE_H_
+#define CTFL_SERVE_LRU_CACHE_H_
+
+// Sharded LRU cache for hot per-test related-record results. Shards cut
+// lock contention under concurrent queries: a key hashes to one shard,
+// each shard serializes its own recency list behind its own mutex.
+// Capacity 0 disables the cache entirely (every lookup misses, nothing is
+// stored) so the service can run cacheless without branching at call
+// sites. Values are returned by copy — entries may be evicted while a
+// caller still holds the result.
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ctfl {
+namespace serve {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  /// `capacity` is the total entry budget across all shards (0 disables);
+  /// each of `num_shards` shards gets an equal slice, at least 1.
+  explicit ShardedLruCache(size_t capacity, size_t num_shards = 8)
+      : capacity_(capacity) {
+    if (num_shards == 0) num_shards = 1;
+    if (capacity > 0) {
+      shards_.reserve(num_shards);
+      size_t per_shard = (capacity + num_shards - 1) / num_shards;
+      for (size_t i = 0; i < num_shards; ++i) {
+        shards_.push_back(std::make_unique<Shard>(per_shard));
+      }
+    }
+  }
+
+  std::optional<Value> Get(const Key& key) {
+    if (shards_.empty()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->second;
+  }
+
+  void Put(const Key& key, Value value) {
+    if (shards_.empty()) return;
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      it->second->second = std::move(value);
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+      return;
+    }
+    shard.order.emplace_front(key, std::move(value));
+    shard.map[key] = shard.order.begin();
+    if (shard.map.size() > shard.capacity) {
+      shard.map.erase(shard.order.back().first);
+      shard.order.pop_back();
+    }
+  }
+
+  size_t size() const {
+    size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      total += shard->map.size();
+    }
+    return total;
+  }
+
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Shard {
+    explicit Shard(size_t cap) : capacity(cap) {}
+    const size_t capacity;
+    mutable std::mutex mutex;
+    std::list<std::pair<Key, Value>> order;  ///< front = most recent
+    std::unordered_map<Key,
+                       typename std::list<std::pair<Key, Value>>::iterator,
+                       Hash>
+        map;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return *shards_[Hash{}(key) % shards_.size()];
+  }
+
+  const size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace serve
+}  // namespace ctfl
+
+#endif  // CTFL_SERVE_LRU_CACHE_H_

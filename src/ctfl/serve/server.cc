@@ -1,0 +1,251 @@
+#include "ctfl/serve/server.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CTFL_SERVE_HAS_SOCKETS 1
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include <cstring>
+#include <utility>
+
+#include "ctfl/telemetry/metrics.h"
+#include "ctfl/util/string_util.h"
+
+namespace ctfl {
+namespace serve {
+
+bool ServerSupported() {
+#if defined(CTFL_SERVE_HAS_SOCKETS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+Server::Server(QueryService* service, ServerConfig config)
+    : service_(service), config_(std::move(config)) {}
+
+Server::~Server() {
+  Shutdown();
+  Wait();
+}
+
+#if defined(CTFL_SERVE_HAS_SOCKETS)
+
+namespace {
+
+// Polls fd for readability with a short timeout so loops notice drain
+// requests. Returns +1 readable, 0 timeout, -1 error/hangup.
+int PollReadable(int fd, int timeout_ms) {
+  struct pollfd p;
+  p.fd = fd;
+  p.events = POLLIN;
+  p.revents = 0;
+  const int rc = poll(&p, 1, timeout_ms);
+  if (rc < 0) return errno == EINTR ? 0 : -1;
+  if (rc == 0) return 0;
+  if (p.revents & (POLLERR | POLLNVAL)) return -1;
+  return 1;
+}
+
+bool WriteAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+#if defined(MSG_NOSIGNAL)
+    const ssize_t n = send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+#else
+    const ssize_t n = send(fd, data + sent, size - sent, 0);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status Server::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  int fd = -1;
+  if (!config_.socket_path.empty()) {
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument(
+          StrFormat("socket path '%s' exceeds the %zu-byte sun_path limit",
+                    config_.socket_path.c_str(), sizeof(addr.sun_path) - 1));
+    }
+    std::strncpy(addr.sun_path, config_.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::IoError(StrFormat("socket: %s", std::strerror(errno)));
+    }
+    // A stale socket file from a crashed server would make bind fail;
+    // unlink first (the path is ours by contract).
+    ::unlink(config_.socket_path.c_str());
+    if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      const Status status = Status::IoError(
+          StrFormat("bind(%s): %s", config_.socket_path.c_str(),
+                    std::strerror(errno)));
+      ::close(fd);
+      return status;
+    }
+  } else {
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(config_.port));
+    fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::IoError(StrFormat("socket: %s", std::strerror(errno)));
+    }
+    const int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      const Status status = Status::IoError(StrFormat(
+          "bind(127.0.0.1:%d): %s", config_.port, std::strerror(errno)));
+      ::close(fd);
+      return status;
+    }
+    struct sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &len) ==
+        0) {
+      port_ = ntohs(bound.sin_port);
+    }
+  }
+  if (listen(fd, config_.backlog) < 0) {
+    const Status status =
+        Status::IoError(StrFormat("listen: %s", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  listen_fd_.store(fd, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  telemetry::Counter& accepted = telemetry::MetricsRegistry::Global()
+                                     .GetCounter("ctfl.serve.connections");
+  const int fd = listen_fd_.load(std::memory_order_acquire);
+  while (!draining_.load(std::memory_order_acquire)) {
+    const int readable = PollReadable(fd, /*timeout_ms=*/100);
+    if (readable < 0) break;
+    if (readable == 0) continue;
+    const int conn = accept(fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    accepted.Add(1);
+    pool_->Submit([this, conn] { HandleConnection(conn); });
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  FrameDecoder decoder;
+  char buf[64 * 1024];
+  bool shutdown_requested = false;
+  while (true) {
+    // Pop every buffered frame before reading more.
+    std::string payload;
+    while (true) {
+      Result<bool> next = decoder.Next(&payload);
+      if (!next.ok() || (shutdown_requested && decoder.idle())) {
+        ::close(fd);
+        if (shutdown_requested) Shutdown();
+        return;
+      }
+      if (!*next) break;
+      const std::string response =
+          service_->HandlePayload(payload, &shutdown_requested);
+      Result<std::string> framed = Frame(response);
+      if (!framed.ok() || !WriteAll(fd, framed->data(), framed->size())) {
+        ::close(fd);
+        if (shutdown_requested) Shutdown();
+        return;
+      }
+    }
+    if (shutdown_requested) {
+      ::close(fd);
+      Shutdown();
+      return;
+    }
+    // Drain policy: between frames an idle connection closes immediately;
+    // mid-frame we keep reading so the peer gets its response.
+    if (draining_.load(std::memory_order_acquire) && decoder.idle()) {
+      ::close(fd);
+      return;
+    }
+    const int readable = PollReadable(fd, /*timeout_ms=*/100);
+    if (readable < 0) {
+      ::close(fd);
+      return;
+    }
+    if (readable == 0) continue;
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      return;
+    }
+    decoder.Append(buf, static_cast<size_t>(n));
+  }
+}
+
+void Server::Shutdown() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+  // Closing the listener wakes the acceptor poll immediately.
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
+}
+
+void Server::Wait() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  if (acceptor_.joinable()) acceptor_.join();
+  if (pool_ != nullptr) pool_->Wait();
+  pool_.reset();
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
+  if (!config_.socket_path.empty()) ::unlink(config_.socket_path.c_str());
+  running_.store(false, std::memory_order_release);
+}
+
+#else  // !CTFL_SERVE_HAS_SOCKETS
+
+Status Server::Start() {
+  return Status::Unimplemented(
+      "socket server requires a POSIX platform (protocol and service "
+      "layers remain available)");
+}
+
+void Server::AcceptLoop() {}
+void Server::HandleConnection(int) {}
+void Server::Shutdown() {}
+void Server::Wait() {}
+
+#endif  // CTFL_SERVE_HAS_SOCKETS
+
+}  // namespace serve
+}  // namespace ctfl

@@ -1,0 +1,86 @@
+#ifndef CTFL_SERVE_SERVER_H_
+#define CTFL_SERVE_SERVER_H_
+
+// Socket front end of the resident query service. POSIX-only (the rest of
+// the serve stack — protocol, service, cache — is portable); on other
+// platforms Start() returns Unimplemented. One acceptor thread polls the
+// listening socket; each accepted connection is dispatched onto a shared
+// util/thread_pool worker, which loops frames until the peer closes or the
+// server drains. Shutdown() is graceful: the listener closes first, then
+// in-flight connections finish the frame they are parsing (poll timeouts
+// bound the wait) before their sockets close.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "ctfl/serve/service.h"
+#include "ctfl/util/result.h"
+#include "ctfl/util/thread_pool.h"
+
+namespace ctfl {
+namespace serve {
+
+struct ServerConfig {
+  /// Unix-domain socket path. Mutually exclusive with `port`.
+  std::string socket_path;
+  /// TCP loopback port (0 = kernel-assigned, see Server::port()). Used
+  /// when `socket_path` is empty.
+  int port = 0;
+  /// Connection-handler pool size (<= 0: hardware concurrency).
+  int num_threads = 0;
+  /// accept(2) backlog.
+  int backlog = 64;
+};
+
+/// True when the socket server is compiled in (POSIX).
+bool ServerSupported();
+
+class Server {
+ public:
+  /// `service` must outlive the server.
+  Server(QueryService* service, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds + listens + starts the acceptor thread. Fails on bind errors
+  /// (address in use, bad path) and off-POSIX builds.
+  Status Start();
+
+  /// Asks the server to drain: stop accepting, let in-flight frames
+  /// finish, close connections. Idempotent; safe from signal-adjacent
+  /// contexts (only atomics + one close).
+  void Shutdown();
+
+  /// Blocks until the acceptor and every connection handler returned.
+  void Wait();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// True once Shutdown() was requested (signal, API, or SHUTDOWN op).
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+  /// Bound TCP port (kernel-assigned when config.port was 0); 0 for
+  /// unix-domain servers.
+  int port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  QueryService* const service_;
+  const ServerConfig config_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread acceptor_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+};
+
+}  // namespace serve
+}  // namespace ctfl
+
+#endif  // CTFL_SERVE_SERVER_H_

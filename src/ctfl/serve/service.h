@@ -1,0 +1,92 @@
+#ifndef CTFL_SERVE_SERVICE_H_
+#define CTFL_SERVE_SERVICE_H_
+
+// Transport-independent request handler of the resident query service:
+// owns the immutable QueryEngine (loaded once, mmap-backed by default) and
+// a sharded LRU of hot per-test related lookups, and maps protocol
+// requests to engine calls. Handle() is safe to call from any number of
+// threads concurrently — the engine is read-only after construction, the
+// cache shards its locks, and all telemetry is atomic.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "ctfl/serve/lru_cache.h"
+#include "ctfl/serve/protocol.h"
+#include "ctfl/store/query_engine.h"
+#include "ctfl/util/result.h"
+
+namespace ctfl {
+namespace serve {
+
+struct ServiceConfig {
+  /// Total cached RELATED_FOR_TEST results across shards (0 disables).
+  size_t lru_capacity = 256;
+  size_t lru_shards = 8;
+  /// Container bytes of the bundle backing the engine (reported by STATS).
+  uint64_t bundle_bytes = 0;
+};
+
+class QueryService {
+ public:
+  QueryService(store::QueryEngine engine, ServiceConfig config = {});
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  const store::QueryEngine& engine() const { return engine_; }
+
+  /// Answers one decoded request. Never fails at this layer: server-side
+  /// errors (bad test index, ...) travel inside Response::status.
+  Response Handle(const Request& request);
+
+  /// Decodes one frame payload, handles it, and returns the encoded
+  /// response payload. Malformed payloads yield an encoded error response
+  /// (echoing whatever header bytes were readable) rather than a Status —
+  /// the connection stays usable. `shutdown_requested` is set to true when
+  /// the frame was a SHUTDOWN op (the response must still be written back
+  /// before the server drains).
+  std::string HandlePayload(std::string_view payload,
+                            bool* shutdown_requested);
+
+  /// Point-in-time service counters + bundle shape.
+  ServerStats Stats() const;
+
+ private:
+  struct RelatedKey {
+    uint64_t test_index = 0;
+    uint64_t tau_w_bits = 0;
+    bool use_index = true;
+    uint64_t max_records = 0;
+    uint8_t kernel = 0;
+    bool operator==(const RelatedKey& o) const {
+      return test_index == o.test_index && tau_w_bits == o.tau_w_bits &&
+             use_index == o.use_index && max_records == o.max_records &&
+             kernel == o.kernel;
+    }
+  };
+  struct RelatedKeyHash {
+    size_t operator()(const RelatedKey& k) const;
+  };
+
+  Response HandleRelated(const Request& request);
+  Response HandleRelatedForTest(const Request& request);
+  Response HandleEvaluate(const Request& request);
+  void FillStats(Response* response) const;
+
+  store::QueryEngine engine_;
+  const ServiceConfig config_;
+  ShardedLruCache<RelatedKey, store::RelatedResult, RelatedKeyHash> cache_;
+  std::atomic<uint64_t> requests_total_{0};
+  std::atomic<uint64_t> errors_total_{0};
+  std::atomic<uint64_t> related_requests_{0};
+  std::atomic<uint64_t> related_for_test_requests_{0};
+  std::atomic<uint64_t> evaluate_requests_{0};
+};
+
+}  // namespace serve
+}  // namespace ctfl
+
+#endif  // CTFL_SERVE_SERVICE_H_

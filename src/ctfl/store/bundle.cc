@@ -5,9 +5,18 @@
 #include <fstream>
 #include <utility>
 
+#if defined(__unix__) || defined(__APPLE__)
+#define CTFL_BUNDLE_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 #include "ctfl/telemetry/metrics.h"
 #include "ctfl/telemetry/trace.h"
 #include "ctfl/util/string_util.h"
+#include "ctfl/util/wire.h"
 
 namespace ctfl {
 namespace store {
@@ -25,110 +34,15 @@ constexpr const char* kTrainSection = "train";
 constexpr const char* kTestsSection = "tests";
 constexpr const char* kIndexSection = "index";
 
-// ---------------------------------------------------------------------------
-// Endian-independent primitive encoding (little-endian on the wire).
-// ---------------------------------------------------------------------------
+// Little-endian primitive encoding now lives in util/wire.h (shared with
+// the serve wire protocol); these aliases keep the section codecs terse.
+using ByteWriter = wire::Writer;
 
-class ByteWriter {
+/// wire::Reader with the historical bundle error-message prefix.
+class ByteReader : public wire::Reader {
  public:
-  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
-  void U32(uint32_t v) {
-    for (int i = 0; i < 4; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
-  }
-  void U64(uint64_t v) {
-    for (int i = 0; i < 8; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
-  }
-  void F64(double v) {
-    uint64_t bits = 0;
-    std::memcpy(&bits, &v, sizeof(bits));
-    U64(bits);
-  }
-  void Str(const std::string& s) {
-    U32(static_cast<uint32_t>(s.size()));
-    buf_.append(s);
-  }
-  void Words(const std::vector<uint64_t>& words) {
-    for (uint64_t w : words) U64(w);
-  }
-  size_t size() const { return buf_.size(); }
-  std::string Take() { return std::move(buf_); }
-
- private:
-  std::string buf_;
-};
-
-class ByteReader {
- public:
-  explicit ByteReader(const std::string& data) : data_(data) {}
-
-  Status U8(uint8_t* out) {
-    if (pos_ + 1 > data_.size()) return Truncated();
-    *out = static_cast<uint8_t>(data_[pos_++]);
-    return Status::OK();
-  }
-  Status U32(uint32_t* out) {
-    if (pos_ + 4 > data_.size()) return Truncated();
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 4;
-    *out = v;
-    return Status::OK();
-  }
-  Status U64(uint64_t* out) {
-    if (pos_ + 8 > data_.size()) return Truncated();
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 8;
-    *out = v;
-    return Status::OK();
-  }
-  Status F64(double* out) {
-    uint64_t bits = 0;
-    CTFL_RETURN_IF_ERROR(U64(&bits));
-    std::memcpy(out, &bits, sizeof(*out));
-    return Status::OK();
-  }
-  Status Str(std::string* out) {
-    uint32_t len = 0;
-    CTFL_RETURN_IF_ERROR(U32(&len));
-    if (pos_ + len > data_.size()) return Truncated();
-    out->assign(data_, pos_, len);
-    pos_ += len;
-    return Status::OK();
-  }
-  Status Words(size_t count, std::vector<uint64_t>* out) {
-    if (pos_ + 8 * count > data_.size()) return Truncated();
-    out->resize(count);
-    for (size_t i = 0; i < count; ++i) {
-      uint64_t v = 0;
-      CTFL_RETURN_IF_ERROR(U64(&v));
-      (*out)[i] = v;
-    }
-    return Status::OK();
-  }
-  bool AtEnd() const { return pos_ == data_.size(); }
-  Status ExpectEnd(const char* section) const {
-    if (!AtEnd()) {
-      return Status::InvalidArgument(
-          StrFormat("bundle section '%s' has %zu trailing bytes", section,
-                    data_.size() - pos_));
-    }
-    return Status::OK();
-  }
-
- private:
-  static Status Truncated() {
-    return Status::InvalidArgument("bundle section payload truncated");
-  }
-
-  const std::string& data_;
-  size_t pos_ = 0;
+  explicit ByteReader(std::string_view data)
+      : wire::Reader(data, "bundle section") {}
 };
 
 telemetry::Counter& BytesWrittenCounter() {
@@ -237,26 +151,121 @@ Status BundleWriter::Write(const std::string& path) const {
   return Status::OK();
 }
 
-Result<BundleReader> BundleReader::Open(const std::string& path) {
-  CTFL_SPAN("ctfl.bundle.read");
+/// Owner of the raw file bytes. Exactly one of the two storage forms is
+/// active: an owned string (Parse / ifstream fallback) or an mmap'd
+/// region released on destruction. Sections are string_views into it, so
+/// a reader (and every BundleReader copy sharing the buffer) is zero-copy.
+struct BundleReader::Buffer {
+  std::string owned;
+  const char* map_data = nullptr;
+  size_t map_size = 0;
+
+  ~Buffer() {
+#if CTFL_BUNDLE_HAS_MMAP
+    if (map_data != nullptr) {
+      ::munmap(const_cast<char*>(map_data), map_size);
+    }
+#endif
+  }
+
+  std::string_view view() const {
+    if (map_data != nullptr) return std::string_view(map_data, map_size);
+    return owned;
+  }
+  bool mapped() const { return map_data != nullptr; }
+};
+
+bool BundleReader::MmapSupported() {
+#if CTFL_BUNDLE_HAS_MMAP
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+#if CTFL_BUNDLE_HAS_MMAP
+Result<std::shared_ptr<BundleReader::Buffer>> MmapFile(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat " + path);
+  }
+  auto buffer = std::make_shared<BundleReader::Buffer>();
+  if (st.st_size > 0) {
+    void* map = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                       MAP_PRIVATE, fd, 0);
+    if (map == MAP_FAILED) {
+      ::close(fd);
+      return Status::IoError("mmap failed: " + path);
+    }
+    buffer->map_data = static_cast<const char*>(map);
+    buffer->map_size = static_cast<size_t>(st.st_size);
+  }
+  ::close(fd);  // the mapping survives the descriptor
+  static telemetry::Counter& mmap_reads =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "ctfl.bundle.mmap_reads");
+  mmap_reads.Add(1);
+  return buffer;
+}
+#endif
+
+Result<std::shared_ptr<BundleReader::Buffer>> SlurpFile(
+    const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
+  auto buffer = std::make_shared<BundleReader::Buffer>();
+  buffer->owned.assign((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
   if (!in.good() && !in.eof()) return Status::IoError("read failed: " + path);
-  return Parse(std::move(bytes), path);
+  return buffer;
+}
+
+}  // namespace
+
+Result<BundleReader> BundleReader::Open(const std::string& path,
+                                        OpenMode mode) {
+  CTFL_SPAN("ctfl.bundle.read");
+  std::shared_ptr<Buffer> buffer;
+#if CTFL_BUNDLE_HAS_MMAP
+  if (mode != OpenMode::kStream) {
+    CTFL_ASSIGN_OR_RETURN(buffer, MmapFile(path));
+  }
+#else
+  if (mode == OpenMode::kMmap) {
+    return Status::Unimplemented("mmap is unavailable on this platform");
+  }
+#endif
+  if (buffer == nullptr) {
+    CTFL_ASSIGN_OR_RETURN(buffer, SlurpFile(path));
+  }
+  return ParseBuffer(std::move(buffer), path);
 }
 
 Result<BundleReader> BundleReader::Parse(std::string file_bytes,
                                          const std::string& origin) {
+  auto buffer = std::make_shared<Buffer>();
+  buffer->owned = std::move(file_bytes);
+  return ParseBuffer(std::move(buffer), origin);
+}
+
+Result<BundleReader> BundleReader::ParseBuffer(std::shared_ptr<Buffer> buffer,
+                                               const std::string& origin) {
+  const std::string_view file_bytes = buffer->view();
   BundleReader reader;
+  reader.buffer_ = buffer;
+  reader.mapped_ = buffer->mapped();
   reader.file_bytes_ = file_bytes.size();
   if (file_bytes.size() < sizeof(kMagic) + 8 ||
       std::memcmp(file_bytes.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument(origin + ": not a CTFL bundle file");
   }
-  const std::string header(file_bytes, sizeof(kMagic));
-  ByteReader in(header);
+  ByteReader in(file_bytes.substr(sizeof(kMagic)));
   uint32_t version = 0;
   uint32_t count = 0;
   CTFL_RETURN_IF_ERROR(in.U32(&version));
@@ -287,7 +296,7 @@ Result<BundleReader> BundleReader::Parse(std::string file_bytes,
           StrFormat("%s: section '%s' exceeds file bounds (truncated file?)",
                     origin.c_str(), e.name.c_str()));
     }
-    std::string payload(file_bytes, e.offset, e.size);
+    const std::string_view payload = file_bytes.substr(e.offset, e.size);
     const uint32_t crc = Crc32(payload.data(), payload.size());
     if (crc != e.crc) {
       return Status::InvalidArgument(StrFormat(
@@ -295,7 +304,7 @@ Result<BundleReader> BundleReader::Parse(std::string file_bytes,
           origin.c_str(), e.name.c_str(), e.crc, crc));
     }
     reader.names_.push_back(e.name);
-    reader.sections_.emplace_back(e.name, std::move(payload));
+    reader.sections_.emplace_back(e.name, payload);
   }
   BytesReadCounter().Add(static_cast<int64_t>(file_bytes.size()));
   static telemetry::Counter& reads =
@@ -312,6 +321,12 @@ bool BundleReader::HasSection(const std::string& name) const {
 }
 
 Result<std::string> BundleReader::Section(const std::string& name) const {
+  CTFL_ASSIGN_OR_RETURN(const std::string_view view, SectionView(name));
+  return std::string(view);
+}
+
+Result<std::string_view> BundleReader::SectionView(
+    const std::string& name) const {
   for (const auto& section : sections_) {
     if (section.first == name) return section.second;
   }
@@ -354,7 +369,7 @@ std::string EncodeMeta(const BundleContent& c) {
   return w.Take();
 }
 
-Status DecodeMeta(const std::string& payload, BundleContent& c,
+Status DecodeMeta(std::string_view payload, BundleContent& c,
                   uint32_t* num_participants, uint32_t* num_rules,
                   uint64_t* num_tests) {
   ByteReader r(payload);
@@ -418,7 +433,7 @@ std::string EncodeSchema(const FeatureSchema& schema) {
   return w.Take();
 }
 
-Result<SchemaPtr> DecodeSchema(const std::string& payload) {
+Result<SchemaPtr> DecodeSchema(std::string_view payload) {
   ByteReader r(payload);
   uint32_t num_features = 0;
   CTFL_RETURN_IF_ERROR(r.U32(&num_features));
@@ -465,7 +480,7 @@ std::string EncodeModel(const BundleContent& c) {
   return w.Take();
 }
 
-Status DecodeModel(const std::string& payload, BundleContent& c) {
+Status DecodeModel(std::string_view payload, BundleContent& c) {
   ByteReader r(payload);
   uint32_t tau_d = 0, fan_in = 0, num_layers = 0;
   uint8_t input_skip = 0;
@@ -505,7 +520,7 @@ std::string EncodeRules(const BundleContent& c) {
   return w.Take();
 }
 
-Status DecodeRules(const std::string& payload, BundleContent& c) {
+Status DecodeRules(std::string_view payload, BundleContent& c) {
   ByteReader r(payload);
   CTFL_RETURN_IF_ERROR(r.F64(&c.rule_bias));
   uint32_t count = 0;
@@ -546,7 +561,7 @@ std::string EncodeTrain(const BundleContent& c) {
   return w.Take();
 }
 
-Status DecodeTrain(const std::string& payload, uint32_t num_rules,
+Status DecodeTrain(std::string_view payload, uint32_t num_rules,
                    BundleContent& c) {
   ByteReader r(payload);
   uint32_t num_participants = 0;
@@ -587,7 +602,7 @@ std::string EncodeTests(const BundleContent& c) {
   return w.Take();
 }
 
-Status DecodeTests(const std::string& payload, uint32_t num_rules,
+Status DecodeTests(std::string_view payload, uint32_t num_rules,
                    BundleContent& c) {
   ByteReader r(payload);
   uint64_t num_tests = 0;
@@ -619,7 +634,7 @@ std::string EncodeIndex(const BundleContent& c) {
   return w.Take();
 }
 
-Status DecodeIndex(const std::string& payload, uint32_t num_rules,
+Status DecodeIndex(std::string_view payload, uint32_t num_rules,
                    BundleContent& c) {
   ByteReader r(payload);
   uint32_t index_rules = 0;
@@ -688,21 +703,23 @@ Status WriteBundle(const BundleContent& content, const std::string& path) {
   return writer.Write(path);
 }
 
-Result<BundleContent> ReadBundle(const std::string& path) {
+Result<BundleContent> ReadBundle(const std::string& path,
+                                 BundleReader::OpenMode mode) {
   CTFL_SPAN("ctfl.bundle.decode");
-  CTFL_ASSIGN_OR_RETURN(const BundleReader reader, BundleReader::Open(path));
+  CTFL_ASSIGN_OR_RETURN(const BundleReader reader,
+                        BundleReader::Open(path, mode));
   BundleContent content;
   uint32_t num_participants = 0, num_rules = 0;
   uint64_t num_tests = 0;
   {
-    CTFL_ASSIGN_OR_RETURN(const std::string payload,
-                          reader.Section(kMetaSection));
+    CTFL_ASSIGN_OR_RETURN(const std::string_view payload,
+                          reader.SectionView(kMetaSection));
     CTFL_RETURN_IF_ERROR(DecodeMeta(payload, content, &num_participants,
                                     &num_rules, &num_tests));
   }
   {
-    CTFL_ASSIGN_OR_RETURN(const std::string payload,
-                          reader.Section(kSchemaSection));
+    CTFL_ASSIGN_OR_RETURN(const std::string_view payload,
+                          reader.SectionView(kSchemaSection));
     CTFL_ASSIGN_OR_RETURN(content.schema, DecodeSchema(payload));
   }
   if (content.meta.schema_fingerprint != 0 &&
@@ -711,13 +728,13 @@ Result<BundleContent> ReadBundle(const std::string& path) {
         path + ": schema fingerprint disagrees with the schema section");
   }
   {
-    CTFL_ASSIGN_OR_RETURN(const std::string payload,
-                          reader.Section(kModelSection));
+    CTFL_ASSIGN_OR_RETURN(const std::string_view payload,
+                          reader.SectionView(kModelSection));
     CTFL_RETURN_IF_ERROR(DecodeModel(payload, content));
   }
   {
-    CTFL_ASSIGN_OR_RETURN(const std::string payload,
-                          reader.Section(kRulesSection));
+    CTFL_ASSIGN_OR_RETURN(const std::string_view payload,
+                          reader.SectionView(kRulesSection));
     CTFL_RETURN_IF_ERROR(DecodeRules(payload, content));
   }
   if (content.rules.size() != num_rules) {
@@ -725,8 +742,8 @@ Result<BundleContent> ReadBundle(const std::string& path) {
         path + ": rules section size disagrees with meta");
   }
   {
-    CTFL_ASSIGN_OR_RETURN(const std::string payload,
-                          reader.Section(kTrainSection));
+    CTFL_ASSIGN_OR_RETURN(const std::string_view payload,
+                          reader.SectionView(kTrainSection));
     CTFL_RETURN_IF_ERROR(DecodeTrain(payload, num_rules, content));
   }
   if (content.participants.size() != num_participants) {
@@ -734,8 +751,8 @@ Result<BundleContent> ReadBundle(const std::string& path) {
         path + ": train section participant count disagrees with meta");
   }
   {
-    CTFL_ASSIGN_OR_RETURN(const std::string payload,
-                          reader.Section(kTestsSection));
+    CTFL_ASSIGN_OR_RETURN(const std::string_view payload,
+                          reader.SectionView(kTestsSection));
     CTFL_RETURN_IF_ERROR(DecodeTests(payload, num_rules, content));
   }
   if (content.tests.size() != num_tests) {
@@ -743,8 +760,8 @@ Result<BundleContent> ReadBundle(const std::string& path) {
         path + ": tests section size disagrees with meta");
   }
   {
-    CTFL_ASSIGN_OR_RETURN(const std::string payload,
-                          reader.Section(kIndexSection));
+    CTFL_ASSIGN_OR_RETURN(const std::string_view payload,
+                          reader.SectionView(kIndexSection));
     CTFL_RETURN_IF_ERROR(DecodeIndex(payload, num_rules, content));
   }
   return content;

@@ -31,7 +31,9 @@
 // every section CRC before any payload is decoded.
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ctfl/nn/logical_net.h"
@@ -62,23 +64,50 @@ class BundleWriter {
   std::vector<std::pair<std::string, std::string>> sections_;
 };
 
-/// Container-level reader. Open() loads the whole file, validates the
-/// header and every section's bounds + CRC32, and exposes payloads.
+/// Container-level reader. Open() maps (or loads) the whole file,
+/// validates the header and every section's bounds + CRC32, and exposes
+/// payloads. On POSIX platforms Open() memory-maps the file by default so
+/// a resident server's posting index and record table are zero-copy views
+/// of the page cache; everywhere else (and on kStream) it falls back to a
+/// plain ifstream slurp. Both paths produce byte-identical sections.
 class BundleReader {
  public:
-  static Result<BundleReader> Open(const std::string& path);
+  /// How Open() acquires the file bytes. kAuto prefers mmap where the
+  /// platform supports it; kMmap fails when it does not; kStream always
+  /// reads through ifstream (the historical path).
+  enum class OpenMode { kAuto, kMmap, kStream };
+
+  static Result<BundleReader> Open(const std::string& path,
+                                   OpenMode mode = OpenMode::kAuto);
   static Result<BundleReader> Parse(std::string file_bytes,
                                     const std::string& origin);
 
+  /// True when mmap is compiled in (POSIX); kAuto uses it opportunistically.
+  static bool MmapSupported();
+
   bool HasSection(const std::string& name) const;
-  /// Payload bytes of `name`, or NotFound.
+  /// Payload bytes of `name` (copy), or NotFound.
   Result<std::string> Section(const std::string& name) const;
+  /// Zero-copy payload view of `name`; valid while this reader (or any
+  /// copy of it) is alive.
+  Result<std::string_view> SectionView(const std::string& name) const;
   const std::vector<std::string>& section_names() const { return names_; }
   size_t file_bytes() const { return file_bytes_; }
+  /// True when the sections are views into an mmap'd region.
+  bool mapped() const { return mapped_; }
+
+  /// Opaque owner of the raw bytes (mmap region or owned string); public
+  /// only so the .cc's file-loading helpers can construct it.
+  struct Buffer;
 
  private:
+  static Result<BundleReader> ParseBuffer(std::shared_ptr<Buffer> buffer,
+                                          const std::string& origin);
+
+  std::shared_ptr<Buffer> buffer_;
+  bool mapped_ = false;
   std::vector<std::string> names_;
-  std::vector<std::pair<std::string, std::string>> sections_;
+  std::vector<std::pair<std::string, std::string_view>> sections_;
   size_t file_bytes_ = 0;
 };
 
@@ -155,8 +184,11 @@ struct BundleContent {
 Status WriteBundle(const BundleContent& content, const std::string& path);
 
 /// Reads + validates + decodes a bundle file. Emits ctfl.bundle.read span
-/// and bumps ctfl.bundle.reads / ctfl.bundle.bytes_read.
-Result<BundleContent> ReadBundle(const std::string& path);
+/// and bumps ctfl.bundle.reads / ctfl.bundle.bytes_read. `mode` selects
+/// the container read path (mmap vs ifstream; identical results).
+Result<BundleContent> ReadBundle(
+    const std::string& path,
+    BundleReader::OpenMode mode = BundleReader::OpenMode::kAuto);
 
 /// Rebuilds the trained LogicalNet from the bundle's schema + model
 /// sections; parameters are bit-exact, so predictions and activations

@@ -170,6 +170,85 @@ TEST(BundleContainerTest, RejectsCorruptionTruncationAndBadMagic) {
   EXPECT_FALSE(BundleReader::Open(TempPath("missing.ctflb")).ok());
 }
 
+TEST(BundleContainerTest, MmapAndStreamOpensAreByteIdentical) {
+  BundleWriter writer;
+  const std::string binary("\x00\x01\xff\x7f payload\n\x00", 12);
+  writer.AddSection("alpha", binary);
+  writer.AddSection("beta", "");
+  writer.AddSection("gamma", std::string(100000, 'x'));
+  const std::string path = TempPath("container_mmap.ctflb");
+  ASSERT_TRUE(writer.Write(path).ok());
+
+  const Result<BundleReader> stream =
+      BundleReader::Open(path, BundleReader::OpenMode::kStream);
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  EXPECT_FALSE(stream->mapped());
+
+  const Result<BundleReader> automatic = BundleReader::Open(path);
+  ASSERT_TRUE(automatic.ok()) << automatic.status();
+  EXPECT_EQ(automatic->mapped(), BundleReader::MmapSupported());
+
+  if (BundleReader::MmapSupported()) {
+    const Result<BundleReader> mapped =
+        BundleReader::Open(path, BundleReader::OpenMode::kMmap);
+    ASSERT_TRUE(mapped.ok()) << mapped.status();
+    EXPECT_TRUE(mapped->mapped());
+    EXPECT_EQ(mapped->file_bytes(), stream->file_bytes());
+    EXPECT_EQ(mapped->section_names(), stream->section_names());
+    for (const std::string& name : stream->section_names()) {
+      // Copying Section() and zero-copy SectionView() agree across modes.
+      EXPECT_EQ(mapped->Section(name).value(), stream->Section(name).value());
+      EXPECT_EQ(mapped->SectionView(name).value(),
+                stream->SectionView(name).value());
+    }
+  } else {
+    EXPECT_FALSE(
+        BundleReader::Open(path, BundleReader::OpenMode::kMmap).ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BundleContainerTest, MmapViewsSurviveReaderCopies) {
+  if (!BundleReader::MmapSupported()) {
+    GTEST_SKIP() << "mmap not compiled in";
+  }
+  BundleWriter writer;
+  writer.AddSection("alpha", std::string(4096, 'a'));
+  const std::string path = TempPath("container_mmap_views.ctflb");
+  ASSERT_TRUE(writer.Write(path).ok());
+
+  std::string_view view;
+  BundleReader copy = [&] {
+    const BundleReader original =
+        BundleReader::Open(path, BundleReader::OpenMode::kMmap).value();
+    view = original.SectionView("alpha").value();
+    return original;  // the copy shares ownership of the mapped region
+  }();
+  // The original reader is gone; the view must still be backed.
+  EXPECT_EQ(view, std::string(4096, 'a'));
+  EXPECT_EQ(copy.SectionView("alpha").value().data(), view.data());
+  std::remove(path.c_str());
+}
+
+TEST(BundleContainerTest, MmapOpenValidatesCrcLikeStream) {
+  if (!BundleReader::MmapSupported()) {
+    GTEST_SKIP() << "mmap not compiled in";
+  }
+  BundleWriter writer;
+  writer.AddSection("alpha", std::string(512, 'a'));
+  const std::string path = TempPath("container_mmap_crc.ctflb");
+  ASSERT_TRUE(writer.Write(path).ok());
+  std::string corrupt = ReadFile(path);
+  corrupt[corrupt.size() - 10] ^= 0x40;
+  WriteFile(path, corrupt);
+  const Result<BundleReader> reader =
+      BundleReader::Open(path, BundleReader::OpenMode::kMmap);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("CRC"), std::string::npos)
+      << reader.status();
+  std::remove(path.c_str());
+}
+
 // ---------------------------------------------------------------------------
 // Typed level.
 // ---------------------------------------------------------------------------
@@ -243,6 +322,43 @@ TEST(BundleTypedTest, SnapshotRoundTripIsBitExact) {
   EXPECT_EQ(loaded->posting_offsets, built->posting_offsets);
   EXPECT_EQ(loaded->postings, built->postings);
   std::remove(path.c_str());
+}
+
+TEST(BundleTypedTest, ReadBundleModesDecodeBitIdentically) {
+  const Fixture fx = MakeFixture();
+  const Result<BundleContent> built = BuildBundleContent(
+      fx.report.model, fx.fed, fx.test, fx.activations, fx.options);
+  ASSERT_TRUE(built.ok()) << built.status();
+  const std::string path = TempPath("typed_modes.ctflb");
+  ASSERT_TRUE(WriteBundle(*built, path).ok());
+
+  const Result<BundleContent> stream =
+      ReadBundle(path, BundleReader::OpenMode::kStream);
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  const Result<BundleContent> automatic = ReadBundle(path);
+  ASSERT_TRUE(automatic.ok()) << automatic.status();
+
+  // Re-encoding both decoded contents must produce the same file bytes:
+  // the read mode can never leak into the decoded structures.
+  const std::string restream = TempPath("typed_modes_restream.ctflb");
+  ASSERT_TRUE(WriteBundle(*stream, restream).ok());
+  const std::string reauto = TempPath("typed_modes_reauto.ctflb");
+  ASSERT_TRUE(WriteBundle(*automatic, reauto).ok());
+  EXPECT_EQ(ReadFile(restream), ReadFile(path));
+  EXPECT_EQ(ReadFile(reauto), ReadFile(path));
+
+  if (BundleReader::MmapSupported()) {
+    const Result<BundleContent> mapped =
+        ReadBundle(path, BundleReader::OpenMode::kMmap);
+    ASSERT_TRUE(mapped.ok()) << mapped.status();
+    const std::string remap = TempPath("typed_modes_remap.ctflb");
+    ASSERT_TRUE(WriteBundle(*mapped, remap).ok());
+    EXPECT_EQ(ReadFile(remap), ReadFile(path));
+    std::remove(remap.c_str());
+  }
+  std::remove(path.c_str());
+  std::remove(restream.c_str());
+  std::remove(reauto.c_str());
 }
 
 TEST(BundleTypedTest, FailurePlanFingerprintRoundTrips) {

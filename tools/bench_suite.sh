@@ -6,6 +6,9 @@
 #   BENCH_trace.json   BM_TracePass/{legacy,blocked}   Eq. 4 tracing pass
 #   BENCH_fedavg.json  BM_FedAvgRound/threads:*        one federated round
 #   BENCH_query.json   BM_QueryRelated/* + BM_BundleLoad  bundle serving
+#   BENCH_serve.json   BM_Serve/related-test/connections:N  resident query
+#                      service soak (ctfl_serve + ctfl_query_client --load:
+#                      requests/sec + p50/p99 latency over a live socket)
 #
 # Guard rails:
 #   * The build is forced to (and verified as) CMAKE_BUILD_TYPE=Release —
@@ -20,9 +23,11 @@
 #   build-dir defaults to build-release (configured Release if missing).
 #   out-dir   defaults to the repo root (BENCH_*.json land next to the
 #             committed baselines).
-#   suite     trace|fedavg|query|all (default all).
+#   suite     trace|fedavg|query|serve|all (default all).
 # Extra benchmark flags (e.g. --benchmark_min_time=0.05s for CI smoke
-# runs) can be passed via CTFL_BENCH_EXTRA_ARGS.
+# runs) can be passed via CTFL_BENCH_EXTRA_ARGS. The serve suite's load
+# shape is tuned via CTFL_SERVE_BENCH_CONNECTIONS (default 8) and
+# CTFL_SERVE_BENCH_REQUESTS (per connection, default 200).
 
 set -euo pipefail
 
@@ -33,9 +38,9 @@ SUITE="${3:-all}"
 EXTRA_ARGS=(${CTFL_BENCH_EXTRA_ARGS:-})
 
 case "${SUITE}" in
-  trace|fedavg|query|all) ;;
+  trace|fedavg|query|serve|all) ;;
   *)
-    echo "bench_suite: unknown suite '${SUITE}' (want trace|fedavg|query|all)" >&2
+    echo "bench_suite: unknown suite '${SUITE}' (want trace|fedavg|query|serve|all)" >&2
     exit 2
     ;;
 esac
@@ -60,17 +65,9 @@ fi
 GIT_REV="$(git -C "${REPO_ROOT}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 mkdir -p "${OUT_DIR}"
 
-run_group() {
-  local name="$1" filter="$2"
-  local out_json="${OUT_DIR}/BENCH_${name}.json"
-  echo "== ${name}: ${filter}"
-  "${BENCH_BIN}" \
-    --benchmark_filter="${filter}" \
-    --benchmark_out="${out_json}" \
-    --benchmark_out_format=json \
-    --benchmark_format=console \
-    "${EXTRA_ARGS[@]+"${EXTRA_ARGS[@]}"}"
-  # Stamp the git revision and refuse debug numbers.
+# Stamps the git revision into a BENCH json and refuses debug numbers.
+stamp_json() {
+  local out_json="$1"
   python3 - "${out_json}" "${GIT_REV}" <<'PY'
 import json, sys
 path, rev = sys.argv[1], sys.argv[2]
@@ -92,6 +89,75 @@ with open(path, "w") as f:
     f.write("\n")
 PY
   echo "wrote ${out_json}"
+}
+
+run_group() {
+  local name="$1" filter="$2"
+  local out_json="${OUT_DIR}/BENCH_${name}.json"
+  echo "== ${name}: ${filter}"
+  "${BENCH_BIN}" \
+    --benchmark_filter="${filter}" \
+    --benchmark_out="${out_json}" \
+    --benchmark_out_format=json \
+    --benchmark_format=console \
+    "${EXTRA_ARGS[@]+"${EXTRA_ARGS[@]}"}"
+  stamp_json "${out_json}"
+}
+
+# Resident-service soak: train a small snapshot bundle, start ctfl_serve on
+# a unix socket, drive it with the concurrent client's --load mode
+# (response verification on), and keep the client's BENCH json. Cleans up
+# the server even when the client fails.
+run_serve() {
+  local out_json="${OUT_DIR}/BENCH_serve.json"
+  local connections="${CTFL_SERVE_BENCH_CONNECTIONS:-8}"
+  local requests="${CTFL_SERVE_BENCH_REQUESTS:-200}"
+  echo "== serve: ${connections} connections x ${requests} requests"
+  cmake --build "${BUILD_DIR}" \
+      --target ctfl_cli ctfl_serve_bin ctfl_query_client \
+      -j "$(nproc)" >/dev/null
+  local tools_dir="${BUILD_DIR}/tools"
+  local work
+  work="$(mktemp -d)"
+  local serve_pid=""
+  cleanup_serve() {
+    if [[ -n "${serve_pid}" ]] && kill -0 "${serve_pid}" 2>/dev/null; then
+      kill "${serve_pid}" 2>/dev/null || true
+      wait "${serve_pid}" 2>/dev/null || true
+    fi
+    rm -rf "${work}"
+  }
+  trap cleanup_serve RETURN
+
+  "${tools_dir}/ctfl" generate --dataset adult --out "${work}/train.csv" \
+      --n 600 --seed 7 >/dev/null
+  "${tools_dir}/ctfl" generate --dataset adult --out "${work}/test.csv" \
+      --n 150 --seed 8 >/dev/null
+  "${tools_dir}/ctfl" snapshot --dataset adult --train "${work}/train.csv" \
+      --test "${work}/test.csv" --participants 3 --epochs 6 \
+      --bundle-out "${work}/run.ctflb" >/dev/null
+
+  "${tools_dir}/ctfl_serve" --bundle "${work}/run.ctflb" \
+      --socket "${work}/serve.sock" > "${work}/serve.log" 2>&1 &
+  serve_pid=$!
+  for _ in $(seq 1 100); do
+    grep -q "^listening on " "${work}/serve.log" 2>/dev/null && break
+    if ! kill -0 "${serve_pid}" 2>/dev/null; then
+      echo "bench_suite: ctfl_serve exited before listening" >&2
+      cat "${work}/serve.log" >&2
+      return 2
+    fi
+    sleep 0.1
+  done
+
+  "${tools_dir}/ctfl_query_client" --socket "${work}/serve.sock" --load \
+      --connections "${connections}" --requests "${requests}" --verify \
+      --json-out "${out_json}"
+  "${tools_dir}/ctfl_query_client" --socket "${work}/serve.sock" \
+      --op shutdown >/dev/null
+  wait "${serve_pid}"
+  serve_pid=""
+  stamp_json "${out_json}"
 }
 
 if [[ "${SUITE}" == "trace" || "${SUITE}" == "all" ]]; then
@@ -134,6 +200,9 @@ if [[ "${SUITE}" == "fedavg" || "${SUITE}" == "all" ]]; then
 fi
 if [[ "${SUITE}" == "query" || "${SUITE}" == "all" ]]; then
   run_group query '^BM_QueryRelated/|^BM_BundleLoad'
+fi
+if [[ "${SUITE}" == "serve" || "${SUITE}" == "all" ]]; then
+  run_serve
 fi
 
 echo "bench_suite: done (${SUITE})"

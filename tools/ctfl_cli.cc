@@ -48,13 +48,19 @@
 //       and no retracing.
 //   query     --bundle FILE [--tau-w T] [--delta D] [--top-k K]
 //             [--instances FILE.csv] [--max-records N] [--linear]
-//             [--trace-kernel legacy|blocked] [--telemetry-summary]
+//             [--trace-kernel legacy|blocked] [--requests-file FILE]
+//             [--telemetry-summary]
 //       Serves a persisted bundle: re-evaluates micro/macro scores under
 //       the requested (or originating) parameters — bit-identical to the
 //       originating run at its own parameters — prints per-participant
 //       interpretability summaries, and looks up Eq. 4 related records
 //       for new instances from --instances (posting-list prefiltered;
 //       --linear forces the full class-bucket scan instead).
+//       --requests-file switches to batch mode: every line of FILE is one
+//       request (`evaluate [tau-w=V] [delta=D] [top-k=K]`,
+//       `related-test INDEX`, or `related F1,F2,...,LABEL`; blank lines
+//       and `#` comments skipped), all answered from the single bundle
+//       load — the resident-service workflow without a server.
 //
 // The --dataset flag names the schema (the federation's agreed feature
 // space); CSV files must match it. `query` needs no --dataset: the
@@ -62,8 +68,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <string_view>
 
 #include "ctfl/core/incentive.h"
 #include "ctfl/core/interpret.h"
@@ -74,12 +82,14 @@
 #include "ctfl/fl/partition.h"
 #include "ctfl/kernel/trace_kernel.h"
 #include "ctfl/nn/serialize.h"
+#include "ctfl/serve/render.h"
 #include "ctfl/store/query_engine.h"
 #include "ctfl/telemetry/exposition.h"
 #include "ctfl/telemetry/metrics.h"
 #include "ctfl/telemetry/trace.h"
 #include "ctfl/util/flags.h"
 #include "ctfl/util/logging.h"
+#include "ctfl/util/string_util.h"
 
 namespace ctfl {
 namespace {
@@ -349,14 +359,107 @@ Status RunScore(int argc, const char* const* argv, bool snapshot_mode) {
   return Status::OK();
 }
 
-void PrintRuleStats(const char* header,
-                    const std::vector<store::RuleStat>& stats) {
-  if (stats.empty()) return;
-  std::printf("  %s\n", header);
-  for (const store::RuleStat& stat : stats) {
-    std::printf("    r%-4d f=%-10.4f %s\n", stat.rule, stat.frequency,
-                stat.text.c_str());
+// Batch mode of `query`: one request per line, every line answered from
+// the already-loaded engine (no per-request bundle reads). Returns on the
+// first malformed line, naming it.
+Status RunRequestsFile(const store::QueryEngine& engine,
+                       const std::string& path,
+                       const store::EvalOptions& eval_defaults,
+                       const store::QueryOptions& query_defaults) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open requests file " + path);
+  const store::BundleContent& bundle = engine.bundle();
+  std::string line;
+  size_t lineno = 0;
+  size_t handled = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const size_t space = trimmed.find(' ');
+    const std::string_view command = trimmed.substr(0, space);
+    const std::string_view rest =
+        space == std::string_view::npos ? std::string_view()
+                                        : Trim(trimmed.substr(space + 1));
+    std::printf("request %zu: %.*s\n", handled,
+                static_cast<int>(trimmed.size()), trimmed.data());
+    if (command == "evaluate") {
+      store::EvalOptions eval = eval_defaults;
+      for (const std::string& token :
+           Split(std::string(rest), ' ')) {
+        if (token.empty()) continue;
+        const size_t eq = token.find('=');
+        const std::string key = token.substr(0, eq);
+        if (eq == std::string::npos) {
+          return Status::InvalidArgument(StrFormat(
+              "%s:%zu: evaluate option '%s' is not key=value",
+              path.c_str(), lineno, token.c_str()));
+        }
+        const std::string value = token.substr(eq + 1);
+        if (key == "tau-w") {
+          CTFL_ASSIGN_OR_RETURN(eval.tau_w, ParseDouble(value));
+        } else if (key == "delta") {
+          CTFL_ASSIGN_OR_RETURN(eval.delta, ParseInt(value));
+        } else if (key == "top-k") {
+          CTFL_ASSIGN_OR_RETURN(eval.top_k, ParseInt(value));
+        } else {
+          return Status::InvalidArgument(
+              StrFormat("%s:%zu: unknown evaluate option '%s'",
+                        path.c_str(), lineno, key.c_str()));
+        }
+      }
+      const store::QueryReport report = engine.Evaluate(eval);
+      std::fputs(serve::RenderEvaluation(report, eval.kernel,
+                                         engine.origin_tau_w(),
+                                         engine.origin_delta(),
+                                         bundle.meta.micro_scores,
+                                         bundle.meta.macro_scores)
+                     .c_str(),
+                 stdout);
+    } else if (command == "related-test") {
+      CTFL_ASSIGN_OR_RETURN(int test_index, ParseInt(std::string(rest)));
+      if (test_index < 0 ||
+          static_cast<size_t>(test_index) >= bundle.tests.size()) {
+        return Status::OutOfRange(
+            StrFormat("%s:%zu: test index %d out of range (bundle has %zu "
+                      "tests)",
+                      path.c_str(), lineno, test_index,
+                      bundle.tests.size()));
+      }
+      const store::RelatedResult related = engine.RelatedForTest(
+          static_cast<size_t>(test_index), query_defaults);
+      std::fputs(serve::RenderRelatedLookup(
+                     static_cast<size_t>(test_index), related,
+                     bundle.meta.participant_names)
+                     .c_str(),
+                 stdout);
+    } else if (command == "related") {
+      std::vector<std::string> fields = Split(std::string(rest), ',');
+      for (std::string& field : fields) field = std::string(Trim(field));
+      auto parsed = ParseCsvInstanceRow(bundle.schema, fields);
+      if (!parsed.ok()) {
+        return Status::InvalidArgument(StrFormat(
+            "%s:%zu: %s", path.c_str(), lineno,
+            parsed.status().message().c_str()));
+      }
+      const store::RelatedResult related =
+          engine.Related(*parsed, query_defaults);
+      std::fputs(serve::RenderRelatedLookup(handled, related,
+                                            bundle.meta.participant_names)
+                     .c_str(),
+                 stdout);
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: unknown request '%.*s' (expected evaluate, "
+                    "related-test, or related)",
+                    path.c_str(), lineno, static_cast<int>(command.size()),
+                    command.data()));
+    }
+    ++handled;
   }
+  std::printf("\nanswered %zu requests from %s (single bundle load)\n",
+              handled, path.c_str());
+  return Status::OK();
 }
 
 Status RunQuery(int argc, const char* const* argv) {
@@ -368,6 +471,7 @@ Status RunQuery(int argc, const char* const* argv) {
                     {"max-records", "3"},
                     {"linear", "false"},
                     {"trace-kernel", "blocked"},
+                    {"requests-file", ""},
                     {"telemetry-summary", "false"}});
   CTFL_RETURN_IF_ERROR(flags.Parse(argc, argv));
   if (flags.GetString("bundle").empty()) {
@@ -399,77 +503,39 @@ Status RunQuery(int argc, const char* const* argv) {
   eval.delta = delta;
   eval.top_k = top_k;
   eval.kernel = trace_kernel;
-  const store::QueryReport report = engine.Evaluate(eval);
-  const bool origin_params = report.tau_w == engine.origin_tau_w() &&
-                             report.delta == engine.origin_delta();
-  std::printf("scores at tau_w=%.4f delta=%d (no retraining, no retracing):\n",
-              report.tau_w, report.delta);
-  std::printf("participant        records    micro     macro\n");
-  for (int p = 0; p < engine.num_participants(); ++p) {
-    std::printf("%-17s %8zu   %.6f  %.6f\n",
-                bundle.meta.participant_names[p].c_str(),
-                bundle.participants[p].size(), report.micro[p],
-                report.macro[p]);
-  }
-  if (origin_params && !bundle.meta.micro_scores.empty()) {
-    bool identical = bundle.meta.macro_scores.size() == report.macro.size();
-    for (size_t p = 0; identical && p < report.micro.size(); ++p) {
-      identical = bundle.meta.micro_scores[p] == report.micro[p] &&
-                  bundle.meta.macro_scores[p] == report.macro[p];
-    }
-    std::printf("reproduction vs originating run: %s\n",
-                identical ? "bit-identical" : "MISMATCH");
-  }
-  std::printf(
-      "\nglobal accuracy %.4f, matched %.4f; %zu uncovered tests\n"
-      "lookup cost: %lld keys, %lld tau_w checks, %lld postings scanned, "
-      "%lld candidates pruned\n"
-      "trace kernel (%s): %lld records scanned, %lld blocks pruned\n",
-      report.global_accuracy, report.matched_accuracy,
-      report.uncovered_tests, static_cast<long long>(report.keys),
-      static_cast<long long>(report.tau_w_checks),
-      static_cast<long long>(report.postings_scanned),
-      static_cast<long long>(report.candidates_pruned),
-      TraceKernelKindName(eval.kernel),
-      static_cast<long long>(report.records_scanned),
-      static_cast<long long>(report.blocks_pruned));
-  PrintRuleStats("uncovered scenarios (collect data here):",
-                 report.uncovered_rules);
+  store::QueryOptions options;
+  options.tau_w = tau_w;
+  options.use_index = !flags.GetBool("linear");
+  options.kernel = trace_kernel;
+  options.max_records = static_cast<size_t>(std::max(0, max_records));
 
-  for (const store::ParticipantSummary& summary : report.participants) {
-    std::printf("\n%s (%zu records, useless ratio %.3f)\n",
-                summary.name.c_str(), summary.data_size,
-                summary.useless_ratio);
-    PrintRuleStats("beneficial rules:", summary.beneficial);
-    PrintRuleStats("harmful rules:", summary.harmful);
+  const std::string requests_path = flags.GetString("requests-file");
+  if (!requests_path.empty()) {
+    return RunRequestsFile(engine, requests_path, eval, options);
   }
+
+  const store::QueryReport report = engine.Evaluate(eval);
+  std::fputs(serve::RenderEvaluation(report, eval.kernel,
+                                     engine.origin_tau_w(),
+                                     engine.origin_delta(),
+                                     bundle.meta.micro_scores,
+                                     bundle.meta.macro_scores)
+                 .c_str(),
+             stdout);
 
   const std::string instances_path = flags.GetString("instances");
   if (!instances_path.empty()) {
     CTFL_ASSIGN_OR_RETURN(Dataset instances,
                           LoadCsvDataset(instances_path, bundle.schema));
-    store::QueryOptions options;
-    options.tau_w = tau_w;
-    options.use_index = !flags.GetBool("linear");
-    options.kernel = trace_kernel;
-    options.max_records = static_cast<size_t>(std::max(0, max_records));
-    std::printf("\nrelated-record lookups (%s):\n",
-                options.use_index ? "posting-list prefilter" : "linear scan");
+    std::fputs(serve::RenderRelatedHeader(options.use_index).c_str(),
+               stdout);
     for (size_t i = 0; i < instances.size(); ++i) {
       const store::RelatedResult related =
           engine.Related(instances.instance(i), options);
-      std::printf(
-          "instance %zu: predicted=%d support=%d related=%zu "
-          "(checked %lld of %lld, pruned %lld)\n",
-          i, related.predicted, related.support_size, related.total_related,
-          static_cast<long long>(related.tau_w_checks),
-          static_cast<long long>(related.bucket_size),
-          static_cast<long long>(related.candidates_pruned));
-      for (const store::RecordRef& ref : related.records) {
-        std::printf("    %s record %d\n",
-                    bundle.meta.participant_names[ref.participant].c_str(),
-                    ref.local_index);
-      }
+      std::fputs(serve::RenderRelatedLookup(i, related,
+                                            bundle.meta.participant_names)
+                     .c_str(),
+                 stdout);
     }
   }
 

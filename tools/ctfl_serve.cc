@@ -1,0 +1,149 @@
+// ctfl_serve — resident contribution-query server (DESIGN.md §13).
+//
+// Loads one contribution bundle into an immutable QueryEngine (memory-
+// mapped by default) and answers RELATED / RELATED_FOR_TEST / EVALUATE /
+// STATS / SHUTDOWN requests over the length-prefixed wire protocol, on a
+// unix-domain socket (--socket) or a TCP loopback port (--port). Served
+// responses are byte-identical to one-shot `ctfl query` output over the
+// same bundle.
+//
+//   ctfl_serve --bundle FILE (--socket PATH | --port N)
+//              [--num-threads T] [--lru-capacity N] [--open-mode auto|mmap|stream]
+//              [--metrics-out FILE]
+//
+// Prints one "listening on ..." line once ready (scripts wait for it),
+// then serves until SIGTERM/SIGINT or a SHUTDOWN request, drains
+// gracefully (in-flight frames finish, response written before the drain),
+// and on exit writes Prometheus-format metrics to --metrics-out.
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include <fstream>
+
+#include "ctfl/serve/server.h"
+#include "ctfl/serve/service.h"
+#include "ctfl/store/bundle.h"
+#include "ctfl/store/query_engine.h"
+#include "ctfl/telemetry/exposition.h"
+#include "ctfl/util/flags.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace ctfl {
+namespace {
+
+volatile std::sig_atomic_t g_signal_received = 0;
+
+void HandleSignal(int) { g_signal_received = 1; }
+
+Result<store::BundleReader::OpenMode> ParseOpenMode(const std::string& mode) {
+  if (mode == "auto") return store::BundleReader::OpenMode::kAuto;
+  if (mode == "mmap") return store::BundleReader::OpenMode::kMmap;
+  if (mode == "stream") return store::BundleReader::OpenMode::kStream;
+  return Status::InvalidArgument("--open-mode must be auto, mmap, or stream");
+}
+
+Status Run(int argc, const char* const* argv) {
+  FlagParser flags({{"bundle", ""},
+                    {"socket", ""},
+                    {"port", "-1"},
+                    {"num-threads", "0"},
+                    {"lru-capacity", "256"},
+                    {"open-mode", "auto"},
+                    {"metrics-out", ""}});
+  CTFL_RETURN_IF_ERROR(flags.Parse(argc, argv));
+  if (flags.GetString("bundle").empty()) {
+    return Status::InvalidArgument("--bundle is required");
+  }
+  const std::string socket_path = flags.GetString("socket");
+  CTFL_ASSIGN_OR_RETURN(int port, flags.GetInt("port"));
+  if (socket_path.empty() && port < 0) {
+    return Status::InvalidArgument("one of --socket or --port is required");
+  }
+  if (!socket_path.empty() && port >= 0) {
+    return Status::InvalidArgument("--socket and --port are exclusive");
+  }
+  CTFL_ASSIGN_OR_RETURN(int num_threads, flags.GetInt("num-threads"));
+  CTFL_ASSIGN_OR_RETURN(int lru_capacity, flags.GetInt("lru-capacity"));
+  if (lru_capacity < 0) {
+    return Status::InvalidArgument("--lru-capacity must be >= 0");
+  }
+  CTFL_ASSIGN_OR_RETURN(store::BundleReader::OpenMode open_mode,
+                        ParseOpenMode(flags.GetString("open-mode")));
+
+  const std::string bundle_path = flags.GetString("bundle");
+  CTFL_ASSIGN_OR_RETURN(store::BundleContent content,
+                        store::ReadBundle(bundle_path, open_mode));
+  serve::ServiceConfig service_config;
+  service_config.lru_capacity = static_cast<size_t>(lru_capacity);
+  {
+    std::ifstream f(bundle_path, std::ios::binary | std::ios::ate);
+    if (f) service_config.bundle_bytes = static_cast<uint64_t>(f.tellg());
+  }
+  CTFL_ASSIGN_OR_RETURN(store::QueryEngine engine,
+                        store::QueryEngine::FromContent(std::move(content)));
+  serve::QueryService service(std::move(engine), service_config);
+  const serve::ServerStats stats = service.Stats();
+  std::printf("bundle %s: %u participants, %u rules, %llu train records, "
+              "%llu tests\n",
+              bundle_path.c_str(), stats.num_participants, stats.num_rules,
+              static_cast<unsigned long long>(stats.train_records),
+              static_cast<unsigned long long>(stats.test_records));
+
+  serve::ServerConfig server_config;
+  server_config.socket_path = socket_path;
+  server_config.port = port < 0 ? 0 : port;
+  server_config.num_threads = num_threads;
+  serve::Server server(&service, server_config);
+  CTFL_RETURN_IF_ERROR(server.Start());
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  if (!socket_path.empty()) {
+    std::printf("listening on unix:%s\n", socket_path.c_str());
+  } else {
+    std::printf("listening on 127.0.0.1:%d\n", server.port());
+  }
+  std::fflush(stdout);
+
+  // The acceptor and connection handlers run on their own threads; this
+  // thread watches for either a delivered signal or a protocol-driven
+  // drain (a SHUTDOWN request calls Server::Shutdown() internally, which
+  // flips draining()).
+#if defined(__unix__) || defined(__APPLE__)
+  while (g_signal_received == 0 && !server.draining()) {
+    usleep(50 * 1000);
+  }
+#endif
+  server.Shutdown();
+  server.Wait();
+  std::printf("drained after %llu requests\n",
+              static_cast<unsigned long long>(
+                  service.Stats().requests_total));
+
+  const std::string metrics_out = flags.GetString("metrics-out");
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) return Status::IoError("cannot write " + metrics_out);
+    out << telemetry::PrometheusText();
+    std::printf("metrics -> %s\n", metrics_out.c_str());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace ctfl
+
+int main(int argc, char** argv) {
+  const ctfl::Status status = ctfl::Run(argc - 1, argv + 1);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
