@@ -246,7 +246,10 @@ uint64_t CtflConfigDigest(const CtflConfig& config) {
   d.MixDouble(config.tracer.min_rule_weight);
   d.MixDouble(config.tracer.dp_epsilon);
   d.Mix(config.tracer.dp_seed);
-  d.MixInt(static_cast<int64_t>(config.tracer.kernel));
+  // tracer.kernel is deliberately NOT mixed: like the thread knobs it
+  // selects a bit-identical implementation (DESIGN.md §10), so a legacy
+  // and a blocked run of the same semantics share one digest — the
+  // replay harness's kernel-flip cells rely on this.
   d.MixInt(config.macro_delta);
   return d.value();
 }

@@ -71,11 +71,12 @@ CtflReport RunCtfl(const Federation& federation, const Dataset& test,
                    const CtflConfig& config);
 
 /// Digest over the semantic CtflConfig knobs — everything that can change
-/// the run's scores (net shape, seeds, rounds/epochs, tau_w, kernel,
-/// privacy, ...). Thread-count knobs, verbosity, and output paths are
-/// excluded: they never change results (DESIGN.md §9). The failure plan
-/// is also excluded — it is fingerprinted separately so a report can name
-/// the fault schedule independently of the configuration.
+/// the run's scores (net shape, seeds, rounds/epochs, tau_w, privacy,
+/// ...). Thread-count knobs, the trace-kernel selector, verbosity, and
+/// output paths are excluded: they never change results (DESIGN.md
+/// §9/§10). The failure plan is also excluded — it is fingerprinted
+/// separately so a report can name the fault schedule independently of
+/// the configuration.
 uint64_t CtflConfigDigest(const CtflConfig& config);
 
 /// Assembles the structured run report (DESIGN.md §12) for a finished

@@ -1,0 +1,103 @@
+#include "ctfl/replay/recorder.h"
+
+#include <utility>
+
+namespace ctfl {
+namespace replay {
+
+void ReplayRecorder::CaptureRun(const RunSpec& spec,
+                                const RunOutcome& outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  file_.spec = spec;
+  file_.has_spec = true;
+  file_.outcome = outcome;
+  file_.has_outcome = true;
+}
+
+void ReplayRecorder::RecordEvent(const serve::Request& request,
+                                 const serve::Response& response) {
+  QueryEvent event;
+  event.op = static_cast<uint8_t>(request.op);
+  event.request = serve::EncodeRequest(request);
+  event.response_digest = ResponseDigest(response);
+  std::lock_guard<std::mutex> lock(mu_);
+  file_.events.push_back(std::move(event));
+}
+
+std::function<void(const serve::Request&, const serve::Response&)>
+ReplayRecorder::Tap() {
+  return [this](const serve::Request& request,
+                const serve::Response& response) {
+    RecordEvent(request, response);
+  };
+}
+
+store::RelatedResult ReplayRecorder::RecordRelated(
+    const store::QueryEngine& engine, const Instance& instance,
+    const store::QueryOptions& options) {
+  serve::Request request;
+  request.op = serve::Op::kRelated;
+  request.related.instance = instance;
+  request.related.options = options;
+
+  serve::Response response;
+  response.op = request.op;
+  response.related = engine.Related(instance, options);
+
+  RecordEvent(request, response);
+  return response.related;
+}
+
+store::RelatedResult ReplayRecorder::RecordRelatedForTest(
+    const store::QueryEngine& engine, uint64_t test_index,
+    const store::QueryOptions& options) {
+  serve::Request request;
+  request.op = serve::Op::kRelatedForTest;
+  request.related_for_test.test_index = test_index;
+  request.related_for_test.options = options;
+
+  serve::Response response;
+  response.op = request.op;
+  response.related =
+      engine.RelatedForTest(static_cast<size_t>(test_index), options);
+
+  RecordEvent(request, response);
+  return response.related;
+}
+
+store::QueryReport ReplayRecorder::RecordEvaluate(
+    const store::QueryEngine& engine, const store::EvalOptions& options) {
+  serve::Request request;
+  request.op = serve::Op::kEvaluate;
+  request.evaluate.options = options;
+
+  // Mirror QueryService::HandleEvaluate field-for-field: the digest must
+  // match what a served replay of this request will produce.
+  serve::Response response;
+  response.op = request.op;
+  response.report = engine.Evaluate(options);
+  response.origin_tau_w = engine.origin_tau_w();
+  response.origin_delta = engine.origin_delta();
+  response.origin_micro = engine.bundle().meta.micro_scores;
+  response.origin_macro = engine.bundle().meta.macro_scores;
+
+  RecordEvent(request, response);
+  return response.report;
+}
+
+ReplayFile ReplayRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_;
+}
+
+size_t ReplayRecorder::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_.events.size();
+}
+
+Status ReplayRecorder::WriteTo(const std::string& path) const {
+  return WriteReplayFile(Snapshot(), path);
+}
+
+}  // namespace replay
+}  // namespace ctfl

@@ -1,0 +1,491 @@
+#include "ctfl/replay/runner.h"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "ctfl/data/gen/benchmarks.h"
+#include "ctfl/data/gen/tictactoe.h"
+#include "ctfl/fl/partition.h"
+#include "ctfl/serve/client.h"
+#include "ctfl/serve/server.h"
+#include "ctfl/store/query_engine.h"
+#include "ctfl/util/rng.h"
+#include "ctfl/util/string_util.h"
+
+namespace ctfl {
+namespace replay {
+namespace {
+
+Result<SchemaPtr> SchemaFor(const std::string& dataset) {
+  if (dataset == "tic-tac-toe") return TicTacToeSchema();
+  CTFL_ASSIGN_OR_RETURN(SyntheticSpec spec, BenchmarkSpec(dataset));
+  return spec.schema;
+}
+
+/// Loads a recorded CSV input, failing loudly when the file's bytes no
+/// longer match the recorded digest — an edited input would otherwise
+/// "reproduce" noise instead of the run.
+Result<Dataset> LoadPinnedCsv(const std::string& path, uint64_t want_digest,
+                              const SchemaPtr& schema, const char* role) {
+  if (want_digest != 0) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return Status::IoError(StrFormat("cannot open recorded %s CSV %s",
+                                       role, path.c_str()));
+    }
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    const uint64_t got = HashBytes(bytes);
+    if (got != want_digest) {
+      return Status::FailedPrecondition(StrFormat(
+          "%s CSV %s changed since recording (digest %016llx, recorded "
+          "%016llx) — replaying it would not reproduce the run",
+          role, path.c_str(), static_cast<unsigned long long>(got),
+          static_cast<unsigned long long>(want_digest)));
+    }
+  }
+  return LoadCsvDataset(path, schema);
+}
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+std::string Hex64(uint64_t v) {
+  return StrFormat("0x%016llx", static_cast<unsigned long long>(v));
+}
+
+// QueryService is neither copyable nor movable (atomics, const config),
+// so it travels behind a unique_ptr here.
+Result<std::unique_ptr<serve::QueryService>> OpenService(
+    const std::string& bundle_path) {
+  CTFL_ASSIGN_OR_RETURN(store::QueryEngine engine,
+                        store::QueryEngine::Open(bundle_path));
+  return std::make_unique<serve::QueryService>(std::move(engine));
+}
+
+/// Replays one decoded event against `service`, digest-checking the
+/// response when the op is digest-stable. Shared by all three legs.
+void CheckEvent(const QueryEvent& event, const serve::Response& response,
+                size_t index, EventReplayResult* result) {
+  if (!OpIsDigestStable(event.op)) return;
+  ++result->digest_checked;
+  const uint64_t got = ResponseDigest(response);
+  if (got == event.response_digest) return;
+  ++result->mismatches;
+  if (result->detail.empty()) {
+    result->detail = StrFormat(
+        "event %zu (%s): response digest %s, recorded %s", index,
+        serve::OpName(static_cast<serve::Op>(event.op)), Hex64(got).c_str(),
+        Hex64(event.response_digest).c_str());
+  }
+}
+
+}  // namespace
+
+std::string RenderScoreTable(const Federation& federation,
+                             const std::vector<double>& micro,
+                             const std::vector<double>& macro) {
+  std::string out = "participant  records    micro   macro\n";
+  for (const Participant& p : federation) {
+    const size_t id = static_cast<size_t>(p.id);
+    out += StrFormat("%-11s %8zu   %.17g   %.17g\n", p.name.c_str(),
+                     p.data.size(), id < micro.size() ? micro[id] : 0.0,
+                     id < macro.size() ? macro[id] : 0.0);
+  }
+  return out;
+}
+
+RunOutcome MakeRunOutcome(const CtflReport& report, const CtflConfig& config,
+                          const Federation& federation, const Dataset& test) {
+  const telemetry::RunReport run_report =
+      MakeRunReport(report, config, federation, test);
+  RunOutcome outcome;
+  outcome.config_digest = run_report.config_digest;
+  outcome.schema_fingerprint = run_report.schema_fingerprint;
+  outcome.failure_plan_fingerprint = run_report.failure_plan_fingerprint;
+  outcome.run_fingerprint = run_report.run_fingerprint;
+  outcome.test_accuracy = report.test_accuracy;
+  outcome.micro = report.micro_scores;
+  outcome.macro = report.macro_scores;
+  outcome.score_digest = ScoreDigest(outcome.micro, outcome.macro);
+  outcome.render_digest = HashBytes(
+      RenderScoreTable(federation, outcome.micro, outcome.macro));
+  return outcome;
+}
+
+Result<RunArtifacts> ExecuteRunSpec(const RunSpec& spec,
+                                    const RunOverrides& overrides) {
+  // Rebuild the inputs exactly as recorded.
+  Result<Dataset> train = Status::Internal("unreachable");
+  Result<Dataset> test = Status::Internal("unreachable");
+  if (spec.source == DataSource::kGenerate) {
+    train = MakeBenchmark(spec.dataset, spec.train_n, spec.train_seed);
+    test = MakeBenchmark(spec.dataset, spec.test_n, spec.test_seed);
+  } else {
+    CTFL_ASSIGN_OR_RETURN(SchemaPtr schema, SchemaFor(spec.dataset));
+    train = LoadPinnedCsv(spec.train_path, spec.train_csv_digest, schema,
+                          "train");
+    test = LoadPinnedCsv(spec.test_path, spec.test_csv_digest, schema,
+                         "test");
+  }
+  if (!train.ok()) return train.status();
+  if (!test.ok()) return test.status();
+
+  // Partition with the recorded PRNG stream (same draw order as the CLI).
+  Rng prng(spec.seed);
+  const int participants = static_cast<int>(spec.participants);
+  Federation federation = MakeFederation(
+      spec.skew_label
+          ? PartitionSkewLabel(*train, participants, spec.alpha, prng)
+          : PartitionSkewSample(*train, participants, spec.alpha, prng));
+
+  // Mirror the `ctfl score` config mapping knob-for-knob (tools/ctfl_cli.cc
+  // RunScore) — any drift here breaks the bit-identity contract.
+  CTFL_ASSIGN_OR_RETURN(
+      FailurePlan failure_plan,
+      FailurePlan::Parse(overrides.clean ? "" : spec.failure_plan));
+  if (spec.trace_kernel >
+      static_cast<uint8_t>(TraceKernelKind::kBlocked)) {
+    return Status::InvalidArgument(StrFormat(
+        "recorded trace kernel %u is unknown", spec.trace_kernel));
+  }
+  CtflConfig config;
+  config.federated = spec.federated;
+  config.central.epochs = static_cast<int>(spec.epochs);
+  config.central.learning_rate = 0.05;
+  config.fedavg.rounds = static_cast<int>(spec.rounds);
+  config.fedavg.local_epochs = static_cast<int>(spec.local_epochs);
+  config.fedavg.local.learning_rate = 0.05;
+  config.fedavg.local.seed = spec.seed;
+  config.fedavg.secure_aggregation = spec.secure_agg;
+  config.fedavg.failure = failure_plan;
+  config.fedavg.retry_budget = static_cast<int>(spec.retry_budget);
+  if (!config.federated &&
+      (!failure_plan.empty() || config.fedavg.secure_aggregation)) {
+    return Status::InvalidArgument(
+        "recorded spec has --failure-plan/--secure-agg without --federated");
+  }
+  const int width = static_cast<int>(spec.width);
+  config.net.logic_layers = {{width / 2, width - width / 2}};
+  config.net.seed = spec.seed;
+  config.tracer.tau_w = spec.tau_w;
+  config.tracer.kernel = overrides.kernel >= 0
+                             ? static_cast<TraceKernelKind>(overrides.kernel)
+                             : static_cast<TraceKernelKind>(spec.trace_kernel);
+  config.num_threads = overrides.num_threads == RunOverrides::kKeep
+                           ? static_cast<int>(spec.num_threads)
+                           : static_cast<int>(overrides.num_threads);
+  config.bundle_out = overrides.bundle_out;
+
+  const CtflReport report = RunCtfl(federation, *test, config);
+  if (!config.bundle_out.empty()) {
+    CTFL_RETURN_IF_ERROR(report.bundle_status);
+  }
+
+  RunOutcome outcome = MakeRunOutcome(report, config, federation, *test);
+  std::string table =
+      RenderScoreTable(federation, outcome.micro, outcome.macro);
+  return RunArtifacts{std::move(config), std::move(federation),
+                      std::move(*test), std::move(outcome),
+                      std::move(table), report.bundle_bytes};
+}
+
+Status CompareOutcomes(const RunOutcome& want, const RunOutcome& got) {
+  struct Field {
+    const char* name;
+    uint64_t want;
+    uint64_t got;
+  };
+  const Field fields[] = {
+      {"config_digest", want.config_digest, got.config_digest},
+      {"schema_fingerprint", want.schema_fingerprint,
+       got.schema_fingerprint},
+      {"failure_plan_fingerprint", want.failure_plan_fingerprint,
+       got.failure_plan_fingerprint},
+      {"run_fingerprint", want.run_fingerprint, got.run_fingerprint},
+      {"test_accuracy_bits", DoubleBits(want.test_accuracy),
+       DoubleBits(got.test_accuracy)},
+      {"score_digest", want.score_digest, got.score_digest},
+      {"render_digest", want.render_digest, got.render_digest},
+  };
+  for (const Field& f : fields) {
+    if (f.want != f.got) {
+      return Status::FailedPrecondition(
+          StrFormat("%s diverged: recorded %s, replayed %s", f.name,
+                    Hex64(f.want).c_str(), Hex64(f.got).c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+Result<EventReplayResult> ReplayEventsThroughService(
+    const std::vector<QueryEvent>& events, serve::QueryService& service) {
+  EventReplayResult result;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const QueryEvent& event = events[i];
+    if (event.op == static_cast<uint8_t>(serve::Op::kShutdown)) continue;
+    CTFL_ASSIGN_OR_RETURN(serve::Request request,
+                          serve::DecodeRequest(event.request));
+    const serve::Response response = service.Handle(request);
+    ++result.replayed;
+    CheckEvent(event, response, i, &result);
+  }
+  return result;
+}
+
+Result<EventReplayResult> ReplayEventsOneShot(
+    const std::vector<QueryEvent>& events, const std::string& bundle_path) {
+  EventReplayResult result;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const QueryEvent& event = events[i];
+    if (event.op == static_cast<uint8_t>(serve::Op::kShutdown)) continue;
+    CTFL_ASSIGN_OR_RETURN(serve::Request request,
+                          serve::DecodeRequest(event.request));
+    // Fresh engine + service per event: the cold-path leg.
+    CTFL_ASSIGN_OR_RETURN(std::unique_ptr<serve::QueryService> service,
+                          OpenService(bundle_path));
+    const serve::Response response = service->Handle(request);
+    ++result.replayed;
+    CheckEvent(event, response, i, &result);
+  }
+  return result;
+}
+
+Result<EventReplayResult> ReplayEventsServed(
+    const std::vector<QueryEvent>& events, const std::string& bundle_path,
+    const std::string& socket_path) {
+  if (!serve::ServerSupported()) {
+    return Status::Unimplemented("socket server not supported here");
+  }
+  CTFL_ASSIGN_OR_RETURN(std::unique_ptr<serve::QueryService> service,
+                        OpenService(bundle_path));
+  serve::ServerConfig server_config;
+  server_config.socket_path = socket_path;
+  server_config.num_threads = 2;
+  serve::Server server(service.get(), std::move(server_config));
+  CTFL_RETURN_IF_ERROR(server.Start());
+
+  Result<EventReplayResult> out = [&]() -> Result<EventReplayResult> {
+    CTFL_ASSIGN_OR_RETURN(serve::Client client,
+                          serve::Client::ConnectUnix(socket_path));
+    EventReplayResult result;
+    for (size_t i = 0; i < events.size(); ++i) {
+      const QueryEvent& event = events[i];
+      if (event.op == static_cast<uint8_t>(serve::Op::kShutdown)) continue;
+      CTFL_ASSIGN_OR_RETURN(serve::Request request,
+                            serve::DecodeRequest(event.request));
+      CTFL_ASSIGN_OR_RETURN(serve::Response response, client.Call(request));
+      ++result.replayed;
+      CheckEvent(event, response, i, &result);
+    }
+    return result;
+  }();
+
+  server.Shutdown();
+  server.Wait();
+  return out;
+}
+
+std::vector<MatrixCell> GenerateMatrix(const ReplayFile& file) {
+  std::vector<MatrixCell> cells;
+  const bool has_run = file.has_spec && file.has_outcome;
+  if (has_run) {
+    cells.push_back({"base_replay",
+                     "re-run the recorded spec; bitwise outcome match",
+                     MatrixCell::Kind::kRun,
+                     {}});
+    // Flip the Eq. 4 kernel: the implementation knob must not move a
+    // single bit, fingerprint included.
+    MatrixCell kernel;
+    const bool recorded_blocked =
+        file.spec.trace_kernel ==
+        static_cast<uint8_t>(TraceKernelKind::kBlocked);
+    kernel.name = recorded_blocked ? "kernel_legacy" : "kernel_blocked";
+    kernel.description = recorded_blocked
+                             ? "re-run with the legacy scalar kernel"
+                             : "re-run with the blocked kernel";
+    kernel.overrides.kernel = static_cast<int>(
+        recorded_blocked ? TraceKernelKind::kLegacy
+                         : TraceKernelKind::kBlocked);
+    cells.push_back(std::move(kernel));
+    for (int threads : {1, 2, 8}) {
+      MatrixCell cell;
+      cell.name = StrFormat("threads_%d", threads);
+      cell.description =
+          StrFormat("re-run with num_threads=%d; bitwise match", threads);
+      cell.overrides.num_threads = threads;
+      cells.push_back(std::move(cell));
+    }
+    if (!file.spec.failure_plan.empty()) {
+      MatrixCell clean;
+      clean.name = "clean";
+      clean.description =
+          "re-run without the fault plan; run fingerprint must diverge";
+      clean.kind = MatrixCell::Kind::kRunDiverge;
+      clean.overrides.clean = true;
+      cells.push_back(std::move(clean));
+    }
+  }
+  if (has_run && !file.events.empty()) {
+    cells.push_back({"queries_batch",
+                     "replay the query stream against one warm service",
+                     MatrixCell::Kind::kQueryBatch,
+                     {}});
+    cells.push_back({"queries_oneshot",
+                     "replay the query stream, fresh service per request",
+                     MatrixCell::Kind::kQueryOneShot,
+                     {}});
+    if (serve::ServerSupported()) {
+      cells.push_back({"queries_served",
+                       "replay the query stream through a socket server",
+                       MatrixCell::Kind::kQueryServed,
+                       {}});
+    }
+  }
+  return cells;
+}
+
+Result<std::vector<CellResult>> RunMatrix(const ReplayFile& file,
+                                          const MatrixOptions& options) {
+  std::vector<MatrixCell> cells = GenerateMatrix(file);
+  if (cells.empty()) {
+    return Status::InvalidArgument(
+        "replay file has no spec+outcome to build a matrix from");
+  }
+
+  const bool need_bundle = [&] {
+    for (const MatrixCell& cell : cells) {
+      if (cell.kind == MatrixCell::Kind::kQueryBatch ||
+          cell.kind == MatrixCell::Kind::kQueryOneShot ||
+          cell.kind == MatrixCell::Kind::kQueryServed) {
+        if (options.only_cell.empty() || options.only_cell == cell.name) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }();
+  const std::string bundle_path =
+      options.scratch_dir + "/replay_base.ctflb";
+  const std::string socket_path = options.scratch_dir + "/replay.sock";
+
+  // The base spec runs once; its bundle feeds every query cell.
+  bool base_ran = false;
+  RunOutcome base_outcome;
+  Status base_status = Status::OK();
+  auto ensure_base = [&]() -> Status {
+    if (base_ran) return base_status;
+    base_ran = true;
+    RunOverrides overrides;
+    if (need_bundle) overrides.bundle_out = bundle_path;
+    Result<RunArtifacts> artifacts = ExecuteRunSpec(file.spec, overrides);
+    if (!artifacts.ok()) {
+      base_status = artifacts.status();
+    } else {
+      base_outcome = artifacts->outcome;
+    }
+    return base_status;
+  };
+
+  std::vector<CellResult> results;
+  for (const MatrixCell& cell : cells) {
+    if (!options.only_cell.empty() && cell.name != options.only_cell) {
+      continue;
+    }
+    if (cell.kind == MatrixCell::Kind::kQueryServed &&
+        !options.include_served) {
+      continue;
+    }
+    CellResult result;
+    result.name = cell.name;
+    switch (cell.kind) {
+      case MatrixCell::Kind::kRun: {
+        Status ok;
+        if (cell.name == "base_replay") {
+          ok = ensure_base();
+          if (ok.ok()) ok = CompareOutcomes(file.outcome, base_outcome);
+        } else {
+          Result<RunArtifacts> artifacts =
+              ExecuteRunSpec(file.spec, cell.overrides);
+          ok = artifacts.ok()
+                   ? CompareOutcomes(file.outcome, artifacts->outcome)
+                   : artifacts.status();
+        }
+        result.pass = ok.ok();
+        result.detail =
+            ok.ok() ? StrFormat(
+                          "bit-identical (fingerprint %s)",
+                          Hex64(file.outcome.run_fingerprint).c_str())
+                    : ok.ToString();
+        break;
+      }
+      case MatrixCell::Kind::kRunDiverge: {
+        Result<RunArtifacts> artifacts =
+            ExecuteRunSpec(file.spec, cell.overrides);
+        if (!artifacts.ok()) {
+          result.detail = artifacts.status().ToString();
+          break;
+        }
+        const RunOutcome& got = artifacts->outcome;
+        if (got.failure_plan_fingerprint != 0) {
+          result.detail = "clean replay still reports a fault plan";
+        } else if (got.run_fingerprint == file.outcome.run_fingerprint) {
+          result.detail = StrFormat(
+              "run fingerprint %s did not diverge without the fault plan",
+              Hex64(got.run_fingerprint).c_str());
+        } else {
+          result.pass = true;
+          result.detail = StrFormat(
+              "fingerprint diverged as required (%s -> %s)",
+              Hex64(file.outcome.run_fingerprint).c_str(),
+              Hex64(got.run_fingerprint).c_str());
+        }
+        break;
+      }
+      case MatrixCell::Kind::kQueryBatch:
+      case MatrixCell::Kind::kQueryOneShot:
+      case MatrixCell::Kind::kQueryServed: {
+        Status base = ensure_base();
+        if (!base.ok()) {
+          result.detail = "base run failed: " + base.ToString();
+          break;
+        }
+        Result<EventReplayResult> replay =
+            Status::Internal("unreachable");
+        if (cell.kind == MatrixCell::Kind::kQueryBatch) {
+          Result<std::unique_ptr<serve::QueryService>> service =
+              OpenService(bundle_path);
+          replay = service.ok() ? ReplayEventsThroughService(file.events,
+                                                             **service)
+                                : Result<EventReplayResult>(
+                                      service.status());
+        } else if (cell.kind == MatrixCell::Kind::kQueryOneShot) {
+          replay = ReplayEventsOneShot(file.events, bundle_path);
+        } else {
+          replay =
+              ReplayEventsServed(file.events, bundle_path, socket_path);
+        }
+        if (!replay.ok()) {
+          result.detail = replay.status().ToString();
+          break;
+        }
+        result.pass = replay->ok();
+        result.detail =
+            replay->ok()
+                ? StrFormat("%zu events replayed, %zu digests matched",
+                            replay->replayed, replay->digest_checked)
+                : replay->detail;
+        break;
+      }
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace replay
+}  // namespace ctfl

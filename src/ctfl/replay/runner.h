@@ -1,0 +1,159 @@
+#ifndef CTFL_REPLAY_RUNNER_H_
+#define CTFL_REPLAY_RUNNER_H_
+
+// Replay side of the record/replay harness (DESIGN.md §14). Three layers:
+//
+//   ExecuteRunSpec    re-runs a recorded RunSpec (optionally with
+//                     per-cell overrides) and recomputes its RunOutcome —
+//                     the bit-identity surface a replay is checked
+//                     against
+//   ReplayEvents*     re-issues a recorded query stream against a fresh
+//                     QueryService (batch), a fresh service per event
+//                     (one-shot), or an in-process socket server
+//                     (served), digest-checking every digest-stable
+//                     response
+//   GenerateMatrix /  expands one replay file into the differential
+//   RunMatrix         regression cells (legacy-vs-blocked kernel,
+//                     threads 1/2/8, faulty-vs-clean, batch vs one-shot
+//                     vs served) and executes them
+//
+// Every run cell must reproduce the recorded outcome bit-for-bit —
+// identical score/render digests AND an equal run fingerprint — except
+// the `clean` cell, which drops the fault plan and must *diverge* in
+// fingerprint (the fingerprint is doing its job).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ctfl/core/pipeline.h"
+#include "ctfl/replay/replay_file.h"
+#include "ctfl/serve/service.h"
+
+namespace ctfl {
+namespace replay {
+
+/// Canonical full-precision score table: one "%-11s %8zu   %.17g   %.17g"
+/// row per participant. %.17g round-trips doubles exactly, so two tables
+/// are byte-identical iff the score vectors are bit-identical — this is
+/// the rendered surface pinned by RunOutcome::render_digest.
+std::string RenderScoreTable(const Federation& federation,
+                             const std::vector<double>& micro,
+                             const std::vector<double>& macro);
+
+/// Computes the outcome of a finished run (fingerprints via
+/// MakeRunReport, score + render digests).
+RunOutcome MakeRunOutcome(const CtflReport& report, const CtflConfig& config,
+                          const Federation& federation, const Dataset& test);
+
+/// Per-cell knob overrides applied on top of a recorded spec. Only the
+/// score-neutral knobs (plus the fault plan, whose divergence is asserted,
+/// not assumed) are overridable — everything semantic replays as recorded.
+struct RunOverrides {
+  /// Master thread knob; kKeep leaves the recorded value.
+  static constexpr int64_t kKeep = INT64_MIN;
+  int64_t num_threads = kKeep;
+  /// TraceKernelKind value, or -1 to keep the recorded kernel.
+  int kernel = -1;
+  /// Drop the recorded failure plan (the faulty-vs-clean cell).
+  bool clean = false;
+  /// When non-empty, persist a contribution bundle (for query cells).
+  std::string bundle_out;
+};
+
+/// A re-executed run: the effective config, the reconstructed inputs, and
+/// the recomputed outcome.
+struct RunArtifacts {
+  CtflConfig config;
+  Federation federation;
+  Dataset test;
+  RunOutcome outcome;
+  std::string score_table;
+  size_t bundle_bytes = 0;
+};
+
+/// Rebuilds the inputs (regenerating benchmarks or reloading
+/// digest-checked CSVs), mirrors the `ctfl score` config mapping
+/// knob-for-knob, runs the pipeline, and recomputes the outcome.
+Result<RunArtifacts> ExecuteRunSpec(const RunSpec& spec,
+                                    const RunOverrides& overrides = {});
+
+/// Bitwise outcome comparison. Returns OK when `got` reproduces `want`
+/// (all four fingerprints, score digest, render digest, accuracy bits);
+/// FailedPrecondition naming the first divergent field otherwise.
+Status CompareOutcomes(const RunOutcome& want, const RunOutcome& got);
+
+/// Outcome of replaying a recorded query stream.
+struct EventReplayResult {
+  size_t replayed = 0;        ///< events re-issued (SHUTDOWN skipped)
+  size_t digest_checked = 0;  ///< digest-stable events compared
+  size_t mismatches = 0;
+  std::string detail;  ///< first mismatch, human-readable
+  bool ok() const { return mismatches == 0; }
+};
+
+/// Replays the stream against one long-lived service (the streamed-batch
+/// leg; LRU warm across events, like a resident server).
+Result<EventReplayResult> ReplayEventsThroughService(
+    const std::vector<QueryEvent>& events, serve::QueryService& service);
+
+/// Replays each event against a freshly opened engine + service (the
+/// one-shot CLI leg; nothing cached between events).
+Result<EventReplayResult> ReplayEventsOneShot(
+    const std::vector<QueryEvent>& events, const std::string& bundle_path);
+
+/// Replays the stream through an in-process socket server + client over
+/// `socket_path` (the served leg). Unimplemented off-POSIX.
+Result<EventReplayResult> ReplayEventsServed(
+    const std::vector<QueryEvent>& events, const std::string& bundle_path,
+    const std::string& socket_path);
+
+/// One differential regression cell derived from a replay file.
+struct MatrixCell {
+  enum class Kind {
+    kRun,          ///< re-run the spec, require bitwise outcome match
+    kRunDiverge,   ///< re-run, require the run fingerprint to differ
+    kQueryBatch,   ///< replay events against one warm service
+    kQueryOneShot, ///< replay events, fresh service per event
+    kQueryServed,  ///< replay events through a socket server
+  };
+  std::string name;
+  std::string description;
+  Kind kind = Kind::kRun;
+  RunOverrides overrides;
+};
+
+/// Expands `file` into its differential matrix: base replay; kernel
+/// flipped (when a spec is present); threads 1/2/8; clean (when the
+/// recorded run had a fault plan); query batch/one-shot (when events are
+/// present) and served (POSIX). Deterministic order.
+std::vector<MatrixCell> GenerateMatrix(const ReplayFile& file);
+
+struct MatrixOptions {
+  /// Directory for scratch bundles/sockets (must exist).
+  std::string scratch_dir = ".";
+  /// When non-empty, run only the cell with this name.
+  std::string only_cell;
+  /// Skip kQueryServed cells (no-socket environments, TSan runs that
+  /// should stay in-process, ...).
+  bool include_served = true;
+};
+
+struct CellResult {
+  std::string name;
+  bool pass = false;
+  std::string detail;  ///< "scores bit-identical, fingerprint 0x..." or
+                       ///< the first divergence
+};
+
+/// Executes the matrix. The base spec runs once per distinct override set;
+/// query cells reuse one bundle emitted by the base run. A cell that
+/// cannot run (e.g. served without socket support) reports pass=false
+/// with the reason unless it was excluded via `options`.
+Result<std::vector<CellResult>> RunMatrix(const ReplayFile& file,
+                                          const MatrixOptions& options = {});
+
+}  // namespace replay
+}  // namespace ctfl
+
+#endif  // CTFL_REPLAY_RUNNER_H_

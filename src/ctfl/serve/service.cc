@@ -106,6 +106,7 @@ Response QueryService::Handle(const Request& request) {
           std::chrono::steady_clock::now() - start)
           .count();
   LatencyHistogram().Observe(micros);
+  if (config_.request_tap) config_.request_tap(request, response);
   return response;
 }
 

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -27,6 +28,11 @@ struct ServiceConfig {
   size_t lru_shards = 8;
   /// Container bytes of the bundle backing the engine (reported by STATS).
   uint64_t bundle_bytes = 0;
+  /// Optional record/replay hook (src/ctfl/replay/): invoked once per
+  /// handled request with the decoded request and the response about to be
+  /// returned, after all counters were bumped. Called from whichever thread
+  /// runs Handle() — the tap must be thread-safe. Empty = no recording.
+  std::function<void(const Request&, const Response&)> request_tap;
 };
 
 class QueryService {

@@ -30,8 +30,8 @@ struct RunReport {
   /// expected to reproduce each other's scores bit-for-bit.
   uint64_t run_fingerprint = 0;
   /// Digest over the semantic CtflConfig knobs (net shape, seeds,
-  /// rounds/epochs, tau_w, kernel, ...). Thread counts are excluded:
-  /// they never change results (DESIGN.md §9).
+  /// rounds/epochs, tau_w, ...). Thread counts and the trace-kernel
+  /// selector are excluded: they never change results (DESIGN.md §9/§10).
   uint64_t config_digest = 0;
   /// SchemaFingerprint of the federation's feature schema.
   uint64_t schema_fingerprint = 0;

@@ -262,6 +262,15 @@ TEST(RunReportTest, ConfigDigestSemanticsNotThreads) {
   threads.tracer.num_threads = 2;
   EXPECT_EQ(CtflConfigDigest(threads), base);
 
+  // So is the trace-kernel selector: legacy and blocked are bit-identical
+  // implementations of the same semantics (DESIGN.md §10), and the replay
+  // harness's kernel-flip cells compare run fingerprints across them.
+  CtflConfig kernel = fx.config;
+  kernel.tracer.kernel = kernel.tracer.kernel == TraceKernelKind::kLegacy
+                             ? TraceKernelKind::kBlocked
+                             : TraceKernelKind::kLegacy;
+  EXPECT_EQ(CtflConfigDigest(kernel), base);
+
   // Semantic knobs do move the digest.
   CtflConfig tau = fx.config;
   tau.tracer.tau_w = 0.8;

@@ -7,6 +7,7 @@
 // Suite names start with "Serve" so the TSan CI job's --gtest-style regex
 // picks every suite up.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <string>
@@ -295,6 +296,91 @@ TEST(ServeProtocolTest, FrameDecoderPoisonsOnOversizedPrefix) {
   decoder.Append(good.data(), good.size());
   EXPECT_FALSE(decoder.Next(&frame).ok());
   EXPECT_FALSE(decoder.idle());
+}
+
+// Drains every completed frame out of `decoder`, enforcing the decoder
+// invariants: a popped payload never exceeds kMaxFrameBytes, and once
+// Next() errors the poison is sticky. Returns false once poisoned.
+bool DrainFrames(FrameDecoder& decoder, std::vector<std::string>* frames) {
+  while (true) {
+    std::string frame;
+    Result<bool> next = decoder.Next(&frame);
+    if (!next.ok()) {
+      std::string again;
+      EXPECT_FALSE(decoder.Next(&again).ok()) << "poison must be sticky";
+      return false;
+    }
+    if (!*next) return true;
+    EXPECT_LE(frame.size(), kMaxFrameBytes);
+    frames->push_back(std::move(frame));
+  }
+}
+
+TEST(ServeProtocolTest, FrameDecoderFuzzSplitsAndCoalescing) {
+  // Whatever chunk boundaries the transport produces, the decoder must
+  // pop the same frames in the same order.
+  const std::vector<std::string> payloads = {
+      EncodeRequest(SampleRelatedRequest()),
+      std::string(1, '\0'),
+      std::string(300, 'x'),
+      "",
+  };
+  std::string stream;
+  for (const std::string& payload : payloads) {
+    stream += Frame(payload).value();
+  }
+  Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    FrameDecoder decoder;
+    std::vector<std::string> popped;
+    size_t offset = 0;
+    bool alive = true;
+    while (offset < stream.size()) {
+      const size_t chunk =
+          1 + rng.UniformInt(std::min<uint64_t>(stream.size() - offset, 64));
+      decoder.Append(stream.data() + offset, chunk);
+      offset += chunk;
+      alive = DrainFrames(decoder, &popped);
+      ASSERT_TRUE(alive) << "well-formed stream poisoned the decoder";
+    }
+    ASSERT_EQ(popped.size(), payloads.size());
+    for (size_t i = 0; i < payloads.size(); ++i) {
+      EXPECT_EQ(popped[i], payloads[i]);
+    }
+    EXPECT_TRUE(decoder.idle());
+  }
+}
+
+TEST(ServeProtocolTest, FrameDecoderFuzzSingleByteMutations) {
+  // Every single-byte mutation of a two-frame stream must either decode
+  // (possibly garbled payloads — framing can survive a body flip), stall
+  // waiting for more bytes, or poison. Never crash, never over-read,
+  // never pop an oversized frame.
+  const std::string stream = Frame(EncodeRequest(SampleRelatedRequest())).value() +
+                             Frame(std::string(40, 'y')).value();
+  Rng rng(99);
+  for (size_t pos = 0; pos < stream.size(); ++pos) {
+    for (int flip = 0; flip < 3; ++flip) {
+      std::string mutated = stream;
+      mutated[pos] = static_cast<char>(rng.UniformInt(256));
+      FrameDecoder decoder;
+      std::vector<std::string> popped;
+      // Feed in random chunks so the mutation also exercises partial-
+      // prefix states.
+      size_t offset = 0;
+      bool alive = true;
+      while (offset < mutated.size() && alive) {
+        const size_t chunk = 1 + rng.UniformInt(std::min<uint64_t>(
+                                     mutated.size() - offset, 16));
+        decoder.Append(mutated.data() + offset, chunk);
+        offset += chunk;
+        alive = DrainFrames(decoder, &popped);
+      }
+      for (const std::string& frame : popped) {
+        EXPECT_LE(frame.size(), kMaxFrameBytes);
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

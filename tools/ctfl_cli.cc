@@ -82,6 +82,8 @@
 #include "ctfl/fl/partition.h"
 #include "ctfl/kernel/trace_kernel.h"
 #include "ctfl/nn/serialize.h"
+#include "ctfl/replay/recorder.h"
+#include "ctfl/replay/runner.h"
 #include "ctfl/serve/render.h"
 #include "ctfl/store/query_engine.h"
 #include "ctfl/telemetry/exposition.h"
@@ -103,6 +105,16 @@ Result<SchemaPtr> SchemaFor(const std::string& dataset) {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Content digest of a recorded input file (pins the exact bytes a
+/// replay must see; see replay::RunSpec).
+Result<uint64_t> FileDigest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path + " for digest");
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return replay::HashBytes(bytes);
 }
 
 Status RunGenerate(int argc, const char* const* argv) {
@@ -219,7 +231,8 @@ Status RunScore(int argc, const char* const* argv, bool snapshot_mode) {
                     {"telemetry-out", ""},
                     {"telemetry-summary", "false"},
                     {"metrics-out", ""},
-                    {"report-out", ""}});
+                    {"report-out", ""},
+                    {"record", ""}});
   CTFL_RETURN_IF_ERROR(flags.Parse(argc, argv));
   if (flags.GetString("train").empty() || flags.GetString("test").empty()) {
     return Status::InvalidArgument("--train and --test are required");
@@ -326,6 +339,40 @@ Status RunScore(int argc, const char* const* argv, bool snapshot_mode) {
     std::printf("bundle (%zu bytes) -> %s\n", report.bundle_bytes,
                 config.bundle_out.c_str());
   }
+  // --record: persist the run spec (CSV paths pinned by content digest)
+  // + bit-exact outcome as a replay file (DESIGN.md §14); `ctfl_replay
+  // replay --file F` re-runs it and asserts bit-identity.
+  const std::string record_out = flags.GetString("record");
+  if (!record_out.empty()) {
+    replay::RunSpec spec;
+    spec.source = replay::DataSource::kCsv;
+    spec.dataset = flags.GetString("dataset");
+    spec.train_path = flags.GetString("train");
+    spec.test_path = flags.GetString("test");
+    CTFL_ASSIGN_OR_RETURN(spec.train_csv_digest,
+                          FileDigest(spec.train_path));
+    CTFL_ASSIGN_OR_RETURN(spec.test_csv_digest, FileDigest(spec.test_path));
+    spec.participants = static_cast<uint32_t>(participants);
+    spec.alpha = alpha;
+    spec.skew_label = flags.GetBool("skew-label");
+    spec.seed = static_cast<uint64_t>(seed);
+    spec.federated = config.federated;
+    spec.rounds = static_cast<uint32_t>(rounds);
+    spec.local_epochs = static_cast<uint32_t>(local_epochs);
+    spec.epochs = static_cast<uint32_t>(epochs);
+    spec.width = static_cast<uint32_t>(width);
+    spec.tau_w = tau_w;
+    spec.secure_agg = config.fedavg.secure_aggregation;
+    spec.failure_plan = flags.GetString("failure-plan");
+    spec.retry_budget = static_cast<uint32_t>(retry_budget);
+    spec.trace_kernel = static_cast<uint8_t>(trace_kernel);
+    spec.num_threads = num_threads;
+    replay::ReplayRecorder recorder;
+    recorder.CaptureRun(spec,
+                        replay::MakeRunOutcome(report, config, fed, test));
+    CTFL_RETURN_IF_ERROR(recorder.WriteTo(record_out));
+    std::printf("replay file -> %s\n", record_out.c_str());
+  }
 
   std::printf("model accuracy: %.4f  (train %.1fs, trace %.2fs)\n\n",
               report.test_accuracy, report.train_seconds,
@@ -365,7 +412,8 @@ Status RunScore(int argc, const char* const* argv, bool snapshot_mode) {
 Status RunRequestsFile(const store::QueryEngine& engine,
                        const std::string& path,
                        const store::EvalOptions& eval_defaults,
-                       const store::QueryOptions& query_defaults) {
+                       const store::QueryOptions& query_defaults,
+                       replay::ReplayRecorder* recorder) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open requests file " + path);
   const store::BundleContent& bundle = engine.bundle();
@@ -408,7 +456,9 @@ Status RunRequestsFile(const store::QueryEngine& engine,
                         path.c_str(), lineno, key.c_str()));
         }
       }
-      const store::QueryReport report = engine.Evaluate(eval);
+      const store::QueryReport report =
+          recorder != nullptr ? recorder->RecordEvaluate(engine, eval)
+                              : engine.Evaluate(eval);
       std::fputs(serve::RenderEvaluation(report, eval.kernel,
                                          engine.origin_tau_w(),
                                          engine.origin_delta(),
@@ -426,8 +476,13 @@ Status RunRequestsFile(const store::QueryEngine& engine,
                       path.c_str(), lineno, test_index,
                       bundle.tests.size()));
       }
-      const store::RelatedResult related = engine.RelatedForTest(
-          static_cast<size_t>(test_index), query_defaults);
+      const store::RelatedResult related =
+          recorder != nullptr
+              ? recorder->RecordRelatedForTest(
+                    engine, static_cast<uint64_t>(test_index),
+                    query_defaults)
+              : engine.RelatedForTest(static_cast<size_t>(test_index),
+                                      query_defaults);
       std::fputs(serve::RenderRelatedLookup(
                      static_cast<size_t>(test_index), related,
                      bundle.meta.participant_names)
@@ -443,7 +498,9 @@ Status RunRequestsFile(const store::QueryEngine& engine,
             parsed.status().message().c_str()));
       }
       const store::RelatedResult related =
-          engine.Related(*parsed, query_defaults);
+          recorder != nullptr
+              ? recorder->RecordRelated(engine, *parsed, query_defaults)
+              : engine.Related(*parsed, query_defaults);
       std::fputs(serve::RenderRelatedLookup(handled, related,
                                             bundle.meta.participant_names)
                      .c_str(),
@@ -472,7 +529,8 @@ Status RunQuery(int argc, const char* const* argv) {
                     {"linear", "false"},
                     {"trace-kernel", "blocked"},
                     {"requests-file", ""},
-                    {"telemetry-summary", "false"}});
+                    {"telemetry-summary", "false"},
+                    {"record", ""}});
   CTFL_RETURN_IF_ERROR(flags.Parse(argc, argv));
   if (flags.GetString("bundle").empty()) {
     return Status::InvalidArgument("--bundle is required");
@@ -509,12 +567,36 @@ Status RunQuery(int argc, const char* const* argv) {
   options.kernel = trace_kernel;
   options.max_records = static_cast<size_t>(std::max(0, max_records));
 
+  // --record: capture every query issued below as a replay event. When
+  // the target file already holds a recorded run (e.g. from `ctfl score
+  // --record`), seed from it so the query stream appends to that run.
+  const std::string record_out = flags.GetString("record");
+  std::unique_ptr<replay::ReplayRecorder> recorder;
+  if (!record_out.empty()) {
+    Result<replay::ReplayFile> seed = replay::ReadReplayFile(record_out);
+    recorder = seed.ok()
+                   ? std::make_unique<replay::ReplayRecorder>(
+                         std::move(*seed))
+                   : std::make_unique<replay::ReplayRecorder>();
+  }
+  const auto finish_recording = [&]() -> Status {
+    if (recorder == nullptr) return Status::OK();
+    CTFL_RETURN_IF_ERROR(recorder->WriteTo(record_out));
+    std::printf("recorded %zu query events -> %s\n",
+                recorder->num_events(), record_out.c_str());
+    return Status::OK();
+  };
+
   const std::string requests_path = flags.GetString("requests-file");
   if (!requests_path.empty()) {
-    return RunRequestsFile(engine, requests_path, eval, options);
+    CTFL_RETURN_IF_ERROR(RunRequestsFile(engine, requests_path, eval,
+                                         options, recorder.get()));
+    return finish_recording();
   }
 
-  const store::QueryReport report = engine.Evaluate(eval);
+  const store::QueryReport report =
+      recorder != nullptr ? recorder->RecordEvaluate(engine, eval)
+                          : engine.Evaluate(eval);
   std::fputs(serve::RenderEvaluation(report, eval.kernel,
                                      engine.origin_tau_w(),
                                      engine.origin_delta(),
@@ -531,7 +613,10 @@ Status RunQuery(int argc, const char* const* argv) {
                stdout);
     for (size_t i = 0; i < instances.size(); ++i) {
       const store::RelatedResult related =
-          engine.Related(instances.instance(i), options);
+          recorder != nullptr
+              ? recorder->RecordRelated(engine, instances.instance(i),
+                                        options)
+              : engine.Related(instances.instance(i), options);
       std::fputs(serve::RenderRelatedLookup(i, related,
                                             bundle.meta.participant_names)
                      .c_str(),
@@ -545,7 +630,7 @@ Status RunQuery(int argc, const char* const* argv) {
     std::printf("\nmetrics:\n%s",
                 telemetry::MetricsRegistry::Global().SummaryTable().c_str());
   }
-  return Status::OK();
+  return finish_recording();
 }
 
 int Main(int argc, const char* const* argv) {

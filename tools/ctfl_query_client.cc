@@ -20,10 +20,18 @@
 //
 //   ctfl_query_client --socket S --load --connections 8 --requests 200
 //     [--op related-test|evaluate|stats] [--verify] [--json-out FILE]
+//     [--replay FILE.ctflr] [--seed N]
+//
+// --replay draws the load mix from a recorded replay file (DESIGN.md §14)
+// instead of the synthetic single-op shape: each connection replays a
+// deterministic, seeded sample of the captured RELATED / RELATED_FOR_TEST
+// / EVALUATE stream (seeded per connection with --seed + connection id),
+// and the report adds a per-op latency breakdown.
 //
 // --verify additionally checks that every response body is byte-identical
 // across connections for the same request (concurrency must not change a
-// single bit of any answer).
+// single bit of any answer); under --replay it also checks each response
+// digest against the digest captured at record time.
 
 #include <algorithm>
 #include <chrono>
@@ -37,12 +45,14 @@
 
 #include "ctfl/data/dataset.h"
 #include "ctfl/kernel/trace_kernel.h"
+#include "ctfl/replay/replay_file.h"
 #include "ctfl/serve/client.h"
 #include "ctfl/serve/protocol.h"
 #include "ctfl/serve/render.h"
 #include "ctfl/store/bundle.h"
 #include "ctfl/util/build_info.h"
 #include "ctfl/util/flags.h"
+#include "ctfl/util/rng.h"
 #include "ctfl/util/string_util.h"
 
 namespace ctfl {
@@ -183,8 +193,44 @@ Status RunShutdownOp(Client& client) {
 
 struct LoadResult {
   std::vector<double> latencies_us;  ///< one entry per completed request
+  std::vector<uint8_t> ops;          ///< wire op of each entry (same order)
   Status status = Status::OK();
 };
+
+/// One replayable request drawn from a recorded query stream: the decoded
+/// request (id zeroed so the client stamps fresh ids), the response digest
+/// captured at record time, and the event's index in the file (the
+/// cross-connection identity key).
+struct ReplayItem {
+  Request request;
+  uint64_t digest = 0;
+  size_t event_index = 0;
+};
+
+/// Decodes the digest-stable events (RELATED / RELATED_FOR_TEST /
+/// EVALUATE) of a replay file into a request pool for load mode. STATS
+/// and SHUTDOWN events are skipped: stats drift with traffic and a
+/// replayed shutdown would drain the server mid-soak.
+Result<std::vector<ReplayItem>> LoadReplayMix(const std::string& path) {
+  CTFL_ASSIGN_OR_RETURN(replay::ReplayFile file,
+                        replay::ReadReplayFile(path));
+  std::vector<ReplayItem> items;
+  items.reserve(file.events.size());
+  for (size_t i = 0; i < file.events.size(); ++i) {
+    const replay::QueryEvent& event = file.events[i];
+    if (!replay::OpIsDigestStable(event.op)) continue;
+    CTFL_ASSIGN_OR_RETURN(Request request,
+                          serve::DecodeRequest(event.request));
+    request.request_id = 0;
+    items.push_back(ReplayItem{std::move(request), event.response_digest, i});
+  }
+  if (items.empty()) {
+    return Status::FailedPrecondition(
+        path + " holds no replayable query events (record one with "
+               "`ctfl query --record` or `ctfl_serve --record`)");
+  }
+  return items;
+}
 
 /// Re-encodes `response` with the request id zeroed: a canonical byte
 /// string for cross-connection identity checks.
@@ -202,20 +248,28 @@ Status RunLoad(const FlagParser& flags,
     return Status::InvalidArgument(
         "--connections and --requests must be > 0");
   }
+  const std::string replay_path = flags.GetString("replay");
+  std::vector<ReplayItem> mix;
   std::string op_name = flags.GetString("op");
-  if (op_name == "query") op_name = "related-test";  // load-mode default
-  Op op;
-  if (op_name == "related-test") {
-    op = Op::kRelatedForTest;
-  } else if (op_name == "evaluate") {
-    op = Op::kEvaluate;
-  } else if (op_name == "stats") {
-    op = Op::kStats;
+  Op op = Op::kStats;
+  if (!replay_path.empty()) {
+    CTFL_ASSIGN_OR_RETURN(mix, LoadReplayMix(replay_path));
+    op_name = "replay-mix";
   } else {
-    return Status::InvalidArgument(
-        "--load supports --op related-test|evaluate|stats, got " + op_name);
+    if (op_name == "query") op_name = "related-test";  // load-mode default
+    if (op_name == "related-test") {
+      op = Op::kRelatedForTest;
+    } else if (op_name == "evaluate") {
+      op = Op::kEvaluate;
+    } else if (op_name == "stats") {
+      op = Op::kStats;
+    } else {
+      return Status::InvalidArgument(
+          "--load supports --op related-test|evaluate|stats, got " + op_name);
+    }
   }
   const bool verify = flags.GetBool("verify");
+  CTFL_ASSIGN_OR_RETURN(int seed, flags.GetInt("seed"));
 
   // One probe connection: fail fast on a bad address and learn the test
   // count for index cycling.
@@ -226,7 +280,7 @@ Status RunLoad(const FlagParser& flags,
     stats_request.op = Op::kStats;
     CTFL_ASSIGN_OR_RETURN(Response stats, CallChecked(probe, stats_request));
     num_tests = stats.stats.test_records;
-    if (op == Op::kRelatedForTest && num_tests == 0) {
+    if (mix.empty() && op == Op::kRelatedForTest && num_tests == 0) {
       return Status::FailedPrecondition(
           "bundle has no stored tests to cycle RELATED_FOR_TEST over");
     }
@@ -247,16 +301,28 @@ Status RunLoad(const FlagParser& flags,
         return;
       }
       result.latencies_us.reserve(requests);
+      result.ops.reserve(requests);
+      // Each connection draws its own deterministic sample of the mix:
+      // same --seed, same file => same per-connection request sequence.
+      Rng rng(static_cast<uint64_t>(seed) + static_cast<uint64_t>(c));
       for (int i = 0; i < requests; ++i) {
         Request request;
-        request.op = op;
         uint64_t key = 0;
-        if (op == Op::kRelatedForTest) {
-          key = static_cast<uint64_t>(i) % num_tests;
-          request.related_for_test.test_index = key;
-          request.related_for_test.options = query_options;
-        } else if (op == Op::kEvaluate) {
-          request.evaluate.options = eval_options;
+        uint64_t want_digest = 0;
+        if (!mix.empty()) {
+          const ReplayItem& item = mix[rng.UniformInt(mix.size())];
+          request = item.request;
+          key = static_cast<uint64_t>(item.event_index);
+          want_digest = item.digest;
+        } else {
+          request.op = op;
+          if (op == Op::kRelatedForTest) {
+            key = static_cast<uint64_t>(i) % num_tests;
+            request.related_for_test.test_index = key;
+            request.related_for_test.options = query_options;
+          } else if (op == Op::kEvaluate) {
+            request.evaluate.options = eval_options;
+          }
         }
         const auto t0 = std::chrono::steady_clock::now();
         Result<Response> response = client->Call(request);
@@ -273,7 +339,20 @@ Status RunLoad(const FlagParser& flags,
             std::chrono::duration_cast<
                 std::chrono::duration<double, std::micro>>(t1 - t0)
                 .count());
-        if (verify && op != Op::kStats) {
+        result.ops.push_back(static_cast<uint8_t>(request.op));
+        if (verify && request.op != Op::kStats) {
+          if (!mix.empty()) {
+            const uint64_t got_digest = replay::ResponseDigest(*response);
+            if (got_digest != want_digest) {
+              result.status = Status::Internal(StrFormat(
+                  "replayed event %llu: response digest %016llx differs "
+                  "from the recorded digest %016llx",
+                  static_cast<unsigned long long>(key),
+                  static_cast<unsigned long long>(got_digest),
+                  static_cast<unsigned long long>(want_digest)));
+              return;
+            }
+          }
           const std::string bytes = CanonicalBytes(*std::move(response));
           std::lock_guard<std::mutex> lock(canonical_mu);
           auto [it, inserted] = canonical.emplace(key, bytes);
@@ -294,20 +373,25 @@ Status RunLoad(const FlagParser& flags,
           .count();
 
   std::vector<double> latencies;
+  std::map<uint8_t, std::vector<double>> by_op;
   for (const LoadResult& result : results) {
     CTFL_RETURN_IF_ERROR(result.status);
     latencies.insert(latencies.end(), result.latencies_us.begin(),
                      result.latencies_us.end());
+    for (size_t i = 0; i < result.latencies_us.size(); ++i) {
+      by_op[result.ops[i]].push_back(result.latencies_us[i]);
+    }
   }
   std::sort(latencies.begin(), latencies.end());
   const size_t n = latencies.size();
-  auto quantile = [&](double p) {
-    if (n == 0) return 0.0;
-    const size_t idx = static_cast<size_t>(p * (n - 1));
-    return latencies[idx];
+  // quantile over an already-sorted vector (nearest-rank on p*(n-1)).
+  auto quantile = [](const std::vector<double>& sorted, double p) {
+    if (sorted.empty()) return 0.0;
+    const size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
+    return sorted[idx];
   };
-  const double p50 = quantile(0.50);
-  const double p99 = quantile(0.99);
+  const double p50 = quantile(latencies, 0.50);
+  const double p99 = quantile(latencies, 0.99);
   double sum = 0.0;
   for (double v : latencies) sum += v;
   const double mean = n == 0 ? 0.0 : sum / n;
@@ -319,6 +403,20 @@ Status RunLoad(const FlagParser& flags,
               "p99 %.1f us%s\n",
               rps, mean, p50, p99,
               verify ? "; responses byte-identical across connections" : "");
+  // Per-op breakdown whenever the mix spans more than one op (always the
+  // interesting case under --replay).
+  if (by_op.size() > 1) {
+    for (auto& [op_byte, lats] : by_op) {
+      std::sort(lats.begin(), lats.end());
+      double op_sum = 0.0;
+      for (double v : lats) op_sum += v;
+      std::printf("  %-16s %6zu reqs  mean %8.1f us  p50 %8.1f us  "
+                  "p99 %8.1f us\n",
+                  serve::OpName(static_cast<Op>(op_byte)), lats.size(),
+                  lats.empty() ? 0.0 : op_sum / lats.size(),
+                  quantile(lats, 0.50), quantile(lats, 0.99));
+    }
+  }
 
   const std::string json_out = flags.GetString("json-out");
   if (!json_out.empty()) {
@@ -371,7 +469,9 @@ Status Run(int argc, const char* const* argv) {
                     {"connections", "8"},
                     {"requests", "100"},
                     {"verify", "false"},
-                    {"json-out", ""}});
+                    {"json-out", ""},
+                    {"replay", ""},
+                    {"seed", "1"}});
   CTFL_RETURN_IF_ERROR(flags.Parse(argc, argv));
   CTFL_ASSIGN_OR_RETURN(double tau_w, flags.GetDouble("tau-w"));
   CTFL_ASSIGN_OR_RETURN(int delta, flags.GetInt("delta"));

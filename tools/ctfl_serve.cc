@@ -9,12 +9,16 @@
 //
 //   ctfl_serve --bundle FILE (--socket PATH | --port N)
 //              [--num-threads T] [--lru-capacity N] [--open-mode auto|mmap|stream]
-//              [--metrics-out FILE]
+//              [--metrics-out FILE] [--record FILE.ctflr]
 //
 // Prints one "listening on ..." line once ready (scripts wait for it),
 // then serves until SIGTERM/SIGINT or a SHUTDOWN request, drains
 // gracefully (in-flight frames finish, response written before the drain),
 // and on exit writes Prometheus-format metrics to --metrics-out.
+// --record taps every handled request/response into a replay file
+// (DESIGN.md §14) written at drain; `ctfl_replay replay --file F
+// --bundle B` re-issues the captured traffic digest-for-digest, and
+// `ctfl_query_client --load --replay F` uses it as a soak mix.
 
 #include <csignal>
 #include <cstdio>
@@ -22,6 +26,7 @@
 
 #include <fstream>
 
+#include "ctfl/replay/recorder.h"
 #include "ctfl/serve/server.h"
 #include "ctfl/serve/service.h"
 #include "ctfl/store/bundle.h"
@@ -54,7 +59,8 @@ Status Run(int argc, const char* const* argv) {
                     {"num-threads", "0"},
                     {"lru-capacity", "256"},
                     {"open-mode", "auto"},
-                    {"metrics-out", ""}});
+                    {"metrics-out", ""},
+                    {"record", ""}});
   CTFL_RETURN_IF_ERROR(flags.Parse(argc, argv));
   if (flags.GetString("bundle").empty()) {
     return Status::InvalidArgument("--bundle is required");
@@ -84,6 +90,9 @@ Status Run(int argc, const char* const* argv) {
     std::ifstream f(bundle_path, std::ios::binary | std::ios::ate);
     if (f) service_config.bundle_bytes = static_cast<uint64_t>(f.tellg());
   }
+  const std::string record_out = flags.GetString("record");
+  replay::ReplayRecorder recorder;
+  if (!record_out.empty()) service_config.request_tap = recorder.Tap();
   CTFL_ASSIGN_OR_RETURN(store::QueryEngine engine,
                         store::QueryEngine::FromContent(std::move(content)));
   serve::QueryService service(std::move(engine), service_config);
@@ -125,6 +134,12 @@ Status Run(int argc, const char* const* argv) {
   std::printf("drained after %llu requests\n",
               static_cast<unsigned long long>(
                   service.Stats().requests_total));
+
+  if (!record_out.empty()) {
+    CTFL_RETURN_IF_ERROR(recorder.WriteTo(record_out));
+    std::printf("recorded %zu query events -> %s\n", recorder.num_events(),
+                record_out.c_str());
+  }
 
   const std::string metrics_out = flags.GetString("metrics-out");
   if (!metrics_out.empty()) {
