@@ -22,6 +22,7 @@
 #include "ctfl/telemetry/metrics.h"
 #include "ctfl/telemetry/trace.h"
 #include "ctfl/util/build_info.h"
+#include "ctfl/util/cpu_features.h"
 
 namespace ctfl {
 namespace {
@@ -163,6 +164,10 @@ BENCHMARK(BM_TracingPaths)
 // speedup is the kernel's alone. Both legs produce bit-identical
 // TraceResults; the counters expose the pruning the blocked kernel does.
 // Acceptance (ISSUE PR4): blocked >= 2x over legacy single-thread.
+// Acceptance (ISSUE PR9): blocked (best SIMD dispatch) >= 2x over the
+// forced-scalar blocked_scalar leg. RegisterIsaBenchVariants() adds one
+// blocked_<isa> leg per tier the machine supports (bit-identical results,
+// pure speed comparison) plus a sharded blocked_mt8 leg at the best tier.
 // tools/bench_trace_json.sh turns this into BENCH_trace.json.
 // ---------------------------------------------------------------------------
 struct TraceBenchFixture {
@@ -175,7 +180,10 @@ struct TraceBenchFixture {
       : spec(BenchmarkSpec("adult").value()),
         federation([this] {
           Rng rng(17);
-          const Dataset train = GenerateSynthetic(spec, 10240, rng);
+          // 40960 records keeps the Eq. 4 sweep (records x rules) the
+          // dominant cost, so the per-ISA legs measure the kernel rather
+          // than per-instance activation overhead.
+          const Dataset train = GenerateSynthetic(spec, 40960, rng);
           Rng prng(18);
           return MakeFederation(PartitionSkewSample(train, 8, 0.7, prng));
         }()),
@@ -205,16 +213,25 @@ TraceBenchFixture& GetTraceBenchFixture() {
   return *fixture;
 }
 
-void BM_TracePass(benchmark::State& state, TraceKernelKind kind) {
+// `isa` < 0 means "whatever CurrentTraceIsa() dispatches" (the default
+// production path); >= 0 forces that tier for a per-ISA speed leg.
+void BM_TracePass(benchmark::State& state, TraceKernelKind kind, int isa,
+                  int trace_threads) {
   TraceBenchFixture& fx = GetTraceBenchFixture();
   TracerConfig config;
-  config.tau_w = 0.9;
+  // 0.7 keeps lanes ambiguous deep into the weight-sorted sweep, so the
+  // legs measure the Eq. 4 inner loop. At extreme thresholds (0.9+) the
+  // suffix-sum checkpoints resolve almost every lane within the first few
+  // rules and all tiers converge on the same fixed per-block overhead.
+  config.tau_w = 0.7;
   config.use_dedup = true;
   config.use_max_miner = false;
   config.num_threads = 1;
   config.kernel = kind;
+  config.isa = isa < 0 ? CurrentTraceIsa() : static_cast<TraceIsa>(isa);
+  config.trace_threads = trace_threads;
   const ContributionTracer tracer(&fx.model, &fx.federation, config);
-  int64_t checks = 0, scanned = 0, pruned = 0, related = 0;
+  int64_t checks = 0, scanned = 0, pruned = 0, related = 0, fallbacks = 0;
   for (auto _ : state) {
     const TraceResult result = tracer.Trace(fx.test);
     benchmark::DoNotOptimize(result.related_records);
@@ -222,6 +239,7 @@ void BM_TracePass(benchmark::State& state, TraceKernelKind kind) {
     scanned += result.records_scanned;
     pruned += result.blocks_pruned;
     related += result.related_records;
+    fallbacks += result.exact_fallbacks;
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(fx.test.size()));
@@ -234,10 +252,12 @@ void BM_TracePass(benchmark::State& state, TraceKernelKind kind) {
       static_cast<double>(pruned), benchmark::Counter::kAvgIterations);
   state.counters["related"] = benchmark::Counter(
       static_cast<double>(related), benchmark::Counter::kAvgIterations);
+  state.counters["exact_fallbacks"] = benchmark::Counter(
+      static_cast<double>(fallbacks), benchmark::Counter::kAvgIterations);
 }
-BENCHMARK_CAPTURE(BM_TracePass, legacy, TraceKernelKind::kLegacy)
+BENCHMARK_CAPTURE(BM_TracePass, legacy, TraceKernelKind::kLegacy, -1, 1)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_TracePass, blocked, TraceKernelKind::kBlocked)
+BENCHMARK_CAPTURE(BM_TracePass, blocked, TraceKernelKind::kBlocked, -1, 1)
     ->Unit(benchmark::kMillisecond);
 
 // Ablation: tau_w sensitivity of tracing cost.
@@ -547,11 +567,13 @@ BENCHMARK(BM_BundleLoad);
 // prefilter. Both return identical related sets; the prune counters show
 // how much of the bucket the index skips. The capture name picks the
 // Eq. 4 matching engine (legacy scalar vs blocked word-parallel kernel).
-void BM_QueryRelated(benchmark::State& state, TraceKernelKind kind) {
+void BM_QueryRelated(benchmark::State& state, TraceKernelKind kind,
+                     int isa) {
   BundleFixture& fx = GetBundleFixture();
   store::QueryOptions options;
   options.use_index = state.range(0) != 0;
   options.kernel = kind;
+  options.isa = isa < 0 ? CurrentTraceIsa() : static_cast<TraceIsa>(isa);
   const size_t num_tests = fx.content.tests.size();
   size_t t = 0;
   int64_t checks = 0, bucket = 0, pruned = 0, scanned = 0;
@@ -577,14 +599,48 @@ void BM_QueryRelated(benchmark::State& state, TraceKernelKind kind) {
       benchmark::Counter(static_cast<double>(scanned),
                          benchmark::Counter::kAvgIterations);
 }
-BENCHMARK_CAPTURE(BM_QueryRelated, legacy, TraceKernelKind::kLegacy)
+BENCHMARK_CAPTURE(BM_QueryRelated, legacy, TraceKernelKind::kLegacy, -1)
     ->Arg(0)
     ->Arg(1);
-BENCHMARK_CAPTURE(BM_QueryRelated, blocked, TraceKernelKind::kBlocked)
+BENCHMARK_CAPTURE(BM_QueryRelated, blocked, TraceKernelKind::kBlocked, -1)
     ->Arg(0)
     ->Arg(1);
 
 }  // namespace
+
+// One forced-tier leg per SIMD tier this machine supports, so one Release
+// run yields the full same-machine ISA trajectory (BENCH_trace.json keys
+// the 2x acceptance on blocked vs blocked_scalar), plus a sharded leg at
+// the best tier. Registered from main() — AvailableTraceIsas() needs a
+// live process, not static-init order.
+void RegisterIsaBenchVariants() {
+  for (const TraceIsa isa : AvailableTraceIsas()) {
+    const int tier = static_cast<int>(isa);
+    benchmark::RegisterBenchmark(
+        (std::string("BM_TracePass/blocked_") + TraceIsaName(isa)).c_str(),
+        [tier](benchmark::State& state) {
+          BM_TracePass(state, TraceKernelKind::kBlocked, tier, 1);
+        })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        (std::string("BM_QueryRelated/blocked_") + TraceIsaName(isa))
+            .c_str(),
+        [tier](benchmark::State& state) {
+          BM_QueryRelated(state, TraceKernelKind::kBlocked, tier);
+        })
+        ->Arg(1);
+  }
+  const TraceIsa best = BestAvailableTraceIsa();
+  const int tier = static_cast<int>(best);
+  benchmark::RegisterBenchmark(
+      "BM_TracePass/blocked_mt8",
+      [tier](benchmark::State& state) {
+        BM_TracePass(state, TraceKernelKind::kBlocked, tier, 8);
+      })
+      ->Unit(benchmark::kMillisecond)
+      ->UseRealTime();
+}
+
 }  // namespace ctfl
 
 // Custom main (replacing benchmark_main) so every BENCH_*.json carries
@@ -593,6 +649,11 @@ BENCHMARK_CAPTURE(BM_QueryRelated, blocked, TraceKernelKind::kBlocked)
 // baseline-vs-candidate comparisons on this value.
 int main(int argc, char** argv) {
   benchmark::AddCustomContext("ctfl_build_type", ctfl::BuildTypeName());
+  // The dispatched SIMD tier is execution context like the build type:
+  // tools/perf_gate.py refuses to compare runs whose tiers differ.
+  benchmark::AddCustomContext("ctfl_trace_isa",
+                              ctfl::TraceIsaName(ctfl::CurrentTraceIsa()));
+  ctfl::RegisterIsaBenchVariants();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

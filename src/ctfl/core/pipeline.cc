@@ -154,6 +154,7 @@ CtflReport RunCtfl(const Federation& federation, const Dataset& test,
   run.related_records = report.trace.related_records;
   run.records_scanned = report.trace.records_scanned;
   run.blocks_pruned = report.trace.blocks_pruned;
+  run.exact_fallbacks = report.trace.exact_fallbacks;
   run.uncovered_tests = static_cast<int64_t>(report.trace.uncovered_tests);
 
   // ---- Phase 3: micro + macro credit allocation. ------------------------
@@ -246,10 +247,11 @@ uint64_t CtflConfigDigest(const CtflConfig& config) {
   d.MixDouble(config.tracer.min_rule_weight);
   d.MixDouble(config.tracer.dp_epsilon);
   d.Mix(config.tracer.dp_seed);
-  // tracer.kernel is deliberately NOT mixed: like the thread knobs it
-  // selects a bit-identical implementation (DESIGN.md §10), so a legacy
-  // and a blocked run of the same semantics share one digest — the
-  // replay harness's kernel-flip cells rely on this.
+  // tracer.kernel, tracer.isa, and tracer.trace_threads are deliberately
+  // NOT mixed: like the thread knobs they select a bit-identical
+  // implementation (DESIGN.md §10), so legacy/blocked runs at any SIMD
+  // tier and trace thread count share one digest — the replay harness's
+  // kernel-flip and isa-flip cells rely on this.
   d.MixInt(config.macro_delta);
   return d.value();
 }
@@ -274,6 +276,7 @@ telemetry::RunReport MakeRunReport(const CtflReport& report,
   out.test_records = static_cast<int64_t>(test.size());
   out.test_accuracy = report.test_accuracy;
   out.build_type = BuildTypeName();
+  out.trace_isa = TraceIsaName(config.tracer.isa);
   out.telemetry = report.telemetry;
 
   // The run fingerprint folds identity and data shape into one word: two

@@ -96,12 +96,17 @@ void ContributionTracer::BuildRuleMasks() {
 }
 
 void ContributionTracer::IndexTrainRefs() {
-  for (size_t p = 0; p < federation_->size(); ++p) {
+  const size_t n = federation_->size();
+  for (int c = 0; c < 2; ++c) class_part_offset_[c].assign(n + 1, 0);
+  for (size_t p = 0; p < n; ++p) {
     const Dataset& data = (*federation_)[p].data;
     for (size_t i = 0; i < data.size(); ++i) {
       TrainRef ref{static_cast<int>(p), static_cast<int>(i),
                    &train_activations_[p][i]};
       train_by_class_[data.instance(i).label].push_back(ref);
+    }
+    for (int c = 0; c < 2; ++c) {
+      class_part_offset_[c][p + 1] = train_by_class_[c].size();
     }
   }
   if (config_.kernel == TraceKernelKind::kBlocked) {
@@ -244,7 +249,8 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
               items, group.theta, TraceKernel::Cmp::kPlusEpsGe, kRatioEps);
           const TraceKernel& kernel = class_kernel_[target];
           std::vector<uint64_t> related(kernel.num_blocks(), 0);
-          kernel.Match(prefilter, nullptr, related.data(), nullptr);
+          kernel.Match(prefilter, nullptr, related.data(), nullptr,
+                       {config_.isa, config_.trace_threads});
           for (size_t b = 0; b < related.size(); ++b) {
             uint64_t word = related[b];
             while (word != 0) {
@@ -290,10 +296,14 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
     int64_t related_hits = 0;
     int64_t records_scanned = 0;
     int64_t blocks_pruned = 0;
+    int64_t exact_fallbacks = 0;
     // Blocked-kernel per-key scratch (reused across keys to stay
     // allocation-free in the hot loop).
     std::vector<uint64_t> candidate_mask;
     std::vector<uint64_t> related_mask;
+    // Legacy-path §IV-B scratch: related-activation counts per
+    // (supporting-rule index, participant), reused across keys.
+    std::vector<int64_t> rule_part_counts;
   };
 
   int num_threads = ResolveThreadCount(config_.num_threads);
@@ -321,10 +331,9 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
     std::vector<int> related_per_participant(n, 0);
     size_t total_related = 0;
 
-    // Shared per-related-record bookkeeping. Per (participant, rule) cell
-    // every addition within one key is the same value, so the blocked
-    // kernel's rule-outer/record-inner order sums bit-identically to this
-    // record-outer/rule-inner reference order.
+    // Shared per-related-record bookkeeping (integer counters only — the
+    // §IV-B frequency matrices are accumulated in closed form below, one
+    // fused multiply per (participant, rule) cell on both paths).
     auto record_related = [&](const TrainRef& ref) {
       ++acc.related_hits;
       ++related_per_participant[ref.participant];
@@ -358,9 +367,11 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
           TraceKernel::Prepare(key.supp_list, threshold);
       if (acc.related_mask.size() < nb) acc.related_mask.resize(nb);
       TraceKernelStats kstats;
-      kernel.Match(support, cmask, acc.related_mask.data(), &kstats);
+      kernel.Match(support, cmask, acc.related_mask.data(), &kstats,
+                   {config_.isa, config_.trace_threads});
       acc.records_scanned += kstats.records_scanned;
       acc.blocks_pruned += kstats.blocks_pruned;
+      acc.exact_fallbacks += kstats.exact_fallbacks;
       for (size_t b = 0; b < nb; ++b) {
         uint64_t word = acc.related_mask[b];
         while (word != 0) {
@@ -369,29 +380,59 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
           record_related(bucket[b * 64 + static_cast<size_t>(lane)]);
         }
       }
-      // Weight-regularized rule activation frequencies (§IV-B):
-      // word-driven over the transposed rule rows — only activated
-      // (rule, related-record) pairs cost work.
+      // Weight-regularized rule activation frequencies (§IV-B) in closed
+      // form: within one key every related record of participant p adds
+      // the same `weight * members` to cell (p, rule), so the sweep
+      // collapses to one fused multiply per cell, with the count taken
+      // from masked popcounts of rule-row ∧ related words. Class buckets
+      // are participant-contiguous (IndexTrainRefs appends participants
+      // in order), so each participant is one [lo, hi) slot range.
+      const std::vector<size_t>& offsets =
+          class_part_offset_[key.target_class];
       for (const auto& [rule, weight] : key.supp_list) {
-        const uint64_t* row = kernel.rule_bits(rule);
-        for (size_t b = 0; b < nb; ++b) {
-          uint64_t word = row[b] & acc.related_mask[b];
-          while (word != 0) {
-            const int lane = std::countr_zero(word);
-            word &= word - 1;
-            const TrainRef& ref = bucket[b * 64 + static_cast<size_t>(lane)];
-            if (key.correct_members > 0) {
-              acc.beneficial(ref.participant, rule) +=
-                  weight * key.correct_members;
+        for (int p = 0; p < n; ++p) {
+          const size_t lo = offsets[p];
+          const size_t hi = offsets[p + 1];
+          if (lo == hi) continue;
+          const size_t b_lo = lo / 64;
+          const size_t b_hi = (hi - 1) / 64;
+          uint64_t first =
+              kernel.rule_word(rule, b_lo) & acc.related_mask[b_lo];
+          first &= ~0ULL << (lo % 64);
+          int64_t cnt = 0;
+          if (b_lo == b_hi) {
+            if (hi % 64 != 0) first &= ~0ULL >> (64 - hi % 64);
+            cnt = std::popcount(first);
+          } else {
+            cnt = std::popcount(first);
+            for (size_t b = b_lo + 1; b < b_hi; ++b) {
+              cnt += std::popcount(kernel.rule_word(rule, b) &
+                                   acc.related_mask[b]);
             }
-            if (key.miss_members > 0) {
-              acc.harmful(ref.participant, rule) +=
-                  weight * key.miss_members;
-            }
+            uint64_t last =
+                kernel.rule_word(rule, b_hi) & acc.related_mask[b_hi];
+            if (hi % 64 != 0) last &= ~0ULL >> (64 - hi % 64);
+            cnt += std::popcount(last);
+          }
+          if (cnt == 0) continue;
+          if (key.correct_members > 0) {
+            acc.beneficial(p, rule) +=
+                (weight * key.correct_members) * static_cast<double>(cnt);
+          }
+          if (key.miss_members > 0) {
+            acc.harmful(p, rule) +=
+                (weight * key.miss_members) * static_cast<double>(cnt);
           }
         }
       }
     } else {
+      // Legacy §IV-B in the same closed form as the blocked path: count
+      // related activations per (supporting rule, participant) during the
+      // scan, then emit one fused multiply per cell in the identical
+      // rule-outer / participant-ascending order — same per-cell value,
+      // same add sequence, so the two paths stay bit-identical.
+      const size_t num_supp = key.supp_list.size();
+      acc.rule_part_counts.assign(num_supp * static_cast<size_t>(n), 0);
       auto check_ref = [&](const TrainRef& ref) {
         ++acc.tau_w_checks;
         double overlap = 0.0;
@@ -400,16 +441,10 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
         }
         if (overlap < threshold) return;
         record_related(ref);
-        // Weight-regularized rule activation frequencies (§IV-B), scaled
-        // by how many member tests this key covers.
-        for (const auto& [rule, weight] : key.supp_list) {
-          if (!ref.activation->Test(rule)) continue;
-          if (key.correct_members > 0) {
-            acc.beneficial(ref.participant, rule) +=
-                weight * key.correct_members;
-          }
-          if (key.miss_members > 0) {
-            acc.harmful(ref.participant, rule) += weight * key.miss_members;
+        int64_t* counts = acc.rule_part_counts.data() + ref.participant;
+        for (size_t si = 0; si < num_supp; ++si) {
+          if (ref.activation->Test(key.supp_list[si].first)) {
+            counts[si * static_cast<size_t>(n)] += 1;
           }
         }
       };
@@ -418,6 +453,22 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
         for (int r : candidate_refs[k]) check_ref(bucket[r]);
       } else {
         for (const TrainRef& ref : bucket) check_ref(ref);
+      }
+      for (size_t si = 0; si < num_supp; ++si) {
+        const auto& [rule, weight] = key.supp_list[si];
+        for (int p = 0; p < n; ++p) {
+          const int64_t cnt =
+              acc.rule_part_counts[si * static_cast<size_t>(n) + p];
+          if (cnt == 0) continue;
+          if (key.correct_members > 0) {
+            acc.beneficial(p, rule) +=
+                (weight * key.correct_members) * static_cast<double>(cnt);
+          }
+          if (key.miss_members > 0) {
+            acc.harmful(p, rule) +=
+                (weight * key.miss_members) * static_cast<double>(cnt);
+          }
+        }
       }
     }
 
@@ -451,6 +502,7 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
     result.related_records += acc.related_hits;
     result.records_scanned += acc.records_scanned;
     result.blocks_pruned += acc.blocks_pruned;
+    result.exact_fallbacks += acc.exact_fallbacks;
     for (int p = 0; p < n; ++p) {
       for (size_t i = 0; i < acc.match_correct[p].size(); ++i) {
         result.train_match_correct[p][i] += acc.match_correct[p][i];
@@ -498,6 +550,9 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
   static telemetry::Counter& pruned_counter =
       telemetry::MetricsRegistry::Global().GetCounter(
           "ctfl.trace.blocks_pruned");
+  static telemetry::Counter& fallback_counter =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "ctfl.trace.exact_fallbacks");
   static telemetry::Histogram& pass_hist =
       telemetry::MetricsRegistry::Global().GetHistogram(
           "ctfl.trace.pass_us");
@@ -507,6 +562,7 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
   uncovered_counter.Add(static_cast<int64_t>(result.uncovered_tests));
   scanned_counter.Add(result.records_scanned);
   pruned_counter.Add(result.blocks_pruned);
+  fallback_counter.Add(result.exact_fallbacks);
   pass_hist.Observe(result.tracing_seconds * 1e6);
   return result;
 }

@@ -40,6 +40,13 @@ struct TracerConfig {
   /// early-exit pruning; kLegacy is the scalar per-record reference.
   /// Results are bit-identical either way.
   TraceKernelKind kernel = TraceKernelKind::kBlocked;
+  /// SIMD tier of the blocked kernel (defaults to the process-wide
+  /// runtime selection) and worker threads sharding each Match call's
+  /// block range (1 = serial, 0 = hardware concurrency). Both are pure
+  /// implementation selectors: results stay bit-identical, and neither
+  /// enters the config digest (DESIGN.md §9).
+  TraceIsa isa = CurrentTraceIsa();
+  int trace_threads = 1;
 };
 
 /// Tracing outcome for one test instance.
@@ -101,6 +108,9 @@ struct TraceResult {
   /// 64-record blocks skipped or early-exited by pruning.
   int64_t records_scanned = 0;
   int64_t blocks_pruned = 0;
+  /// Lanes re-decided by the exact scalar comparison because the pruning
+  /// bounds landed inside the float-drift safety band (0 on legacy).
+  int64_t exact_fallbacks = 0;
 };
 
 /// Traces the test-performance gain of a trained global rule-based model
@@ -164,6 +174,12 @@ class ContributionTracer {
   std::vector<std::vector<Bitset>> train_activations_;
   /// Per class: refs to all training instances with that label.
   std::vector<TrainRef> train_by_class_[2];
+  /// Per class: slot offsets of each participant's contiguous record range
+  /// inside train_by_class_[c] (size n+1; participant p owns
+  /// [ofs[p], ofs[p+1])). IndexTrainRefs appends participants in order, so
+  /// buckets are participant-contiguous — the closed-form §IV-B
+  /// accumulation popcounts per (rule, participant) range on top of this.
+  std::vector<size_t> class_part_offset_[2];
   /// Per class: transposed rule-major bit-matrix over the class bucket
   /// (built only when config_.kernel == kBlocked; empty otherwise).
   TraceKernel class_kernel_[2];

@@ -3,11 +3,59 @@
 #include <algorithm>
 #include <bit>
 #include <cfloat>
+#include <cmath>
+#include <memory>
+#include <mutex>
 #include <numeric>
 
 #include "ctfl/util/logging.h"
+#include "ctfl/util/thread_pool.h"
 
 namespace ctfl {
+namespace {
+
+// One tile stripe (num_rules transposed rows x tile_blocks words) should
+// stay L2-resident across a full support-set sweep; budget ~1 MiB and
+// round down to a power of two so block -> (tile, offset) is shift/mask.
+size_t PickTileBlocks(int num_rules) {
+  const size_t budget_words = (size_t{1} << 20) / sizeof(uint64_t);
+  const size_t per_rule =
+      budget_words / static_cast<size_t>(std::max(num_rules, 1));
+  return std::clamp<size_t>(std::bit_floor(std::max<size_t>(per_rule, 1)),
+                            16, size_t{1} << 16);
+}
+
+kernel_detail::StripeFn ResolveStripeFn(TraceIsa isa) {
+  switch (isa) {
+    case TraceIsa::kAvx512:
+      return kernel_detail::MatchStripeAvx512;
+    case TraceIsa::kAvx2:
+      return kernel_detail::MatchStripeAvx2;
+    case TraceIsa::kNeon:
+      return kernel_detail::MatchStripeNeon;
+    case TraceIsa::kScalar:
+      return kernel_detail::MatchStripeScalar;
+  }
+  return kernel_detail::MatchStripeScalar;
+}
+
+// Shared stripe-sharding pool, rebuilt when the requested size changes
+// (same idiom as the matrix kernels' MatrixParallelPool).
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;  // guarded by g_pool_mu
+int g_pool_size = 0;                 // guarded by g_pool_mu
+
+ThreadPool* MatchParallelPool(int threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_pool == nullptr || g_pool_size != threads) {
+    g_pool.reset();  // join the old workers before resizing
+    g_pool = std::make_unique<ThreadPool>(threads);
+    g_pool_size = threads;
+  }
+  return g_pool.get();
+}
+
+}  // namespace
 
 Result<TraceKernelKind> ParseTraceKernelKind(const std::string& name) {
   if (name == "legacy") return TraceKernelKind::kLegacy;
@@ -25,7 +73,13 @@ TraceKernel::TraceKernel(std::vector<const Bitset*> records, int num_rules)
       num_rules_(num_rules),
       num_blocks_((records_.size() + 63) / 64) {
   CTFL_CHECK(num_rules_ >= 0);
-  bits_.assign(static_cast<size_t>(num_rules_) * num_blocks_, 0);
+  tile_blocks_ = PickTileBlocks(num_rules_);
+  tile_shift_ = std::countr_zero(tile_blocks_);
+  num_tiles_ = (num_blocks_ + tile_blocks_ - 1) / tile_blocks_;
+  // Trailing tile zero-padded to the full width: WordIndex stays pure
+  // shift/mask arithmetic with no tail special-case.
+  bits_.assign(num_tiles_ * static_cast<size_t>(num_rules_) * tile_blocks_,
+               0);
   full_mask_.assign(num_blocks_, 0);
   for (size_t r = 0; r < records_.size(); ++r) {
     CTFL_CHECK(records_[r] != nullptr);
@@ -34,7 +88,7 @@ TraceKernel::TraceKernel(std::vector<const Bitset*> records, int num_rules)
     const uint64_t lane = 1ULL << (r % 64);
     full_mask_[block] |= lane;
     records_[r]->ForEachSetBit([&](size_t rule) {
-      bits_[rule * num_blocks_ + block] |= lane;
+      bits_[WordIndex(rule, block)] |= lane;
     });
   }
 }
@@ -102,93 +156,60 @@ bool TraceKernel::ExactRelated(const Support& s, size_t record) const {
 }
 
 size_t TraceKernel::Match(const Support& s, const uint64_t* candidate_mask,
-                          uint64_t* out_related,
-                          TraceKernelStats* stats) const {
+                          uint64_t* out_related, TraceKernelStats* stats,
+                          const TraceMatchOptions& options) const {
   const size_t nb = num_blocks_;
-  std::fill(out_related, out_related + nb, 0);
-  size_t total_related = 0;
-  const size_t m = s.sorted_rules.size();
-  const double pivot = s.pivot;
-  const double safety = s.safety;
-  const double total_weight = s.suffix.empty() ? 0.0 : s.suffix[0];
+  if (nb == 0) return 0;
+  const kernel_detail::StripeFn stripe = ResolveStripeFn(options.isa);
 
-  alignas(64) double lb[64];
-  for (size_t b = 0; b < nb; ++b) {
-    uint64_t valid = full_mask_[b];
-    if (candidate_mask != nullptr) valid &= candidate_mask[b];
-    if (valid == 0) {
-      if (stats != nullptr) ++stats->blocks_pruned;
-      continue;
-    }
+  // Tile-aligned sharding: every stripe's bit-matrix slice is contiguous
+  // and no two stripes share an out_related word. 64 blocks (4096 lanes)
+  // is the minimum worth a pool task.
+  constexpr size_t kMinBlocksPerShard = 64;
+  size_t shards = 1;
+  if (options.threads != 1 && !ThreadPool::InPoolWorker()) {
+    const int threads = ResolveThreadCount(options.threads);
+    const size_t cap = std::max<size_t>(nb / kMinBlocksPerShard, 1);
+    shards = std::min({static_cast<size_t>(std::max(threads, 1)),
+                       num_tiles_, cap});
+  }
+
+  if (shards <= 1) {
+    const kernel_detail::StripeResult r =
+        stripe(*this, s, candidate_mask, out_related, 0, nb);
     if (stats != nullptr) {
-      stats->records_scanned +=
-          static_cast<int64_t>(std::popcount(valid));
+      stats->records_scanned += r.stats.records_scanned;
+      stats->blocks_pruned += r.stats.blocks_pruned;
+      stats->exact_fallbacks += r.stats.exact_fallbacks;
     }
-    std::fill(lb, lb + 64, 0.0);
-    uint64_t undecided = valid;
-    uint64_t related = 0;
-    bool early_exit = false;
+    return r.related;
+  }
 
-    for (size_t ri = 0; ri < m; ++ri) {
-      const double weight = s.sorted_weights[ri];
-      uint64_t word =
-          bits_[static_cast<size_t>(s.sorted_rules[ri]) * nb + b] &
-          undecided;
-      while (word != 0) {
-        const int lane = std::countr_zero(word);
-        lb[lane] += weight;
-        word &= word - 1;
-      }
-      const double remaining = s.suffix[ri + 1];
-      // Kill checkpoints fire as soon as the unprocessed weight can no
-      // longer lift an empty lane over the pivot; accept-only
-      // checkpoints are rate-limited (they only buy a full-block early
-      // exit, so sweeping every rule would cost more than it saves).
-      const bool can_kill = remaining + safety < pivot;
-      const bool accept_open = total_weight - remaining >= pivot + safety;
-      if (can_kill || (accept_open && ((ri & 7) == 7))) {
-        uint64_t scan = undecided;
-        while (scan != 0) {
-          const int lane = std::countr_zero(scan);
-          scan &= scan - 1;
-          const uint64_t bit = 1ULL << lane;
-          if (lb[lane] >= pivot + safety) {
-            undecided &= ~bit;
-            related |= bit;
-          } else if (can_kill &&
-                     lb[lane] + remaining + safety < pivot) {
-            undecided &= ~bit;
-          }
+  const size_t tiles_per_shard = (num_tiles_ + shards - 1) / shards;
+  const size_t blocks_per_shard = tiles_per_shard * tile_blocks_;
+  std::vector<kernel_detail::StripeResult> results(shards);
+  MatchParallelPool(static_cast<int>(shards))
+      ->ParallelFor(0, shards, [&](size_t i) {
+        const size_t lo = std::min(nb, i * blocks_per_shard);
+        const size_t hi = std::min(nb, lo + blocks_per_shard);
+        if (lo < hi) {
+          results[i] =
+              stripe(*this, s, candidate_mask, out_related, lo, hi);
         }
-        if (undecided == 0) {
-          early_exit = ri + 1 < m;
-          break;
-        }
-      }
+      });
+  // Ordered commit (DESIGN.md §10): lane decisions land in disjoint
+  // out_related words per stripe, and stats are folded in ascending
+  // stripe order on this thread — totals are integer sums either way,
+  // so results and stats are independent of the worker schedule and
+  // identical to the serial sweep.
+  size_t total_related = 0;
+  for (const kernel_detail::StripeResult& r : results) {
+    total_related += r.related;
+    if (stats != nullptr) {
+      stats->records_scanned += r.stats.records_scanned;
+      stats->blocks_pruned += r.stats.blocks_pruned;
+      stats->exact_fallbacks += r.stats.exact_fallbacks;
     }
-    if (stats != nullptr && early_exit) ++stats->blocks_pruned;
-
-    // Classify leftover lanes: all support rules processed, so lb is the
-    // full (descending-order) overlap; outside the +-safety band it
-    // decides, inside we replay the exact scalar comparison.
-    uint64_t scan = undecided;
-    while (scan != 0) {
-      const int lane = std::countr_zero(scan);
-      scan &= scan - 1;
-      const uint64_t bit = 1ULL << lane;
-      if (lb[lane] >= pivot + safety) {
-        related |= bit;
-      } else if (lb[lane] + safety < pivot) {
-        // definitely below threshold
-      } else {
-        if (stats != nullptr) ++stats->exact_fallbacks;
-        if (ExactRelated(s, b * 64 + static_cast<size_t>(lane))) {
-          related |= bit;
-        }
-      }
-    }
-    out_related[b] = related;
-    total_related += static_cast<size_t>(std::popcount(related));
   }
   return total_related;
 }

@@ -9,9 +9,26 @@
 // kernel instead packs each class bucket's training activations into a
 // *transposed, rule-major bit-matrix* — one contiguous bitmap per rule
 // over record index — so scoring becomes, per 64-record block,
-// `overlap[lane] += weight` driven by word AND + ctz iteration: only
+// `overlap[lane] += weight` driven by word AND + lane accumulation: only
 // *activated* (rule, record) pairs cost work, and 64 records share every
 // rule-row load.
+//
+// Three independent accelerations compose on top (DESIGN.md §10):
+//
+//  - Tiling: the bit-matrix is stored tile-major — blocks are grouped
+//    into fixed-width tiles and all rule rows of one tile are contiguous —
+//    so a full support-set sweep over one block stripe touches an
+//    L2-resident working set instead of striding num_blocks words between
+//    rules.
+//  - SIMD: per-ISA translation units (scalar / AVX2 / AVX-512 / NEON,
+//    util/cpu_features.h) evaluate the 64 per-lane accumulators and the
+//    checkpoint comparisons with vector masked adds and compares. Which
+//    tier runs is selected once per process (CTFL_TRACE_ISA /
+//    --trace-isa) or per call via TraceMatchOptions.
+//  - Sharding: Match splits the block range into tile-aligned stripes
+//    across the shared util/thread_pool. Stripes own disjoint out_related
+//    words, and per-stripe stats are committed in ascending stripe order,
+//    so results and stats are independent of the worker schedule.
 //
 // Early-exit pruning processes the support rules in descending weight
 // order keeping per-lane lower bounds; once the remaining (unprocessed)
@@ -22,13 +39,14 @@
 //
 // Bit-identity contract (DESIGN.md §10): the kernel's accept/reject
 // decisions are *exactly* those of the scalar loop, which accumulates
-// weights in ascending rule order and compares with a fixed epsilon. The
-// descending-order pruning bounds are only ever trusted outside a
-// conservative float-drift band (`Support::safety`, a rigorous bound on
-// the reordering error of a positive-term sum); lanes that land inside
-// the band fall back to the scalar ascending-order comparison on the
-// record's original activation bitset. Pruning therefore changes which
-// records get *scanned*, never which records get *matched*.
+// weights in ascending rule order and compares with a fixed epsilon — on
+// every ISA tier at every thread count. The descending-order pruning
+// bounds are only ever trusted outside a conservative float-drift band
+// (`Support::safety`, a rigorous bound on the reordering error of a
+// positive-term sum); lanes that land inside the band fall back to the
+// scalar ascending-order comparison on the record's original activation
+// bitset. Pruning therefore changes which records get *scanned*, never
+// which records get *matched*.
 
 #include <cstdint>
 #include <string>
@@ -36,6 +54,7 @@
 #include <vector>
 
 #include "ctfl/util/bitset.h"
+#include "ctfl/util/cpu_features.h"
 #include "ctfl/util/result.h"
 
 namespace ctfl {
@@ -66,6 +85,17 @@ struct TraceKernelStats {
   int64_t exact_fallbacks = 0;
 };
 
+/// Per-call implementation selectors of Match. Both knobs are pure
+/// implementation choices: results and stats are bit-identical at every
+/// (isa, threads) combination.
+struct TraceMatchOptions {
+  /// SIMD tier; defaults to the process-wide selection.
+  TraceIsa isa = CurrentTraceIsa();
+  /// Worker threads sharding the block range (1 = serial, 0 = hardware
+  /// concurrency). Runs serial when called from inside a pool worker.
+  int threads = 1;
+};
+
 /// Transposed, cache-blocked activation bit-matrix over one class bucket
 /// plus the pruned matcher. Records are addressed by their *bucket
 /// position* (0..num_records), in the same order the scalar loop scans
@@ -75,7 +105,7 @@ class TraceKernel {
   TraceKernel() = default;
 
   /// Packs `records` (activation bitsets in bucket order, each `num_rules`
-  /// wide) into the rule-major bit-matrix. The pointed-to bitsets must
+  /// wide) into the tile-major bit-matrix. The pointed-to bitsets must
   /// outlive the kernel: they back the exact ambiguous-lane fallback.
   TraceKernel(std::vector<const Bitset*> records, int num_rules);
 
@@ -83,13 +113,19 @@ class TraceKernel {
   size_t num_blocks() const { return num_blocks_; }
   int num_rules() const { return num_rules_; }
   bool empty() const { return records_.empty(); }
+  /// Blocks per cache tile (a power of two; sized so one full support
+  /// sweep over a tile stripe stays L2-resident).
+  size_t tile_blocks() const { return tile_blocks_; }
 
-  /// Transposed row of rule `rule`: num_blocks() words; bit `i` of word
-  /// `b` is set iff record `b * 64 + i` activates the rule. Callers use
-  /// this for word-driven frequency accumulation over matched lanes.
-  const uint64_t* rule_bits(int rule) const {
-    return bits_.data() + static_cast<size_t>(rule) * num_blocks_;
+  /// Word `block` of rule `rule`'s transposed row: bit `i` is set iff
+  /// record `block * 64 + i` activates the rule. Callers use this for
+  /// word-driven frequency accumulation over matched lanes.
+  uint64_t rule_word(int rule, size_t block) const {
+    return bits_[WordIndex(static_cast<size_t>(rule), block)];
   }
+
+  /// Valid-lane mask of `block` (all ones except the trailing block).
+  uint64_t full_mask_word(size_t block) const { return full_mask_[block]; }
 
   /// How the exact (legacy-identical) accept decision is phrased.
   enum class Cmp {
@@ -137,20 +173,87 @@ class TraceKernel {
   /// bit-identical to the scalar ascending-order loop. `stats` (optional)
   /// accumulates work accounting.
   size_t Match(const Support& support, const uint64_t* candidate_mask,
-               uint64_t* out_related, TraceKernelStats* stats) const;
+               uint64_t* out_related, TraceKernelStats* stats) const {
+    return Match(support, candidate_mask, out_related, stats,
+                 TraceMatchOptions());
+  }
+
+  /// Same, with explicit ISA tier + thread sharding. Results and stats
+  /// are bit-identical across every (isa, threads) combination.
+  size_t Match(const Support& support, const uint64_t* candidate_mask,
+               uint64_t* out_related, TraceKernelStats* stats,
+               const TraceMatchOptions& options) const;
+
+  /// Scalar reference decision for one record (ascending accumulation) —
+  /// the exact fallback for lanes inside the float-drift band, exposed
+  /// for the per-ISA stripe kernels and differential tests.
+  bool ExactRelated(const Support& support, size_t record) const;
 
  private:
-  /// Scalar reference decision for one record (ascending accumulation).
-  bool ExactRelated(const Support& support, size_t record) const;
+  size_t WordIndex(size_t rule, size_t block) const {
+    const size_t tile = block >> tile_shift_;
+    return ((tile * static_cast<size_t>(num_rules_) + rule)
+            << tile_shift_) +
+           (block & (tile_blocks_ - 1));
+  }
 
   std::vector<const Bitset*> records_;
   int num_rules_ = 0;
   size_t num_blocks_ = 0;
-  /// Rule-major: bits_[rule * num_blocks_ + block].
+  /// Blocks per tile (power of two) and its log2. The trailing tile is
+  /// zero-padded to the full width so WordIndex needs no bounds logic.
+  size_t tile_blocks_ = 1;
+  int tile_shift_ = 0;
+  size_t num_tiles_ = 0;
+  /// Tile-major: bits_[((tile * num_rules + rule) << tile_shift) + j]
+  /// holds word `tile * tile_blocks + j` of `rule`'s transposed row.
   std::vector<uint64_t> bits_;
   /// Valid-lane mask per block (all ones except the trailing block).
   std::vector<uint64_t> full_mask_;
 };
+
+namespace kernel_detail {
+
+/// Result of one stripe sweep: matches found + the stripe's stats.
+struct StripeResult {
+  size_t related = 0;
+  TraceKernelStats stats;
+};
+
+/// One contiguous block range [block_lo, block_hi) of a Match call. Every
+/// implementation writes out_related[b] for each b in range (zeroing
+/// non-candidate blocks) and returns bit-identical decisions and stats.
+using StripeFn = StripeResult (*)(const TraceKernel& kernel,
+                                  const TraceKernel::Support& support,
+                                  const uint64_t* candidate_mask,
+                                  uint64_t* out_related, size_t block_lo,
+                                  size_t block_hi);
+
+StripeResult MatchStripeScalar(const TraceKernel& kernel,
+                               const TraceKernel::Support& support,
+                               const uint64_t* candidate_mask,
+                               uint64_t* out_related, size_t block_lo,
+                               size_t block_hi);
+/// Compiled from per-ISA translation units; on architectures where the
+/// tier does not exist they forward to MatchStripeScalar (the dispatch
+/// layer never selects an unavailable tier, this is belt-and-braces).
+StripeResult MatchStripeAvx2(const TraceKernel& kernel,
+                             const TraceKernel::Support& support,
+                             const uint64_t* candidate_mask,
+                             uint64_t* out_related, size_t block_lo,
+                             size_t block_hi);
+StripeResult MatchStripeAvx512(const TraceKernel& kernel,
+                               const TraceKernel::Support& support,
+                               const uint64_t* candidate_mask,
+                               uint64_t* out_related, size_t block_lo,
+                               size_t block_hi);
+StripeResult MatchStripeNeon(const TraceKernel& kernel,
+                             const TraceKernel::Support& support,
+                             const uint64_t* candidate_mask,
+                             uint64_t* out_related, size_t block_lo,
+                             size_t block_hi);
+
+}  // namespace kernel_detail
 
 }  // namespace ctfl
 

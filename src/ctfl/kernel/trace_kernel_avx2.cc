@@ -1,0 +1,131 @@
+// AVX2 stripe kernel: 16 groups of 4 f64 lanes per 64-record block.
+// Compiled with -mavx2 on x86-64 (see src/CMakeLists.txt); selected at
+// runtime only when cpuid reports AVX2 (util/cpu_features.h).
+//
+// Bit-identity to the scalar tier (trace_kernel_stripe.h contract):
+//  - Accumulate adds `and_pd(weight, lane_hit_mask)` to each group —
+//    exactly `weight` on set lanes and +0.0 on unset lanes, which is a
+//    bitwise no-op on the non-negative accumulators.
+//  - The compare primitives evaluate the same expressions in the same
+//    association order with one vector instruction per step; _CMP_*_OQ
+//    matches scalar </>= on the never-NaN inputs.
+
+#include "ctfl/kernel/trace_kernel_stripe.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <array>
+
+namespace ctfl {
+namespace kernel_detail {
+namespace {
+
+constexpr std::array<uint64_t, 64> MakeLaneBits() {
+  std::array<uint64_t, 64> bits{};
+  for (int i = 0; i < 64; ++i) bits[i] = uint64_t{1} << i;
+  return bits;
+}
+alignas(32) constexpr std::array<uint64_t, 64> kLaneBit = MakeLaneBits();
+
+// Words with few set lanes take the scalar ctz loop: per-lane adds are
+// identical either way, and 3 adds beat 16 vector ops.
+constexpr int kSparseLanes = 8;
+
+struct Avx2Ops {
+  static void Accumulate(double* lb, uint64_t word, double weight) {
+    if (word == 0) return;
+    if (std::popcount(word) <= kSparseLanes) {
+      ScalarAccumulate(lb, word, weight);
+      return;
+    }
+    const __m256d wv = _mm256_set1_pd(weight);
+    const __m256i wordv = _mm256_set1_epi64x(static_cast<long long>(word));
+    for (int g = 0; g < 16; ++g) {
+      const __m256i sel = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(kLaneBit.data() + 4 * g));
+      const __m256i hit =
+          _mm256_cmpeq_epi64(_mm256_and_si256(wordv, sel), sel);
+      const __m256d add = _mm256_and_pd(wv, _mm256_castsi256_pd(hit));
+      const __m256d cur = _mm256_load_pd(lb + 4 * g);
+      _mm256_store_pd(lb + 4 * g, _mm256_add_pd(cur, add));
+    }
+  }
+
+  static uint64_t GeMask(const double* lb, double bound, uint64_t scan) {
+    if (scan == 0) return 0;
+    const __m256d bv = _mm256_set1_pd(bound);
+    uint64_t mask = 0;
+    for (int g = 0; g < 16; ++g) {
+      const __m256d ge =
+          _mm256_cmp_pd(_mm256_load_pd(lb + 4 * g), bv, _CMP_GE_OQ);
+      mask |= static_cast<uint64_t>(_mm256_movemask_pd(ge)) << (4 * g);
+    }
+    return mask;
+  }
+
+  static uint64_t SumLtMask(const double* lb, double remaining,
+                            double safety, double pivot, uint64_t scan) {
+    if (scan == 0) return 0;
+    const __m256d rv = _mm256_set1_pd(remaining);
+    const __m256d sv = _mm256_set1_pd(safety);
+    const __m256d pv = _mm256_set1_pd(pivot);
+    uint64_t mask = 0;
+    for (int g = 0; g < 16; ++g) {
+      // ((lb + remaining) + safety) < pivot — scalar association order.
+      const __m256d sum = _mm256_add_pd(
+          _mm256_add_pd(_mm256_load_pd(lb + 4 * g), rv), sv);
+      const __m256d lt = _mm256_cmp_pd(sum, pv, _CMP_LT_OQ);
+      mask |= static_cast<uint64_t>(_mm256_movemask_pd(lt)) << (4 * g);
+    }
+    return mask;
+  }
+
+  static uint64_t AddLtMask(const double* lb, double safety, double pivot,
+                            uint64_t scan) {
+    if (scan == 0) return 0;
+    const __m256d sv = _mm256_set1_pd(safety);
+    const __m256d pv = _mm256_set1_pd(pivot);
+    uint64_t mask = 0;
+    for (int g = 0; g < 16; ++g) {
+      const __m256d sum = _mm256_add_pd(_mm256_load_pd(lb + 4 * g), sv);
+      const __m256d lt = _mm256_cmp_pd(sum, pv, _CMP_LT_OQ);
+      mask |= static_cast<uint64_t>(_mm256_movemask_pd(lt)) << (4 * g);
+    }
+    return mask;
+  }
+};
+
+}  // namespace
+
+StripeResult MatchStripeAvx2(const TraceKernel& kernel,
+                             const TraceKernel::Support& support,
+                             const uint64_t* candidate_mask,
+                             uint64_t* out_related, size_t block_lo,
+                             size_t block_hi) {
+  return MatchStripeImpl<Avx2Ops>(kernel, support, candidate_mask,
+                                  out_related, block_lo, block_hi);
+}
+
+}  // namespace kernel_detail
+}  // namespace ctfl
+
+#else  // !x86: tier never selected; keep the symbol defined.
+
+namespace ctfl {
+namespace kernel_detail {
+
+StripeResult MatchStripeAvx2(const TraceKernel& kernel,
+                             const TraceKernel::Support& support,
+                             const uint64_t* candidate_mask,
+                             uint64_t* out_related, size_t block_lo,
+                             size_t block_hi) {
+  return MatchStripeScalar(kernel, support, candidate_mask, out_related,
+                           block_lo, block_hi);
+}
+
+}  // namespace kernel_detail
+}  // namespace ctfl
+
+#endif

@@ -1,0 +1,133 @@
+// NEON stripe kernel: 32 groups of 2 f64 lanes per 64-record block.
+// AArch64 NEON is baseline, so no extra compile flags are needed; the
+// tier is still behind runtime dispatch (util/cpu_features.h) for
+// symmetry with the x86 tiers.
+//
+// Bit-identity to the scalar tier (trace_kernel_stripe.h contract):
+//  - Accumulate adds `weight AND lane_hit_mask` per group — exactly
+//    `weight` on set lanes and +0.0 on unset lanes, a bitwise no-op on
+//    the non-negative accumulators.
+//  - Compare primitives evaluate the same expressions in the same
+//    association order; vcgeq/vcltq match scalar >=/< on the never-NaN
+//    inputs.
+
+#include "ctfl/kernel/trace_kernel_stripe.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <array>
+
+namespace ctfl {
+namespace kernel_detail {
+namespace {
+
+constexpr std::array<uint64_t, 64> MakeLaneBits() {
+  std::array<uint64_t, 64> bits{};
+  for (int i = 0; i < 64; ++i) bits[i] = uint64_t{1} << i;
+  return bits;
+}
+alignas(16) constexpr std::array<uint64_t, 64> kLaneBit = MakeLaneBits();
+
+// Below this population the scalar ctz loop wins; per-lane adds are
+// identical either way.
+constexpr int kSparseLanes = 8;
+
+struct NeonOps {
+  static void Accumulate(double* lb, uint64_t word, double weight) {
+    if (word == 0) return;
+    if (std::popcount(word) <= kSparseLanes) {
+      ScalarAccumulate(lb, word, weight);
+      return;
+    }
+    const float64x2_t wv = vdupq_n_f64(weight);
+    const uint64x2_t wordv = vdupq_n_u64(word);
+    for (int g = 0; g < 32; ++g) {
+      const uint64x2_t sel = vld1q_u64(kLaneBit.data() + 2 * g);
+      const uint64x2_t hit = vceqq_u64(vandq_u64(wordv, sel), sel);
+      const float64x2_t add =
+          vreinterpretq_f64_u64(vandq_u64(vreinterpretq_u64_f64(wv), hit));
+      const float64x2_t cur = vld1q_f64(lb + 2 * g);
+      vst1q_f64(lb + 2 * g, vaddq_f64(cur, add));
+    }
+  }
+
+  static uint64_t GeMask(const double* lb, double bound, uint64_t scan) {
+    if (scan == 0) return 0;
+    const float64x2_t bv = vdupq_n_f64(bound);
+    uint64_t mask = 0;
+    for (int g = 0; g < 32; ++g) {
+      const uint64x2_t ge = vcgeq_f64(vld1q_f64(lb + 2 * g), bv);
+      mask |= (vgetq_lane_u64(ge, 0) & 1) << (2 * g);
+      mask |= (vgetq_lane_u64(ge, 1) & 1) << (2 * g + 1);
+    }
+    return mask;
+  }
+
+  static uint64_t SumLtMask(const double* lb, double remaining,
+                            double safety, double pivot, uint64_t scan) {
+    if (scan == 0) return 0;
+    const float64x2_t rv = vdupq_n_f64(remaining);
+    const float64x2_t sv = vdupq_n_f64(safety);
+    const float64x2_t pv = vdupq_n_f64(pivot);
+    uint64_t mask = 0;
+    for (int g = 0; g < 32; ++g) {
+      // ((lb + remaining) + safety) < pivot — scalar association order.
+      const float64x2_t sum =
+          vaddq_f64(vaddq_f64(vld1q_f64(lb + 2 * g), rv), sv);
+      const uint64x2_t lt = vcltq_f64(sum, pv);
+      mask |= (vgetq_lane_u64(lt, 0) & 1) << (2 * g);
+      mask |= (vgetq_lane_u64(lt, 1) & 1) << (2 * g + 1);
+    }
+    return mask;
+  }
+
+  static uint64_t AddLtMask(const double* lb, double safety, double pivot,
+                            uint64_t scan) {
+    if (scan == 0) return 0;
+    const float64x2_t sv = vdupq_n_f64(safety);
+    const float64x2_t pv = vdupq_n_f64(pivot);
+    uint64_t mask = 0;
+    for (int g = 0; g < 32; ++g) {
+      const float64x2_t sum = vaddq_f64(vld1q_f64(lb + 2 * g), sv);
+      const uint64x2_t lt = vcltq_f64(sum, pv);
+      mask |= (vgetq_lane_u64(lt, 0) & 1) << (2 * g);
+      mask |= (vgetq_lane_u64(lt, 1) & 1) << (2 * g + 1);
+    }
+    return mask;
+  }
+};
+
+}  // namespace
+
+StripeResult MatchStripeNeon(const TraceKernel& kernel,
+                             const TraceKernel::Support& support,
+                             const uint64_t* candidate_mask,
+                             uint64_t* out_related, size_t block_lo,
+                             size_t block_hi) {
+  return MatchStripeImpl<NeonOps>(kernel, support, candidate_mask,
+                                  out_related, block_lo, block_hi);
+}
+
+}  // namespace kernel_detail
+}  // namespace ctfl
+
+#else  // !aarch64: tier never selected; keep the symbol defined.
+
+namespace ctfl {
+namespace kernel_detail {
+
+StripeResult MatchStripeNeon(const TraceKernel& kernel,
+                             const TraceKernel::Support& support,
+                             const uint64_t* candidate_mask,
+                             uint64_t* out_related, size_t block_lo,
+                             size_t block_hi) {
+  return MatchStripeScalar(kernel, support, candidate_mask, out_related,
+                           block_lo, block_hi);
+}
+
+}  // namespace kernel_detail
+}  // namespace ctfl
+
+#endif

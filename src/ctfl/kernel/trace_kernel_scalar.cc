@@ -1,0 +1,20 @@
+// Portable scalar stripe kernel — the reference tier every SIMD tier
+// must agree with bitwise, and the fallback body for tiers whose ISA is
+// not compiled on this architecture.
+
+#include "ctfl/kernel/trace_kernel_stripe.h"
+
+namespace ctfl {
+namespace kernel_detail {
+
+StripeResult MatchStripeScalar(const TraceKernel& kernel,
+                               const TraceKernel::Support& support,
+                               const uint64_t* candidate_mask,
+                               uint64_t* out_related, size_t block_lo,
+                               size_t block_hi) {
+  return MatchStripeImpl<ScalarOps>(kernel, support, candidate_mask,
+                                    out_related, block_lo, block_hi);
+}
+
+}  // namespace kernel_detail
+}  // namespace ctfl

@@ -176,6 +176,13 @@ Result<RunArtifacts> ExecuteRunSpec(const RunSpec& spec,
   config.tracer.kernel = overrides.kernel >= 0
                              ? static_cast<TraceKernelKind>(overrides.kernel)
                              : static_cast<TraceKernelKind>(spec.trace_kernel);
+  if (overrides.trace_isa >= 0) {
+    config.tracer.isa = static_cast<TraceIsa>(overrides.trace_isa);
+  }
+  if (overrides.trace_threads != RunOverrides::kKeep) {
+    config.tracer.trace_threads =
+        static_cast<int>(overrides.trace_threads);
+  }
   config.num_threads = overrides.num_threads == RunOverrides::kKeep
                            ? static_cast<int>(spec.num_threads)
                            : static_cast<int>(overrides.num_threads);
@@ -312,6 +319,27 @@ std::vector<MatrixCell> GenerateMatrix(const ReplayFile& file) {
         recorded_blocked ? TraceKernelKind::kLegacy
                          : TraceKernelKind::kBlocked);
     cells.push_back(std::move(kernel));
+    // Force the scalar trace ISA (and the best available tier when the
+    // host has one): the SIMD dispatch knob must not move a single bit,
+    // fingerprint included.
+    MatrixCell isa_scalar;
+    isa_scalar.name = "isa_scalar";
+    isa_scalar.description =
+        "re-run with the scalar trace ISA; bitwise outcome match";
+    isa_scalar.overrides.trace_isa =
+        static_cast<int>(TraceIsa::kScalar);
+    cells.push_back(std::move(isa_scalar));
+    const TraceIsa best = BestAvailableTraceIsa();
+    if (best != TraceIsa::kScalar) {
+      MatrixCell isa_best;
+      isa_best.name = StrFormat("isa_%s", TraceIsaName(best));
+      isa_best.description = StrFormat(
+          "re-run with the %s trace ISA (sharded x8); bitwise match",
+          TraceIsaName(best));
+      isa_best.overrides.trace_isa = static_cast<int>(best);
+      isa_best.overrides.trace_threads = 8;
+      cells.push_back(std::move(isa_best));
+    }
     for (int threads : {1, 2, 8}) {
       MatrixCell cell;
       cell.name = StrFormat("threads_%d", threads);

@@ -55,6 +55,12 @@ struct RunOverrides {
   int64_t num_threads = kKeep;
   /// TraceKernelKind value, or -1 to keep the recorded kernel.
   int kernel = -1;
+  /// TraceIsa value, or -1 to keep the process-wide dispatch. Replay
+  /// files never record an ISA (it is execution context, not semantics);
+  /// the isa cells force a tier and assert the outcome is unchanged.
+  int trace_isa = -1;
+  /// Trace-kernel shard threads, or kKeep for the default (serial).
+  int64_t trace_threads = kKeep;
   /// Drop the recorded failure plan (the faulty-vs-clean cell).
   bool clean = false;
   /// When non-empty, persist a contribution bundle (for query cells).
@@ -124,7 +130,8 @@ struct MatrixCell {
 };
 
 /// Expands `file` into its differential matrix: base replay; kernel
-/// flipped (when a spec is present); threads 1/2/8; clean (when the
+/// flipped (when a spec is present); forced-scalar trace ISA (plus the
+/// best available tier when it differs); threads 1/2/8; clean (when the
 /// recorded run had a fault plan); query batch/one-shot (when events are
 /// present) and served (POSIX). Deterministic order.
 std::vector<MatrixCell> GenerateMatrix(const ReplayFile& file);

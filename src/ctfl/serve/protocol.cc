@@ -105,6 +105,7 @@ void EncodeRelatedResult(const store::RelatedResult& related,
   w->I64(related.candidates_pruned);
   w->I64(related.records_scanned);
   w->I64(related.blocks_pruned);
+  w->I64(related.exact_fallbacks);
 }
 
 Status DecodeRelatedResult(wire::Reader* r, store::RelatedResult* related) {
@@ -139,6 +140,7 @@ Status DecodeRelatedResult(wire::Reader* r, store::RelatedResult* related) {
   CTFL_RETURN_IF_ERROR(r->I64(&related->candidates_pruned));
   CTFL_RETURN_IF_ERROR(r->I64(&related->records_scanned));
   CTFL_RETURN_IF_ERROR(r->I64(&related->blocks_pruned));
+  CTFL_RETURN_IF_ERROR(r->I64(&related->exact_fallbacks));
   return Status::OK();
 }
 
@@ -190,6 +192,7 @@ void EncodeReport(const store::QueryReport& report, wire::Writer* w) {
   w->I64(report.candidates_pruned);
   w->I64(report.records_scanned);
   w->I64(report.blocks_pruned);
+  w->I64(report.exact_fallbacks);
 }
 
 Status DecodeReport(wire::Reader* r, store::QueryReport* report) {
@@ -226,6 +229,7 @@ Status DecodeReport(wire::Reader* r, store::QueryReport* report) {
   CTFL_RETURN_IF_ERROR(r->I64(&report->candidates_pruned));
   CTFL_RETURN_IF_ERROR(r->I64(&report->records_scanned));
   CTFL_RETURN_IF_ERROR(r->I64(&report->blocks_pruned));
+  CTFL_RETURN_IF_ERROR(r->I64(&report->exact_fallbacks));
   return Status::OK();
 }
 
@@ -244,6 +248,8 @@ void EncodeStats(const ServerStats& stats, wire::Writer* w) {
   w->U64(stats.test_records);
   w->F64(stats.origin_tau_w);
   w->U32(static_cast<uint32_t>(stats.origin_delta));
+  w->U64(stats.exact_fallbacks);
+  w->Str(stats.trace_isa);
   w->U32(static_cast<uint32_t>(stats.participant_names.size()));
   for (const std::string& name : stats.participant_names) w->Str(name);
 }
@@ -265,6 +271,8 @@ Status DecodeStats(wire::Reader* r, ServerStats* stats) {
   uint32_t delta = 0, count = 0;
   CTFL_RETURN_IF_ERROR(r->U32(&delta));
   stats->origin_delta = static_cast<int32_t>(delta);
+  CTFL_RETURN_IF_ERROR(r->U64(&stats->exact_fallbacks));
+  CTFL_RETURN_IF_ERROR(r->Str(&stats->trace_isa));
   CTFL_RETURN_IF_ERROR(r->U32(&count));
   stats->participant_names.resize(count);
   for (uint32_t i = 0; i < count; ++i) {

@@ -34,7 +34,11 @@
 namespace ctfl {
 namespace serve {
 
-inline constexpr uint8_t kProtocolVersion = 1;
+// v2: RelatedResult / QueryReport / STATS responses grew the blocked
+// kernel's exact-fallback counter, and STATS reports the server's trace
+// ISA tier. Request bodies are unchanged (the trace ISA and thread count
+// are server-local implementation selectors, not wire fields).
+inline constexpr uint8_t kProtocolVersion = 2;
 /// Upper bound on one frame's payload (guards the length prefix against
 /// corrupt peers; a full EVALUATE report over a large bundle stays far
 /// below this).
@@ -92,6 +96,10 @@ struct ServerStats {
   uint64_t test_records = 0;
   double origin_tau_w = 0.0;
   int32_t origin_delta = 1;
+  /// Exact-fallback lanes accumulated over every lookup the server ran.
+  uint64_t exact_fallbacks = 0;
+  /// SIMD tier of the server's blocked trace kernel ("scalar", "avx2", ...).
+  std::string trace_isa;
   std::vector<std::string> participant_names;
 };
 

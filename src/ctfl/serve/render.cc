@@ -51,7 +51,8 @@ std::string RenderEvaluation(const store::QueryReport& report,
       "\nglobal accuracy %.4f, matched %.4f; %zu uncovered tests\n"
       "lookup cost: %lld keys, %lld tau_w checks, %lld postings scanned, "
       "%lld candidates pruned\n"
-      "trace kernel (%s): %lld records scanned, %lld blocks pruned\n",
+      "trace kernel (%s): %lld records scanned, %lld blocks pruned, "
+      "%lld exact fallbacks\n",
       report.global_accuracy, report.matched_accuracy, report.uncovered_tests,
       static_cast<long long>(report.keys),
       static_cast<long long>(report.tau_w_checks),
@@ -59,7 +60,8 @@ std::string RenderEvaluation(const store::QueryReport& report,
       static_cast<long long>(report.candidates_pruned),
       TraceKernelKindName(kernel),
       static_cast<long long>(report.records_scanned),
-      static_cast<long long>(report.blocks_pruned)));
+      static_cast<long long>(report.blocks_pruned),
+      static_cast<long long>(report.exact_fallbacks)));
   AppendRuleStats("uncovered scenarios (collect data here):",
                   report.uncovered_rules, &out);
   for (const store::ParticipantSummary& summary : report.participants) {
@@ -82,11 +84,12 @@ std::string RenderRelatedLookup(size_t index,
                                 const std::vector<std::string>& names) {
   std::string out = StrFormat(
       "instance %zu: predicted=%d support=%d related=%zu "
-      "(checked %lld of %lld, pruned %lld)\n",
+      "(checked %lld of %lld, pruned %lld, exact fallbacks %lld)\n",
       index, related.predicted, related.support_size, related.total_related,
       static_cast<long long>(related.tau_w_checks),
       static_cast<long long>(related.bucket_size),
-      static_cast<long long>(related.candidates_pruned));
+      static_cast<long long>(related.candidates_pruned),
+      static_cast<long long>(related.exact_fallbacks));
   for (const store::RecordRef& ref : related.records) {
     const std::string name =
         ref.participant >= 0 && ref.participant < static_cast<int>(names.size())

@@ -125,8 +125,12 @@ Response QueryService::HandleRelated(const Request& request) {
                   request.related.instance.values.size(), want));
     return response;
   }
-  response.related =
-      engine_.Related(request.related.instance, request.related.options);
+  store::QueryOptions options = request.related.options;
+  options.trace_threads = config_.trace_threads;
+  response.related = engine_.Related(request.related.instance, options);
+  exact_fallbacks_.fetch_add(
+      static_cast<uint64_t>(response.related.exact_fallbacks),
+      std::memory_order_relaxed);
   return response;
 }
 
@@ -158,12 +162,19 @@ Response QueryService::HandleRelatedForTest(const Request& request) {
   if (auto cached = cache_.Get(key)) {
     CacheHitCounter().Add(1);
     response.related = *std::move(cached);
-    return response;
+  } else {
+    CacheMissCounter().Add(1);
+    store::QueryOptions effective = options;
+    effective.trace_threads = config_.trace_threads;
+    response.related =
+        engine_.RelatedForTest(static_cast<size_t>(test_index), effective);
+    cache_.Put(key, response.related);
   }
-  CacheMissCounter().Add(1);
-  response.related =
-      engine_.RelatedForTest(static_cast<size_t>(test_index), options);
-  cache_.Put(key, response.related);
+  // Cache hits replay the cached lookup's count: the STATS total stays a
+  // per-request sum, independent of cache state.
+  exact_fallbacks_.fetch_add(
+      static_cast<uint64_t>(response.related.exact_fallbacks),
+      std::memory_order_relaxed);
   return response;
 }
 
@@ -172,7 +183,12 @@ Response QueryService::HandleEvaluate(const Request& request) {
   response.op = request.op;
   response.request_id = request.request_id;
   evaluate_requests_.fetch_add(1, std::memory_order_relaxed);
-  response.report = engine_.Evaluate(request.evaluate.options);
+  store::EvalOptions eval = request.evaluate.options;
+  eval.trace_threads = config_.trace_threads;
+  response.report = engine_.Evaluate(eval);
+  exact_fallbacks_.fetch_add(
+      static_cast<uint64_t>(response.report.exact_fallbacks),
+      std::memory_order_relaxed);
   response.origin_tau_w = engine_.origin_tau_w();
   response.origin_delta = engine_.origin_delta();
   response.origin_micro = engine_.bundle().meta.micro_scores;
@@ -236,6 +252,8 @@ ServerStats QueryService::Stats() const {
   stats.test_records = engine_.bundle().tests.size();
   stats.origin_tau_w = engine_.origin_tau_w();
   stats.origin_delta = engine_.origin_delta();
+  stats.exact_fallbacks = exact_fallbacks_.load(std::memory_order_relaxed);
+  stats.trace_isa = TraceIsaName(CurrentTraceIsa());
   stats.participant_names = engine_.bundle().meta.participant_names;
   return stats;
 }

@@ -28,6 +28,10 @@ struct ServiceConfig {
   size_t lru_shards = 8;
   /// Container bytes of the bundle backing the engine (reported by STATS).
   uint64_t bundle_bytes = 0;
+  /// Trace-kernel shard threads applied to every query (a server-local
+  /// execution knob, not a wire field; results are bit-identical at any
+  /// count, so it never enters the RELATED_FOR_TEST cache key).
+  int trace_threads = 1;
   /// Optional record/replay hook (src/ctfl/replay/): invoked once per
   /// handled request with the decoded request and the response about to be
   /// returned, after all counters were bumped. Called from whichever thread
@@ -90,6 +94,9 @@ class QueryService {
   std::atomic<uint64_t> related_requests_{0};
   std::atomic<uint64_t> related_for_test_requests_{0};
   std::atomic<uint64_t> evaluate_requests_{0};
+  /// Exact-fallback lanes summed over every lookup (cache hits replay the
+  /// cached result's count — the client-visible totals stay additive).
+  std::atomic<uint64_t> exact_fallbacks_{0};
 };
 
 }  // namespace serve

@@ -140,7 +140,8 @@ Result<QueryEngine> QueryEngine::FromContent(BundleContent content) {
 
 RelatedResult QueryEngine::RelatedForActivation(
     const Bitset& activation, int predicted, double tau_w, bool use_index,
-    size_t max_records, TraceKernelKind kernel_kind) const {
+    size_t max_records, TraceKernelKind kernel_kind,
+    const TraceMatchOptions& match) const {
   const int n = content_.num_participants();
   RelatedResult result;
   result.predicted = predicted;
@@ -232,9 +233,10 @@ RelatedResult QueryEngine::RelatedForActivation(
     std::vector<uint64_t> related(nb, 0);
     TraceKernelStats kstats;
     result.total_related =
-        kernel.Match(support_set, cmask, related.data(), &kstats);
+        kernel.Match(support_set, cmask, related.data(), &kstats, match);
     result.records_scanned = kstats.records_scanned;
     result.blocks_pruned = kstats.blocks_pruned;
+    result.exact_fallbacks = kstats.exact_fallbacks;
     for (size_t b = 0; b < nb; ++b) {
       uint64_t word = related[b];
       while (word != 0) {
@@ -282,7 +284,8 @@ RelatedResult QueryEngine::Related(const Instance& instance,
   const Bitset activation = model_.RuleActivations(instance);
   return RelatedForActivation(activation, predicted, tau_w,
                               options.use_index, options.max_records,
-                              options.kernel);
+                              options.kernel,
+                              {options.isa, options.trace_threads});
 }
 
 RelatedResult QueryEngine::RelatedForTest(size_t test_index,
@@ -294,7 +297,8 @@ RelatedResult QueryEngine::RelatedForTest(size_t test_index,
   const TestRecord& test = content_.tests[test_index];
   return RelatedForActivation(test.activation, test.predicted, tau_w,
                               options.use_index, options.max_records,
-                              options.kernel);
+                              options.kernel,
+                              {options.isa, options.trace_threads});
 }
 
 QueryReport QueryEngine::Evaluate(const EvalOptions& options) const {
@@ -361,18 +365,25 @@ QueryReport QueryEngine::Evaluate(const EvalOptions& options) const {
   for (const Key& key : keys) {
     RelatedResult related = RelatedForActivation(
         key.support, key.target, tau_w, /*use_index=*/true,
-        /*max_records=*/record_participant_.size(), options.kernel);
+        /*max_records=*/record_participant_.size(), options.kernel,
+        {options.isa, options.trace_threads});
     report.tau_w_checks += related.tau_w_checks;
     report.postings_scanned += related.postings_scanned;
     report.candidates_pruned += related.candidates_pruned;
     report.records_scanned += related.records_scanned;
     report.blocks_pruned += related.blocks_pruned;
+    report.exact_fallbacks += related.exact_fallbacks;
     // Section IV-B frequencies, weighted by how many member tests the key
-    // covers (same accumulation as the tracer).
+    // covers — the same closed-form accumulation as the tracer: count
+    // related activations per (supporting rule, participant), then one
+    // fused multiply per cell in rule-outer / participant-ascending order
+    // so query scores stay bit-identical to the originating run.
     std::vector<std::pair<int, double>> supp_list;
     key.support.ForEachSetBit([&](size_t j) {
       supp_list.emplace_back(static_cast<int>(j), rule_weights_[j]);
     });
+    std::vector<int64_t> rule_part_counts(
+        supp_list.size() * static_cast<size_t>(n), 0);
     for (const RecordRef& ref : related.records) {
       size_t global = 0;
       for (int p = 0; p < ref.participant; ++p) {
@@ -381,13 +392,26 @@ QueryReport QueryEngine::Evaluate(const EvalOptions& options) const {
       global += static_cast<size_t>(ref.local_index);
       record_matched[global] = 1;
       const Bitset& activation = *record_activation_[global];
-      for (const auto& [rule, weight] : supp_list) {
-        if (!activation.Test(rule)) continue;
+      int64_t* counts = rule_part_counts.data() + ref.participant;
+      for (size_t si = 0; si < supp_list.size(); ++si) {
+        if (activation.Test(supp_list[si].first)) {
+          counts[si * static_cast<size_t>(n)] += 1;
+        }
+      }
+    }
+    for (size_t si = 0; si < supp_list.size(); ++si) {
+      const auto& [rule, weight] = supp_list[si];
+      for (int p = 0; p < n; ++p) {
+        const int64_t cnt =
+            rule_part_counts[si * static_cast<size_t>(n) + p];
+        if (cnt == 0) continue;
         if (key.correct_members > 0) {
-          beneficial(ref.participant, rule) += weight * key.correct_members;
+          beneficial(p, rule) +=
+              (weight * key.correct_members) * static_cast<double>(cnt);
         }
         if (key.miss_members > 0) {
-          harmful(ref.participant, rule) += weight * key.miss_members;
+          harmful(p, rule) +=
+              (weight * key.miss_members) * static_cast<double>(cnt);
         }
       }
     }

@@ -41,6 +41,13 @@ struct QueryOptions {
   /// per-class bit-matrices; kLegacy is the scalar reference scan. Results
   /// are bit-identical either way.
   TraceKernelKind kernel = TraceKernelKind::kBlocked;
+  /// SIMD tier of the blocked kernel (defaults to the process-wide runtime
+  /// selection) and worker threads sharding each Match call (1 = serial,
+  /// 0 = hardware concurrency). Pure implementation selectors — results
+  /// stay bit-identical — and *local* ones: neither is part of the serve
+  /// wire format.
+  TraceIsa isa = CurrentTraceIsa();
+  int trace_threads = 1;
 };
 
 struct RecordRef {
@@ -66,6 +73,9 @@ struct RelatedResult {
   /// skipped or early-exited by pruning.
   int64_t records_scanned = 0;
   int64_t blocks_pruned = 0;
+  /// Lanes re-decided by the exact scalar comparison because the pruning
+  /// bounds landed inside the float-drift safety band (0 on legacy).
+  int64_t exact_fallbacks = 0;
 };
 
 /// One rule with its weight-regularized tracing frequency + symbolic text.
@@ -95,6 +105,9 @@ struct EvalOptions {
   /// Eq. 4 matching implementation for the batch pass (bit-identical
   /// results either way).
   TraceKernelKind kernel = TraceKernelKind::kBlocked;
+  /// Blocked-kernel implementation selectors (see QueryOptions).
+  TraceIsa isa = CurrentTraceIsa();
+  int trace_threads = 1;
 };
 
 /// Batch query answer: micro/macro scores under the requested parameters
@@ -117,6 +130,7 @@ struct QueryReport {
   /// Blocked-kernel work accounting (0 on the legacy path).
   int64_t records_scanned = 0;
   int64_t blocks_pruned = 0;
+  int64_t exact_fallbacks = 0;
 };
 
 class QueryEngine {
@@ -161,7 +175,8 @@ class QueryEngine {
   RelatedResult RelatedForActivation(const Bitset& activation, int predicted,
                                      double tau_w, bool use_index,
                                      size_t max_records,
-                                     TraceKernelKind kernel) const;
+                                     TraceKernelKind kernel,
+                                     const TraceMatchOptions& match) const;
 
   // NOTE: record_activation_ points into content_.participants' vectors;
   // moves of QueryEngine keep those heap buffers alive (hence: movable,

@@ -70,6 +70,7 @@ std::string RunReportJson(const RunReport& report) {
       << Hex64(report.failure_plan_fingerprint) << "\",\n";
   out << "    \"build_type\": \"" << JsonEscape(report.build_type)
       << "\",\n";
+  out << "    \"trace_isa\": \"" << JsonEscape(report.trace_isa) << "\",\n";
   out << "    \"federated\": " << (report.federated ? "true" : "false")
       << ",\n";
   out << "    \"num_participants\": " << report.num_participants << ",\n";
@@ -124,7 +125,8 @@ std::string RunReportJson(const RunReport& report) {
   out << "    \"related_records\": " << t.related_records << ",\n";
   out << "    \"uncovered_tests\": " << t.uncovered_tests << ",\n";
   out << "    \"records_scanned\": " << t.records_scanned << ",\n";
-  out << "    \"blocks_pruned\": " << t.blocks_pruned << "\n";
+  out << "    \"blocks_pruned\": " << t.blocks_pruned << ",\n";
+  out << "    \"exact_fallbacks\": " << t.exact_fallbacks << "\n";
   out << "  },\n";
   out << "  \"resources\": {\n";
   out << "    \"max_rss_kb\": " << t.max_rss_kb << ",\n";
@@ -161,6 +163,7 @@ Result<RunReport> ParseRunReportJson(const std::string& json) {
     report.failure_plan_fingerprint =
         GetHex(*run, "failure_plan_fingerprint");
     report.build_type = GetStr(*run, "build_type");
+    report.trace_isa = GetStr(*run, "trace_isa");
     report.federated = GetBool(*run, "federated", true);
     report.num_participants =
         static_cast<int>(GetInt(*run, "num_participants"));
@@ -229,6 +232,7 @@ Result<RunReport> ParseRunReportJson(const std::string& json) {
     t.uncovered_tests = GetInt(*trace, "uncovered_tests");
     t.records_scanned = GetInt(*trace, "records_scanned");
     t.blocks_pruned = GetInt(*trace, "blocks_pruned");
+    t.exact_fallbacks = GetInt(*trace, "exact_fallbacks");
   }
   if (const JsonValue* res = root.Find("resources"); res != nullptr) {
     t.max_rss_kb = GetInt(*res, "max_rss_kb");

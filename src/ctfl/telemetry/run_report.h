@@ -40,6 +40,11 @@ struct RunReport {
   /// "release" or "debug" (BuildTypeName()) — perf numbers from debug
   /// builds must never enter a trajectory.
   std::string build_type;
+  /// SIMD tier the trace kernel ran with ("scalar", "avx2", ...). Pure
+  /// execution context, like build_type: not part of the run fingerprint
+  /// (results are bit-identical across tiers), but recorded so perf
+  /// numbers are only ever compared like-for-like.
+  std::string trace_isa;
 
   // ---- Run shape + outcome ----------------------------------------------
   bool federated = true;

@@ -68,9 +68,11 @@ std::string RunTelemetry::Summary() const {
       static_cast<long long>(uncovered_tests));
   if (records_scanned > 0 || blocks_pruned > 0) {
     out << StrFormat(
-        "trace kernel: %lld records scanned, %lld blocks pruned\n",
+        "trace kernel: %lld records scanned, %lld blocks pruned, "
+        "%lld exact fallbacks\n",
         static_cast<long long>(records_scanned),
-        static_cast<long long>(blocks_pruned));
+        static_cast<long long>(blocks_pruned),
+        static_cast<long long>(exact_fallbacks));
   }
   return out.str();
 }

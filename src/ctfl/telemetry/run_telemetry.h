@@ -77,6 +77,8 @@ struct RunTelemetry {
   /// 64-record blocks skipped or early-exited by pruning.
   int64_t records_scanned = 0;
   int64_t blocks_pruned = 0;
+  /// Lanes re-decided by the exact scalar comparison (float-drift band).
+  int64_t exact_fallbacks = 0;
   double trace_seconds = 0.0;
 
   // ---- Allocation phase --------------------------------------------------

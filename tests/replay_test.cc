@@ -24,6 +24,7 @@
 #include "ctfl/serve/service.h"
 #include "ctfl/store/bundle.h"
 #include "ctfl/store/query_engine.h"
+#include "ctfl/util/cpu_features.h"
 #include "ctfl/util/wire.h"
 
 namespace ctfl {
@@ -506,10 +507,16 @@ TEST(ReplayMatrixTest, FaultyMatrixPassesIncludingCleanDivergence) {
   std::vector<std::string> names;
   names.reserve(cells.size());
   for (const MatrixCell& cell : cells) names.push_back(cell.name);
-  EXPECT_EQ(names,
-            (std::vector<std::string>{"base_replay", "kernel_legacy",
-                                      "threads_1", "threads_2", "threads_8",
-                                      "clean"}));
+  // The isa cells depend on the machine: forced-scalar always, plus the
+  // best available SIMD tier when the CPU has one.
+  std::vector<std::string> want{"base_replay", "kernel_legacy",
+                                "isa_scalar"};
+  const TraceIsa best = BestAvailableTraceIsa();
+  if (best != TraceIsa::kScalar) {
+    want.push_back(std::string("isa_") + TraceIsaName(best));
+  }
+  want.insert(want.end(), {"threads_1", "threads_2", "threads_8", "clean"});
+  EXPECT_EQ(names, want);
 
   MatrixOptions options;
   options.scratch_dir = ::testing::TempDir();

@@ -192,6 +192,74 @@ TEST(TraceKernelTest, ParseAndName) {
   EXPECT_STREQ(TraceKernelKindName(TraceKernelKind::kBlocked), "blocked");
 }
 
+TEST(TraceKernelTest, TraceIsaParseAndName) {
+  EXPECT_EQ(ParseTraceIsa("scalar").value(), TraceIsa::kScalar);
+  EXPECT_EQ(ParseTraceIsa("neon").value(), TraceIsa::kNeon);
+  EXPECT_EQ(ParseTraceIsa("avx2").value(), TraceIsa::kAvx2);
+  EXPECT_EQ(ParseTraceIsa("avx512").value(), TraceIsa::kAvx512);
+  // "auto" is a CLI sentinel (keep the process-wide dispatch), not a tier.
+  EXPECT_FALSE(ParseTraceIsa("auto").ok());
+  EXPECT_FALSE(ParseTraceIsa("sse2").ok());
+  for (const TraceIsa isa : AvailableTraceIsas()) {
+    EXPECT_EQ(ParseTraceIsa(TraceIsaName(isa)).value(), isa);
+    EXPECT_TRUE(TraceIsaAvailable(isa));
+  }
+  // The scalar tier exists everywhere and every list starts with it.
+  const std::vector<TraceIsa> available = AvailableTraceIsas();
+  ASSERT_FALSE(available.empty());
+  EXPECT_EQ(available.front(), TraceIsa::kScalar);
+  EXPECT_TRUE(TraceIsaAvailable(BestAvailableTraceIsa()));
+}
+
+// Every available SIMD tier at every thread count must reproduce the
+// forced-scalar serial sweep cell-for-cell: same related words, same match
+// count, same stats (the ordered stripe commit makes records_scanned /
+// blocks_pruned / exact_fallbacks schedule-independent).
+TEST(TraceKernelTest, IsaThreadsMatrixIsBitIdentical) {
+  const int num_rules = 96;
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    // 1500 records: many blocks, so thread sharding gets real stripes.
+    const RandomBucket bucket =
+        MakeRandomBucket(1500, num_rules, 0.3, seed * 7 + 1);
+    const TraceKernel kernel(bucket.refs, num_rules);
+    const auto supp = MakeSupport(num_rules, 24, seed + 50);
+    double weight_sum = 0.0;
+    for (const auto& [rule, weight] : supp) weight_sum += weight;
+    for (double tau : {0.4, 0.8}) {
+      const double threshold = tau * weight_sum - 1e-9;
+      const TraceKernel::Support support =
+          TraceKernel::Prepare(supp, threshold);
+
+      std::vector<uint64_t> baseline(kernel.num_blocks(), 0);
+      TraceKernelStats base_stats;
+      const size_t base_matched =
+          kernel.Match(support, nullptr, baseline.data(), &base_stats,
+                       {TraceIsa::kScalar, 1});
+
+      for (const TraceIsa isa : AvailableTraceIsas()) {
+        for (int threads : {1, 2, 8}) {
+          std::vector<uint64_t> related(kernel.num_blocks(), ~0ULL);
+          TraceKernelStats stats;
+          const size_t matched = kernel.Match(
+              support, nullptr, related.data(), &stats, {isa, threads});
+          EXPECT_EQ(matched, base_matched)
+              << TraceIsaName(isa) << " t" << threads << " seed " << seed
+              << " tau " << tau;
+          EXPECT_EQ(related, baseline)
+              << TraceIsaName(isa) << " t" << threads << " seed " << seed
+              << " tau " << tau;
+          EXPECT_EQ(stats.records_scanned, base_stats.records_scanned)
+              << TraceIsaName(isa) << " t" << threads;
+          EXPECT_EQ(stats.blocks_pruned, base_stats.blocks_pruned)
+              << TraceIsaName(isa) << " t" << threads;
+          EXPECT_EQ(stats.exact_fallbacks, base_stats.exact_fallbacks)
+              << TraceIsaName(isa) << " t" << threads;
+        }
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Differential suite: blocked vs legacy must produce bit-identical
 // TraceResults across the full configuration matrix —

@@ -65,11 +65,16 @@ fi
 GIT_REV="$(git -C "${REPO_ROOT}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 mkdir -p "${OUT_DIR}"
 
-# Stamps the git revision into a BENCH json and refuses debug numbers.
+# Stamps the git revision into a BENCH json and refuses debug numbers —
+# both a debug CTFL build and a debug google-benchmark library (its timing
+# loop overhead skews every measurement). The library check is a hard
+# refusal, not a warning; CTFL_BENCH_ALLOW_DEBUG_LIB=1 overrides it on
+# machines whose only libbenchmark is a debug build (numbers so produced
+# are for local comparison, never for committing as baselines).
 stamp_json() {
   local out_json="$1"
   python3 - "${out_json}" "${GIT_REV}" <<'PY'
-import json, sys
+import json, os, sys
 path, rev = sys.argv[1], sys.argv[2]
 with open(path) as f:
     data = json.load(f)
@@ -78,6 +83,13 @@ build_type = ctx.get("ctfl_build_type")
 if build_type != "release":
     print(f"bench_suite: {path} measured a '{build_type}' CTFL build; "
           "perf trajectories only accept release numbers", file=sys.stderr)
+    sys.exit(2)
+lib_type = ctx.get("library_build_type")
+if lib_type == "debug" and os.environ.get("CTFL_BENCH_ALLOW_DEBUG_LIB") != "1":
+    print(f"bench_suite: {path} was produced by a debug google-benchmark "
+          "library; its harness overhead poisons perf trajectories. Link a "
+          "release libbenchmark, or set CTFL_BENCH_ALLOW_DEBUG_LIB=1 to "
+          "accept local-only numbers.", file=sys.stderr)
     sys.exit(2)
 if not data.get("benchmarks"):
     print(f"bench_suite: {path} contains no benchmarks (bad filter?)",
@@ -164,9 +176,13 @@ if [[ "${SUITE}" == "trace" || "${SUITE}" == "all" ]]; then
   run_group trace '^BM_TracePass/'
   # Sanity-check the tracing variants + pruning counters (the historical
   # bench_trace_json.sh contract: blocked must report its counters, and
-  # legacy's records_scanned is 0 by construction).
+  # legacy's records_scanned is 0 by construction), then the per-ISA legs:
+  # blocked_scalar must always exist, and whenever the dispatched tier is
+  # a SIMD one, the default blocked leg must beat the forced-scalar leg by
+  # >= 2x (the ISSUE PR9 acceptance bar). CTFL_BENCH_SKIP_ISA_CHECK=1
+  # downgrades that bar to a report for smoke runs with tiny min_time.
   python3 - "${OUT_DIR}/BENCH_trace.json" <<'PY'
-import json, sys
+import json, os, sys
 with open(sys.argv[1]) as f:
     data = json.load(f)
 rows = {}
@@ -174,12 +190,12 @@ for b in data.get("benchmarks", []):
     name = b.get("name", "")
     if name.startswith("BM_TracePass/"):
         rows[name.split("/")[1]] = b
-missing = {"legacy", "blocked"} - rows.keys()
+missing = {"legacy", "blocked", "blocked_scalar"} - rows.keys()
 if missing:
     print(f"bench_suite: missing trace variants: {sorted(missing)}",
           file=sys.stderr)
     sys.exit(2)
-for variant in ("legacy", "blocked"):
+for variant in sorted(rows):
     b = rows[variant]
     for counter in ("tau_w_checks", "records_scanned", "blocks_pruned"):
         if counter not in b:
@@ -193,6 +209,17 @@ for variant in ("legacy", "blocked"):
           f"blocks_pruned={b['blocks_pruned']:.0f}")
 speedup = rows["legacy"]["real_time"] / max(rows["blocked"]["real_time"], 1e-12)
 print(f"blocked speedup over legacy: {speedup:.2f}x")
+isa = data.get("context", {}).get("ctfl_trace_isa", "scalar")
+simd = rows["blocked_scalar"]["real_time"] / max(rows["blocked"]["real_time"], 1e-12)
+print(f"blocked ({isa}) speedup over blocked_scalar: {simd:.2f}x")
+if isa != "scalar" and simd < 2.0:
+    msg = (f"bench_suite: blocked ({isa}) is only {simd:.2f}x over "
+           "blocked_scalar; the SIMD dispatch acceptance bar is 2x")
+    if os.environ.get("CTFL_BENCH_SKIP_ISA_CHECK") == "1":
+        print(msg + " (ignored: CTFL_BENCH_SKIP_ISA_CHECK=1)")
+    else:
+        print(msg, file=sys.stderr)
+        sys.exit(2)
 PY
 fi
 if [[ "${SUITE}" == "fedavg" || "${SUITE}" == "all" ]]; then

@@ -13,6 +13,7 @@
 //             [--federated] [--rounds R] [--local-epochs E] [--secure-agg]
 //             [--failure-plan SPEC] [--retry-budget B]
 //             [--trace-kernel legacy|blocked] [--bundle-out FILE]
+//             [--trace-isa auto|scalar|avx2|avx512|neon] [--trace-threads N]
 //             [--telemetry-out FILE.json] [--telemetry-summary]
 //             [--metrics-out FILE.jsonl] [--report-out FILE.json]
 //       Partitions the training CSV into K participants, runs the full
@@ -32,7 +33,11 @@
 //       either way). --trace-kernel selects the Eq. 4 matching engine:
 //       `blocked` (default) is the word-parallel blocked kernel with
 //       early-exit pruning, `legacy` the scalar reference loop — results
-//       are bit-identical either way. --telemetry-out writes a Chrome
+//       are bit-identical either way. --trace-isa pins the blocked
+//       kernel's SIMD tier (`auto` = best the CPU supports) and
+//       --trace-threads shards its block sweep; both are execution
+//       context, never semantics — every tier at every thread count
+//       produces bit-identical scores. --telemetry-out writes a Chrome
 //       trace (open in chrome://tracing or ui.perfetto.dev);
 //       --telemetry-summary prints per-span and per-phase cost tables.
 //       --metrics-out appends one JSONL metrics snapshot per federated
@@ -49,6 +54,7 @@
 //   query     --bundle FILE [--tau-w T] [--delta D] [--top-k K]
 //             [--instances FILE.csv] [--max-records N] [--linear]
 //             [--trace-kernel legacy|blocked] [--requests-file FILE]
+//             [--trace-isa auto|scalar|avx2|avx512|neon] [--trace-threads N]
 //             [--telemetry-summary]
 //       Serves a persisted bundle: re-evaluates micro/macro scores under
 //       the requested (or originating) parameters — bit-identical to the
@@ -89,6 +95,7 @@
 #include "ctfl/telemetry/exposition.h"
 #include "ctfl/telemetry/metrics.h"
 #include "ctfl/telemetry/trace.h"
+#include "ctfl/util/cpu_features.h"
 #include "ctfl/util/flags.h"
 #include "ctfl/util/logging.h"
 #include "ctfl/util/string_util.h"
@@ -105,6 +112,14 @@ Result<SchemaPtr> SchemaFor(const std::string& dataset) {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Applies --trace-isa: "auto" keeps runtime dispatch (best available
+/// tier), anything else pins the process-wide trace ISA.
+Status ApplyTraceIsaFlag(const std::string& name) {
+  if (name.empty() || name == "auto") return Status::OK();
+  CTFL_ASSIGN_OR_RETURN(TraceIsa isa, ParseTraceIsa(name));
+  return SetTraceIsa(isa);
 }
 
 /// Content digest of a recorded input file (pins the exact bytes a
@@ -227,6 +242,8 @@ Status RunScore(int argc, const char* const* argv, bool snapshot_mode) {
                     {"failure-plan", ""},
                     {"retry-budget", "1"},
                     {"trace-kernel", "blocked"},
+                    {"trace-isa", "auto"},
+                    {"trace-threads", "1"},
                     {"bundle-out", ""},
                     {"telemetry-out", ""},
                     {"telemetry-summary", "false"},
@@ -264,6 +281,8 @@ Status RunScore(int argc, const char* const* argv, bool snapshot_mode) {
                         FailurePlan::Parse(flags.GetString("failure-plan")));
   CTFL_ASSIGN_OR_RETURN(TraceKernelKind trace_kernel,
                         ParseTraceKernelKind(flags.GetString("trace-kernel")));
+  CTFL_RETURN_IF_ERROR(ApplyTraceIsaFlag(flags.GetString("trace-isa")));
+  CTFL_ASSIGN_OR_RETURN(int trace_threads, flags.GetInt("trace-threads"));
   const std::string telemetry_out = flags.GetString("telemetry-out");
   const bool telemetry_summary = flags.GetBool("telemetry-summary");
   if (!telemetry_out.empty() || telemetry_summary) {
@@ -299,6 +318,8 @@ Status RunScore(int argc, const char* const* argv, bool snapshot_mode) {
   config.net.seed = seed;
   config.tracer.tau_w = tau_w;
   config.tracer.kernel = trace_kernel;
+  config.tracer.isa = CurrentTraceIsa();
+  config.tracer.trace_threads = trace_threads;
   config.num_threads = num_threads;
   config.bundle_out = flags.GetString("bundle-out");
 
@@ -528,6 +549,8 @@ Status RunQuery(int argc, const char* const* argv) {
                     {"max-records", "3"},
                     {"linear", "false"},
                     {"trace-kernel", "blocked"},
+                    {"trace-isa", "auto"},
+                    {"trace-threads", "1"},
                     {"requests-file", ""},
                     {"telemetry-summary", "false"},
                     {"record", ""}});
@@ -541,6 +564,8 @@ Status RunQuery(int argc, const char* const* argv) {
   CTFL_ASSIGN_OR_RETURN(int max_records, flags.GetInt("max-records"));
   CTFL_ASSIGN_OR_RETURN(TraceKernelKind trace_kernel,
                         ParseTraceKernelKind(flags.GetString("trace-kernel")));
+  CTFL_RETURN_IF_ERROR(ApplyTraceIsaFlag(flags.GetString("trace-isa")));
+  CTFL_ASSIGN_OR_RETURN(int trace_threads, flags.GetInt("trace-threads"));
   const bool telemetry_summary = flags.GetBool("telemetry-summary");
   if (telemetry_summary) telemetry::SetTracingEnabled(true);
 
@@ -561,10 +586,14 @@ Status RunQuery(int argc, const char* const* argv) {
   eval.delta = delta;
   eval.top_k = top_k;
   eval.kernel = trace_kernel;
+  eval.isa = CurrentTraceIsa();
+  eval.trace_threads = trace_threads;
   store::QueryOptions options;
   options.tau_w = tau_w;
   options.use_index = !flags.GetBool("linear");
   options.kernel = trace_kernel;
+  options.isa = CurrentTraceIsa();
+  options.trace_threads = trace_threads;
   options.max_records = static_cast<size_t>(std::max(0, max_records));
 
   // --record: capture every query issued below as a replay event. When

@@ -162,7 +162,8 @@ Status RunStatsOp(Client& client) {
       "origin: tau_w=%.4f delta=%d\n"
       "requests: %llu total, %llu errors (%llu related, %llu related-test, "
       "%llu evaluate)\n"
-      "cache: %llu hits, %llu misses\n",
+      "cache: %llu hits, %llu misses\n"
+      "trace kernel: isa=%s, %llu exact fallbacks\n",
       s.num_participants, s.num_rules,
       static_cast<unsigned long long>(s.train_records),
       static_cast<unsigned long long>(s.test_records),
@@ -173,7 +174,9 @@ Status RunStatsOp(Client& client) {
       static_cast<unsigned long long>(s.related_for_test_requests),
       static_cast<unsigned long long>(s.evaluate_requests),
       static_cast<unsigned long long>(s.cache_hits),
-      static_cast<unsigned long long>(s.cache_misses));
+      static_cast<unsigned long long>(s.cache_misses),
+      s.trace_isa.empty() ? "unknown" : s.trace_isa.c_str(),
+      static_cast<unsigned long long>(s.exact_fallbacks));
   return Status::OK();
 }
 

@@ -47,6 +47,15 @@ int Fail(const Status& status) {
   return 1;
 }
 
+// --trace-isa forces the process-wide SIMD tier ("auto" keeps runtime
+// dispatch). Purely an implementation selector: every replay contract is
+// asserted unchanged under any forced tier.
+Status ApplyTraceIsaFlag(const std::string& name) {
+  if (name.empty() || name == "auto") return Status::OK();
+  CTFL_ASSIGN_OR_RETURN(TraceIsa isa, ParseTraceIsa(name));
+  return SetTraceIsa(isa);
+}
+
 Status RunRecord(int argc, const char* const* argv) {
   FlagParser flags({{"out", ""},
                     {"bundle-out", ""},
@@ -70,8 +79,10 @@ Status RunRecord(int argc, const char* const* argv) {
                     {"failure-plan", ""},
                     {"retry-budget", "1"},
                     {"trace-kernel", "blocked"},
+                    {"trace-isa", "auto"},
                     {"queries", "8"}});
   CTFL_RETURN_IF_ERROR(flags.Parse(argc, argv));
+  CTFL_RETURN_IF_ERROR(ApplyTraceIsaFlag(flags.GetString("trace-isa")));
   const std::string out = flags.GetString("out");
   if (out.empty()) return Status::InvalidArgument("--out is required");
   std::string bundle_out = flags.GetString("bundle-out");
@@ -192,8 +203,10 @@ Status RunReplay(int argc, const char* const* argv) {
                     {"cell", ""},
                     {"scratch", "."},
                     {"no-served", "false"},
+                    {"trace-isa", "auto"},
                     {"bundle", ""}});
   CTFL_RETURN_IF_ERROR(flags.Parse(argc, argv));
+  CTFL_RETURN_IF_ERROR(ApplyTraceIsaFlag(flags.GetString("trace-isa")));
   if (flags.GetString("file").empty()) {
     return Status::InvalidArgument("--file is required");
   }

@@ -9,6 +9,7 @@
 //
 //   ctfl_serve --bundle FILE (--socket PATH | --port N)
 //              [--num-threads T] [--lru-capacity N] [--open-mode auto|mmap|stream]
+//              [--trace-isa auto|scalar|avx2|avx512|neon] [--trace-threads N]
 //              [--metrics-out FILE] [--record FILE.ctflr]
 //
 // Prints one "listening on ..." line once ready (scripts wait for it),
@@ -32,6 +33,7 @@
 #include "ctfl/store/bundle.h"
 #include "ctfl/store/query_engine.h"
 #include "ctfl/telemetry/exposition.h"
+#include "ctfl/util/cpu_features.h"
 #include "ctfl/util/flags.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -59,6 +61,8 @@ Status Run(int argc, const char* const* argv) {
                     {"num-threads", "0"},
                     {"lru-capacity", "256"},
                     {"open-mode", "auto"},
+                    {"trace-isa", "auto"},
+                    {"trace-threads", "1"},
                     {"metrics-out", ""},
                     {"record", ""}});
   CTFL_RETURN_IF_ERROR(flags.Parse(argc, argv));
@@ -80,12 +84,19 @@ Status Run(int argc, const char* const* argv) {
   }
   CTFL_ASSIGN_OR_RETURN(store::BundleReader::OpenMode open_mode,
                         ParseOpenMode(flags.GetString("open-mode")));
+  const std::string isa_flag = flags.GetString("trace-isa");
+  if (!isa_flag.empty() && isa_flag != "auto") {
+    CTFL_ASSIGN_OR_RETURN(TraceIsa isa, ParseTraceIsa(isa_flag));
+    CTFL_RETURN_IF_ERROR(SetTraceIsa(isa));
+  }
+  CTFL_ASSIGN_OR_RETURN(int trace_threads, flags.GetInt("trace-threads"));
 
   const std::string bundle_path = flags.GetString("bundle");
   CTFL_ASSIGN_OR_RETURN(store::BundleContent content,
                         store::ReadBundle(bundle_path, open_mode));
   serve::ServiceConfig service_config;
   service_config.lru_capacity = static_cast<size_t>(lru_capacity);
+  service_config.trace_threads = trace_threads;
   {
     std::ifstream f(bundle_path, std::ios::binary | std::ios::ate);
     if (f) service_config.bundle_bytes = static_cast<uint64_t>(f.tellg());
@@ -102,6 +113,9 @@ Status Run(int argc, const char* const* argv) {
               bundle_path.c_str(), stats.num_participants, stats.num_rules,
               static_cast<unsigned long long>(stats.train_records),
               static_cast<unsigned long long>(stats.test_records));
+  std::printf("trace kernel: isa=%s, %d shard thread%s\n",
+              TraceIsaName(CurrentTraceIsa()), trace_threads,
+              trace_threads == 1 ? "" : "s");
 
   serve::ServerConfig server_config;
   server_config.socket_path = socket_path;
@@ -146,6 +160,11 @@ Status Run(int argc, const char* const* argv) {
     std::ofstream out(metrics_out);
     if (!out) return Status::IoError("cannot write " + metrics_out);
     out << telemetry::PrometheusText();
+    // Info-style gauge: the label carries the dispatched SIMD tier so
+    // scrapes can group runs by ISA (mirrors the bench context stamp).
+    out << "# TYPE ctfl_serve_trace_isa gauge\n";
+    out << "ctfl_serve_trace_isa{isa=\"" << TraceIsaName(CurrentTraceIsa())
+        << "\"} 1\n";
     std::printf("metrics -> %s\n", metrics_out.c_str());
   }
   return Status::OK();

@@ -7,9 +7,11 @@ items_per_second dropped by more than the threshold (default 25%).
 
 Comparisons only run when the numbers are actually comparable: the
 baseline and candidate must carry the same ctfl_build_type (and both must
-be "release") and the same num_cpus host shape. Anything else SKIPs that
-pair with a note instead of failing — a laptop run against a CI baseline
-must not turn red, it is simply not evidence.
+be "release"), the same num_cpus host shape, and the same ctfl_trace_isa
+dispatch tier (an AVX-512 run against a scalar baseline measures the
+dispatcher, not the code change). Anything else SKIPs that pair with a
+note instead of failing — a laptop run against a CI baseline must not
+turn red, it is simply not evidence.
 
 Usage:
   tools/perf_gate.py BASELINE.json CANDIDATE.json [BASELINE CANDIDATE ...]
@@ -49,6 +51,13 @@ def comparable(baseline, candidate):
         return False, (f"host shape mismatch "
                        f"(num_cpus baseline={cpus_base}, "
                        f"candidate={cpus_cand})")
+    # Both-missing passes: pre-ISA baselines stay comparable with each
+    # other until they are regenerated with the stamped tier.
+    isa_base = bctx.get("ctfl_trace_isa")
+    isa_cand = cctx.get("ctfl_trace_isa")
+    if isa_base != isa_cand:
+        return False, (f"trace ISA mismatch "
+                       f"(baseline={isa_base}, candidate={isa_cand})")
     return True, ""
 
 
@@ -125,9 +134,13 @@ def run_gate(pairs, threshold, require_comparable):
     return 0
 
 
-def synthetic(ips_by_name, build_type="release", num_cpus=1):
+def synthetic(ips_by_name, build_type="release", num_cpus=1,
+              trace_isa=None):
+    ctx = {"ctfl_build_type": build_type, "num_cpus": num_cpus}
+    if trace_isa is not None:
+        ctx["ctfl_trace_isa"] = trace_isa
     return {
-        "context": {"ctfl_build_type": build_type, "num_cpus": num_cpus},
+        "context": ctx,
         "benchmarks": [
             {"name": name, "items_per_second": ips}
             for name, ips in ips_by_name.items()
@@ -177,6 +190,26 @@ def self_test():
     checked, _ = gate_pair(base, other_host, 0.25, "other_host",
                            verbose=False)
     expect("other_host checked", checked, 0)
+
+    # Trace-ISA tiers must match: an AVX-512 candidate is not evidence
+    # against a scalar baseline (and vice versa) — but two pre-ISA files
+    # with no stamp at all stay comparable.
+    avx512_base = synthetic({"BM_TracePass/blocked": 100.0},
+                            trace_isa="avx512")
+    scalar_cand = synthetic({"BM_TracePass/blocked": 30.0},
+                            trace_isa="scalar")
+    checked, _ = gate_pair(avx512_base, scalar_cand, 0.25, "isa_mismatch",
+                           verbose=False)
+    expect("isa_mismatch checked", checked, 0)
+    stamped_cand = synthetic({"BM_TracePass/blocked": 99.0},
+                             trace_isa="avx512")
+    checked, regressions = gate_pair(avx512_base, stamped_cand, 0.25,
+                                     "isa_match", verbose=False)
+    expect("isa_match checked", checked, 1)
+    expect("isa_match regressions", len(regressions), 0)
+    checked, _ = gate_pair(avx512_base, base, 0.25, "isa_half_stamped",
+                           verbose=False)
+    expect("isa_half_stamped checked", checked, 0)
 
     # Exactly-at-threshold is a pass; just beyond is a failure.
     at_edge = synthetic({"BM_TracePass/blocked": 75.0,
