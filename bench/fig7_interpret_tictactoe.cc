@@ -21,7 +21,7 @@ int main() {
 
   CtflConfig config = bench::MakeCtflConfig("tic-tac-toe", 35);
   config.central.epochs = 60;
-  const CtflReport report = RunCtfl(fed, split.test, config);
+  const CtflReport report = RunCtfl(fed, split.test, config).value();
   const ExtractionResult extraction = ExtractRules(report.model);
 
   bench::PrintTitle(

@@ -19,10 +19,14 @@
 #include "ctfl/solver/simplex.h"
 #include "ctfl/store/query_engine.h"
 #include "ctfl/store/snapshot.h"
+#include "ctfl/stream/delta_log.h"
+#include "ctfl/stream/emitter.h"
+#include "ctfl/stream/scorer.h"
 #include "ctfl/telemetry/metrics.h"
 #include "ctfl/telemetry/trace.h"
 #include "ctfl/util/build_info.h"
 #include "ctfl/util/cpu_features.h"
+#include "ctfl/util/logging.h"
 
 namespace ctfl {
 namespace {
@@ -605,6 +609,127 @@ BENCHMARK_CAPTURE(BM_QueryRelated, legacy, TraceKernelKind::kLegacy, -1)
 BENCHMARK_CAPTURE(BM_QueryRelated, blocked, TraceKernelKind::kBlocked, -1)
     ->Arg(0)
     ->Arg(1);
+
+// ---------------------------------------------------------------------------
+// Streaming score folds (DESIGN.md §15): folding one round's delta into
+// live scores vs recomputing them through the full one-shot pipeline —
+// the cost ratio the delta log exists to buy. The fold patches state in
+// O(delta) and re-traces (no training, no forward passes); the recompute
+// leg is everything a scoreboard without a delta log would have to rerun
+// after round r. Both produce bit-identical scores (tests/stream_test.cc
+// proves it); these legs measure the wall-clock gap alone. The fold_empty
+// leg is the O(1) carry-over of a fully degraded round.
+// Acceptance (ISSUE PR10): fold >= 10x cheaper than recompute, checked by
+// the `stream` suite of tools/bench_suite.sh into BENCH_stream.json.
+// ---------------------------------------------------------------------------
+struct StreamBenchFixture {
+  bench::PreparedExperiment experiment;
+  CtflConfig config;
+  stream::DeltaLogContents log;
+  stream::StreamingScorer base;  ///< folded to round R-1
+
+  StreamBenchFixture()
+      : experiment(bench::Prepare("adult", 4, /*skew_label=*/false, 13)),
+        config([] {
+          CtflConfig c = bench::MakeCtflConfig("adult", 13);
+          c.federated = true;
+          c.fedavg.rounds = 4;
+          c.fedavg.local_epochs = 2;
+          c.fedavg.local.learning_rate = 0.05;
+          c.fedavg.local.seed = 13;
+          return c;
+        }()),
+        log([this] {
+          const std::string path =
+              (std::filesystem::temp_directory_path() /
+               "ctfl_micro_bench_stream.ctfld")
+                  .string();
+          stream::DeltaLogEmitter emitter(path, &experiment.federation,
+                                          &experiment.test, &config);
+          emitter.Attach(&config.fedavg);
+          RunCtfl(experiment.federation, experiment.test, config).value();
+          CTFL_CHECK(emitter.status().ok());
+          // The recompute leg reruns this config; drop the observer so it
+          // measures the bare pipeline (and never touches the dead
+          // emitter).
+          config.fedavg.model_observer = nullptr;
+          return stream::ReadDeltaLog(path).value();
+        }()),
+        base([this] {
+          stream::StreamingScorer scorer =
+              stream::StreamingScorer::FromHeader(log.header).value();
+          for (size_t i = 0; i + 1 < log.rounds.size(); ++i) {
+            CTFL_CHECK(scorer.Fold(log.rounds[i]).ok());
+          }
+          return scorer;
+        }()) {}
+};
+
+StreamBenchFixture& GetStreamBenchFixture() {
+  static StreamBenchFixture* fixture = new StreamBenchFixture();
+  return *fixture;
+}
+
+void BM_StreamFold(benchmark::State& state, bool incremental) {
+  StreamBenchFixture& fx = GetStreamBenchFixture();
+  if (incremental) {
+    const stream::RoundDelta& last = fx.log.rounds.back();
+    for (auto _ : state) {
+      state.PauseTiming();
+      stream::StreamingScorer scorer = fx.base;  // fresh round-(R-1) state
+      state.ResumeTiming();
+      const Status status = scorer.Fold(last);
+      if (!status.ok()) {
+        state.SkipWithError(status.ToString().c_str());
+        break;
+      }
+      benchmark::DoNotOptimize(scorer.micro_scores());
+    }
+    state.counters["delta_param_xors"] =
+        static_cast<double>(fx.log.rounds.back().param_xors.size());
+  } else {
+    for (auto _ : state) {
+      Result<CtflReport> report =
+          RunCtfl(fx.experiment.federation, fx.experiment.test, fx.config);
+      if (!report.ok()) {
+        state.SkipWithError(report.status().ToString().c_str());
+        break;
+      }
+      benchmark::DoNotOptimize(report->micro_scores);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["rounds_in_log"] =
+      static_cast<double>(fx.log.rounds.size());
+}
+BENCHMARK_CAPTURE(BM_StreamFold, fold, true)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_StreamFold, recompute, false)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// A fully degraded round carries an empty delta: the fold is a counter
+// bump, not a retrace.
+void BM_StreamFoldEmpty(benchmark::State& state) {
+  StreamBenchFixture& fx = GetStreamBenchFixture();
+  for (auto _ : state) {
+    state.PauseTiming();
+    stream::StreamingScorer scorer = fx.base;
+    stream::RoundDelta empty;
+    empty.round = static_cast<uint32_t>(scorer.rounds_folded() + 1);
+    empty.degraded = true;
+    state.ResumeTiming();
+    const Status status = scorer.Fold(empty);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(scorer.rounds_folded());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamFoldEmpty)->UseRealTime();
 
 }  // namespace
 

@@ -35,7 +35,7 @@ int main() {
   }
 
   CtflConfig config = bench::MakeCtflConfig(dataset, 58);
-  const CtflReport report = RunCtfl(fed, split.test, config);
+  const CtflReport report = RunCtfl(fed, split.test, config).value();
   const ExtractionResult extraction = ExtractRules(report.model);
 
   bench::PrintTitle(

@@ -61,7 +61,7 @@ int main() {
   // data matches ALL of its activated supporting rules — coverage gaps
   // (like the censored hot-weather region) then surface as uncovered.
   config.tracer.tau_w = 1.0;
-  const CtflReport report = RunCtfl(federation, test, config);
+  const CtflReport report = RunCtfl(federation, test, config).value();
 
   std::printf("model accuracy: %.3f (hot-weather alerts are being "
               "missed)\n\n",

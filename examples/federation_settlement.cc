@@ -45,7 +45,7 @@ int main() {
   config.net.logic_layers = {{48, 48}};
   config.tracer.tau_w = 0.85;
   config.tracer.dp_epsilon = 6.0;  // per-bit randomized response
-  const CtflReport report = RunCtfl(federation, split.test, config);
+  const CtflReport report = RunCtfl(federation, split.test, config).value();
   std::printf("round complete: model accuracy %.3f "
               "(secure aggregation ON, activation DP epsilon %.1f)\n\n",
               report.test_accuracy, config.tracer.dp_epsilon);

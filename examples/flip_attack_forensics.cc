@@ -35,7 +35,7 @@ int main() {
   config.central.learning_rate = 0.05;
   config.net.logic_layers = {{48, 48}};
   config.tracer.tau_w = 0.85;
-  const CtflReport report = RunCtfl(federation, split.test, config);
+  const CtflReport report = RunCtfl(federation, split.test, config).value();
 
   std::printf("model accuracy: %.3f\n\n", report.test_accuracy);
 

@@ -45,7 +45,7 @@ int main() {
 
   // Round 1: everyone honest.
   const Federation round1 = MakeFederation(providers);
-  const CtflReport before = RunCtfl(round1, split.test, AuditConfig());
+  const CtflReport before = RunCtfl(round1, split.test, AuditConfig()).value();
 
   // Between rounds, provider 5 pads its data: +100% exact duplicates.
   Rng cheat_rng(24);
@@ -55,7 +55,7 @@ int main() {
 
   // Round 2: same data everywhere except P5's padding.
   const Federation round2 = MakeFederation(std::move(providers));
-  const CtflReport after = RunCtfl(round2, split.test, AuditConfig());
+  const CtflReport after = RunCtfl(round2, split.test, AuditConfig()).value();
 
   std::printf("round-over-round contribution audit (accuracy %.3f -> "
               "%.3f):\n\n",

@@ -35,7 +35,7 @@ int main() {
   config.central.learning_rate = 0.05;
   config.net.logic_layers = {{48, 48}};
   config.tracer.tau_w = 0.9;         // Eq. 4 rule-overlap threshold
-  const CtflReport report = RunCtfl(federation, split.test, config);
+  const CtflReport report = RunCtfl(federation, split.test, config).value();
 
   // 3. Results.
   std::printf("global model test accuracy: %.3f\n\n", report.test_accuracy);

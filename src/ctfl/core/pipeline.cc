@@ -70,10 +70,12 @@ void MixTrainConfig(const TrainConfig& c, Digest& d) {
 
 }  // namespace
 
-CtflReport RunCtfl(const Federation& federation, const Dataset& test,
-                   const CtflConfig& raw_config) {
+Result<CtflReport> RunCtfl(const Federation& federation, const Dataset& test,
+                           const CtflConfig& raw_config) {
   CTFL_SPAN("ctfl.run");
-  CTFL_CHECK(!federation.empty());
+  if (federation.empty()) {
+    return Status::InvalidArgument("RunCtfl requires a non-empty federation");
+  }
   const CtflConfig config = ApplyThreadOverrides(raw_config);
   const SchemaPtr schema = federation[0].data.schema();
   // Context-switch counters are monotone process totals; snapshot them
@@ -90,24 +92,23 @@ CtflReport RunCtfl(const Federation& federation, const Dataset& test,
   ProcessCpuStopwatch phase_cpu_watch;
   FedAvgStats fedavg_stats;
   TrainReport central_report;
-  LogicalNet model = [&] {
+  Result<LogicalNet> trained = [&]() -> Result<LogicalNet> {
     if (config.federated) {
       std::vector<Dataset> clients;
       clients.reserve(federation.size());
       for (const Participant& p : federation) clients.push_back(p.data);
-      Result<LogicalNet> trained = TrainFederated(
-          schema, config.net, clients, config.fedavg, &fedavg_stats);
-      // Per-client faults degrade rounds instead of failing the run, so
-      // an error here means the configuration itself is malformed — a
-      // caller bug by RunCtfl's contract (cf. the federation check
-      // above).
-      CTFL_CHECK(trained.ok())
-          << "federated training failed: " << trained.status();
-      return std::move(trained).value();
+      return TrainFederated(schema, config.net, clients, config.fedavg,
+                            &fedavg_stats);
     }
     return TrainCentral(schema, config.net, MergeFederation(federation),
                         config.central, &central_report);
   }();
+  // Per-client faults degrade rounds instead of failing the run, so an
+  // error here means the configuration itself is malformed (e.g. a
+  // negative retry budget). Propagate it — callers surface the Status
+  // instead of the process dying mid-settlement.
+  CTFL_RETURN_IF_ERROR(trained.status());
+  LogicalNet model = std::move(trained).value();
   const double train_seconds = train_watch.ElapsedSeconds();
   const double train_cpu_seconds = phase_cpu_watch.LapSeconds();
   train_span.End();
@@ -310,8 +311,9 @@ Result<ContributionResult> CtflScheme::Compute(CoalitionUtility& utility) {
         "utility participant count does not match the federation");
   }
   Stopwatch watch;
-  report_ = std::make_shared<CtflReport>(
-      RunCtfl(*federation_, *test_, config_));
+  CTFL_ASSIGN_OR_RETURN(CtflReport report,
+                        RunCtfl(*federation_, *test_, config_));
+  report_ = std::make_shared<CtflReport>(std::move(report));
   ContributionResult result;
   result.scheme = name();
   result.scores = variant_ == Variant::kMicro ? report_->micro_scores

@@ -66,9 +66,12 @@ struct CtflReport {
 
 /// Runs the full CTFL pipeline (paper Fig. 1, steps 1-3): train one global
 /// rule-based model, trace the test gain per participant, allocate micro
-/// and macro credits.
-CtflReport RunCtfl(const Federation& federation, const Dataset& test,
-                   const CtflConfig& config);
+/// and macro credits. A malformed configuration (empty federation, invalid
+/// FedAvg knobs such as a negative retry budget) propagates the training
+/// Status instead of aborting the process; per-client faults never fail
+/// the run — they degrade rounds (DESIGN.md §8).
+Result<CtflReport> RunCtfl(const Federation& federation, const Dataset& test,
+                           const CtflConfig& config);
 
 /// Digest over the semantic CtflConfig knobs — everything that can change
 /// the run's scores (net shape, seeds, rounds/epochs, tau_w, privacy,

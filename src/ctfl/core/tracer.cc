@@ -30,31 +30,38 @@ struct TraceKey {
 
 }  // namespace
 
+std::vector<std::vector<Bitset>> ContributionTracer::ComputeUploadActivations(
+    const LogicalNet& net, const Federation& federation,
+    const TracerConfig& config) {
+  // Participants compute their activation vectors locally and upload them
+  // (paper §V privacy analysis); here that is this precomputation. When
+  // dp_epsilon > 0 each participant perturbs its upload with randomized
+  // response before it leaves the client. Each participant's DP stream is
+  // seeded dp_seed + p and consumed in record order, so any caller running
+  // this against the same model reproduces the uploads bit-for-bit.
+  std::vector<std::vector<Bitset>> uploads(federation.size());
+  for (size_t p = 0; p < federation.size(); ++p) {
+    const Dataset& data = federation[p].data;
+    Rng dp_rng(config.dp_seed + p);
+    uploads[p].reserve(data.size());
+    for (size_t i = 0; i < data.size(); ++i) {
+      Bitset activation = net.RuleActivations(data.instance(i));
+      if (config.dp_epsilon > 0.0) {
+        activation = RandomizedResponse(activation, config.dp_epsilon, dp_rng);
+      }
+      uploads[p].push_back(std::move(activation));
+    }
+  }
+  return uploads;
+}
+
 ContributionTracer::ContributionTracer(const LogicalNet* net,
                                        const Federation* federation,
                                        TracerConfig config)
     : net_(net), federation_(federation), config_(config) {
   CTFL_CHECK(net_ != nullptr && federation_ != nullptr);
   BuildRuleMasks();
-
-  // Participants compute their activation vectors locally and upload them
-  // (paper §V privacy analysis); here that is this precomputation. When
-  // dp_epsilon > 0 each participant perturbs its upload with randomized
-  // response before it leaves the client.
-  train_activations_.resize(federation_->size());
-  for (size_t p = 0; p < federation_->size(); ++p) {
-    const Dataset& data = (*federation_)[p].data;
-    Rng dp_rng(config_.dp_seed + p);
-    train_activations_[p].reserve(data.size());
-    for (size_t i = 0; i < data.size(); ++i) {
-      Bitset activation = net_->RuleActivations(data.instance(i));
-      if (config_.dp_epsilon > 0.0) {
-        activation =
-            RandomizedResponse(activation, config_.dp_epsilon, dp_rng);
-      }
-      train_activations_[p].push_back(std::move(activation));
-    }
-  }
+  train_activations_ = ComputeUploadActivations(*net_, *federation_, config_);
   IndexTrainRefs();
 }
 
@@ -79,6 +86,26 @@ ContributionTracer::ContributionTracer(
   IndexTrainRefs();
 }
 
+ContributionTracer::ContributionTracer(
+    const LogicalNet* net, const std::vector<std::vector<uint8_t>>* labels,
+    const std::vector<std::vector<Bitset>>* activations, TracerConfig config)
+    : net_(net),
+      federation_(nullptr),
+      config_(config),
+      borrowed_labels_(labels),
+      borrowed_activations_(activations) {
+  CTFL_CHECK(net_ != nullptr && labels != nullptr && activations != nullptr);
+  CTFL_CHECK(labels->size() == activations->size());
+  for (size_t p = 0; p < activations->size(); ++p) {
+    CTFL_CHECK((*labels)[p].size() == (*activations)[p].size());
+    for (const Bitset& activation : (*activations)[p]) {
+      CTFL_CHECK(activation.size() == static_cast<size_t>(net_->num_rules()));
+    }
+  }
+  BuildRuleMasks();
+  IndexTrainRefs();
+}
+
 void ContributionTracer::BuildRuleMasks() {
   const int num_rules = net_->num_rules();
   rule_weights_.resize(num_rules);
@@ -96,14 +123,16 @@ void ContributionTracer::BuildRuleMasks() {
 }
 
 void ContributionTracer::IndexTrainRefs() {
-  const size_t n = federation_->size();
+  const std::vector<std::vector<Bitset>>& uploads = activations();
+  const size_t n = uploads.size();
   for (int c = 0; c < 2; ++c) class_part_offset_[c].assign(n + 1, 0);
   for (size_t p = 0; p < n; ++p) {
-    const Dataset& data = (*federation_)[p].data;
-    for (size_t i = 0; i < data.size(); ++i) {
-      TrainRef ref{static_cast<int>(p), static_cast<int>(i),
-                   &train_activations_[p][i]};
-      train_by_class_[data.instance(i).label].push_back(ref);
+    for (size_t i = 0; i < uploads[p].size(); ++i) {
+      TrainRef ref{static_cast<int>(p), static_cast<int>(i), &uploads[p][i]};
+      const int label = borrowed_labels_ != nullptr
+                            ? static_cast<int>((*borrowed_labels_)[p][i])
+                            : (*federation_)[p].data.instance(i).label;
+      train_by_class_[label].push_back(ref);
     }
     for (int c = 0; c < 2; ++c) {
       class_part_offset_[c][p + 1] = train_by_class_[c].size();
@@ -123,20 +152,44 @@ void ContributionTracer::IndexTrainRefs() {
 }
 
 TraceResult ContributionTracer::Trace(const Dataset& test) const {
+  Stopwatch watch;
+  // Forward pass: label, prediction and raw activation per test instance.
+  // Everything downstream of this is a pure function of the forwards and
+  // the uploads — TraceForwards — which the streaming scorer re-runs
+  // against persisted forwards without the Dataset.
+  std::vector<TestForward> forwards(test.size());
+  {
+    telemetry::Span forward_span("ctfl.trace.forwards");
+    for (size_t t = 0; t < test.size(); ++t) {
+      const Instance& inst = test.instance(t);
+      TestForward& fwd = forwards[t];
+      fwd.label = static_cast<uint8_t>(inst.label);
+      fwd.predicted = static_cast<uint8_t>(net_->Predict(inst));
+      fwd.activation = net_->RuleActivations(inst);
+    }
+  }
+  TraceResult result = TraceForwards(forwards);
+  result.tracing_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+TraceResult ContributionTracer::TraceForwards(
+    const std::vector<TestForward>& forwards) const {
   CTFL_SPAN("ctfl.trace.pass");
   Stopwatch watch;
-  const int n = static_cast<int>(federation_->size());
+  const std::vector<std::vector<Bitset>>& uploads = activations();
+  const int n = static_cast<int>(uploads.size());
   const int num_rules = net_->num_rules();
 
   TraceResult result;
   result.num_participants = n;
   result.num_rules = num_rules;
-  result.tests.resize(test.size());
+  result.tests.resize(forwards.size());
   result.train_match_correct.resize(n);
   result.train_match_miss.resize(n);
   for (int p = 0; p < n; ++p) {
-    result.train_match_correct[p].assign((*federation_)[p].data.size(), 0);
-    result.train_match_miss[p].assign((*federation_)[p].data.size(), 0);
+    result.train_match_correct[p].assign(uploads[p].size(), 0);
+    result.train_match_miss[p].assign(uploads[p].size(), 0);
   }
   result.beneficial_rule_freq = Matrix(n, num_rules);
   result.harmful_rule_freq = Matrix(n, num_rules);
@@ -146,20 +199,15 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
   std::vector<TraceKey> keys;
   std::unordered_map<size_t, std::vector<size_t>> key_index;  // hash->keys
   size_t correct_total = 0;
-  // Raw (un-masked) activation of each misclassified test, retained from
-  // this forward pass so the uncovered-scenario aggregation below does not
-  // run the network a second time.
-  std::unordered_map<size_t, Bitset> miss_activations;
 
   telemetry::Span key_span("ctfl.trace.keys");
-  for (size_t t = 0; t < test.size(); ++t) {
-    const Instance& inst = test.instance(t);
-    const int predicted = net_->Predict(inst);
-    const bool correct = predicted == inst.label;
+  for (size_t t = 0; t < forwards.size(); ++t) {
+    const TestForward& fwd = forwards[t];
+    const int predicted = fwd.predicted;
+    const bool correct = predicted == static_cast<int>(fwd.label);
     if (correct) ++correct_total;
 
-    Bitset support = net_->RuleActivations(inst);
-    if (!correct) miss_activations.emplace(t, support);
+    Bitset support = fwd.activation;
     support &= class_mask_[predicted];
 
     TestTrace& trace = result.tests[t];
@@ -207,7 +255,9 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
   }
   key_span.End();
   result.global_accuracy =
-      test.empty() ? 0.0 : static_cast<double>(correct_total) / test.size();
+      forwards.empty()
+          ? 0.0
+          : static_cast<double>(correct_total) / forwards.size();
   result.num_keys = static_cast<int64_t>(keys.size());
 
   // ---- Optional Max-Miner grouping: per-key candidate prefilter. ---------
@@ -317,8 +367,8 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
     acc.match_correct.resize(n);
     acc.match_miss.resize(n);
     for (int p = 0; p < n; ++p) {
-      acc.match_correct[p].assign((*federation_)[p].data.size(), 0);
-      acc.match_miss[p].assign((*federation_)[p].data.size(), 0);
+      acc.match_correct[p].assign(uploads[p].size(), 0);
+      acc.match_miss[p].assign(uploads[p].size(), 0);
     }
   }
 
@@ -514,22 +564,22 @@ TraceResult ContributionTracer::Trace(const Dataset& test) const {
 
   // Matched accuracy + uncovered-scenario aggregation.
   size_t matched_correct = 0;
-  for (size_t t = 0; t < test.size(); ++t) {
+  for (size_t t = 0; t < forwards.size(); ++t) {
     const TestTrace& trace = result.tests[t];
     if (trace.correct && trace.total_related > 0) ++matched_correct;
     if (!trace.correct && trace.total_related == 0) {
       ++result.uncovered_tests;
-      // Activation retained from the key-building forward pass — the
-      // network is not run a second time for uncovered tests.
-      const Bitset& act = miss_activations.at(t);
-      act.ForEachSetBit([&](size_t j) {
+      // Raw activation retained in the forward record — the network is
+      // not run a second time for uncovered tests.
+      forwards[t].activation.ForEachSetBit([&](size_t j) {
         result.uncovered_rule_freq[j] += rule_weights_[j];
       });
     }
   }
   result.matched_accuracy =
-      test.empty() ? 0.0
-                   : static_cast<double>(matched_correct) / test.size();
+      forwards.empty()
+          ? 0.0
+          : static_cast<double>(matched_correct) / forwards.size();
   result.tracing_seconds = watch.ElapsedSeconds();
 
   // Process-wide tracer metrics (cached after first lookup).

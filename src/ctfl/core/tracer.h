@@ -1,6 +1,7 @@
 #ifndef CTFL_CORE_TRACER_H_
 #define CTFL_CORE_TRACER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "ctfl/fl/participant.h"
@@ -47,6 +48,17 @@ struct TracerConfig {
   /// enters the config digest (DESIGN.md §9).
   TraceIsa isa = CurrentTraceIsa();
   int trace_threads = 1;
+};
+
+/// One reserved test instance's forward-pass artifacts: true label,
+/// predicted class, and the raw (un-masked) rule-activation bitset.
+/// Everything the tracing pass needs from a test instance, decoupled from
+/// the Dataset — a streaming fold (src/ctfl/stream/) re-traces persisted
+/// forwards without ever seeing raw test features.
+struct TestForward {
+  uint8_t label = 0;
+  uint8_t predicted = 0;
+  Bitset activation;
 };
 
 /// Tracing outcome for one test instance.
@@ -136,17 +148,42 @@ class ContributionTracer {
                      TracerConfig config,
                      std::vector<std::vector<Bitset>> train_activations);
 
+  /// Borrowing constructor: traces against externally owned labels and
+  /// activation uploads with no Federation at all — the streaming-scorer
+  /// path, which holds the uploads across rounds and re-traces them after
+  /// each fold without copying. `labels` and `activations` must outlive
+  /// the tracer, be index-aligned [participant][local record], and every
+  /// bitset must be as wide as the model's rule count.
+  ContributionTracer(const LogicalNet* net,
+                     const std::vector<std::vector<uint8_t>>* labels,
+                     const std::vector<std::vector<Bitset>>* activations,
+                     TracerConfig config);
+
   const TracerConfig& config() const { return config_; }
 
   /// The per-participant activation uploads this tracer matches against
   /// (after any DP perturbation) — exactly what a bundle snapshot must
   /// persist for queries to reproduce this run.
   const std::vector<std::vector<Bitset>>& train_activations() const {
-    return train_activations_;
+    return activations();
   }
+
+  /// Computes the per-participant activation uploads exactly as the
+  /// tracing constructor does: one DP stream per participant, seeded
+  /// `dp_seed + p`, consumed in record order. Shared with the streaming
+  /// delta-log emitter so per-round uploads bit-match a tracer built on
+  /// the same model.
+  static std::vector<std::vector<Bitset>> ComputeUploadActivations(
+      const LogicalNet& net, const Federation& federation,
+      const TracerConfig& config);
 
   /// Single tracing pass over the reserved test set.
   TraceResult Trace(const Dataset& test) const;
+
+  /// Tracing pass over precomputed test forwards (label, prediction, raw
+  /// activation per test). Trace() is exactly a forward pass followed by
+  /// this; the streaming scorer calls it directly with persisted forwards.
+  TraceResult TraceForwards(const std::vector<TestForward>& forwards) const;
 
  private:
   struct TrainRef {
@@ -162,7 +199,15 @@ class ContributionTracer {
   /// per-class blocked kernels when config_.kernel == kBlocked.
   void IndexTrainRefs();
 
+  /// The activation uploads tracing matches against: owned (computed or
+  /// adopted) unless the borrowing constructor installed an external set.
+  const std::vector<std::vector<Bitset>>& activations() const {
+    return borrowed_activations_ != nullptr ? *borrowed_activations_
+                                            : train_activations_;
+  }
+
   const LogicalNet* net_;
+  /// Null in borrowed mode (labels/activations supplied directly).
   const Federation* federation_;
   TracerConfig config_;
 
@@ -170,8 +215,12 @@ class ContributionTracer {
   std::vector<double> rule_weights_;
   /// Per class c: bitset of rule coordinates supporting c (and traceable).
   Bitset class_mask_[2];
-  /// Per participant: activation bitsets of its training data.
+  /// Per participant: activation bitsets of its training data (empty when
+  /// borrowing).
   std::vector<std::vector<Bitset>> train_activations_;
+  /// Borrowed-mode inputs (null otherwise).
+  const std::vector<std::vector<uint8_t>>* borrowed_labels_ = nullptr;
+  const std::vector<std::vector<Bitset>>* borrowed_activations_ = nullptr;
   /// Per class: refs to all training instances with that label.
   std::vector<TrainRef> train_by_class_[2];
   /// Per class: slot offsets of each participant's contiguous record range

@@ -106,6 +106,12 @@ Status RunFedAvg(LogicalNet& global, const std::vector<Dataset>& clients,
   }
   parallel_gauge.Set(pool != nullptr ? fan_out : 1);
 
+  if (config.model_observer) {
+    // Round 0: the initialized global model before any training — the
+    // baseline a streaming delta chain diffs against.
+    config.model_observer(0, global, telemetry::RoundTelemetry{});
+  }
+
   Stopwatch round_watch;
   // Process-wide CPU clock so a round's cpu_seconds includes the
   // ThreadPool workers' local-training time, not just this thread.
@@ -309,7 +315,7 @@ Status RunFedAvg(LogicalNet& global, const std::vector<Dataset>& clients,
     const double round_seconds = round_watch.LapSeconds();
     const double round_cpu_seconds = round_cpu_watch.LapSeconds();
     round_hist.Observe(round_seconds * 1e6);
-    if (stats != nullptr || config.round_observer) {
+    if (stats != nullptr || config.round_observer || config.model_observer) {
       telemetry::RoundTelemetry rt;
       rt.round = round;
       rt.seconds = round_seconds;
@@ -323,6 +329,11 @@ Status RunFedAvg(LogicalNet& global, const std::vector<Dataset>& clients,
       rt.retries = round_retries;
       rt.degraded = degraded;
       if (config.round_observer) config.round_observer(rt);
+      if (config.model_observer) {
+        // 1-based: round r's committed model (unchanged when the round
+        // fully degraded).
+        config.model_observer(round + 1, global, rt);
+      }
       if (stats != nullptr) {
         stats->rounds.push_back(rt);
         stats->clients_dropped += round_dropped;

@@ -53,6 +53,17 @@ struct FedAvgConfig {
   /// JSONL snapshot writer to turn round health into a time series.
   /// Called from the orchestrating thread; may be empty.
   std::function<void(const telemetry::RoundTelemetry&)> round_observer;
+  /// Invoked with the committed global model after every round: once with
+  /// round = 0 and a default RoundTelemetry before the first round (the
+  /// freshly initialized model — the baseline a streaming delta chain
+  /// diffs against), then with round = r (1-based) after round r's
+  /// parameters are committed (including fully-degraded rounds, where the
+  /// model is unchanged). The reference is only valid for the duration of
+  /// the call. Called from the orchestrating thread; may be empty. Used
+  /// by the streaming delta-log emitter (src/ctfl/stream/).
+  std::function<void(int round, const LogicalNet& global,
+                     const telemetry::RoundTelemetry& rt)>
+      model_observer;
 };
 
 /// Per-run statistics of one RunFedAvg invocation, feeding

@@ -80,9 +80,12 @@ double OneVsRestModel::Accuracy(const McDataset& data) const {
   return static_cast<double>(correct) / data.size();
 }
 
-McCtflReport RunMcCtfl(const std::vector<McDataset>& participants,
-                       const McDataset& test, const CtflConfig& config) {
-  CTFL_CHECK(!participants.empty());
+Result<McCtflReport> RunMcCtfl(const std::vector<McDataset>& participants,
+                               const McDataset& test,
+                               const CtflConfig& config) {
+  if (participants.empty()) {
+    return Status::InvalidArgument("RunMcCtfl requires participants");
+  }
   const int num_classes = test.num_classes();
   const int n = static_cast<int>(participants.size());
 
@@ -113,7 +116,8 @@ McCtflReport RunMcCtfl(const std::vector<McDataset>& participants,
 
     CtflConfig class_config = config;
     class_config.net.seed = config.net.seed + static_cast<uint64_t>(k) * 101;
-    const CtflReport binary = RunCtfl(federation, test_view, class_config);
+    CTFL_ASSIGN_OR_RETURN(const CtflReport binary,
+                          RunCtfl(federation, test_view, class_config));
 
     report.per_class_micro[k] = binary.micro_scores;
     report.per_class_accuracy[k] = binary.test_accuracy;

@@ -83,8 +83,9 @@ struct McCtflReport {
   std::vector<double> class_weights;
 };
 
-McCtflReport RunMcCtfl(const std::vector<McDataset>& participants,
-                       const McDataset& test, const CtflConfig& config);
+Result<McCtflReport> RunMcCtfl(const std::vector<McDataset>& participants,
+                               const McDataset& test,
+                               const CtflConfig& config);
 
 }  // namespace ctfl
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <utility>
 
 #include "ctfl/data/gen/benchmarks.h"
@@ -10,6 +11,8 @@
 #include "ctfl/serve/client.h"
 #include "ctfl/serve/server.h"
 #include "ctfl/store/query_engine.h"
+#include "ctfl/stream/emitter.h"
+#include "ctfl/stream/scorer.h"
 #include "ctfl/util/rng.h"
 #include "ctfl/util/string_util.h"
 
@@ -188,9 +191,28 @@ Result<RunArtifacts> ExecuteRunSpec(const RunSpec& spec,
                            : static_cast<int>(overrides.num_threads);
   config.bundle_out = overrides.bundle_out;
 
-  const CtflReport report = RunCtfl(federation, *test, config);
+  // The streamed cell instruments the run with a delta-log emitter; it
+  // observes every round through the model_observer hook and must not
+  // perturb the outcome (asserted by the caller via CompareOutcomes).
+  std::unique_ptr<stream::DeltaLogEmitter> emitter;
+  if (!overrides.delta_log_out.empty()) {
+    if (!config.federated) {
+      return Status::InvalidArgument(
+          "delta_log_out requires a federated spec (deltas are per FedAvg "
+          "round)");
+    }
+    emitter = std::make_unique<stream::DeltaLogEmitter>(
+        overrides.delta_log_out, &federation, &*test, &config);
+    emitter->Attach(&config.fedavg);
+  }
+
+  CTFL_ASSIGN_OR_RETURN(const CtflReport report,
+                        RunCtfl(federation, *test, config));
   if (!config.bundle_out.empty()) {
     CTFL_RETURN_IF_ERROR(report.bundle_status);
+  }
+  if (emitter != nullptr) {
+    CTFL_RETURN_IF_ERROR(emitter->status());
   }
 
   RunOutcome outcome = MakeRunOutcome(report, config, federation, *test);
@@ -357,6 +379,14 @@ std::vector<MatrixCell> GenerateMatrix(const ReplayFile& file) {
       clean.overrides.clean = true;
       cells.push_back(std::move(clean));
     }
+    if (file.spec.federated) {
+      MatrixCell streamed;
+      streamed.name = "streamed";
+      streamed.description =
+          "re-run emitting a delta log; folded scores must bit-match";
+      streamed.kind = MatrixCell::Kind::kRunStreamed;
+      cells.push_back(std::move(streamed));
+    }
   }
   if (has_run && !file.events.empty()) {
     cells.push_back({"queries_batch",
@@ -472,6 +502,56 @@ Result<std::vector<CellResult>> RunMatrix(const ReplayFile& file,
               Hex64(file.outcome.run_fingerprint).c_str(),
               Hex64(got.run_fingerprint).c_str());
         }
+        break;
+      }
+      case MatrixCell::Kind::kRunStreamed: {
+        RunOverrides overrides = cell.overrides;
+        overrides.delta_log_out =
+            options.scratch_dir + "/replay_stream.ctfld";
+        Result<RunArtifacts> artifacts =
+            ExecuteRunSpec(file.spec, overrides);
+        if (!artifacts.ok()) {
+          result.detail = artifacts.status().ToString();
+          break;
+        }
+        // The emitter is a pure observer: the instrumented run must still
+        // reproduce the recorded outcome bit-for-bit.
+        Status same = CompareOutcomes(file.outcome, artifacts->outcome);
+        if (!same.ok()) {
+          result.detail = "instrumented run diverged: " + same.ToString();
+          break;
+        }
+        Result<stream::DeltaLogContents> log =
+            stream::ReadDeltaLog(overrides.delta_log_out);
+        if (!log.ok()) {
+          result.detail = log.status().ToString();
+          break;
+        }
+        Result<stream::StreamingScorer> scorer =
+            stream::StreamingScorer::FromHeader(log->header);
+        if (!scorer.ok()) {
+          result.detail = scorer.status().ToString();
+          break;
+        }
+        Result<uint64_t> folded = scorer->FoldAll(*log);
+        if (!folded.ok()) {
+          result.detail = folded.status().ToString();
+          break;
+        }
+        // %.17g round-trips doubles exactly, so byte-equal tables mean
+        // bit-identical score vectors (the streamed differential cell).
+        const std::string streamed_table = RenderScoreTable(
+            artifacts->federation, scorer->micro_scores(),
+            scorer->macro_scores());
+        if (streamed_table != artifacts->score_table) {
+          result.detail =
+              "streamed scores diverged from the one-shot score table";
+          break;
+        }
+        result.pass = true;
+        result.detail = StrFormat(
+            "%llu rounds folded, streamed scores bit-identical",
+            static_cast<unsigned long long>(*folded));
         break;
       }
       case MatrixCell::Kind::kQueryBatch:

@@ -65,6 +65,10 @@ struct RunOverrides {
   bool clean = false;
   /// When non-empty, persist a contribution bundle (for query cells).
   std::string bundle_out;
+  /// When non-empty, attach a streaming delta-log emitter to the run
+  /// (federated specs only; the streamed cell folds this log and asserts
+  /// score bit-identity against the one-shot outcome).
+  std::string delta_log_out;
 };
 
 /// A re-executed run: the effective config, the reconstructed inputs, and
@@ -119,6 +123,8 @@ struct MatrixCell {
   enum class Kind {
     kRun,          ///< re-run the spec, require bitwise outcome match
     kRunDiverge,   ///< re-run, require the run fingerprint to differ
+    kRunStreamed,  ///< re-run emitting a delta log, fold it, require the
+                   ///< streamed scores to bit-match the one-shot outcome
     kQueryBatch,   ///< replay events against one warm service
     kQueryOneShot, ///< replay events, fresh service per event
     kQueryServed,  ///< replay events through a socket server
@@ -132,8 +138,9 @@ struct MatrixCell {
 /// Expands `file` into its differential matrix: base replay; kernel
 /// flipped (when a spec is present); forced-scalar trace ISA (plus the
 /// best available tier when it differs); threads 1/2/8; clean (when the
-/// recorded run had a fault plan); query batch/one-shot (when events are
-/// present) and served (POSIX). Deterministic order.
+/// recorded run had a fault plan); streamed delta-log fold (federated
+/// specs); query batch/one-shot (when events are present) and served
+/// (POSIX). Deterministic order.
 std::vector<MatrixCell> GenerateMatrix(const ReplayFile& file);
 
 struct MatrixOptions {

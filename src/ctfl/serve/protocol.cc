@@ -252,6 +252,7 @@ void EncodeStats(const ServerStats& stats, wire::Writer* w) {
   w->Str(stats.trace_isa);
   w->U32(static_cast<uint32_t>(stats.participant_names.size()));
   for (const std::string& name : stats.participant_names) w->Str(name);
+  w->U64(stats.rounds_folded);  // v3
 }
 
 Status DecodeStats(wire::Reader* r, ServerStats* stats) {
@@ -278,6 +279,7 @@ Status DecodeStats(wire::Reader* r, ServerStats* stats) {
   for (uint32_t i = 0; i < count; ++i) {
     CTFL_RETURN_IF_ERROR(r->Str(&stats->participant_names[i]));
   }
+  CTFL_RETURN_IF_ERROR(r->U64(&stats->rounds_folded));  // v3
   return Status::OK();
 }
 

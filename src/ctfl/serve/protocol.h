@@ -38,7 +38,10 @@ namespace serve {
 // kernel's exact-fallback counter, and STATS reports the server's trace
 // ISA tier. Request bodies are unchanged (the trace ISA and thread count
 // are server-local implementation selectors, not wire fields).
-inline constexpr uint8_t kProtocolVersion = 2;
+// v3: STATS grew `rounds_folded` — the number of streaming delta-log
+// rounds the server has folded into its live scores (0 when serving a
+// static bundle). Request bodies are again unchanged.
+inline constexpr uint8_t kProtocolVersion = 3;
 /// Upper bound on one frame's payload (guards the length prefix against
 /// corrupt peers; a full EVALUATE report over a large bundle stays far
 /// below this).
@@ -101,6 +104,8 @@ struct ServerStats {
   /// SIMD tier of the server's blocked trace kernel ("scalar", "avx2", ...).
   std::string trace_isa;
   std::vector<std::string> participant_names;
+  /// Delta-log rounds folded into the live scores (v3; 0 = static bundle).
+  uint64_t rounds_folded = 0;
 };
 
 /// One decoded response frame. `status` carries server-side failures

@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "ctfl/telemetry/metrics.h"
+#include "ctfl/util/stopwatch.h"
 #include "ctfl/util/string_util.h"
 
 namespace ctfl {
@@ -163,9 +164,16 @@ void Server::AcceptLoop() {
 }
 
 void Server::HandleConnection(int fd) {
+  static telemetry::Counter& idle_closed =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "ctfl.serve.idle_closed");
   FrameDecoder decoder;
   char buf[64 * 1024];
   bool shutdown_requested = false;
+  // Slow-loris guard: wall time since the last *complete* frame. Counting
+  // poll timeouts instead would miss a peer that trickles one byte per
+  // poll interval and never finishes a frame.
+  Stopwatch idle_watch;
   while (true) {
     // Pop every buffered frame before reading more.
     std::string payload;
@@ -177,6 +185,7 @@ void Server::HandleConnection(int fd) {
         return;
       }
       if (!*next) break;
+      idle_watch.Restart();
       const std::string response =
           service_->HandlePayload(payload, &shutdown_requested);
       Result<std::string> framed = Frame(response);
@@ -194,6 +203,13 @@ void Server::HandleConnection(int fd) {
     // Drain policy: between frames an idle connection closes immediately;
     // mid-frame we keep reading so the peer gets its response.
     if (draining_.load(std::memory_order_acquire) && decoder.idle()) {
+      ::close(fd);
+      return;
+    }
+    if (config_.idle_timeout_ms > 0 &&
+        idle_watch.ElapsedMillis() >=
+            static_cast<double>(config_.idle_timeout_ms)) {
+      idle_closed.Add(1);
       ::close(fd);
       return;
     }

@@ -33,6 +33,14 @@ struct ServerConfig {
   int num_threads = 0;
   /// accept(2) backlog.
   int backlog = 64;
+  /// Idle timeout per connection, in milliseconds. A connection that
+  /// produces no complete frame for this long is closed (counted in
+  /// `ctfl.serve.idle_closed`) — otherwise a slow-loris peer that opens a
+  /// connection and trickles or withholds bytes pins a pool worker
+  /// forever. The clock resets on every complete frame, so a healthy
+  /// keep-alive client issuing a request at least this often is never
+  /// cut off mid-session. <= 0 disables the timeout.
+  int idle_timeout_ms = 5000;
 };
 
 /// True when the socket server is compiled in (POSIX).

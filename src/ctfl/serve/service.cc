@@ -255,6 +255,8 @@ ServerStats QueryService::Stats() const {
   stats.exact_fallbacks = exact_fallbacks_.load(std::memory_order_relaxed);
   stats.trace_isa = TraceIsaName(CurrentTraceIsa());
   stats.participant_names = engine_.bundle().meta.participant_names;
+  stats.rounds_folded =
+      config_.rounds_folded_fn ? config_.rounds_folded_fn() : 0;
   return stats;
 }
 

@@ -37,6 +37,12 @@ struct ServiceConfig {
   /// returned, after all counters were bumped. Called from whichever thread
   /// runs Handle() — the tap must be thread-safe. Empty = no recording.
   std::function<void(const Request&, const Response&)> request_tap;
+  /// Streaming mode: reports how many delta-log rounds the host process
+  /// has folded into its live scores (STATS `rounds_folded`, protocol
+  /// v3). Called from whichever thread runs Handle() — must be
+  /// thread-safe (typically a relaxed atomic load). Empty = 0 (static
+  /// bundle).
+  std::function<uint64_t()> rounds_folded_fn;
 };
 
 class QueryService {

@@ -414,100 +414,6 @@ Status DecodeMeta(std::string_view payload, BundleContent& c,
   return r.ExpectEnd(kMetaSection);
 }
 
-std::string EncodeSchema(const FeatureSchema& schema) {
-  ByteWriter w;
-  w.U32(static_cast<uint32_t>(schema.num_features()));
-  for (const FeatureSpec& spec : schema.features()) {
-    w.Str(spec.name);
-    w.U8(spec.type == FeatureType::kDiscrete ? 1 : 0);
-    if (spec.type == FeatureType::kDiscrete) {
-      w.U32(static_cast<uint32_t>(spec.categories.size()));
-      for (const std::string& category : spec.categories) w.Str(category);
-    } else {
-      w.F64(spec.lo);
-      w.F64(spec.hi);
-    }
-  }
-  w.Str(schema.label_name(0));
-  w.Str(schema.label_name(1));
-  return w.Take();
-}
-
-Result<SchemaPtr> DecodeSchema(std::string_view payload) {
-  ByteReader r(payload);
-  uint32_t num_features = 0;
-  CTFL_RETURN_IF_ERROR(r.U32(&num_features));
-  std::vector<FeatureSpec> features(num_features);
-  for (FeatureSpec& spec : features) {
-    CTFL_RETURN_IF_ERROR(r.Str(&spec.name));
-    uint8_t type = 0;
-    CTFL_RETURN_IF_ERROR(r.U8(&type));
-    spec.type = type == 1 ? FeatureType::kDiscrete : FeatureType::kContinuous;
-    if (spec.type == FeatureType::kDiscrete) {
-      uint32_t ncat = 0;
-      CTFL_RETURN_IF_ERROR(r.U32(&ncat));
-      spec.categories.resize(ncat);
-      for (std::string& category : spec.categories) {
-        CTFL_RETURN_IF_ERROR(r.Str(&category));
-      }
-    } else {
-      CTFL_RETURN_IF_ERROR(r.F64(&spec.lo));
-      CTFL_RETURN_IF_ERROR(r.F64(&spec.hi));
-    }
-  }
-  std::string negative, positive;
-  CTFL_RETURN_IF_ERROR(r.Str(&negative));
-  CTFL_RETURN_IF_ERROR(r.Str(&positive));
-  CTFL_RETURN_IF_ERROR(r.ExpectEnd(kSchemaSection));
-  return std::make_shared<const FeatureSchema>(
-      std::move(features), std::move(negative), std::move(positive));
-}
-
-std::string EncodeModel(const BundleContent& c) {
-  ByteWriter w;
-  w.U32(static_cast<uint32_t>(c.net_config.tau_d));
-  w.U32(static_cast<uint32_t>(c.net_config.fan_in));
-  w.U8(c.net_config.input_skip ? 1 : 0);
-  w.U64(c.net_config.seed);
-  w.F64(c.net_config.linear_init_scale);
-  w.U32(static_cast<uint32_t>(c.net_config.logic_layers.size()));
-  for (const auto& [conj, disj] : c.net_config.logic_layers) {
-    w.U32(static_cast<uint32_t>(conj));
-    w.U32(static_cast<uint32_t>(disj));
-  }
-  w.U64(c.params.size());
-  for (double v : c.params) w.F64(v);
-  return w.Take();
-}
-
-Status DecodeModel(std::string_view payload, BundleContent& c) {
-  ByteReader r(payload);
-  uint32_t tau_d = 0, fan_in = 0, num_layers = 0;
-  uint8_t input_skip = 0;
-  CTFL_RETURN_IF_ERROR(r.U32(&tau_d));
-  CTFL_RETURN_IF_ERROR(r.U32(&fan_in));
-  CTFL_RETURN_IF_ERROR(r.U8(&input_skip));
-  CTFL_RETURN_IF_ERROR(r.U64(&c.net_config.seed));
-  CTFL_RETURN_IF_ERROR(r.F64(&c.net_config.linear_init_scale));
-  CTFL_RETURN_IF_ERROR(r.U32(&num_layers));
-  c.net_config.tau_d = static_cast<int>(tau_d);
-  c.net_config.fan_in = static_cast<int>(fan_in);
-  c.net_config.input_skip = input_skip != 0;
-  c.net_config.logic_layers.clear();
-  for (uint32_t l = 0; l < num_layers; ++l) {
-    uint32_t conj = 0, disj = 0;
-    CTFL_RETURN_IF_ERROR(r.U32(&conj));
-    CTFL_RETURN_IF_ERROR(r.U32(&disj));
-    c.net_config.logic_layers.emplace_back(static_cast<int>(conj),
-                                           static_cast<int>(disj));
-  }
-  uint64_t param_count = 0;
-  CTFL_RETURN_IF_ERROR(r.U64(&param_count));
-  c.params.resize(param_count);
-  for (double& v : c.params) CTFL_RETURN_IF_ERROR(r.F64(&v));
-  return r.ExpectEnd(kModelSection);
-}
-
 std::string EncodeRules(const BundleContent& c) {
   ByteWriter w;
   w.F64(c.rule_bias);
@@ -537,90 +443,6 @@ Status DecodeRules(std::string_view payload, BundleContent& c) {
     CTFL_RETURN_IF_ERROR(r.Str(&rule.text));
   }
   return r.ExpectEnd(kRulesSection);
-}
-
-std::string EncodeTrain(const BundleContent& c) {
-  ByteWriter w;
-  w.U32(static_cast<uint32_t>(c.participants.size()));
-  for (const ParticipantRecords& p : c.participants) {
-    w.U64(p.labels.size());
-    // Labels packed 8 per byte.
-    uint8_t packed = 0;
-    for (size_t i = 0; i < p.labels.size(); ++i) {
-      if (p.labels[i]) packed |= static_cast<uint8_t>(1u << (i % 8));
-      if (i % 8 == 7) {
-        w.U8(packed);
-        packed = 0;
-      }
-    }
-    if (p.labels.size() % 8 != 0) w.U8(packed);
-    for (const Bitset& activation : p.activations) {
-      w.Words(activation.words());
-    }
-  }
-  return w.Take();
-}
-
-Status DecodeTrain(std::string_view payload, uint32_t num_rules,
-                   BundleContent& c) {
-  ByteReader r(payload);
-  uint32_t num_participants = 0;
-  CTFL_RETURN_IF_ERROR(r.U32(&num_participants));
-  c.participants.resize(num_participants);
-  const size_t words_per_row = (num_rules + 63) / 64;
-  for (ParticipantRecords& p : c.participants) {
-    uint64_t num_records = 0;
-    CTFL_RETURN_IF_ERROR(r.U64(&num_records));
-    p.labels.resize(num_records);
-    for (size_t i = 0; i < num_records; i += 8) {
-      uint8_t packed = 0;
-      CTFL_RETURN_IF_ERROR(r.U8(&packed));
-      for (size_t b = 0; b < 8 && i + b < num_records; ++b) {
-        p.labels[i + b] = (packed >> b) & 1;
-      }
-    }
-    p.activations.reserve(num_records);
-    for (uint64_t i = 0; i < num_records; ++i) {
-      std::vector<uint64_t> words;
-      CTFL_RETURN_IF_ERROR(r.Words(words_per_row, &words));
-      CTFL_ASSIGN_OR_RETURN(Bitset activation,
-                            Bitset::FromWords(num_rules, std::move(words)));
-      p.activations.push_back(std::move(activation));
-    }
-  }
-  return r.ExpectEnd(kTrainSection);
-}
-
-std::string EncodeTests(const BundleContent& c) {
-  ByteWriter w;
-  w.U64(c.tests.size());
-  for (const TestRecord& t : c.tests) {
-    w.U8(t.label);
-    w.U8(t.predicted);
-    w.Words(t.activation.words());
-  }
-  return w.Take();
-}
-
-Status DecodeTests(std::string_view payload, uint32_t num_rules,
-                   BundleContent& c) {
-  ByteReader r(payload);
-  uint64_t num_tests = 0;
-  CTFL_RETURN_IF_ERROR(r.U64(&num_tests));
-  c.tests.resize(num_tests);
-  const size_t words_per_row = (num_rules + 63) / 64;
-  for (TestRecord& t : c.tests) {
-    CTFL_RETURN_IF_ERROR(r.U8(&t.label));
-    CTFL_RETURN_IF_ERROR(r.U8(&t.predicted));
-    if (t.label > 1 || t.predicted > 1) {
-      return Status::InvalidArgument("bundle test record label out of range");
-    }
-    std::vector<uint64_t> words;
-    CTFL_RETURN_IF_ERROR(r.Words(words_per_row, &words));
-    CTFL_ASSIGN_OR_RETURN(t.activation,
-                          Bitset::FromWords(num_rules, std::move(words)));
-  }
-  return r.ExpectEnd(kTestsSection);
 }
 
 std::string EncodeIndex(const BundleContent& c) {
@@ -676,6 +498,196 @@ Status DecodeIndex(std::string_view payload, uint32_t num_rules,
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Public payload codecs (section bodies without the container framing),
+// shared with the streaming delta-log header so both artifacts stay
+// bit-compatible.
+// ---------------------------------------------------------------------------
+
+std::string EncodeSchemaPayload(const FeatureSchema& schema) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(schema.num_features()));
+  for (const FeatureSpec& spec : schema.features()) {
+    w.Str(spec.name);
+    w.U8(spec.type == FeatureType::kDiscrete ? 1 : 0);
+    if (spec.type == FeatureType::kDiscrete) {
+      w.U32(static_cast<uint32_t>(spec.categories.size()));
+      for (const std::string& category : spec.categories) w.Str(category);
+    } else {
+      w.F64(spec.lo);
+      w.F64(spec.hi);
+    }
+  }
+  w.Str(schema.label_name(0));
+  w.Str(schema.label_name(1));
+  return w.Take();
+}
+
+Result<SchemaPtr> DecodeSchemaPayload(std::string_view payload) {
+  ByteReader r(payload);
+  uint32_t num_features = 0;
+  CTFL_RETURN_IF_ERROR(r.U32(&num_features));
+  std::vector<FeatureSpec> features(num_features);
+  for (FeatureSpec& spec : features) {
+    CTFL_RETURN_IF_ERROR(r.Str(&spec.name));
+    uint8_t type = 0;
+    CTFL_RETURN_IF_ERROR(r.U8(&type));
+    spec.type = type == 1 ? FeatureType::kDiscrete : FeatureType::kContinuous;
+    if (spec.type == FeatureType::kDiscrete) {
+      uint32_t ncat = 0;
+      CTFL_RETURN_IF_ERROR(r.U32(&ncat));
+      spec.categories.resize(ncat);
+      for (std::string& category : spec.categories) {
+        CTFL_RETURN_IF_ERROR(r.Str(&category));
+      }
+    } else {
+      CTFL_RETURN_IF_ERROR(r.F64(&spec.lo));
+      CTFL_RETURN_IF_ERROR(r.F64(&spec.hi));
+    }
+  }
+  std::string negative, positive;
+  CTFL_RETURN_IF_ERROR(r.Str(&negative));
+  CTFL_RETURN_IF_ERROR(r.Str(&positive));
+  CTFL_RETURN_IF_ERROR(r.ExpectEnd(kSchemaSection));
+  return std::make_shared<const FeatureSchema>(
+      std::move(features), std::move(negative), std::move(positive));
+}
+
+std::string EncodeModelPayload(const LogicalNetConfig& net_config,
+                               const std::vector<double>& params) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(net_config.tau_d));
+  w.U32(static_cast<uint32_t>(net_config.fan_in));
+  w.U8(net_config.input_skip ? 1 : 0);
+  w.U64(net_config.seed);
+  w.F64(net_config.linear_init_scale);
+  w.U32(static_cast<uint32_t>(net_config.logic_layers.size()));
+  for (const auto& [conj, disj] : net_config.logic_layers) {
+    w.U32(static_cast<uint32_t>(conj));
+    w.U32(static_cast<uint32_t>(disj));
+  }
+  w.U64(params.size());
+  for (double v : params) w.F64(v);
+  return w.Take();
+}
+
+Status DecodeModelPayload(std::string_view payload,
+                          LogicalNetConfig* net_config,
+                          std::vector<double>* params) {
+  ByteReader r(payload);
+  uint32_t tau_d = 0, fan_in = 0, num_layers = 0;
+  uint8_t input_skip = 0;
+  CTFL_RETURN_IF_ERROR(r.U32(&tau_d));
+  CTFL_RETURN_IF_ERROR(r.U32(&fan_in));
+  CTFL_RETURN_IF_ERROR(r.U8(&input_skip));
+  CTFL_RETURN_IF_ERROR(r.U64(&net_config->seed));
+  CTFL_RETURN_IF_ERROR(r.F64(&net_config->linear_init_scale));
+  CTFL_RETURN_IF_ERROR(r.U32(&num_layers));
+  net_config->tau_d = static_cast<int>(tau_d);
+  net_config->fan_in = static_cast<int>(fan_in);
+  net_config->input_skip = input_skip != 0;
+  net_config->logic_layers.clear();
+  for (uint32_t l = 0; l < num_layers; ++l) {
+    uint32_t conj = 0, disj = 0;
+    CTFL_RETURN_IF_ERROR(r.U32(&conj));
+    CTFL_RETURN_IF_ERROR(r.U32(&disj));
+    net_config->logic_layers.emplace_back(static_cast<int>(conj),
+                                          static_cast<int>(disj));
+  }
+  uint64_t param_count = 0;
+  CTFL_RETURN_IF_ERROR(r.U64(&param_count));
+  params->resize(param_count);
+  for (double& v : *params) CTFL_RETURN_IF_ERROR(r.F64(&v));
+  return r.ExpectEnd(kModelSection);
+}
+
+std::string EncodeTrainPayload(
+    const std::vector<ParticipantRecords>& participants) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(participants.size()));
+  for (const ParticipantRecords& p : participants) {
+    w.U64(p.labels.size());
+    // Labels packed 8 per byte.
+    uint8_t packed = 0;
+    for (size_t i = 0; i < p.labels.size(); ++i) {
+      if (p.labels[i]) packed |= static_cast<uint8_t>(1u << (i % 8));
+      if (i % 8 == 7) {
+        w.U8(packed);
+        packed = 0;
+      }
+    }
+    if (p.labels.size() % 8 != 0) w.U8(packed);
+    for (const Bitset& activation : p.activations) {
+      w.Words(activation.words());
+    }
+  }
+  return w.Take();
+}
+
+Result<std::vector<ParticipantRecords>> DecodeTrainPayload(
+    std::string_view payload, uint32_t num_rules) {
+  ByteReader r(payload);
+  uint32_t num_participants = 0;
+  CTFL_RETURN_IF_ERROR(r.U32(&num_participants));
+  std::vector<ParticipantRecords> participants(num_participants);
+  const size_t words_per_row = (num_rules + 63) / 64;
+  for (ParticipantRecords& p : participants) {
+    uint64_t num_records = 0;
+    CTFL_RETURN_IF_ERROR(r.U64(&num_records));
+    p.labels.resize(num_records);
+    for (size_t i = 0; i < num_records; i += 8) {
+      uint8_t packed = 0;
+      CTFL_RETURN_IF_ERROR(r.U8(&packed));
+      for (size_t b = 0; b < 8 && i + b < num_records; ++b) {
+        p.labels[i + b] = (packed >> b) & 1;
+      }
+    }
+    p.activations.reserve(num_records);
+    for (uint64_t i = 0; i < num_records; ++i) {
+      std::vector<uint64_t> words;
+      CTFL_RETURN_IF_ERROR(r.Words(words_per_row, &words));
+      CTFL_ASSIGN_OR_RETURN(Bitset activation,
+                            Bitset::FromWords(num_rules, std::move(words)));
+      p.activations.push_back(std::move(activation));
+    }
+  }
+  CTFL_RETURN_IF_ERROR(r.ExpectEnd(kTrainSection));
+  return participants;
+}
+
+std::string EncodeTestsPayload(const std::vector<TestRecord>& tests) {
+  ByteWriter w;
+  w.U64(tests.size());
+  for (const TestRecord& t : tests) {
+    w.U8(t.label);
+    w.U8(t.predicted);
+    w.Words(t.activation.words());
+  }
+  return w.Take();
+}
+
+Result<std::vector<TestRecord>> DecodeTestsPayload(std::string_view payload,
+                                                   uint32_t num_rules) {
+  ByteReader r(payload);
+  uint64_t num_tests = 0;
+  CTFL_RETURN_IF_ERROR(r.U64(&num_tests));
+  std::vector<TestRecord> tests(num_tests);
+  const size_t words_per_row = (num_rules + 63) / 64;
+  for (TestRecord& t : tests) {
+    CTFL_RETURN_IF_ERROR(r.U8(&t.label));
+    CTFL_RETURN_IF_ERROR(r.U8(&t.predicted));
+    if (t.label > 1 || t.predicted > 1) {
+      return Status::InvalidArgument("bundle test record label out of range");
+    }
+    std::vector<uint64_t> words;
+    CTFL_RETURN_IF_ERROR(r.Words(words_per_row, &words));
+    CTFL_ASSIGN_OR_RETURN(t.activation,
+                          Bitset::FromWords(num_rules, std::move(words)));
+  }
+  CTFL_RETURN_IF_ERROR(r.ExpectEnd(kTestsSection));
+  return tests;
+}
+
 Status WriteBundle(const BundleContent& content, const std::string& path) {
   CTFL_SPAN("ctfl.bundle.encode");
   if (content.schema == nullptr) {
@@ -694,11 +706,12 @@ Status WriteBundle(const BundleContent& content, const std::string& path) {
   }
   BundleWriter writer;
   writer.AddSection(kMetaSection, EncodeMeta(content));
-  writer.AddSection(kSchemaSection, EncodeSchema(*content.schema));
-  writer.AddSection(kModelSection, EncodeModel(content));
+  writer.AddSection(kSchemaSection, EncodeSchemaPayload(*content.schema));
+  writer.AddSection(kModelSection,
+                    EncodeModelPayload(content.net_config, content.params));
   writer.AddSection(kRulesSection, EncodeRules(content));
-  writer.AddSection(kTrainSection, EncodeTrain(content));
-  writer.AddSection(kTestsSection, EncodeTests(content));
+  writer.AddSection(kTrainSection, EncodeTrainPayload(content.participants));
+  writer.AddSection(kTestsSection, EncodeTestsPayload(content.tests));
   writer.AddSection(kIndexSection, EncodeIndex(content));
   return writer.Write(path);
 }
@@ -720,7 +733,7 @@ Result<BundleContent> ReadBundle(const std::string& path,
   {
     CTFL_ASSIGN_OR_RETURN(const std::string_view payload,
                           reader.SectionView(kSchemaSection));
-    CTFL_ASSIGN_OR_RETURN(content.schema, DecodeSchema(payload));
+    CTFL_ASSIGN_OR_RETURN(content.schema, DecodeSchemaPayload(payload));
   }
   if (content.meta.schema_fingerprint != 0 &&
       content.meta.schema_fingerprint != SchemaFingerprint(*content.schema)) {
@@ -730,7 +743,8 @@ Result<BundleContent> ReadBundle(const std::string& path,
   {
     CTFL_ASSIGN_OR_RETURN(const std::string_view payload,
                           reader.SectionView(kModelSection));
-    CTFL_RETURN_IF_ERROR(DecodeModel(payload, content));
+    CTFL_RETURN_IF_ERROR(
+        DecodeModelPayload(payload, &content.net_config, &content.params));
   }
   {
     CTFL_ASSIGN_OR_RETURN(const std::string_view payload,
@@ -744,7 +758,8 @@ Result<BundleContent> ReadBundle(const std::string& path,
   {
     CTFL_ASSIGN_OR_RETURN(const std::string_view payload,
                           reader.SectionView(kTrainSection));
-    CTFL_RETURN_IF_ERROR(DecodeTrain(payload, num_rules, content));
+    CTFL_ASSIGN_OR_RETURN(content.participants,
+                          DecodeTrainPayload(payload, num_rules));
   }
   if (content.participants.size() != num_participants) {
     return Status::InvalidArgument(
@@ -753,7 +768,7 @@ Result<BundleContent> ReadBundle(const std::string& path,
   {
     CTFL_ASSIGN_OR_RETURN(const std::string_view payload,
                           reader.SectionView(kTestsSection));
-    CTFL_RETURN_IF_ERROR(DecodeTests(payload, num_rules, content));
+    CTFL_ASSIGN_OR_RETURN(content.tests, DecodeTestsPayload(payload, num_rules));
   }
   if (content.tests.size() != num_tests) {
     return Status::InvalidArgument(

@@ -178,6 +178,33 @@ struct BundleContent {
   size_t total_train_records() const;
 };
 
+// ---------------------------------------------------------------------------
+// Section payload codecs (shared with the streaming delta log).
+//
+// The delta-log header (src/ctfl/stream/) embeds a schema, model, train and
+// tests payload so a StreamingScorer can bootstrap without a bundle; using
+// the bundle's own codecs keeps the two containers bit-compatible and
+// single-sources the formats.
+// ---------------------------------------------------------------------------
+
+std::string EncodeSchemaPayload(const FeatureSchema& schema);
+Result<SchemaPtr> DecodeSchemaPayload(std::string_view payload);
+
+std::string EncodeModelPayload(const LogicalNetConfig& net_config,
+                               const std::vector<double>& params);
+Status DecodeModelPayload(std::string_view payload,
+                          LogicalNetConfig* net_config,
+                          std::vector<double>* params);
+
+std::string EncodeTrainPayload(
+    const std::vector<ParticipantRecords>& participants);
+Result<std::vector<ParticipantRecords>> DecodeTrainPayload(
+    std::string_view payload, uint32_t num_rules);
+
+std::string EncodeTestsPayload(const std::vector<TestRecord>& tests);
+Result<std::vector<TestRecord>> DecodeTestsPayload(std::string_view payload,
+                                                   uint32_t num_rules);
+
 /// Encodes every section and writes the bundle file. Emits telemetry spans
 /// (ctfl.bundle.encode / ctfl.bundle.write) and bumps ctfl.bundle.writes /
 /// ctfl.bundle.bytes_written / ctfl.bundle.sections.

@@ -81,7 +81,7 @@ struct PipelineSnapshot {
 PipelineSnapshot RunPipeline(const Federation& fed, const Dataset& test,
                              CtflConfig config, int num_threads) {
   config.num_threads = num_threads;
-  const CtflReport report = RunCtfl(fed, test, config);
+  const CtflReport report = RunCtfl(fed, test, config).value();
   PipelineSnapshot snap;
   snap.params = report.model.GetParameters();
   snap.micro = report.micro_scores;

@@ -55,7 +55,7 @@ TEST(IntegrationTest, VolumeEarnsMicroCredit) {
   const Dataset small2 = GenerateSynthetic(spec, 100, rng);
   const Dataset test = GenerateSynthetic(spec, 250, rng);
   const Federation fed = MakeFederation({big, small1, small2});
-  const CtflReport report = RunCtfl(fed, test, FastConfig());
+  const CtflReport report = RunCtfl(fed, test, FastConfig()).value();
   EXPECT_GT(report.micro_scores[0], report.micro_scores[1] * 2);
   EXPECT_GT(report.micro_scores[0], report.micro_scores[2] * 2);
 }
@@ -70,13 +70,13 @@ TEST(IntegrationTest, ReplicationHelpsMicroNotMacro) {
   const Dataset test = GenerateSynthetic(spec, 200, rng);
 
   const Federation honest = MakeFederation({base_a, base_b});
-  const CtflReport before = RunCtfl(honest, test, FastConfig());
+  const CtflReport before = RunCtfl(honest, test, FastConfig()).value();
 
   Dataset cheater = base_a;
   Rng arng(3);
   ReplicateData(cheater, 1.0, arng);  // doubles its data
   const Federation cheating = MakeFederation({cheater, base_b});
-  const CtflReport after = RunCtfl(cheating, test, FastConfig());
+  const CtflReport after = RunCtfl(cheating, test, FastConfig()).value();
 
   // Micro credit for the replicator grows; macro stays put (within noise
   // from retraining on the enlarged dataset).
@@ -100,7 +100,7 @@ TEST(IntegrationTest, RankingAgreesWithShapleyOnQualityGradient) {
   const Federation fed =
       MakeFederation({clean_large, clean_small, poisoned});
 
-  const CtflReport ctfl = RunCtfl(fed, test, FastConfig());
+  const CtflReport ctfl = RunCtfl(fed, test, FastConfig()).value();
   const std::vector<int> ctfl_rank = RankByScore(ctfl.micro_scores);
 
   RetrainUtility::Config ucfg;
@@ -163,7 +163,7 @@ TEST(IntegrationTest, TicTacToeEndToEnd) {
   CtflConfig config = FastConfig();
   config.central.epochs = 40;
   config.net.logic_layers = {{48, 48}};
-  const CtflReport report = RunCtfl(fed, split.test, config);
+  const CtflReport report = RunCtfl(fed, split.test, config).value();
   EXPECT_GT(report.test_accuracy, 0.75);
   const double total = std::accumulate(report.micro_scores.begin(),
                                        report.micro_scores.end(), 0.0);
@@ -191,7 +191,7 @@ TEST(IntegrationTest, ComplementaryParticipantGetsCtflCredit) {
     }
   }
   const Federation fed = MakeFederation({common1, common2, critical});
-  const CtflReport report = RunCtfl(fed, test, FastConfig());
+  const CtflReport report = RunCtfl(fed, test, FastConfig()).value();
   EXPECT_GT(report.micro_scores[2], 0.01);
 }
 

@@ -102,7 +102,7 @@ TEST(LossTracingTest, EndToEndFlipperHasHighestSuspicion) {
   config.net.logic_layers = {{16, 16}};
   config.net.seed = 4;
   config.tracer.tau_w = 0.8;
-  const CtflReport report = RunCtfl(fed, test, config);
+  const CtflReport report = RunCtfl(fed, test, config).value();
 
   const LossReport loss = AnalyzeLoss(report.trace);
   for (int p : {0, 1, 3}) {

@@ -123,7 +123,7 @@ TEST(McCtflTest, ClassSpecialistEarnsItsClassCredit) {
   }
   const McDataset test = MakeData(300, 6);
 
-  const McCtflReport report = RunMcCtfl({p0, p1}, test, FastCtfl());
+  const McCtflReport report = RunMcCtfl({p0, p1}, test, FastCtfl()).value();
   ASSERT_EQ(report.micro_scores.size(), 2u);
   ASSERT_EQ(report.per_class_micro.size(), 3u);
   // The class-2 one-vs-rest positive credit should favor the specialist.
@@ -145,7 +145,7 @@ TEST(McCtflTest, SymmetryAcrossIdenticalParticipants) {
   }
   const McDataset test = MakeData(200, 9);
   const McCtflReport report =
-      RunMcCtfl({shared, shared}, test, FastCtfl());
+      RunMcCtfl({shared, shared}, test, FastCtfl()).value();
   EXPECT_NEAR(report.micro_scores[0], report.micro_scores[1], 1e-9);
   EXPECT_NEAR(report.macro_scores[0], report.macro_scores[1], 1e-9);
 }

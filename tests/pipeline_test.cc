@@ -46,7 +46,7 @@ TEST(PipelineTest, EndToEndProducesScoresForAllParticipants) {
   const Federation fed =
       MakeFederation(PartitionSkewSample(all, 5, 0.8, prng));
 
-  const CtflReport report = RunCtfl(fed, test, FastConfig());
+  const CtflReport report = RunCtfl(fed, test, FastConfig()).value();
   EXPECT_EQ(report.micro_scores.size(), 5u);
   EXPECT_EQ(report.macro_scores.size(), 5u);
   EXPECT_GT(report.test_accuracy, 0.8);
@@ -75,7 +75,7 @@ TEST(PipelineTest, FederatedPathAlsoWorks) {
   config.fedavg.rounds = 3;
   config.fedavg.local_epochs = 3;
   config.fedavg.local.learning_rate = 0.05;
-  const CtflReport report = RunCtfl(fed, test, config);
+  const CtflReport report = RunCtfl(fed, test, config).value();
   EXPECT_GT(report.test_accuracy, 0.75);
 
   // RunCtfl must populate per-round telemetry on the federated path.
@@ -94,6 +94,37 @@ TEST(PipelineTest, FederatedPathAlsoWorks) {
   EXPECT_GT(run.grafting_steps, 0);
 }
 
+// Regression: a failed TrainFederated used to be swallowed (the pipeline
+// kept scoring a half-trained model); the Status must surface through
+// RunCtfl instead.
+TEST(PipelineTest, FederatedTrainingFailurePropagatesStatus) {
+  Rng rng(5);
+  const SyntheticSpec spec = TwoRuleSpec();
+  const Dataset all = GenerateSynthetic(spec, 200, rng);
+  const Dataset test = GenerateSynthetic(spec, 60, rng);
+  Rng prng(6);
+  const Federation fed = MakeFederation(PartitionUniform(all, 3, prng));
+
+  CtflConfig config = FastConfig();
+  config.federated = true;
+  config.fedavg.rounds = 2;
+  config.fedavg.retry_budget = -1;  // malformed: TrainFederated rejects it
+  const Result<CtflReport> report = RunCtfl(fed, test, config);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(report.status().ToString().find("retry_budget"),
+            std::string::npos)
+      << report.status();
+}
+
+TEST(PipelineTest, EmptyFederationIsRejectedNotDereferenced) {
+  Rng rng(7);
+  const Dataset test = GenerateSynthetic(TwoRuleSpec(), 60, rng);
+  const Result<CtflReport> report = RunCtfl(Federation{}, test, FastConfig());
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(PipelineTest, RunCtflPopulatesTelemetryCentral) {
   Rng rng(9);
   const SyntheticSpec spec = TwoRuleSpec();
@@ -103,7 +134,7 @@ TEST(PipelineTest, RunCtflPopulatesTelemetryCentral) {
   const Federation fed = MakeFederation(PartitionUniform(all, 3, prng));
 
   const CtflConfig config = FastConfig();
-  const CtflReport report = RunCtfl(fed, test, config);
+  const CtflReport report = RunCtfl(fed, test, config).value();
   const telemetry::RunTelemetry& run = report.telemetry;
 
   // Central path: per-epoch stats instead of rounds.
@@ -146,7 +177,7 @@ TEST(PipelineTest, SchemeAdapterMatchesPipeline) {
   Rng prng(6);
   const Federation fed = MakeFederation(PartitionUniform(all, 4, prng));
 
-  const CtflReport direct = RunCtfl(fed, test, FastConfig());
+  const CtflReport direct = RunCtfl(fed, test, FastConfig()).value();
 
   CtflScheme micro(&fed, &test, FastConfig(), CtflScheme::Variant::kMicro);
   // The utility is only consulted for the participant count.

@@ -143,9 +143,9 @@ TEST(DpTracingTest, ModerateEpsilonPreservesRanking) {
   config.net.logic_layers = {{12, 12}};
   config.tracer.tau_w = 0.85;
 
-  const CtflReport clean = RunCtfl(fed, test, config);
+  const CtflReport clean = RunCtfl(fed, test, config).value();
   config.tracer.dp_epsilon = 8.0;  // mild per-bit noise
-  const CtflReport private_run = RunCtfl(fed, test, config);
+  const CtflReport private_run = RunCtfl(fed, test, config).value();
 
   EXPECT_EQ(RankByScore(clean.micro_scores),
             RankByScore(private_run.micro_scores));

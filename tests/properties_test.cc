@@ -59,7 +59,7 @@ TEST_P(PropertySweep, GroupRationality) {
   Rng prng(seed + 1);
   const Federation fed =
       MakeFederation(PartitionSkewLabel(all, 4, 0.8, prng));
-  const CtflReport report = RunCtfl(fed, test, FastConfig(seed));
+  const CtflReport report = RunCtfl(fed, test, FastConfig(seed)).value();
 
   const double micro_total = std::accumulate(
       report.micro_scores.begin(), report.micro_scores.end(), 0.0);
@@ -83,7 +83,7 @@ TEST_P(PropertySweep, Symmetry) {
   const Dataset test = GenerateSynthetic(spec, 150, rng);
   // Participants 0 and 1 are byte-identical; 2 differs.
   const Federation fed = MakeFederation({shared, shared, other});
-  const CtflReport report = RunCtfl(fed, test, FastConfig(seed));
+  const CtflReport report = RunCtfl(fed, test, FastConfig(seed)).value();
   EXPECT_NEAR(report.micro_scores[0], report.micro_scores[1], 1e-9);
   EXPECT_NEAR(report.macro_scores[0], report.macro_scores[1], 1e-9);
 }
@@ -99,7 +99,7 @@ TEST_P(PropertySweep, ZeroElement) {
   std::vector<Dataset> clients = PartitionUniform(data, 2, prng);
   clients.emplace_back(spec.schema);  // empty participant
   const Federation fed = MakeFederation(std::move(clients));
-  const CtflReport report = RunCtfl(fed, test, FastConfig(seed));
+  const CtflReport report = RunCtfl(fed, test, FastConfig(seed)).value();
   EXPECT_DOUBLE_EQ(report.micro_scores[2], 0.0);
   EXPECT_DOUBLE_EQ(report.macro_scores[2], 0.0);
 }

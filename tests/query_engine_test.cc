@@ -64,7 +64,7 @@ Fixture MakeFixture(CtflConfig config, const std::string& name,
   Federation fed =
       MakeFederation(PartitionSkewSample(all, participants, 0.7, prng));
   config.bundle_out = TempPath(name);
-  CtflReport report = RunCtfl(fed, test, config);
+  CtflReport report = RunCtfl(fed, test, config).value();
   EXPECT_TRUE(report.bundle_status.ok()) << report.bundle_status;
   return Fixture{std::move(fed), std::move(test), std::move(report),
                  config.bundle_out};

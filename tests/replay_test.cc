@@ -515,7 +515,9 @@ TEST(ReplayMatrixTest, FaultyMatrixPassesIncludingCleanDivergence) {
   if (best != TraceIsa::kScalar) {
     want.push_back(std::string("isa_") + TraceIsaName(best));
   }
-  want.insert(want.end(), {"threads_1", "threads_2", "threads_8", "clean"});
+  // FaultySpec is federated, so the streamed delta-log cell joins in.
+  want.insert(want.end(),
+              {"threads_1", "threads_2", "threads_8", "clean", "streamed"});
   EXPECT_EQ(names, want);
 
   MatrixOptions options;

@@ -187,7 +187,7 @@ struct PipelineFixture {
 
 TEST(RunReportTest, MakeRunReportCarriesIdentityAndShape) {
   PipelineFixture fx;
-  const CtflReport report = RunCtfl(fx.fed, fx.test, fx.config);
+  const CtflReport report = RunCtfl(fx.fed, fx.test, fx.config).value();
   const RunReport run_report =
       MakeRunReport(report, fx.config, fx.fed, fx.test);
 
@@ -222,7 +222,7 @@ TEST(RunReportTest, MakeRunReportCarriesIdentityAndShape) {
 
 TEST(RunReportTest, PhaseCpuWithinWallTimesThreadBudget) {
   PipelineFixture fx;
-  const CtflReport report = RunCtfl(fx.fed, fx.test, fx.config);
+  const CtflReport report = RunCtfl(fx.fed, fx.test, fx.config).value();
   const telemetry::RunTelemetry& t = report.telemetry;
   // The process-CPU clock sums every thread, so a phase's CPU time is
   // bounded by wall * total live threads. Use hardware concurrency as
@@ -289,7 +289,7 @@ TEST(RunReportTest, ConfigDigestSemanticsNotThreads) {
   EXPECT_NE(CtflConfigDigest(central), base);
 
   // The run fingerprint additionally moves with the data shape.
-  const CtflReport report = RunCtfl(fx.fed, fx.test, fx.config);
+  const CtflReport report = RunCtfl(fx.fed, fx.test, fx.config).value();
   const RunReport a = MakeRunReport(report, fx.config, fx.fed, fx.test);
   const RunReport b = MakeRunReport(report, fx.config, fx.fed, fx.fed[0].data);
   EXPECT_NE(a.run_fingerprint, b.run_fingerprint);

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,7 +26,16 @@
 #include "ctfl/serve/server.h"
 #include "ctfl/serve/service.h"
 #include "ctfl/store/query_engine.h"
+#include "ctfl/telemetry/metrics.h"
 #include "ctfl/util/rng.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#define CTFL_SERVE_TEST_HAS_SOCKETS 1
+#endif
 
 namespace ctfl {
 namespace serve {
@@ -79,7 +89,7 @@ Fixture MakeFixture(CtflConfig config, const std::string& name,
   Federation fed =
       MakeFederation(PartitionSkewSample(all, participants, 0.7, prng));
   config.bundle_out = TempPath(name);
-  CtflReport report = RunCtfl(fed, test, config);
+  CtflReport report = RunCtfl(fed, test, config).value();
   EXPECT_TRUE(report.bundle_status.ok()) << report.bundle_status;
   return Fixture{std::move(fed), std::move(test), std::move(report),
                  config.bundle_out};
@@ -198,12 +208,14 @@ TEST(ServeProtocolTest, ResponseRoundTripsRelatedAndStatsBitExactly) {
   stats.stats.origin_tau_w = 0.85;
   stats.stats.origin_delta = 2;
   stats.stats.participant_names = {"P0", "P1", "a name with spaces"};
+  stats.stats.rounds_folded = 6;  // v3 field
   const std::string stats_encoded = EncodeResponse(stats);
   const Result<Response> stats_decoded = DecodeResponse(stats_encoded);
   ASSERT_TRUE(stats_decoded.ok()) << stats_decoded.status();
   EXPECT_EQ(stats_decoded->stats.participant_names,
             stats.stats.participant_names);
   EXPECT_EQ(stats_decoded->stats.origin_tau_w, 0.85);
+  EXPECT_EQ(stats_decoded->stats.rounds_folded, 6u);
   EXPECT_EQ(EncodeResponse(*stats_decoded), stats_encoded);
 }
 
@@ -786,6 +798,85 @@ TEST(ServeServerTest, ConcurrentClientsGetBitIdenticalResponsesAndDrain) {
   // The socket file is gone and fresh connections fail: nothing leaked.
   EXPECT_FALSE(Client::ConnectUnix(config.socket_path).ok());
 }
+
+TEST(ServeServiceTest, StatsReportsRoundsFoldedFromCallback) {
+  const Fixture fx = MakeFixture(FastConfig(), "serve_folds.ctflb");
+  ServiceConfig config;
+  std::atomic<uint64_t> folds{3};
+  config.rounds_folded_fn = [&folds] { return folds.load(); };
+  QueryService service(OpenEngine(fx.bundle_path), config);
+  EXPECT_EQ(service.Stats().rounds_folded, 3u);
+  // The callback is consulted per STATS call, never cached: a poller
+  // folding appended rounds shows up on the next request.
+  folds.store(8);
+  EXPECT_EQ(service.Stats().rounds_folded, 8u);
+
+  // Without a callback the field stays 0 (non-streaming servers).
+  QueryService plain(OpenEngine(fx.bundle_path));
+  EXPECT_EQ(plain.Stats().rounds_folded, 0u);
+}
+
+#if defined(CTFL_SERVE_TEST_HAS_SOCKETS)
+// Slow-loris hardening (ISSUE PR10 satellite): a peer that connects and
+// never completes a frame must be disconnected after idle_timeout_ms and
+// counted, instead of pinning a worker slot forever.
+TEST(ServeServerTest, IdleConnectionsAreClosedAndCounted) {
+  if (!ServerSupported()) GTEST_SKIP() << "socket server not compiled in";
+
+  const Fixture fx = MakeFixture(FastConfig(), "serve_idle.ctflb");
+  QueryService service(OpenEngine(fx.bundle_path));
+
+  ServerConfig config;
+  config.socket_path = TempPath("serve_idle.sock");
+  config.num_threads = 2;
+  config.idle_timeout_ms = 200;
+  Server server(&service, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  telemetry::Counter& idle_closed =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "ctfl.serve.idle_closed");
+  const int64_t before = idle_closed.value();
+
+  // The loris: connect, send half a frame header, then stall forever.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(config.socket_path.size(), sizeof(addr.sun_path));
+  std::memcpy(addr.sun_path, config.socket_path.c_str(),
+              config.socket_path.size() + 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const char half_header[2] = {0x02, 0x00};
+  ASSERT_EQ(::send(fd, half_header, sizeof(half_header), 0), 2);
+
+  // The server closes its end within the idle budget: EOF on ours. The
+  // 5s poll cap only bounds the test on failure.
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  ASSERT_GT(::poll(&pfd, 1, 5000), 0)
+      << "server never closed the idle connection";
+  char buf[8];
+  EXPECT_EQ(::recv(fd, buf, sizeof(buf), 0), 0);  // clean EOF, no bytes
+  ::close(fd);
+  EXPECT_GT(idle_closed.value(), before);
+
+  // The freed slot keeps serving well-behaved clients.
+  Result<Client> client = Client::ConnectUnix(config.socket_path);
+  ASSERT_TRUE(client.ok()) << client.status();
+  Request request;
+  request.op = Op::kStats;
+  Result<Response> response = client->Call(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->status.ok());
+
+  server.Shutdown();
+  server.Wait();
+}
+#endif  // CTFL_SERVE_TEST_HAS_SOCKETS
 
 TEST(ServeServerTest, TcpLoopbackServesAndShutsDownViaApi) {
   if (!ServerSupported()) GTEST_SKIP() << "socket server not compiled in";

@@ -70,7 +70,7 @@ Fixture MakeFixture(int participants = 3) {
   config.net.logic_layers = {{10, 10}};
   config.net.seed = 5;
   config.tracer.tau_w = 0.85;
-  CtflReport report = RunCtfl(fed, test, config);
+  CtflReport report = RunCtfl(fed, test, config).value();
 
   // Deterministic (no DP), so a fresh tracer reproduces the run's uploads.
   const ContributionTracer tracer(&report.model, &fed, config.tracer);
@@ -539,7 +539,7 @@ TEST(BundleTypedTest, PipelineEmitsBundleWhenAsked) {
   config.net.logic_layers = {{8, 8}};
   config.net.seed = 2;
   config.bundle_out = TempPath("pipeline_emit.ctflb");
-  const CtflReport report = RunCtfl(fed, test, config);
+  const CtflReport report = RunCtfl(fed, test, config).value();
   ASSERT_TRUE(report.bundle_status.ok()) << report.bundle_status;
   EXPECT_GT(report.bundle_bytes, 0u);
 
@@ -554,7 +554,7 @@ TEST(BundleTypedTest, PipelineEmitsBundleWhenAsked) {
   // Unwritable path: the run still succeeds, the status records why.
   CtflConfig bad = config;
   bad.bundle_out = "/nonexistent-dir/bundle.ctflb";
-  const CtflReport failed = RunCtfl(fed, test, bad);
+  const CtflReport failed = RunCtfl(fed, test, bad).value();
   EXPECT_FALSE(failed.bundle_status.ok());
   EXPECT_EQ(failed.micro_scores.size(), 3u);
 }

@@ -1,0 +1,436 @@
+// Tests of the streaming contribution pipeline (src/ctfl/stream/,
+// DESIGN.md §15): the tentpole property — scores folded one RoundDelta at
+// a time bit-match the one-shot pipeline after EVERY round, across both
+// Eq. 4 kernels, every trace ISA this machine supports, and thread counts
+// 1/2/8, on a faulty secure-agg run — plus the delta-log corruption
+// matrix (truncated tail, CRC flip, future version, unknown record kind),
+// the StreamedEngine poll/verify loop, and the committed golden log.
+//
+// Suite names start with "Stream" so the TSan CI job's --gtest-style
+// regex picks every suite up.
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ctfl/core/allocation.h"
+#include "ctfl/core/pipeline.h"
+#include "ctfl/core/tracer.h"
+#include "ctfl/data/gen/synthetic.h"
+#include "ctfl/fl/partition.h"
+#include "ctfl/store/bundle.h"
+#include "ctfl/stream/delta_log.h"
+#include "ctfl/stream/emitter.h"
+#include "ctfl/stream/scorer.h"
+#include "ctfl/util/cpu_features.h"
+#include "ctfl/util/rng.h"
+
+namespace ctfl {
+namespace stream {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string DataPath(const std::string& name) {
+  return std::string(CTFL_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Appends one raw framed record (kind | len | payload | crc) so tests
+/// can inject record kinds the current reader does not know.
+void AppendRawRecord(const std::string& path, uint32_t kind,
+                     const std::string& payload) {
+  std::string framed;
+  const auto put32 = [&framed](uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      framed.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  };
+  put32(kind);
+  put32(static_cast<uint32_t>(payload.size()));
+  framed += payload;
+  put32(store::Crc32(payload.data(), payload.size()));
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out.write(framed.data(), static_cast<std::streamsize>(framed.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+::testing::AssertionResult BitEq(const std::vector<double>& want,
+                                 const std::vector<double>& got) {
+  if (want.size() != got.size()) {
+    return ::testing::AssertionFailure()
+           << "size " << got.size() << ", want " << want.size();
+  }
+  for (size_t i = 0; i < want.size(); ++i) {
+    if (std::bit_cast<uint64_t>(want[i]) != std::bit_cast<uint64_t>(got[i])) {
+      return ::testing::AssertionFailure()
+             << "index " << i << ": " << got[i] << " != " << want[i]
+             << " (bit patterns differ)";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+SyntheticSpec ThreeRuleSpec() {
+  SyntheticSpec spec;
+  spec.schema = std::make_shared<FeatureSchema>(
+      std::vector<FeatureSpec>{
+          FeatureSchema::Continuous("a", 0, 1),
+          FeatureSchema::Continuous("b", 0, 1),
+          FeatureSchema::Continuous("c", 0, 1),
+      },
+      "neg", "pos");
+  spec.samplers = {FeatureSampler{FeatureSampler::Kind::kUniform, 0, 0, {}},
+                   FeatureSampler{FeatureSampler::Kind::kUniform, 0, 0, {}},
+                   FeatureSampler{FeatureSampler::Kind::kUniform, 0, 0, {}}};
+  spec.rules = {{{{0, GtPredicate::Op::kGt, 0.6}}, 1, 1.0},
+                {{{1, GtPredicate::Op::kLt, 0.4}}, 0, 1.0},
+                {{{2, GtPredicate::Op::kGt, 0.5},
+                  {0, GtPredicate::Op::kLt, 0.6}},
+                 1,
+                 0.8}};
+  return spec;
+}
+
+/// A faulty secure-agg federated run: dropouts and corrupt uploads force
+/// degraded rounds through the fold path, not just the happy path.
+CtflConfig FaultyStreamConfig() {
+  CtflConfig config;
+  config.federated = true;
+  config.fedavg.rounds = 5;
+  config.fedavg.local_epochs = 2;
+  config.fedavg.local.learning_rate = 0.05;
+  config.fedavg.local.seed = 7;
+  config.fedavg.secure_aggregation = true;
+  config.fedavg.failure =
+      FailurePlan::Parse("dropout=0.25,corrupt=0.1,seed=23").value();
+  config.fedavg.retry_budget = 1;
+  config.net.logic_layers = {{10, 10}};
+  config.net.seed = 7;
+  config.tracer.tau_w = 0.85;
+  return config;
+}
+
+/// One instrumented run shared by every test: the emitted log, the
+/// persisted bundle, the final report, and the one-shot micro/macro
+/// baselines recomputed from scratch at every round (index r = scores
+/// after round r; index 0 = the initialized model).
+struct StreamFixture {
+  Federation fed;
+  Dataset test;
+  CtflConfig config;
+  std::string log_path;
+  std::string bundle_path;
+  CtflReport report;
+  DeltaLogContents log;
+  std::vector<std::vector<double>> micro_at;
+  std::vector<std::vector<double>> macro_at;
+};
+
+StreamFixture MakeStreamFixture() {
+  Rng rng(31);
+  const SyntheticSpec spec = ThreeRuleSpec();
+  const Dataset all = GenerateSynthetic(spec, 480, rng);
+  Dataset test = GenerateSynthetic(spec, 120, rng);
+  Rng prng(32);
+  Federation fed = MakeFederation(PartitionSkewSample(all, 4, 0.7, prng));
+  CtflConfig config = FaultyStreamConfig();
+  std::string log_path = TempPath("stream_fx.ctfld");
+  std::string bundle_path = TempPath("stream_fx.ctflb");
+  config.bundle_out = bundle_path;
+
+  // Snapshot the committed global model at every round so the one-shot
+  // baseline can be recomputed from scratch per round — the emitter
+  // chains this observer, so both see identical models.
+  std::vector<LogicalNet> snapshots;
+  config.fedavg.model_observer =
+      [&snapshots](int round, const LogicalNet& global,
+                   const telemetry::RoundTelemetry&) {
+        EXPECT_EQ(static_cast<size_t>(round), snapshots.size());
+        snapshots.push_back(global);
+      };
+  CtflReport report = [&] {
+    DeltaLogEmitter emitter(log_path, &fed, &test, &config);
+    emitter.Attach(&config.fedavg);
+    CtflReport r = RunCtfl(fed, test, config).value();
+    EXPECT_TRUE(emitter.status().ok()) << emitter.status();
+    return r;
+  }();
+  EXPECT_TRUE(report.bundle_status.ok()) << report.bundle_status;
+  // Drop the observer chain: it references the dead emitter and the
+  // snapshots local of this function.
+  config.fedavg.model_observer = nullptr;
+
+  DeltaLogContents log = ReadDeltaLog(log_path).value();
+  std::vector<std::vector<double>> micro_at;
+  std::vector<std::vector<double>> macro_at;
+  for (const LogicalNet& model : snapshots) {
+    const ContributionTracer tracer(&model, &fed, config.tracer);
+    const TraceResult trace = tracer.Trace(test);
+    micro_at.push_back(MicroAllocation(trace));
+    macro_at.push_back(MacroAllocation(trace, config.macro_delta));
+  }
+  return StreamFixture{std::move(fed),         std::move(test),
+                       std::move(config),      std::move(log_path),
+                       std::move(bundle_path), std::move(report),
+                       std::move(log),         std::move(micro_at),
+                       std::move(macro_at)};
+}
+
+const StreamFixture& Fx() {
+  static const StreamFixture* fx = new StreamFixture(MakeStreamFixture());
+  return *fx;
+}
+
+// ---------------------------------------------------------------------------
+// The tentpole property.
+// ---------------------------------------------------------------------------
+
+TEST(StreamScorerTest, FoldBitMatchesOneShotAfterEveryRoundEverywhere) {
+  const StreamFixture& fx = Fx();
+  ASSERT_EQ(fx.log.rounds.size(),
+            static_cast<size_t>(fx.config.fedavg.rounds));
+  ASSERT_EQ(fx.micro_at.size(), fx.log.rounds.size() + 1);
+  EXPECT_EQ(fx.log.truncated_bytes, 0u);
+  EXPECT_EQ(fx.log.skipped_records, 0u);
+
+  // The fault plan must actually have fired, or the "streamed scores
+  // survive degraded rounds" half of the property is vacuous.
+  uint32_t dropped = 0, retries = 0;
+  for (const RoundDelta& round : fx.log.rounds) {
+    dropped += round.clients_dropped;
+    retries += round.retries;
+  }
+  EXPECT_GT(dropped + retries, 0u);
+
+  for (const TraceKernelKind kernel :
+       {TraceKernelKind::kLegacy, TraceKernelKind::kBlocked}) {
+    for (const TraceIsa isa : AvailableTraceIsas()) {
+      for (const int threads : {1, 2, 8}) {
+        ScorerOptions options;
+        options.kernel = kernel;
+        options.isa = isa;
+        options.trace_threads = threads;
+        options.num_threads = threads;
+        const std::string leg =
+            std::string(kernel == TraceKernelKind::kLegacy ? "legacy"
+                                                           : "blocked") +
+            "/" + TraceIsaName(isa) + "/t" + std::to_string(threads);
+
+        Result<StreamingScorer> scorer =
+            StreamingScorer::FromHeader(fx.log.header, options);
+        ASSERT_TRUE(scorer.ok()) << leg << ": " << scorer.status();
+        EXPECT_TRUE(BitEq(fx.micro_at[0], scorer->micro_scores())) << leg;
+        EXPECT_TRUE(BitEq(fx.macro_at[0], scorer->macro_scores())) << leg;
+
+        for (size_t r = 0; r < fx.log.rounds.size(); ++r) {
+          const Status folded = scorer->Fold(fx.log.rounds[r]);
+          ASSERT_TRUE(folded.ok()) << leg << " round " << r + 1 << ": "
+                                   << folded;
+          EXPECT_TRUE(BitEq(fx.micro_at[r + 1], scorer->micro_scores()))
+              << leg << " after round " << r + 1;
+          EXPECT_TRUE(BitEq(fx.macro_at[r + 1], scorer->macro_scores()))
+              << leg << " after round " << r + 1;
+        }
+        // And the final fold equals the pipeline's own report.
+        EXPECT_TRUE(BitEq(fx.report.micro_scores, scorer->micro_scores()))
+            << leg;
+        EXPECT_TRUE(BitEq(fx.report.macro_scores, scorer->macro_scores()))
+            << leg;
+      }
+    }
+  }
+}
+
+TEST(StreamScorerTest, HeaderCarriesRunIdentity) {
+  const StreamFixture& fx = Fx();
+  const DeltaHeader& header = fx.log.header;
+  EXPECT_EQ(header.config_digest, CtflConfigDigest(fx.config));
+  EXPECT_EQ(header.schema_fingerprint, SchemaFingerprint(*fx.test.schema()));
+  EXPECT_EQ(header.failure_plan_fingerprint,
+            fx.config.fedavg.failure.Fingerprint());
+  EXPECT_GT(header.num_rules, 0u);
+  ASSERT_EQ(header.participant_names.size(), fx.fed.size());
+  for (size_t p = 0; p < fx.fed.size(); ++p) {
+    EXPECT_EQ(header.participant_names[p], fx.fed[p].name);
+  }
+  ASSERT_EQ(fx.log.rounds.size(),
+            static_cast<size_t>(fx.config.fedavg.rounds));
+  for (size_t i = 0; i < fx.log.rounds.size(); ++i) {
+    EXPECT_EQ(fx.log.rounds[i].round, i + 1) << "rounds not consecutive";
+  }
+}
+
+TEST(StreamScorerTest, FoldRejectsNonConsecutiveRounds) {
+  const StreamFixture& fx = Fx();
+  ASSERT_GE(fx.log.rounds.size(), 2u);
+  Result<StreamingScorer> scorer =
+      StreamingScorer::FromHeader(fx.log.header);
+  ASSERT_TRUE(scorer.ok()) << scorer.status();
+  EXPECT_FALSE(scorer->Fold(fx.log.rounds[1]).ok())
+      << "round 2 folded before round 1";
+  // The consecutive round still folds after the rejection.
+  EXPECT_TRUE(scorer->Fold(fx.log.rounds[0]).ok());
+}
+
+// ---------------------------------------------------------------------------
+// StreamedEngine: fold on attach, poll for appended rounds, verify
+// against the bundle snapshot.
+// ---------------------------------------------------------------------------
+
+TEST(StreamEngineTest, PollsAppendedRoundsAndVerifiesAgainstBundle) {
+  const StreamFixture& fx = Fx();
+  const std::string path = TempPath("stream_poll.ctfld");
+  Result<DeltaLogWriter> writer = DeltaLogWriter::Create(path);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  ASSERT_TRUE(writer->AppendHeader(fx.log.header).ok());
+  ASSERT_TRUE(writer->AppendRound(fx.log.rounds[0]).ok());
+  ASSERT_TRUE(writer->AppendRound(fx.log.rounds[1]).ok());
+
+  Result<StreamedEngine> engine =
+      StreamedEngine::Open(fx.bundle_path, path);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  EXPECT_EQ(engine->rounds_folded(), 2u);
+  EXPECT_TRUE(BitEq(fx.micro_at[2], engine->scorer().micro_scores()));
+
+  // The live half of the contract: training appends, the server polls.
+  for (size_t r = 2; r < fx.log.rounds.size(); ++r) {
+    ASSERT_TRUE(writer->AppendRound(fx.log.rounds[r]).ok());
+  }
+  Result<uint64_t> appended = engine->PollAppended();
+  ASSERT_TRUE(appended.ok()) << appended.status();
+  EXPECT_EQ(*appended, fx.log.rounds.size() - 2);
+  EXPECT_EQ(engine->rounds_folded(), fx.log.rounds.size());
+  EXPECT_TRUE(engine->VerifyAgainstBundle().ok());
+
+  // Idempotent when the log has not grown.
+  appended = engine->PollAppended();
+  ASSERT_TRUE(appended.ok()) << appended.status();
+  EXPECT_EQ(*appended, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption matrix (mirrors the replay container's coverage).
+// ---------------------------------------------------------------------------
+
+TEST(StreamDeltaLogTest, TruncatedTailRecoversToLastWholeRecord) {
+  const StreamFixture& fx = Fx();
+  const std::string bytes = ReadFile(fx.log_path);
+  ASSERT_GT(bytes.size(), 16u);
+  // A crash mid-append: the last record loses its tail.
+  const std::string chopped = bytes.substr(0, bytes.size() - 5);
+  Result<DeltaLogContents> parsed = ParseDeltaLog(chopped, "chopped");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_GT(parsed->truncated_bytes, 0u);
+  EXPECT_EQ(parsed->rounds.size(), fx.log.rounds.size() - 1);
+  EXPECT_EQ(parsed->bytes_consumed + parsed->truncated_bytes,
+            chopped.size());
+
+  // The recovered prefix still folds (live logs look exactly like this
+  // between appends).
+  Result<StreamingScorer> scorer =
+      StreamingScorer::FromHeader(parsed->header);
+  ASSERT_TRUE(scorer.ok()) << scorer.status();
+  Result<uint64_t> folded = scorer->FoldAll(*parsed);
+  ASSERT_TRUE(folded.ok()) << folded.status();
+  EXPECT_EQ(*folded, parsed->rounds.size());
+  EXPECT_TRUE(BitEq(fx.micro_at[parsed->rounds.size()],
+                    scorer->micro_scores()));
+}
+
+TEST(StreamDeltaLogTest, CrcCorruptionIsRejectedNotAbsorbed) {
+  const StreamFixture& fx = Fx();
+  std::string bytes = ReadFile(fx.log_path);
+  // Flip one byte inside the header record's payload (preamble is 12
+  // bytes, record framing 8 more; +16 is payload territory).
+  ASSERT_GT(bytes.size(), 40u);
+  bytes[12 + 8 + 16] ^= 0x40;
+  const Result<DeltaLogContents> parsed = ParseDeltaLog(bytes, "flipped");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StreamDeltaLogTest, FutureContainerVersionIsRejected) {
+  const StreamFixture& fx = Fx();
+  std::string bytes = ReadFile(fx.log_path);
+  bytes[8] = 2;  // version u32 follows the 8-byte magic
+  EXPECT_FALSE(ParseDeltaLog(bytes, "future").ok());
+  // And garbage magic is not a delta log at all.
+  std::string not_magic = ReadFile(fx.log_path);
+  not_magic[0] = 'X';
+  EXPECT_FALSE(ParseDeltaLog(not_magic, "magic").ok());
+}
+
+TEST(StreamDeltaLogTest, UnknownRecordKindsAreSkippedAndCounted) {
+  const StreamFixture& fx = Fx();
+  const std::string path = TempPath("stream_unknown.ctfld");
+  {
+    Result<DeltaLogWriter> writer = DeltaLogWriter::Create(path);
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    ASSERT_TRUE(writer->AppendHeader(fx.log.header).ok());
+    ASSERT_TRUE(writer->AppendRound(fx.log.rounds[0]).ok());
+  }
+  // A record kind from the future lands mid-log; readers must step over
+  // it and keep decoding (the replay container's tolerance rule).
+  AppendRawRecord(path, /*kind=*/99, "from-the-future");
+  AppendRawRecord(path, /*kind=*/2, EncodeRound(fx.log.rounds[1]));
+
+  Result<DeltaLogContents> parsed = ReadDeltaLog(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->skipped_records, 1u);
+  ASSERT_EQ(parsed->rounds.size(), 2u);
+  EXPECT_EQ(parsed->rounds[1].round, 2u);
+
+  Result<StreamingScorer> scorer =
+      StreamingScorer::FromHeader(parsed->header);
+  ASSERT_TRUE(scorer.ok()) << scorer.status();
+  Result<uint64_t> folded = scorer->FoldAll(*parsed);
+  ASSERT_TRUE(folded.ok()) << folded.status();
+  EXPECT_TRUE(BitEq(fx.micro_at[2], scorer->micro_scores()));
+}
+
+// ---------------------------------------------------------------------------
+// Golden log: a delta log committed at container v1. If this test breaks,
+// the reader stopped understanding logs already written to disk — bump
+// the container version instead of changing v1 semantics. Regeneration
+// recipe: EXPERIMENTS.md §"Streaming delta logs".
+// ---------------------------------------------------------------------------
+
+TEST(StreamGoldenTest, GoldenV1LogFoldsAndVerifiesAgainstGoldenBundle) {
+  const std::string log_path = DataPath("golden_stream_v1.ctfld");
+  const std::string bundle_path = DataPath("golden_stream_v1.ctflb");
+  Result<DeltaLogContents> log = ReadDeltaLog(log_path);
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_EQ(log->truncated_bytes, 0u);
+  EXPECT_EQ(log->skipped_records, 0u);
+  EXPECT_EQ(log->rounds.size(), 3u);
+  EXPECT_EQ(log->header.participant_names.size(), 3u);
+
+  Result<StreamedEngine> engine = StreamedEngine::Open(bundle_path, log_path);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  EXPECT_EQ(engine->rounds_folded(), 3u);
+  // The end-to-end integrity statement: folding the committed chain
+  // reproduces the committed bundle's scores bit-for-bit.
+  EXPECT_TRUE(engine->VerifyAgainstBundle().ok())
+      << engine->VerifyAgainstBundle();
+  double total = 0.0;
+  for (const double score : engine->scorer().micro_scores()) total += score;
+  EXPECT_GT(total, 0.0);
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace ctfl

@@ -452,7 +452,7 @@ class TraceKernelQueryTest : public ::testing::Test {
     config.net.seed = 7;
     config.tracer.tau_w = 0.85;
     config.bundle_out = ::testing::TempDir() + "/trace_kernel_query.ctflb";
-    report_ = new CtflReport(RunCtfl(fed, test, config));
+    report_ = new CtflReport(RunCtfl(fed, test, config).value());
     ASSERT_TRUE(report_->bundle_status.ok()) << report_->bundle_status;
     engine_ = new store::QueryEngine(
         store::QueryEngine::Open(config.bundle_out).value());

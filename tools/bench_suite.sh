@@ -9,6 +9,9 @@
 #   BENCH_serve.json   BM_Serve/related-test/connections:N  resident query
 #                      service soak (ctfl_serve + ctfl_query_client --load:
 #                      requests/sec + p50/p99 latency over a live socket)
+#   BENCH_stream.json  BM_StreamFold/{fold,recompute} + BM_StreamFoldEmpty
+#                      O(delta) incremental score fold vs full pipeline
+#                      recompute (acceptance: fold >= 10x cheaper)
 #
 # Guard rails:
 #   * The build is forced to (and verified as) CMAKE_BUILD_TYPE=Release —
@@ -23,7 +26,7 @@
 #   build-dir defaults to build-release (configured Release if missing).
 #   out-dir   defaults to the repo root (BENCH_*.json land next to the
 #             committed baselines).
-#   suite     trace|fedavg|query|serve|all (default all).
+#   suite     trace|fedavg|query|serve|stream|all (default all).
 # Extra benchmark flags (e.g. --benchmark_min_time=0.05s for CI smoke
 # runs) can be passed via CTFL_BENCH_EXTRA_ARGS. The serve suite's load
 # shape is tuned via CTFL_SERVE_BENCH_CONNECTIONS (default 8) and
@@ -38,9 +41,9 @@ SUITE="${3:-all}"
 EXTRA_ARGS=(${CTFL_BENCH_EXTRA_ARGS:-})
 
 case "${SUITE}" in
-  trace|fedavg|query|serve|all) ;;
+  trace|fedavg|query|serve|stream|all) ;;
   *)
-    echo "bench_suite: unknown suite '${SUITE}' (want trace|fedavg|query|serve|all)" >&2
+    echo "bench_suite: unknown suite '${SUITE}' (want trace|fedavg|query|serve|stream|all)" >&2
     exit 2
     ;;
 esac
@@ -230,6 +233,42 @@ if [[ "${SUITE}" == "query" || "${SUITE}" == "all" ]]; then
 fi
 if [[ "${SUITE}" == "serve" || "${SUITE}" == "all" ]]; then
   run_serve
+fi
+if [[ "${SUITE}" == "stream" || "${SUITE}" == "all" ]]; then
+  run_group stream '^BM_StreamFold'
+  # The delta log's reason to exist: folding one round's delta must be
+  # >= 10x cheaper than recomputing scores through the full one-shot
+  # pipeline (the ISSUE PR10 acceptance bar). CTFL_BENCH_SKIP_STREAM_CHECK=1
+  # downgrades the bar to a report for smoke runs with tiny min_time.
+  python3 - "${OUT_DIR}/BENCH_stream.json" <<'PY'
+import json, os, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+rows = {}
+for b in data.get("benchmarks", []):
+    name = b.get("name", "")
+    if name.startswith("BM_StreamFold"):
+        rows[name] = b
+fold = rows.get("BM_StreamFold/fold/real_time")
+recompute = rows.get("BM_StreamFold/recompute/real_time")
+if fold is None or recompute is None:
+    print(f"bench_suite: BENCH_stream.json lacks BM_StreamFold legs "
+          f"(have {sorted(rows)})", file=sys.stderr)
+    sys.exit(2)
+for name in sorted(rows):
+    b = rows[name]
+    print(f"{name}: {b['real_time']:.3f} {b.get('time_unit', 'ns')}")
+speedup = recompute["real_time"] / max(fold["real_time"], 1e-12)
+print(f"fold speedup over full recompute: {speedup:.1f}x")
+if speedup < 10.0:
+    msg = (f"bench_suite: fold is only {speedup:.1f}x cheaper than full "
+           "recompute; the streaming acceptance bar is 10x")
+    if os.environ.get("CTFL_BENCH_SKIP_STREAM_CHECK") == "1":
+        print(msg + " (ignored: CTFL_BENCH_SKIP_STREAM_CHECK=1)")
+    else:
+        print(msg, file=sys.stderr)
+        sys.exit(2)
+PY
 fi
 
 echo "bench_suite: done (${SUITE})"

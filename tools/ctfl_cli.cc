@@ -13,6 +13,7 @@
 //             [--federated] [--rounds R] [--local-epochs E] [--secure-agg]
 //             [--failure-plan SPEC] [--retry-budget B]
 //             [--trace-kernel legacy|blocked] [--bundle-out FILE]
+//             [--delta-log-out FILE]
 //             [--trace-isa auto|scalar|avx2|avx512|neon] [--trace-threads N]
 //             [--telemetry-out FILE.json] [--telemetry-summary]
 //             [--metrics-out FILE.jsonl] [--report-out FILE.json]
@@ -28,6 +29,10 @@
 //       quarantined — the run completes over the surviving cohorts and
 //       is a pure function of (seed, plan). --bundle-out additionally
 //       persists a contribution bundle for later `query` runs.
+//       --delta-log-out (federated only) appends one per-round delta
+//       record to FILE as the run trains, so `query --delta-log` or
+//       `ctfl_serve --delta-log` can fold live scores in O(delta) per
+//       round without retraining (DESIGN.md §15).
 //       --num-threads steers training, tracing, and the matrix kernels
 //       together (0 = all cores, 1 = serial; scores are bit-identical
 //       either way). --trace-kernel selects the Eq. 4 matching engine:
@@ -55,7 +60,7 @@
 //             [--instances FILE.csv] [--max-records N] [--linear]
 //             [--trace-kernel legacy|blocked] [--requests-file FILE]
 //             [--trace-isa auto|scalar|avx2|avx512|neon] [--trace-threads N]
-//             [--telemetry-summary]
+//             [--delta-log FILE] [--telemetry-summary]
 //       Serves a persisted bundle: re-evaluates micro/macro scores under
 //       the requested (or originating) parameters — bit-identical to the
 //       originating run at its own parameters — prints per-participant
@@ -67,6 +72,10 @@
 //       `related-test INDEX`, or `related F1,F2,...,LABEL`; blank lines
 //       and `#` comments skipped), all answered from the single bundle
 //       load — the resident-service workflow without a server.
+//       --delta-log switches to streaming mode: folds every round of the
+//       delta log into live scores (O(delta) per round), prints the score
+//       table, and exits nonzero unless the folded scores bit-match the
+//       bundle snapshot.
 //
 // The --dataset flag names the schema (the federation's agreed feature
 // space); CSV files must match it. `query` needs no --dataset: the
@@ -92,6 +101,8 @@
 #include "ctfl/replay/runner.h"
 #include "ctfl/serve/render.h"
 #include "ctfl/store/query_engine.h"
+#include "ctfl/stream/emitter.h"
+#include "ctfl/stream/scorer.h"
 #include "ctfl/telemetry/exposition.h"
 #include "ctfl/telemetry/metrics.h"
 #include "ctfl/telemetry/trace.h"
@@ -245,6 +256,7 @@ Status RunScore(int argc, const char* const* argv, bool snapshot_mode) {
                     {"trace-isa", "auto"},
                     {"trace-threads", "1"},
                     {"bundle-out", ""},
+                    {"delta-log-out", ""},
                     {"telemetry-out", ""},
                     {"telemetry-summary", "false"},
                     {"metrics-out", ""},
@@ -341,7 +353,30 @@ Status RunScore(int argc, const char* const* argv, bool snapshot_mode) {
         };
   }
 
-  const CtflReport report = RunCtfl(fed, test, config);
+  // --delta-log-out: observe every committed FedAvg round and append one
+  // RoundDelta per round (plus the round-0 header) so a streaming scorer
+  // can fold the run's scores incrementally (DESIGN.md §15).
+  const std::string delta_log_out = flags.GetString("delta-log-out");
+  std::unique_ptr<stream::DeltaLogEmitter> emitter;
+  if (!delta_log_out.empty()) {
+    if (!config.federated) {
+      return Status::InvalidArgument(
+          "--delta-log-out requires --federated (deltas are per FedAvg "
+          "round)");
+    }
+    emitter = std::make_unique<stream::DeltaLogEmitter>(delta_log_out, &fed,
+                                                        &test, &config);
+    emitter->Attach(&config.fedavg);
+  }
+
+  CTFL_ASSIGN_OR_RETURN(const CtflReport report, RunCtfl(fed, test, config));
+  if (emitter != nullptr) {
+    CTFL_RETURN_IF_ERROR(emitter->status());
+    std::printf("delta log (%u rounds, %llu bytes) -> %s\n",
+                emitter->rounds_emitted(),
+                static_cast<unsigned long long>(emitter->bytes_written()),
+                delta_log_out.c_str());
+  }
   if (metrics_writer != nullptr) {
     CTFL_RETURN_IF_ERROR(metrics_writer->WriteLabeled("final"));
     std::printf("metrics snapshots (%d) -> %s\n",
@@ -552,6 +587,7 @@ Status RunQuery(int argc, const char* const* argv) {
                     {"trace-isa", "auto"},
                     {"trace-threads", "1"},
                     {"requests-file", ""},
+                    {"delta-log", ""},
                     {"telemetry-summary", "false"},
                     {"record", ""}});
   CTFL_RETURN_IF_ERROR(flags.Parse(argc, argv));
@@ -568,6 +604,34 @@ Status RunQuery(int argc, const char* const* argv) {
   CTFL_ASSIGN_OR_RETURN(int trace_threads, flags.GetInt("trace-threads"));
   const bool telemetry_summary = flags.GetBool("telemetry-summary");
   if (telemetry_summary) telemetry::SetTracingEnabled(true);
+
+  // --delta-log: streaming mode. Open the bundle plus its delta chain,
+  // fold every round, print the live score table (same line format as
+  // `score`), and fail unless the folded scores bit-match the snapshot.
+  const std::string delta_log = flags.GetString("delta-log");
+  if (!delta_log.empty()) {
+    stream::ScorerOptions scorer_options;
+    scorer_options.kernel = trace_kernel;
+    scorer_options.isa = CurrentTraceIsa();
+    scorer_options.trace_threads = trace_threads;
+    CTFL_ASSIGN_OR_RETURN(
+        stream::StreamedEngine streamed,
+        stream::StreamedEngine::Open(flags.GetString("bundle"), delta_log,
+                                     scorer_options));
+    const stream::StreamingScorer& scorer = streamed.scorer();
+    std::printf("delta log %s: %llu rounds folded\n\n", delta_log.c_str(),
+                static_cast<unsigned long long>(streamed.rounds_folded()));
+    std::printf("participant  records    micro     macro\n");
+    for (size_t p = 0; p < scorer.num_participants(); ++p) {
+      std::printf("%-11s %8zu   %.4f    %.4f\n",
+                  scorer.participant_names()[p].c_str(),
+                  scorer.participant_records(p), scorer.micro_scores()[p],
+                  scorer.macro_scores()[p]);
+    }
+    CTFL_RETURN_IF_ERROR(streamed.VerifyAgainstBundle());
+    std::printf("\nstreamed scores bit-match the bundle snapshot\n");
+    return Status::OK();
+  }
 
   CTFL_ASSIGN_OR_RETURN(store::QueryEngine engine,
                         store::QueryEngine::Open(flags.GetString("bundle")));

@@ -163,7 +163,8 @@ Status RunStatsOp(Client& client) {
       "requests: %llu total, %llu errors (%llu related, %llu related-test, "
       "%llu evaluate)\n"
       "cache: %llu hits, %llu misses\n"
-      "trace kernel: isa=%s, %llu exact fallbacks\n",
+      "trace kernel: isa=%s, %llu exact fallbacks\n"
+      "streaming: %llu rounds folded\n",
       s.num_participants, s.num_rules,
       static_cast<unsigned long long>(s.train_records),
       static_cast<unsigned long long>(s.test_records),
@@ -176,7 +177,8 @@ Status RunStatsOp(Client& client) {
       static_cast<unsigned long long>(s.cache_hits),
       static_cast<unsigned long long>(s.cache_misses),
       s.trace_isa.empty() ? "unknown" : s.trace_isa.c_str(),
-      static_cast<unsigned long long>(s.exact_fallbacks));
+      static_cast<unsigned long long>(s.exact_fallbacks),
+      static_cast<unsigned long long>(s.rounds_folded));
   return Status::OK();
 }
 

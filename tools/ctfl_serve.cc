@@ -10,7 +10,18 @@
 //   ctfl_serve --bundle FILE (--socket PATH | --port N)
 //              [--num-threads T] [--lru-capacity N] [--open-mode auto|mmap|stream]
 //              [--trace-isa auto|scalar|avx2|avx512|neon] [--trace-threads N]
+//              [--delta-log FILE] [--delta-poll-ms MS]
+//              [--idle-timeout-ms MS]
 //              [--metrics-out FILE] [--record FILE.ctflr]
+//
+// --delta-log attaches a streaming scorer to the bundle's per-round delta
+// chain (DESIGN.md §15): every round already in the log is folded at
+// startup, then a poll thread re-reads the log every --delta-poll-ms
+// (default 500) and folds rounds appended by a still-training run —
+// STATS reports the live `rounds_folded` count and the final streamed
+// score table prints at drain. --idle-timeout-ms closes connections that
+// complete no frame for that long (slow-loris guard; default 5000,
+// <= 0 disables), counted in `ctfl.serve.idle_closed`.
 //
 // Prints one "listening on ..." line once ready (scripts wait for it),
 // then serves until SIGTERM/SIGINT or a SHUTDOWN request, drains
@@ -21,9 +32,13 @@
 // --bundle B` re-issues the captured traffic digest-for-digest, and
 // `ctfl_query_client --load --replay F` uses it as a soak mix.
 
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include <fstream>
 
@@ -32,6 +47,7 @@
 #include "ctfl/serve/service.h"
 #include "ctfl/store/bundle.h"
 #include "ctfl/store/query_engine.h"
+#include "ctfl/stream/scorer.h"
 #include "ctfl/telemetry/exposition.h"
 #include "ctfl/util/cpu_features.h"
 #include "ctfl/util/flags.h"
@@ -63,6 +79,9 @@ Status Run(int argc, const char* const* argv) {
                     {"open-mode", "auto"},
                     {"trace-isa", "auto"},
                     {"trace-threads", "1"},
+                    {"delta-log", ""},
+                    {"delta-poll-ms", "500"},
+                    {"idle-timeout-ms", "5000"},
                     {"metrics-out", ""},
                     {"record", ""}});
   CTFL_RETURN_IF_ERROR(flags.Parse(argc, argv));
@@ -104,6 +123,40 @@ Status Run(int argc, const char* const* argv) {
   const std::string record_out = flags.GetString("record");
   replay::ReplayRecorder recorder;
   if (!record_out.empty()) service_config.request_tap = recorder.Tap();
+
+  // --delta-log: fold the bundle's delta chain into a streaming scorer
+  // (every round already in the log), then keep polling for appended
+  // rounds while serving. STATS reports the fold count live.
+  const std::string delta_log = flags.GetString("delta-log");
+  CTFL_ASSIGN_OR_RETURN(int delta_poll_ms, flags.GetInt("delta-poll-ms"));
+  std::unique_ptr<stream::StreamingScorer> scorer;
+  std::atomic<uint64_t> rounds_folded{0};
+  if (!delta_log.empty()) {
+    CTFL_ASSIGN_OR_RETURN(stream::DeltaLogContents log_contents,
+                          stream::ReadDeltaLog(delta_log));
+    if (content.meta.schema_fingerprint != 0 &&
+        log_contents.header.schema_fingerprint != 0 &&
+        content.meta.schema_fingerprint !=
+            log_contents.header.schema_fingerprint) {
+      return Status::InvalidArgument(
+          delta_log +
+          ": delta-log schema fingerprint disagrees with the bundle");
+    }
+    stream::ScorerOptions scorer_options;
+    scorer_options.trace_threads = trace_threads;
+    CTFL_ASSIGN_OR_RETURN(
+        stream::StreamingScorer folded,
+        stream::StreamingScorer::FromHeader(std::move(log_contents.header),
+                                            scorer_options));
+    CTFL_RETURN_IF_ERROR(folded.FoldAll(log_contents).status());
+    scorer = std::make_unique<stream::StreamingScorer>(std::move(folded));
+    rounds_folded.store(scorer->rounds_folded(),
+                        std::memory_order_relaxed);
+    service_config.rounds_folded_fn = [&rounds_folded] {
+      return rounds_folded.load(std::memory_order_relaxed);
+    };
+  }
+
   CTFL_ASSIGN_OR_RETURN(store::QueryEngine engine,
                         store::QueryEngine::FromContent(std::move(content)));
   serve::QueryService service(std::move(engine), service_config);
@@ -117,12 +170,42 @@ Status Run(int argc, const char* const* argv) {
               TraceIsaName(CurrentTraceIsa()), trace_threads,
               trace_threads == 1 ? "" : "s");
 
+  if (scorer != nullptr) {
+    std::printf("delta log %s: %llu rounds folded (poll every %d ms)\n",
+                delta_log.c_str(),
+                static_cast<unsigned long long>(scorer->rounds_folded()),
+                delta_poll_ms);
+  }
+
+  CTFL_ASSIGN_OR_RETURN(int idle_timeout_ms, flags.GetInt("idle-timeout-ms"));
   serve::ServerConfig server_config;
   server_config.socket_path = socket_path;
   server_config.port = port < 0 ? 0 : port;
   server_config.num_threads = num_threads;
+  server_config.idle_timeout_ms = idle_timeout_ms;
   serve::Server server(&service, server_config);
   CTFL_RETURN_IF_ERROR(server.Start());
+
+  // Streaming poll thread: re-read the delta log and fold any rounds a
+  // still-training run appended. The scorer is only ever touched from
+  // this thread; request handlers read the atomic fold counter.
+  std::atomic<bool> poll_stop{false};
+  std::thread poller;
+  if (scorer != nullptr && delta_poll_ms > 0) {
+    poller = std::thread([&] {
+      while (!poll_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delta_poll_ms));
+        Result<stream::DeltaLogContents> appended =
+            stream::ReadDeltaLog(delta_log);
+        if (!appended.ok()) continue;  // transient read races: retry later
+        if (scorer->FoldAll(*appended).ok()) {
+          rounds_folded.store(scorer->rounds_folded(),
+                              std::memory_order_relaxed);
+        }
+      }
+    });
+  }
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
@@ -145,9 +228,21 @@ Status Run(int argc, const char* const* argv) {
 #endif
   server.Shutdown();
   server.Wait();
+  poll_stop.store(true, std::memory_order_release);
+  if (poller.joinable()) poller.join();
   std::printf("drained after %llu requests\n",
               static_cast<unsigned long long>(
                   service.Stats().requests_total));
+  if (scorer != nullptr) {
+    std::printf("streamed scores after %llu rounds:\n",
+                static_cast<unsigned long long>(scorer->rounds_folded()));
+    for (size_t p = 0; p < scorer->num_participants(); ++p) {
+      std::printf("%-11s %8zu   %.4f    %.4f\n",
+                  scorer->participant_names()[p].c_str(),
+                  scorer->participant_records(p), scorer->micro_scores()[p],
+                  scorer->macro_scores()[p]);
+    }
+  }
 
   if (!record_out.empty()) {
     CTFL_RETURN_IF_ERROR(recorder.WriteTo(record_out));
